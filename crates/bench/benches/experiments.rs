@@ -1,0 +1,33 @@
+//! End-to-end benchmarks: the wall-clock cost of regenerating each class
+//! of paper artifact (in fast mode, so the full suite stays minutes, not
+//! hours).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icm_experiments::{ExpConfig, Experiment};
+
+fn fast_cfg() -> ExpConfig {
+    ExpConfig {
+        seed: 2016,
+        fast: true,
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_fast");
+    group.sample_size(10);
+    for exp in [
+        Experiment::Fig2,
+        Experiment::Table3,
+        Experiment::Table4,
+        Experiment::Fig10,
+        Experiment::AblationMultiApp,
+    ] {
+        group.bench_function(BenchmarkId::new("run", exp.id()), |b| {
+            b.iter(|| exp.run(&fast_cfg()).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Benchmarks of the placement machinery: estimate throughput and
+//! annealing-search cost at the paper's problem size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icm_placement::{
+    anneal_unconstrained, AnnealConfig, Estimator, PlacementError, PlacementProblem,
+    PlacementState, RuntimePredictor,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Synthetic {
+    score: f64,
+    sensitivity: f64,
+}
+
+impl RuntimePredictor for Synthetic {
+    fn predict_normalized(&self, pressures: &[f64]) -> Result<f64, PlacementError> {
+        let max = pressures.iter().cloned().fold(0.0f64, f64::max);
+        let mean = pressures.iter().sum::<f64>() / pressures.len() as f64;
+        Ok(1.0 + self.sensitivity * (0.7 * max + 0.3 * mean))
+    }
+
+    fn bubble_score(&self) -> f64 {
+        self.score
+    }
+
+    fn solo_seconds(&self) -> f64 {
+        100.0
+    }
+}
+
+fn predictors() -> Vec<Synthetic> {
+    vec![
+        Synthetic {
+            score: 4.3,
+            sensitivity: 0.12,
+        },
+        Synthetic {
+            score: 6.6,
+            sensitivity: 0.03,
+        },
+        Synthetic {
+            score: 0.2,
+            sensitivity: 0.05,
+        },
+        Synthetic {
+            score: 3.9,
+            sensitivity: 0.15,
+        },
+    ]
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let problem =
+        PlacementProblem::paper_default(vec!["a".into(), "b".into(), "c".into(), "d".into()])
+            .expect("valid");
+    let preds = predictors();
+    let refs: Vec<&dyn RuntimePredictor> = preds.iter().map(|p| p as _).collect();
+    let estimator = Estimator::new(&problem, refs).expect("valid");
+    let mut rng = StdRng::seed_from_u64(1);
+    let state = PlacementState::random(&problem, &mut rng);
+    c.bench_function("placement/estimate_8x2x4", |b| {
+        b.iter(|| estimator.estimate(black_box(&state)).expect("estimates"))
+    });
+}
+
+fn bench_anneal(c: &mut Criterion) {
+    let problem =
+        PlacementProblem::paper_default(vec!["a".into(), "b".into(), "c".into(), "d".into()])
+            .expect("valid");
+    let preds = predictors();
+    let refs: Vec<&dyn RuntimePredictor> = preds.iter().map(|p| p as _).collect();
+    let estimator = Estimator::new(&problem, refs).expect("valid");
+    let mut group = c.benchmark_group("placement/anneal");
+    group.sample_size(10);
+    for iterations in [500usize, 4000] {
+        group.bench_with_input(
+            BenchmarkId::new("iterations", iterations),
+            &iterations,
+            |b, &iterations| {
+                b.iter(|| {
+                    anneal_unconstrained(
+                        &problem,
+                        |s| Ok(estimator.estimate(s)?.weighted_total),
+                        &AnnealConfig {
+                            iterations,
+                            ..AnnealConfig::default()
+                        },
+                    )
+                    .expect("search runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate, bench_anneal);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Criterion benchmark crate for the ICM reproduction; see `benches/`.
+#![forbid(unsafe_code)]

@@ -1,0 +1,225 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// A single-node interference sensitivity curve: normalized runtime (or
+/// slowdown) as a function of integer bubble pressure, with the value at
+/// pressure 0 fixed to 1.
+///
+/// This is the Bubble-Up *sensitivity profile* (§2.1): index `p` holds the
+/// application's normalized runtime when co-located with a bubble of
+/// pressure `p`. Fractional pressures are linearly interpolated, and the
+/// curve can be *inverted* to map an observed slowdown back to a
+/// pressure-equivalent — which is exactly how a co-runner's bubble score
+/// is derived from the reporter bubble's degradation.
+///
+/// # Example
+///
+/// ```
+/// use icm_core::SensitivityCurve;
+///
+/// # fn main() -> Result<(), icm_core::ModelError> {
+/// let curve = SensitivityCurve::new(vec![1.0, 1.05, 1.1, 1.3, 1.6])?;
+/// assert!((curve.value_at(2.5) - 1.2).abs() < 1e-12);
+/// assert!((curve.invert(1.2) - 2.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityCurve {
+    values: Vec<f64>,
+}
+
+impl SensitivityCurve {
+    /// Creates a curve from values at integer pressures `0..values.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidData`] if fewer than two points are
+    /// given, any value is non-finite or below 1 − ε (a normalized runtime
+    /// cannot beat the solo run by more than measurement noise), or the
+    /// first value is not ≈ 1.
+    pub fn new(values: Vec<f64>) -> Result<Self, ModelError> {
+        if values.len() < 2 {
+            return Err(ModelError::InvalidData(format!(
+                "a sensitivity curve needs at least 2 points, got {}",
+                values.len()
+            )));
+        }
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() || v < 0.9 {
+                return Err(ModelError::InvalidData(format!(
+                    "curve value at pressure {i} must be a finite normalized runtime ≥ 0.9, got {v}"
+                )));
+            }
+        }
+        if (values[0] - 1.0).abs() > 0.1 {
+            return Err(ModelError::InvalidData(format!(
+                "curve value at pressure 0 must be ≈ 1 (no interference), got {}",
+                values[0]
+            )));
+        }
+        Ok(Self { values })
+    }
+
+    /// Highest integer pressure the curve covers.
+    pub fn max_pressure(&self) -> usize {
+        self.values.len() - 1
+    }
+
+    /// Raw curve points.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Curve value at a (possibly fractional) pressure, linearly
+    /// interpolated; clamped to the covered pressure range.
+    pub fn value_at(&self, pressure: f64) -> f64 {
+        if !pressure.is_finite() {
+            return *self.values.last().expect("non-empty");
+        }
+        let p = pressure.clamp(0.0, self.max_pressure() as f64);
+        let lo = p.floor() as usize;
+        let hi = p.ceil() as usize;
+        if lo == hi {
+            return self.values[lo];
+        }
+        let frac = p - lo as f64;
+        self.values[lo] * (1.0 - frac) + self.values[hi] * frac
+    }
+
+    /// Inverts the curve: the smallest pressure at which the (monotone
+    /// envelope of the) curve reaches `slowdown`.
+    ///
+    /// Values at or below the pressure-0 level return 0; values above the
+    /// curve's maximum return the maximum pressure. Because measured
+    /// curves can be slightly non-monotone from noise, inversion walks the
+    /// running maximum of the curve.
+    pub fn invert(&self, slowdown: f64) -> f64 {
+        if !slowdown.is_finite() || slowdown <= self.values[0] {
+            return 0.0;
+        }
+        let mut prev_env = self.values[0];
+        let mut prev_p = 0.0;
+        let mut env = self.values[0];
+        for (i, &v) in self.values.iter().enumerate().skip(1) {
+            let new_env = env.max(v);
+            if new_env >= slowdown {
+                // Crosses between prev_p and i (using envelope values).
+                if (new_env - prev_env).abs() < 1e-12 {
+                    return i as f64;
+                }
+                let frac = (slowdown - prev_env) / (new_env - prev_env);
+                return prev_p + frac * (i as f64 - prev_p);
+            }
+            prev_env = new_env;
+            prev_p = i as f64;
+            env = new_env;
+        }
+        self.max_pressure() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> SensitivityCurve {
+        SensitivityCurve::new(vec![1.0, 1.1, 1.25, 1.5, 2.0]).expect("valid")
+    }
+
+    #[test]
+    fn value_at_integer_points() {
+        let c = curve();
+        assert_eq!(c.value_at(0.0), 1.0);
+        assert_eq!(c.value_at(3.0), 1.5);
+        assert_eq!(c.value_at(4.0), 2.0);
+    }
+
+    #[test]
+    fn value_interpolates_between_points() {
+        let c = curve();
+        assert!((c.value_at(3.5) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_clamps_out_of_range() {
+        let c = curve();
+        assert_eq!(c.value_at(-2.0), 1.0);
+        assert_eq!(c.value_at(99.0), 2.0);
+        assert_eq!(c.value_at(f64::INFINITY), 2.0);
+    }
+
+    #[test]
+    fn invert_round_trips_within_range() {
+        let c = curve();
+        for p in [0.5, 1.0, 2.3, 3.9] {
+            let sd = c.value_at(p);
+            let back = c.invert(sd);
+            assert!((back - p).abs() < 1e-9, "p={p}, back={back}");
+        }
+    }
+
+    #[test]
+    fn invert_clamps_extremes() {
+        let c = curve();
+        assert_eq!(c.invert(0.5), 0.0);
+        assert_eq!(c.invert(1.0), 0.0);
+        assert_eq!(c.invert(5.0), 4.0);
+    }
+
+    #[test]
+    fn invert_handles_noisy_non_monotone_curve() {
+        // A small dip from measurement noise must not break inversion.
+        let c = SensitivityCurve::new(vec![1.0, 1.2, 1.15, 1.4, 1.8]).expect("valid");
+        let p = c.invert(1.3);
+        assert!(p > 1.0 && p < 3.0, "got {p}");
+        // Monotone output in slowdown:
+        let mut last = 0.0;
+        for s in [1.05, 1.1, 1.19, 1.21, 1.3, 1.5, 1.79] {
+            let inv = c.invert(s);
+            assert!(inv >= last, "inversion regressed at {s}");
+            last = inv;
+        }
+    }
+
+    #[test]
+    fn invert_flat_curve_is_zero_or_max() {
+        let c = SensitivityCurve::new(vec![1.0, 1.0, 1.0]).expect("valid");
+        assert_eq!(c.invert(1.0), 0.0);
+        assert_eq!(c.invert(1.5), 2.0);
+    }
+
+    #[test]
+    fn rejects_too_short() {
+        assert!(matches!(
+            SensitivityCurve::new(vec![1.0]),
+            Err(ModelError::InvalidData(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_and_sub_unit_values() {
+        assert!(SensitivityCurve::new(vec![1.0, f64::NAN]).is_err());
+        assert!(SensitivityCurve::new(vec![1.0, 0.4]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_baseline() {
+        assert!(SensitivityCurve::new(vec![1.5, 1.6]).is_err());
+    }
+
+    #[test]
+    fn tolerates_slightly_noisy_baseline() {
+        assert!(SensitivityCurve::new(vec![1.02, 1.3]).is_ok());
+        assert!(SensitivityCurve::new(vec![0.98, 1.3]).is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = curve();
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: SensitivityCurve = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(c, back);
+    }
+}

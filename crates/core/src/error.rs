@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for model construction and prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A curve or matrix was constructed from malformed data.
+    InvalidData(String),
+    /// The underlying testbed failed to execute a profiling run.
+    Testbed(String),
+    /// A prediction was requested with a malformed pressure vector.
+    BadPressureVector(String),
+    /// Profiling produced something unusable (e.g. a non-positive solo
+    /// runtime).
+    Profiling(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidData(msg) => write!(f, "invalid model data: {msg}"),
+            ModelError::Testbed(msg) => write!(f, "testbed failure: {msg}"),
+            ModelError::BadPressureVector(msg) => write!(f, "bad pressure vector: {msg}"),
+            ModelError::Profiling(msg) => write!(f, "profiling failure: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let err = ModelError::InvalidData("rows differ in length".into());
+        assert!(err.to_string().contains("rows differ"));
+        let err = ModelError::Testbed("host down".into());
+        assert!(err.to_string().contains("host down"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ModelError>();
+    }
+}

@@ -1,0 +1,791 @@
+//! The assembled interference-aware performance model (§3.4) and its
+//! builder.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::curve::SensitivityCurve;
+use crate::error::ModelError;
+use crate::heterogeneity::{
+    select_policy, HomogeneousInterference, MappingPolicy, PolicyEvaluation, DEFAULT_TIE_TOLERANCE,
+};
+use crate::profiling::{profile, ProfileSource, ProfilerConfig, ProfilingAlgorithm};
+use crate::propagation::PropagationMatrix;
+use crate::score::ReporterCurve;
+use crate::stats::mean;
+use crate::testbed::Testbed;
+
+/// The complete interference model of one distributed application: the
+/// three profiled components of §3.4 —
+///
+/// 1. its **bubble score** (interference it generates),
+/// 2. its **propagation matrix** (sensitivity curves per pressure over
+///    interfering-node counts, Fig. 3), and
+/// 3. its best **heterogeneity mapping policy** (Table 2).
+///
+/// Given the per-node pressures an arbitrary placement would expose the
+/// application to, [`predict`](InterferenceModel::predict) returns the
+/// expected normalized execution time.
+///
+/// Models serialize with serde so a profiled fleet can be persisted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceModel {
+    app: String,
+    solo_seconds: f64,
+    bubble_score: f64,
+    propagation: PropagationMatrix,
+    policy: MappingPolicy,
+    policy_evaluations: Vec<PolicyEvaluation>,
+    tie_tolerance: f64,
+    profiling_cost: f64,
+    reporter_curve: ReporterCurve,
+}
+
+impl InterferenceModel {
+    /// Application name.
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// Interference-free runtime in seconds (profiled baseline).
+    pub fn solo_seconds(&self) -> f64 {
+        self.solo_seconds
+    }
+
+    /// The interference intensity this application *generates* (Table 4).
+    pub fn bubble_score(&self) -> f64 {
+        self.bubble_score
+    }
+
+    /// The propagation matrix (Fig. 3 curves).
+    pub fn propagation(&self) -> &PropagationMatrix {
+        &self.propagation
+    }
+
+    /// The selected heterogeneity mapping policy (Table 2).
+    pub fn policy(&self) -> MappingPolicy {
+        self.policy
+    }
+
+    /// Accuracy of every candidate policy on the profiling samples
+    /// (Fig. 4); empty if the policy was forced by the caller.
+    pub fn policy_evaluations(&self) -> &[PolicyEvaluation] {
+        &self.policy_evaluations
+    }
+
+    /// Fraction of the `n × m` interference settings that profiling
+    /// actually measured (Table 3 cost).
+    pub fn profiling_cost(&self) -> f64 {
+        self.profiling_cost
+    }
+
+    /// The reporter calibration curve used for bubble scoring.
+    pub fn reporter_curve(&self) -> &ReporterCurve {
+        &self.reporter_curve
+    }
+
+    /// Number of hosts the application spans (length predictions expect).
+    pub fn hosts(&self) -> usize {
+        self.propagation.hosts()
+    }
+
+    /// Predicts the normalized execution time under per-node bubble
+    /// (or bubble-equivalent) pressures.
+    ///
+    /// `pressures` must have exactly [`hosts`](Self::hosts) entries, one
+    /// per host the application occupies; `0` means no interference on
+    /// that host. Entries may be fractional bubble scores of co-runners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from [`hosts`](Self::hosts) or
+    /// contains negative/non-finite values; use
+    /// [`try_predict`](Self::try_predict) for a fallible variant.
+    pub fn predict(&self, pressures: &[f64]) -> f64 {
+        self.try_predict(pressures)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible variant of [`predict`](Self::predict).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadPressureVector`] on length mismatch or
+    /// invalid entries.
+    pub fn try_predict(&self, pressures: &[f64]) -> Result<f64, ModelError> {
+        if pressures.len() != self.hosts() {
+            return Err(ModelError::BadPressureVector(format!(
+                "expected {} per-host pressures for `{}`, got {}",
+                self.hosts(),
+                self.app,
+                pressures.len()
+            )));
+        }
+        for &p in pressures {
+            if !p.is_finite() || p < 0.0 {
+                return Err(ModelError::BadPressureVector(format!(
+                    "pressures must be non-negative and finite, got {p}"
+                )));
+            }
+        }
+        let hom = self
+            .policy
+            .convert_with_tolerance(pressures, self.tie_tolerance);
+        Ok(self.propagation.predict(hom.pressure, hom.nodes))
+    }
+
+    /// Predicts absolute seconds instead of a normalized time.
+    ///
+    /// # Errors
+    ///
+    /// See [`try_predict`](Self::try_predict).
+    pub fn predict_seconds(&self, pressures: &[f64]) -> Result<f64, ModelError> {
+        Ok(self.try_predict(pressures)? * self.solo_seconds)
+    }
+
+    /// The homogeneous `(pressure, nodes)` coordinates this model's
+    /// policy maps a heterogeneous vector to (diagnostic; Fig. 5).
+    pub fn convert(&self, pressures: &[f64]) -> HomogeneousInterference {
+        self.policy
+            .convert_with_tolerance(pressures, self.tie_tolerance)
+    }
+}
+
+/// The naive comparison model of §2.2 / §5.2: heterogeneity is converted
+/// with a fixed `N+1 max` policy (the best single static choice), and
+/// propagation is assumed *proportional* — interference on `j` of `m`
+/// nodes contributes `j/m` of the full-cluster slowdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NaiveModel {
+    app: String,
+    solo_seconds: f64,
+    bubble_score: f64,
+    full_pressure_curve: SensitivityCurve,
+    hosts: usize,
+    tie_tolerance: f64,
+}
+
+impl NaiveModel {
+    /// Derives the naive model from a fully built interference model
+    /// (it uses only the all-nodes column of the propagation matrix).
+    pub fn from_model(model: &InterferenceModel) -> Self {
+        let m = model.hosts();
+        let mut values = Vec::with_capacity(model.propagation.max_pressure() + 1);
+        values.push(1.0);
+        for i in 1..=model.propagation.max_pressure() {
+            values.push(model.propagation.at(i, m).max(1.0));
+        }
+        Self {
+            app: model.app().to_owned(),
+            solo_seconds: model.solo_seconds(),
+            bubble_score: model.bubble_score(),
+            full_pressure_curve: SensitivityCurve::new(values)
+                .expect("column of a valid matrix forms a valid curve"),
+            hosts: m,
+            tie_tolerance: model.tie_tolerance,
+        }
+    }
+
+    /// Application name.
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// Interference-free runtime in seconds.
+    pub fn solo_seconds(&self) -> f64 {
+        self.solo_seconds
+    }
+
+    /// Bubble score (shared with the full model).
+    pub fn bubble_score(&self) -> f64 {
+        self.bubble_score
+    }
+
+    /// Number of hosts the application spans.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Naive prediction of the normalized execution time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadPressureVector`] on malformed input.
+    pub fn try_predict(&self, pressures: &[f64]) -> Result<f64, ModelError> {
+        if pressures.len() != self.hosts {
+            return Err(ModelError::BadPressureVector(format!(
+                "expected {} per-host pressures for `{}`, got {}",
+                self.hosts,
+                self.app,
+                pressures.len()
+            )));
+        }
+        for &p in pressures {
+            if !p.is_finite() || p < 0.0 {
+                return Err(ModelError::BadPressureVector(format!(
+                    "pressures must be non-negative and finite, got {p}"
+                )));
+            }
+        }
+        let hom = MappingPolicy::NPlus1Max.convert_with_tolerance(pressures, self.tie_tolerance);
+        let full = self.full_pressure_curve.value_at(hom.pressure);
+        Ok(1.0 + (full - 1.0) * hom.nodes / self.hosts as f64)
+    }
+
+    /// Panicking variant of [`try_predict`](Self::try_predict).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input.
+    pub fn predict(&self, pressures: &[f64]) -> f64 {
+        self.try_predict(pressures)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+}
+
+/// Builds an [`InterferenceModel`] by driving profiling runs against a
+/// [`Testbed`] — the end-to-end §3.4/§4.1 procedure.
+///
+/// # Example
+///
+/// ```no_run
+/// use icm_core::model::ModelBuilder;
+/// use icm_core::profiling::ProfilingAlgorithm;
+/// # fn demo(testbed: &mut dyn icm_core::Testbed) -> Result<(), icm_core::ModelError> {
+/// let model = ModelBuilder::new("M.milc")
+///     .algorithm(ProfilingAlgorithm::BinaryOptimized)
+///     .policy_samples(60)
+///     .build(testbed)?;
+/// println!("bubble score: {:.1}", model.bubble_score());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    app: String,
+    hosts: Option<usize>,
+    algorithm: ProfilingAlgorithm,
+    config: ProfilerConfig,
+    forced_policy: Option<MappingPolicy>,
+    policy_samples: usize,
+    solo_repeats: usize,
+    score_repeats: usize,
+    tie_tolerance: f64,
+    seed: u64,
+}
+
+impl ModelBuilder {
+    /// Starts building a model for the named application with the paper's
+    /// defaults: binary-optimized profiling, 60 policy samples, automatic
+    /// policy selection.
+    pub fn new(app: impl Into<String>) -> Self {
+        Self {
+            app: app.into(),
+            hosts: None,
+            algorithm: ProfilingAlgorithm::BinaryOptimized,
+            config: ProfilerConfig::default(),
+            forced_policy: None,
+            policy_samples: 60,
+            solo_repeats: 3,
+            score_repeats: 5,
+            tie_tolerance: DEFAULT_TIE_TOLERANCE,
+            seed: 0xBEEF,
+        }
+    }
+
+    /// Number of hosts the application spans during profiling (default:
+    /// the whole cluster).
+    pub fn hosts(&mut self, hosts: usize) -> &mut Self {
+        self.hosts = Some(hosts);
+        self
+    }
+
+    /// Profiling algorithm for the propagation matrix.
+    pub fn algorithm(&mut self, algorithm: ProfilingAlgorithm) -> &mut Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Profiler tuning (binary-search epsilon, random seed).
+    pub fn profiler_config(&mut self, config: ProfilerConfig) -> &mut Self {
+        self.config = config;
+        self
+    }
+
+    /// Forces a mapping policy instead of selecting one from samples.
+    pub fn policy(&mut self, policy: MappingPolicy) -> &mut Self {
+        self.forced_policy = Some(policy);
+        self
+    }
+
+    /// Number of random heterogeneous configurations used for policy
+    /// selection (the paper samples 60 on the private cluster, 100 on
+    /// EC2).
+    pub fn policy_samples(&mut self, samples: usize) -> &mut Self {
+        self.policy_samples = samples;
+        self
+    }
+
+    /// Repeated solo runs to average for the baseline.
+    pub fn solo_repeats(&mut self, repeats: usize) -> &mut Self {
+        self.solo_repeats = repeats.max(1);
+        self
+    }
+
+    /// Repeated reporter co-runs to average for the bubble score.
+    pub fn score_repeats(&mut self, repeats: usize) -> &mut Self {
+        self.score_repeats = repeats.max(1);
+        self
+    }
+
+    /// Pressure tie tolerance for heterogeneity conversion.
+    pub fn tie_tolerance(&mut self, tolerance: f64) -> &mut Self {
+        self.tie_tolerance = tolerance;
+        self
+    }
+
+    /// Seed for the random heterogeneous policy samples.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the full profiling procedure against `testbed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates testbed failures, and returns
+    /// [`ModelError::Profiling`] if measured data is unusable (e.g. a
+    /// non-positive solo runtime).
+    pub fn build(&self, testbed: &mut dyn Testbed) -> Result<InterferenceModel, ModelError> {
+        let m = self.hosts.unwrap_or_else(|| testbed.cluster_hosts());
+        if m == 0 || m > testbed.cluster_hosts() {
+            return Err(ModelError::Profiling(format!(
+                "app hosts {m} invalid for a {}-host cluster",
+                testbed.cluster_hosts()
+            )));
+        }
+        let n = testbed.max_pressure();
+
+        // 1. Solo baseline.
+        let zeros = vec![0.0; m];
+        let solo_runs: Vec<f64> = (0..self.solo_repeats)
+            .map(|_| testbed.run_app(&self.app, &zeros))
+            .collect::<Result<_, _>>()?;
+        let solo = mean(&solo_runs);
+        if !solo.is_finite() || solo <= 0.0 {
+            return Err(ModelError::Profiling(format!(
+                "solo runtime of `{}` measured as {solo}",
+                self.app
+            )));
+        }
+
+        // 2. Reporter calibration curve (bubble vs reporter).
+        let mut reporter_values = Vec::with_capacity(n + 1);
+        for p in 0..=n {
+            reporter_values.push(testbed.reporter_slowdown_with_bubble(p as f64)?);
+        }
+        // The pressure-0 reporter run defines "no slowdown"; normalize the
+        // curve to it so measurement noise at the baseline cancels.
+        let baseline = reporter_values[0];
+        if !baseline.is_finite() || baseline <= 0.0 {
+            return Err(ModelError::Profiling(format!(
+                "reporter baseline measured as {baseline}"
+            )));
+        }
+        let normalized: Vec<f64> = reporter_values
+            .iter()
+            .map(|v| (v / baseline).max(1.0))
+            .collect();
+        let reporter_curve = ReporterCurve::from_slowdowns(normalized)?;
+
+        // 3. Bubble score.
+        let score_runs: Vec<f64> = (0..self.score_repeats)
+            .map(|_| testbed.reporter_slowdown_with_app(&self.app))
+            .collect::<Result<_, _>>()?;
+        let bubble_score = reporter_curve.score_for_slowdown(mean(&score_runs) / baseline);
+
+        // 4. Propagation matrix via the selected profiling algorithm.
+        let mut source = TestbedSource {
+            testbed,
+            app: &self.app,
+            solo,
+            hosts: m,
+            max_pressure: n,
+        };
+        let profiled = profile(&mut source, self.algorithm, &self.config)?;
+
+        // 5. Heterogeneity policy.
+        let (policy, evaluations) = match self.forced_policy {
+            Some(policy) => (policy, Vec::new()),
+            None => {
+                let samples = self.sample_heterogeneous(testbed, m, n, solo)?;
+                let evaluations = crate::heterogeneity::evaluate_policies(
+                    &profiled.matrix,
+                    &samples,
+                    self.tie_tolerance,
+                );
+                let best = select_policy(&profiled.matrix, &samples, self.tie_tolerance);
+                (best.policy, evaluations)
+            }
+        };
+
+        Ok(InterferenceModel {
+            app: self.app.clone(),
+            solo_seconds: solo,
+            bubble_score,
+            propagation: profiled.matrix,
+            policy,
+            policy_evaluations: evaluations,
+            tie_tolerance: self.tie_tolerance,
+            profiling_cost: profiled.cost,
+            reporter_curve,
+        })
+    }
+
+    /// Draws random heterogeneous configurations and measures them — the
+    /// §3.3 sampling procedure.
+    fn sample_heterogeneous(
+        &self,
+        testbed: &mut dyn Testbed,
+        m: usize,
+        n: usize,
+        solo: f64,
+    ) -> Result<Vec<(Vec<f64>, f64)>, ModelError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut samples = Vec::with_capacity(self.policy_samples);
+        for _ in 0..self.policy_samples {
+            let mut pressures: Vec<f64>;
+            loop {
+                pressures = (0..m)
+                    .map(|_| f64::from(rng.gen_range(0..=n as u32)))
+                    .collect();
+                // A configuration with at least two distinct non-zero
+                // levels actually exercises heterogeneity.
+                let nonzero: Vec<u64> = pressures
+                    .iter()
+                    .filter(|&&p| p > 0.0)
+                    .map(|&p| p as u64)
+                    .collect();
+                if !nonzero.is_empty() {
+                    break;
+                }
+            }
+            let seconds = testbed.run_app(&self.app, &pressures)?;
+            samples.push((pressures, seconds / solo));
+        }
+        Ok(samples)
+    }
+}
+
+/// Measures only the reporter calibration curve and an application's
+/// bubble score, without building a full propagation model — the Table 4
+/// measurement in isolation.
+///
+/// # Errors
+///
+/// Propagates testbed failures; returns [`ModelError::Profiling`] if the
+/// reporter baseline is unusable.
+pub fn measure_bubble_score(
+    testbed: &mut dyn Testbed,
+    app: &str,
+    repeats: usize,
+) -> Result<f64, ModelError> {
+    let n = testbed.max_pressure();
+    let mut reporter_values = Vec::with_capacity(n + 1);
+    for p in 0..=n {
+        reporter_values.push(testbed.reporter_slowdown_with_bubble(p as f64)?);
+    }
+    let baseline = reporter_values[0];
+    if !baseline.is_finite() || baseline <= 0.0 {
+        return Err(ModelError::Profiling(format!(
+            "reporter baseline measured as {baseline}"
+        )));
+    }
+    let normalized: Vec<f64> = reporter_values
+        .iter()
+        .map(|v| (v / baseline).max(1.0))
+        .collect();
+    let curve = ReporterCurve::from_slowdowns(normalized)?;
+    let runs: Vec<f64> = (0..repeats.max(1))
+        .map(|_| testbed.reporter_slowdown_with_app(app))
+        .collect::<Result<_, _>>()?;
+    Ok(curve.score_for_slowdown(mean(&runs) / baseline))
+}
+
+/// Adapter exposing a [`Testbed`] as a [`ProfileSource`]: "j interfering
+/// nodes at pressure i" places the bubbles on the *last* `j` of the app's
+/// hosts (biasing toward worker nodes when the first host is a
+/// coordinator master; the conversion policies are position-agnostic
+/// anyway).
+struct TestbedSource<'a> {
+    testbed: &'a mut dyn Testbed,
+    app: &'a str,
+    solo: f64,
+    hosts: usize,
+    max_pressure: usize,
+}
+
+impl ProfileSource for TestbedSource<'_> {
+    fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    fn max_pressure(&self) -> usize {
+        self.max_pressure
+    }
+
+    fn measure(&mut self, pressure: usize, nodes: usize) -> Result<f64, ModelError> {
+        let mut pressures = vec![0.0; self.hosts];
+        for slot in pressures.iter_mut().rev().take(nodes) {
+            *slot = pressure as f64;
+        }
+        let seconds = self.testbed.run_app(self.app, &pressures)?;
+        Ok(seconds / self.solo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::mock::MockTestbed;
+
+    fn build_default() -> (InterferenceModel, MockTestbed) {
+        let mut tb = MockTestbed::default();
+        let model = ModelBuilder::new("mock")
+            .policy_samples(24)
+            .build(&mut tb)
+            .expect("builds");
+        (model, tb)
+    }
+
+    #[test]
+    fn builder_produces_complete_model() {
+        let (model, _) = build_default();
+        assert_eq!(model.app(), "mock");
+        assert!((model.solo_seconds() - 100.0).abs() < 1e-6);
+        assert_eq!(model.hosts(), 8);
+        assert_eq!(model.propagation().max_pressure(), 8);
+        assert!(model.profiling_cost() > 0.0 && model.profiling_cost() <= 1.0);
+        assert_eq!(model.policy_evaluations().len(), 4);
+    }
+
+    #[test]
+    fn bubble_score_recovers_generated_intensity() {
+        let (model, tb) = build_default();
+        assert!(
+            (model.bubble_score() - tb.generated_score).abs() < 0.3,
+            "expected ≈{}, got {}",
+            tb.generated_score,
+            model.bubble_score()
+        );
+    }
+
+    #[test]
+    fn predictions_match_mock_ground_truth() {
+        let (model, tb) = build_default();
+        for pressures in [
+            vec![8.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![4.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![6.0, 3.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![2.0; 8],
+        ] {
+            let predicted = model.predict(&pressures);
+            let truth = tb.truth(&pressures);
+            let err = ((predicted - truth) / truth).abs();
+            assert!(
+                err < 0.05,
+                "pressures {pressures:?}: predicted {predicted}, truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_coupled_mock_selects_a_max_flavored_policy() {
+        let (model, _) = build_default();
+        assert!(
+            matches!(
+                model.policy(),
+                MappingPolicy::NMax | MappingPolicy::NPlus1Max | MappingPolicy::AllMax
+            ),
+            "a coupling-0.9 app must not pick interpolate, got {}",
+            model.policy()
+        );
+    }
+
+    #[test]
+    fn mean_coupled_mock_selects_interpolate() {
+        let mut tb = MockTestbed {
+            coupling: 0.0,
+            ..MockTestbed::default()
+        };
+        let model = ModelBuilder::new("mock")
+            .policy_samples(24)
+            .build(&mut tb)
+            .expect("builds");
+        assert_eq!(model.policy(), MappingPolicy::Interpolate);
+    }
+
+    #[test]
+    fn forced_policy_skips_sampling() {
+        let mut tb = MockTestbed::default();
+        let calls_before_sampling = {
+            let mut probe = MockTestbed::default();
+            let _ = ModelBuilder::new("mock")
+                .policy(MappingPolicy::AllMax)
+                .build(&mut probe)
+                .expect("builds");
+            probe.calls
+        };
+        let model = ModelBuilder::new("mock")
+            .policy(MappingPolicy::AllMax)
+            .build(&mut tb)
+            .expect("builds");
+        assert_eq!(model.policy(), MappingPolicy::AllMax);
+        assert!(model.policy_evaluations().is_empty());
+        // Forcing the policy must not run the 24+ sampling runs.
+        assert_eq!(tb.calls, calls_before_sampling);
+    }
+
+    #[test]
+    fn predict_validates_vector_length() {
+        let (model, _) = build_default();
+        let err = model.try_predict(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, ModelError::BadPressureVector(_)));
+    }
+
+    #[test]
+    fn predict_validates_values() {
+        let (model, _) = build_default();
+        assert!(model.try_predict(&[-1.0; 8]).is_err());
+        assert!(model.try_predict(&[f64::NAN; 8]).is_err());
+    }
+
+    #[test]
+    fn predict_seconds_scales_by_solo() {
+        let (model, _) = build_default();
+        let pressures = vec![4.0; 8];
+        let normalized = model.predict(&pressures);
+        let seconds = model.predict_seconds(&pressures).expect("valid");
+        assert!((seconds - normalized * model.solo_seconds()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_interference_predicts_one() {
+        let (model, _) = build_default();
+        let t = model.predict(&[0.0; 8]);
+        assert!((t - 1.0).abs() < 0.02, "got {t}");
+    }
+
+    #[test]
+    fn naive_model_underestimates_coupled_propagation() {
+        // The Fig. 2 motivation: for a barrier-coupled app, interference
+        // on one node already causes most of the damage, which the
+        // proportional naive model misses badly.
+        let (model, tb) = build_default();
+        let naive = NaiveModel::from_model(&model);
+        let mut one = vec![0.0; 8];
+        one[7] = 8.0;
+        let truth = tb.truth(&one);
+        let naive_pred = naive.predict(&one);
+        let full_pred = model.predict(&one);
+        assert!(
+            naive_pred < truth - 0.2,
+            "naive {naive_pred} should badly undershoot truth {truth}"
+        );
+        assert!(
+            (full_pred - truth).abs() < 0.05,
+            "full model {full_pred} should track truth {truth}"
+        );
+    }
+
+    #[test]
+    fn naive_model_agrees_at_full_interference() {
+        let (model, _) = build_default();
+        let naive = NaiveModel::from_model(&model);
+        let all = vec![8.0; 8];
+        let diff = (naive.predict(&all) - model.predict(&all)).abs();
+        assert!(diff < 0.05, "at j=m both models share T[n][m], diff {diff}");
+    }
+
+    #[test]
+    fn naive_model_validates_input() {
+        let (model, _) = build_default();
+        let naive = NaiveModel::from_model(&model);
+        assert!(naive.try_predict(&[1.0]).is_err());
+        assert!(naive.try_predict(&[-1.0; 8]).is_err());
+    }
+
+    #[test]
+    fn build_rejects_bad_host_count() {
+        let mut tb = MockTestbed::default();
+        assert!(ModelBuilder::new("mock").hosts(0).build(&mut tb).is_err());
+        assert!(ModelBuilder::new("mock").hosts(9).build(&mut tb).is_err());
+    }
+
+    #[test]
+    fn reduced_host_span_model() {
+        let mut tb = MockTestbed::default();
+        let model = ModelBuilder::new("mock")
+            .hosts(4)
+            .policy_samples(12)
+            .build(&mut tb)
+            .expect("builds");
+        assert_eq!(model.hosts(), 4);
+        let t = model.predict(&[5.0, 0.0, 0.0, 0.0]);
+        assert!(t > 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_behaviour() {
+        let (model, _) = build_default();
+        let json = serde_json::to_string(&model).expect("serialize");
+        let back: InterferenceModel = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(model.app(), back.app());
+        assert_eq!(model.policy(), back.policy());
+        assert_eq!(model.hosts(), back.hosts());
+        for pressures in [
+            vec![0.0; 8],
+            vec![3.0; 8],
+            vec![6.0, 2.0, 0.0, 0.0, 1.0, 0.0, 0.0, 4.0],
+        ] {
+            let a = model.predict(&pressures);
+            let b = back.predict(&pressures);
+            assert!(
+                (a - b).abs() < 1e-9,
+                "round-tripped model diverged: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn standalone_score_measurement_matches_full_build() {
+        let mut tb = MockTestbed::default();
+        let score = measure_bubble_score(&mut tb, "mock", 3).expect("measures");
+        let (model, _) = build_default();
+        assert!(
+            (score - model.bubble_score()).abs() < 0.1,
+            "standalone {score} vs model {}",
+            model.bubble_score()
+        );
+    }
+
+    #[test]
+    fn seed_controls_policy_sampling() {
+        let mut tb1 = MockTestbed::default();
+        let m1 = ModelBuilder::new("mock")
+            .policy_samples(10)
+            .seed(1)
+            .build(&mut tb1)
+            .expect("builds");
+        let mut tb2 = MockTestbed::default();
+        let m2 = ModelBuilder::new("mock")
+            .policy_samples(10)
+            .seed(1)
+            .build(&mut tb2)
+            .expect("builds");
+        assert_eq!(m1, m2, "same seed, same model");
+    }
+}

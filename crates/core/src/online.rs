@@ -1,0 +1,313 @@
+//! Online model refinement — the paper's stated future work (§4.4,
+//! "Static Profiling" limitation; cf. Bubble-Flux).
+//!
+//! A statically profiled [`InterferenceModel`] cannot see effects outside
+//! its bubble-calibrated world: co-runner CPU volatility (the `M.Gems`
+//! problem of Fig. 9), phase changes, or environment drift. An
+//! [`OnlineModel`] wraps the static model and folds *observed* runs back
+//! into its predictions as multiplicative corrections:
+//!
+//! * a **global** correction — an exponentially weighted mean of
+//!   `actual / predicted` over all observations, and
+//! * optional **keyed** corrections — the same statistic tracked per
+//!   co-runner (or per any caller-chosen context key), which is what
+//!   rescues applications whose mispredictions are co-runner-specific.
+//!
+//! Corrections start at 1 (no change) and are clamped to a configurable
+//! band so one outlier measurement cannot poison the model.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::model::InterferenceModel;
+
+/// Default EWMA weight for new observations.
+pub const DEFAULT_ALPHA: f64 = 0.3;
+
+/// Default clamp band for correction factors.
+pub const DEFAULT_CORRECTION_BAND: (f64, f64) = (0.5, 2.0);
+
+/// A statically profiled model plus online corrections learned from
+/// observed runs.
+///
+/// # Example
+///
+/// ```no_run
+/// # fn demo(model: icm_core::InterferenceModel) -> Result<(), icm_core::ModelError> {
+/// use icm_core::online::OnlineModel;
+///
+/// let mut online = OnlineModel::new(model);
+/// let pressures = vec![0.2; 8];
+/// // The static model under-predicts this co-runner; feed observations:
+/// online.observe_for("H.KM", &pressures, 1.25)?;
+/// online.observe_for("H.KM", &pressures, 1.24)?;
+/// // Future predictions for that co-runner are corrected:
+/// let corrected = online.predict_for("H.KM", &pressures)?;
+/// assert!(corrected > online.base().predict(&pressures));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineModel {
+    base: InterferenceModel,
+    alpha: f64,
+    min_correction: f64,
+    max_correction: f64,
+    global: Correction,
+    keyed: BTreeMap<String, Correction>,
+}
+
+/// One EWMA correction state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Correction {
+    factor: f64,
+    observations: u64,
+}
+
+impl Default for Correction {
+    fn default() -> Self {
+        Self {
+            factor: 1.0,
+            observations: 0,
+        }
+    }
+}
+
+impl Correction {
+    fn update(&mut self, ratio: f64, alpha: f64, lo: f64, hi: f64) {
+        let clamped = ratio.clamp(lo, hi);
+        if self.observations == 0 {
+            self.factor = clamped;
+        } else {
+            self.factor = (1.0 - alpha) * self.factor + alpha * clamped;
+        }
+        self.observations += 1;
+    }
+}
+
+impl OnlineModel {
+    /// Wraps a static model with default learning parameters.
+    pub fn new(base: InterferenceModel) -> Self {
+        Self::with_alpha(base, DEFAULT_ALPHA)
+    }
+
+    /// Wraps a static model with an explicit EWMA weight `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn with_alpha(base: InterferenceModel, alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && 0.0 < alpha && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Self {
+            base,
+            alpha,
+            min_correction: DEFAULT_CORRECTION_BAND.0,
+            max_correction: DEFAULT_CORRECTION_BAND.1,
+            global: Correction::default(),
+            keyed: BTreeMap::new(),
+        }
+    }
+
+    /// The wrapped static model.
+    pub fn base(&self) -> &InterferenceModel {
+        &self.base
+    }
+
+    /// Current global correction factor (1 = no correction yet).
+    pub fn correction(&self) -> f64 {
+        self.global.factor
+    }
+
+    /// Current correction for a key, if any observations were recorded.
+    pub fn correction_for(&self, key: &str) -> Option<f64> {
+        self.keyed.get(key).map(|c| c.factor)
+    }
+
+    /// Number of observations folded in (global).
+    pub fn observations(&self) -> u64 {
+        self.global.observations
+    }
+
+    /// Predicts the normalized runtime with the global correction
+    /// applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::BadPressureVector`] from the base model.
+    pub fn predict(&self, pressures: &[f64]) -> Result<f64, ModelError> {
+        Ok((self.base.try_predict(pressures)? * self.global.factor).max(1.0))
+    }
+
+    /// Predicts with the keyed correction for `key` (falling back to the
+    /// global correction when the key has no history).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::BadPressureVector`] from the base model.
+    pub fn predict_for(&self, key: &str, pressures: &[f64]) -> Result<f64, ModelError> {
+        let factor = self.keyed.get(key).map_or(self.global.factor, |c| c.factor);
+        Ok((self.base.try_predict(pressures)? * factor).max(1.0))
+    }
+
+    /// Folds one observed run into the global correction.
+    ///
+    /// `actual` is the observed normalized runtime under `pressures`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidData`] if `actual` is not positive,
+    /// or propagates pressure-vector validation errors.
+    pub fn observe(&mut self, pressures: &[f64], actual: f64) -> Result<(), ModelError> {
+        let ratio = self.ratio(pressures, actual)?;
+        self.global
+            .update(ratio, self.alpha, self.min_correction, self.max_correction);
+        Ok(())
+    }
+
+    /// Folds one observed run into both the `key`ed and the global
+    /// corrections.
+    ///
+    /// # Errors
+    ///
+    /// See [`observe`](Self::observe).
+    pub fn observe_for(
+        &mut self,
+        key: &str,
+        pressures: &[f64],
+        actual: f64,
+    ) -> Result<(), ModelError> {
+        let ratio = self.ratio(pressures, actual)?;
+        self.keyed.entry(key.to_owned()).or_default().update(
+            ratio,
+            self.alpha,
+            self.min_correction,
+            self.max_correction,
+        );
+        self.global
+            .update(ratio, self.alpha, self.min_correction, self.max_correction);
+        Ok(())
+    }
+
+    fn ratio(&self, pressures: &[f64], actual: f64) -> Result<f64, ModelError> {
+        if !actual.is_finite() || actual <= 0.0 {
+            return Err(ModelError::InvalidData(format!(
+                "observed normalized runtime must be positive, got {actual}"
+            )));
+        }
+        let predicted = self.base.try_predict(pressures)?;
+        Ok(actual / predicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelBuilder;
+    use crate::testbed::mock::MockTestbed;
+
+    fn static_model() -> InterferenceModel {
+        let mut tb = MockTestbed::default();
+        ModelBuilder::new("mock")
+            .policy_samples(10)
+            .build(&mut tb)
+            .expect("builds")
+    }
+
+    #[test]
+    fn fresh_model_applies_no_correction() {
+        let online = OnlineModel::new(static_model());
+        let pressures = vec![3.0; 8];
+        assert_eq!(
+            online.predict(&pressures).expect("valid"),
+            online.base().predict(&pressures)
+        );
+        assert_eq!(online.correction(), 1.0);
+        assert_eq!(online.observations(), 0);
+    }
+
+    #[test]
+    fn corrections_converge_to_observed_bias() {
+        let mut online = OnlineModel::with_alpha(static_model(), 0.5);
+        let pressures = vec![2.0; 8];
+        let base = online.base().predict(&pressures);
+        // Reality consistently runs 20% slower than the static model.
+        for _ in 0..20 {
+            online.observe(&pressures, base * 1.2).expect("valid");
+        }
+        assert!((online.correction() - 1.2).abs() < 0.01);
+        let corrected = online.predict(&pressures).expect("valid");
+        assert!((corrected - base * 1.2).abs() / base < 0.02);
+    }
+
+    #[test]
+    fn keyed_corrections_are_isolated() {
+        let mut online = OnlineModel::new(static_model());
+        let pressures = vec![1.0; 8];
+        let base = online.base().predict(&pressures);
+        for _ in 0..10 {
+            online
+                .observe_for("volatile", &pressures, base * 1.3)
+                .expect("valid");
+        }
+        let volatile = online.predict_for("volatile", &pressures).expect("valid");
+        assert!(volatile > base * 1.2);
+        // An unseen key falls back to the global correction (which has
+        // also absorbed the bias here).
+        let unseen = online.predict_for("steady", &pressures).expect("valid");
+        assert!((unseen - volatile).abs() < 1e-9, "fallback is global");
+        assert_eq!(online.correction_for("steady"), None);
+        assert!(online.correction_for("volatile").is_some());
+    }
+
+    #[test]
+    fn outliers_are_clamped() {
+        let mut online = OnlineModel::with_alpha(static_model(), 1.0);
+        let pressures = vec![2.0; 8];
+        let base = online.base().predict(&pressures);
+        online.observe(&pressures, base * 50.0).expect("valid");
+        assert!(online.correction() <= DEFAULT_CORRECTION_BAND.1 + 1e-12);
+        online.observe(&pressures, base * 1e-6).expect("valid");
+        assert!(online.correction() >= DEFAULT_CORRECTION_BAND.0 - 1e-12);
+    }
+
+    #[test]
+    fn corrected_prediction_never_below_one() {
+        let mut online = OnlineModel::with_alpha(static_model(), 1.0);
+        let none = vec![0.0; 8];
+        online.observe(&none, 0.6).expect("valid"); // absurd but clamped
+        assert!(online.predict(&none).expect("valid") >= 1.0);
+    }
+
+    #[test]
+    fn invalid_observations_rejected() {
+        let mut online = OnlineModel::new(static_model());
+        assert!(online.observe(&[1.0; 8], 0.0).is_err());
+        assert!(online.observe(&[1.0; 8], f64::NAN).is_err());
+        assert!(online.observe(&[1.0; 3], 1.2).is_err(), "bad vector length");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = OnlineModel::with_alpha(static_model(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_learning() {
+        let mut online = OnlineModel::new(static_model());
+        let pressures = vec![2.0; 8];
+        let base = online.base().predict(&pressures);
+        online
+            .observe_for("x", &pressures, base * 1.4)
+            .expect("valid");
+        let json = serde_json::to_string(&online).expect("serializes");
+        let back: OnlineModel = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.correction_for("x"), online.correction_for("x"));
+        assert_eq!(back.observations(), online.observations());
+    }
+}

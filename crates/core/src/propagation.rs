@@ -1,0 +1,339 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// The interference *propagation* model of one distributed application:
+/// the matrix `T` of Algorithms 1 and 2.
+///
+/// `T[i][j]` is the application's normalized execution time when `j` of
+/// the cluster's `m` hosts each run a bubble at pressure `i + 1` (rows
+/// cover pressures `1..=n`); `T[i][0] = 1` by construction. This is
+/// exactly the family of curves in Fig. 3 of the paper, one row per
+/// bubble pressure.
+///
+/// [`PropagationMatrix::predict`] evaluates the model at fractional
+/// pressures and node counts with bilinear interpolation, treating
+/// pressure 0 as the all-ones row.
+///
+/// # Example
+///
+/// ```
+/// use icm_core::PropagationMatrix;
+///
+/// # fn main() -> Result<(), icm_core::ModelError> {
+/// // Two pressure rows (1 and 2) over a 4-host cluster.
+/// let t = PropagationMatrix::new(vec![
+///     vec![1.0, 1.10, 1.15, 1.18, 1.20],
+///     vec![1.0, 1.30, 1.40, 1.45, 1.50],
+/// ])?;
+/// assert_eq!(t.predict(2.0, 4.0), 1.50);
+/// // Fractional pressure interpolates between rows:
+/// assert!((t.predict(1.5, 4.0) - 1.35).abs() < 1e-12);
+/// // Pressure below 1 interpolates toward the no-interference row:
+/// assert!((t.predict(0.5, 4.0) - 1.10).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropagationMatrix {
+    /// rows[i][j]: pressure i+1, j interfering nodes; each row has m+1
+    /// entries (j = 0..=m).
+    rows: Vec<Vec<f64>>,
+}
+
+impl PropagationMatrix {
+    /// Creates a matrix from rows indexed by pressure − 1; each row holds
+    /// normalized times for 0..=m interfering nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidData`] if there are no rows, rows have
+    /// differing lengths or fewer than two columns, any value is
+    /// non-finite or < 0.9, or a row does not start at ≈ 1.
+    pub fn new(rows: Vec<Vec<f64>>) -> Result<Self, ModelError> {
+        if rows.is_empty() {
+            return Err(ModelError::InvalidData(
+                "matrix has no pressure rows".into(),
+            ));
+        }
+        let width = rows[0].len();
+        if width < 2 {
+            return Err(ModelError::InvalidData(
+                "matrix rows need at least 2 columns (0 and 1 interfering nodes)".into(),
+            ));
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != width {
+                return Err(ModelError::InvalidData(format!(
+                    "row {i} has {} columns, expected {width}",
+                    row.len()
+                )));
+            }
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() || v < 0.9 {
+                    return Err(ModelError::InvalidData(format!(
+                        "T[{i}][{j}] must be a finite normalized time ≥ 0.9, got {v}"
+                    )));
+                }
+            }
+            if (row[0] - 1.0).abs() > 0.1 {
+                return Err(ModelError::InvalidData(format!(
+                    "T[{i}][0] must be ≈ 1 (no interfering nodes), got {}",
+                    row[0]
+                )));
+            }
+        }
+        Ok(Self { rows })
+    }
+
+    /// Number of pressure levels `n` (rows cover pressures `1..=n`).
+    pub fn max_pressure(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of hosts `m` (columns cover `0..=m` interfering nodes).
+    pub fn hosts(&self) -> usize {
+        self.rows[0].len() - 1
+    }
+
+    /// Normalized time at integer pressure `pressure` (1-based) and `nodes`
+    /// interfering nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pressure` is 0 or out of range, or `nodes > hosts`.
+    pub fn at(&self, pressure: usize, nodes: usize) -> f64 {
+        assert!(
+            (1..=self.max_pressure()).contains(&pressure),
+            "pressure {pressure} out of range 1..={}",
+            self.max_pressure()
+        );
+        assert!(
+            nodes <= self.hosts(),
+            "nodes {nodes} > hosts {}",
+            self.hosts()
+        );
+        self.rows[pressure - 1][nodes]
+    }
+
+    /// The full row for an integer pressure (the Fig. 3 curve at that
+    /// bubble pressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pressure` is 0 or out of range.
+    pub fn row(&self, pressure: usize) -> &[f64] {
+        assert!(
+            (1..=self.max_pressure()).contains(&pressure),
+            "pressure {pressure} out of range 1..={}",
+            self.max_pressure()
+        );
+        &self.rows[pressure - 1]
+    }
+
+    /// Bilinear model evaluation at fractional pressure and node count.
+    ///
+    /// * `pressure` is clamped to `[0, n]`; between 0 and 1 the value
+    ///   interpolates between "no interference" (1.0) and the pressure-1
+    ///   row.
+    /// * `nodes` is clamped to `[0, m]`.
+    pub fn predict(&self, pressure: f64, nodes: f64) -> f64 {
+        let p = if pressure.is_finite() {
+            pressure.clamp(0.0, self.max_pressure() as f64)
+        } else {
+            self.max_pressure() as f64
+        };
+        let k = if nodes.is_finite() {
+            nodes.clamp(0.0, self.hosts() as f64)
+        } else {
+            self.hosts() as f64
+        };
+        let j_lo = k.floor() as usize;
+        let j_hi = k.ceil() as usize;
+        let j_frac = k - j_lo as f64;
+        let row_value = |p_idx: usize| -> f64 {
+            // p_idx 0 means the implicit all-ones row.
+            let value_at = |j: usize| -> f64 {
+                if p_idx == 0 {
+                    1.0
+                } else {
+                    self.rows[p_idx - 1][j]
+                }
+            };
+            value_at(j_lo) * (1.0 - j_frac) + value_at(j_hi) * j_frac
+        };
+        let i_lo = p.floor() as usize;
+        let i_hi = p.ceil() as usize;
+        if i_lo == i_hi {
+            return row_value(i_lo);
+        }
+        let i_frac = p - i_lo as f64;
+        row_value(i_lo) * (1.0 - i_frac) + row_value(i_hi) * i_frac
+    }
+
+    /// Mean absolute percentage difference against another matrix of the
+    /// same shape, over all cells with `j ≥ 1` (the paper's profiling
+    /// accuracy metric, Table 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidData`] if shapes differ.
+    pub fn mean_abs_error_pct(&self, ground_truth: &PropagationMatrix) -> Result<f64, ModelError> {
+        if self.max_pressure() != ground_truth.max_pressure()
+            || self.hosts() != ground_truth.hosts()
+        {
+            return Err(ModelError::InvalidData(format!(
+                "shape mismatch: {}×{} vs {}×{}",
+                self.max_pressure(),
+                self.hosts(),
+                ground_truth.max_pressure(),
+                ground_truth.hosts()
+            )));
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for i in 1..=self.max_pressure() {
+            for j in 1..=self.hosts() {
+                let truth = ground_truth.at(i, j);
+                total += ((self.at(i, j) - truth) / truth).abs() * 100.0;
+                count += 1;
+            }
+        }
+        Ok(total / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> PropagationMatrix {
+        PropagationMatrix::new(vec![
+            vec![1.0, 1.1, 1.15, 1.2],
+            vec![1.0, 1.3, 1.4, 1.5],
+            vec![1.0, 1.6, 1.8, 2.0],
+        ])
+        .expect("valid")
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let t = matrix();
+        assert_eq!(t.max_pressure(), 3);
+        assert_eq!(t.hosts(), 3);
+    }
+
+    #[test]
+    fn at_reads_cells() {
+        let t = matrix();
+        assert_eq!(t.at(1, 0), 1.0);
+        assert_eq!(t.at(2, 3), 1.5);
+        assert_eq!(t.at(3, 1), 1.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn at_rejects_pressure_zero() {
+        let _ = matrix().at(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes")]
+    fn at_rejects_too_many_nodes() {
+        let _ = matrix().at(1, 4);
+    }
+
+    #[test]
+    fn predict_matches_cells_at_integer_coordinates() {
+        let t = matrix();
+        for i in 1..=3usize {
+            for j in 0..=3usize {
+                assert_eq!(t.predict(i as f64, j as f64), t.at(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn predict_interpolates_nodes() {
+        let t = matrix();
+        assert!((t.predict(2.0, 1.5) - 1.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_interpolates_pressure() {
+        let t = matrix();
+        assert!((t.predict(2.5, 3.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_blends_to_one_below_pressure_one() {
+        let t = matrix();
+        assert!((t.predict(0.5, 3.0) - 1.1).abs() < 1e-12);
+        assert_eq!(t.predict(0.0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn predict_clamps_out_of_range() {
+        let t = matrix();
+        assert_eq!(t.predict(99.0, 99.0), 2.0);
+        assert_eq!(t.predict(-1.0, 2.0), 1.0);
+        assert_eq!(t.predict(f64::NAN, f64::NAN), 2.0);
+    }
+
+    #[test]
+    fn zero_nodes_is_always_one() {
+        let t = matrix();
+        for p in [0.0, 0.7, 1.0, 2.5, 3.0] {
+            assert_eq!(t.predict(p, 0.0), 1.0, "pressure {p}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged() {
+        assert!(PropagationMatrix::new(vec![]).is_err());
+        assert!(PropagationMatrix::new(vec![vec![1.0, 1.1], vec![1.0]]).is_err());
+        assert!(PropagationMatrix::new(vec![vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(PropagationMatrix::new(vec![vec![1.0, f64::INFINITY]]).is_err());
+        assert!(PropagationMatrix::new(vec![vec![1.0, 0.2]]).is_err());
+        assert!(PropagationMatrix::new(vec![vec![1.4, 1.5]]).is_err());
+    }
+
+    #[test]
+    fn error_metric_zero_against_itself() {
+        let t = matrix();
+        assert_eq!(t.mean_abs_error_pct(&t).expect("same shape"), 0.0);
+    }
+
+    #[test]
+    fn error_metric_detects_differences() {
+        let t = matrix();
+        let mut rows = vec![
+            vec![1.0, 1.1, 1.15, 1.2],
+            vec![1.0, 1.3, 1.4, 1.5],
+            vec![1.0, 1.6, 1.8, 2.0],
+        ];
+        rows[2][3] = 2.2; // +10% on one of 9 cells
+        let other = PropagationMatrix::new(rows).expect("valid");
+        let err = other.mean_abs_error_pct(&t).expect("same shape");
+        assert!((err - 10.0 / 9.0).abs() < 1e-9, "got {err}");
+    }
+
+    #[test]
+    fn error_metric_rejects_shape_mismatch() {
+        let t = matrix();
+        let other = PropagationMatrix::new(vec![vec![1.0, 1.5]]).expect("valid");
+        assert!(t.mean_abs_error_pct(&other).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = matrix();
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: PropagationMatrix = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(t, back);
+    }
+}

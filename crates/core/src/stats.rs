@@ -1,0 +1,198 @@
+//! Small statistics helpers shared by validation, policy selection and the
+//! experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Z value of the two-sided 99% confidence interval of a normal
+/// distribution; the paper's §3.3 sample-size argument uses this level.
+pub const Z_99: f64 = 2.576;
+
+/// Summary statistics over a set of (typically error) values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// 25th percentile (linear interpolation).
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile (linear interpolation).
+    pub p75: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty set");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "cannot summarize NaN values"
+        );
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Self {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            p25: percentile_sorted(&sorted, 0.25),
+            p50: percentile_sorted(&sorted, 0.50),
+            p75: percentile_sorted(&sorted, 0.75),
+        }
+    }
+
+    /// Margin of error of the mean at 99% confidence, assuming an
+    /// approximately normal population (the paper's ±1.7 argument for 60
+    /// samples out of 12,870 configurations).
+    pub fn margin_of_error_99(&self) -> f64 {
+        Z_99 * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+/// Percentile with linear interpolation over an already-sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Absolute relative error of `predicted` against `actual`, in percent.
+///
+/// # Panics
+///
+/// Panics if `actual` is zero or non-finite (a measured runtime is always
+/// positive).
+pub fn percent_error(predicted: f64, actual: f64) -> f64 {
+    assert!(
+        actual.is_finite() && actual != 0.0,
+        "actual value must be finite and non-zero, got {actual}"
+    );
+    ((predicted - actual) / actual).abs() * 100.0
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty set");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.p50 - 2.5).abs() < 1e-12);
+        assert!((s.p25 - 1.75).abs() < 1e-12);
+        assert!((s.p75 - 3.25).abs() < 1e-12);
+        let expected_std = (1.25f64).sqrt();
+        assert!((s.std_dev - expected_std).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_single_value() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p25, 7.0);
+        assert_eq!(s.p75, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn summary_rejects_nan() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn margin_of_error_shrinks_with_samples() {
+        let few = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let many_values: Vec<f64> = (0..100).map(|i| 1.0 + (i % 4) as f64).collect();
+        let many = Summary::of(&many_values);
+        assert!(many.margin_of_error_99() < few.margin_of_error_99());
+    }
+
+    #[test]
+    fn paper_sample_size_argument_holds() {
+        // §3.3: 60 samples with std dev like Table 2's (≈ 2–8) give a 99%
+        // margin of error around ±1.7 or less.
+        let values: Vec<f64> = (0..60)
+            .map(|i| 5.0 + 5.0 * ((i as f64 * 0.7).sin()))
+            .collect();
+        let s = Summary::of(&values);
+        assert!(s.std_dev < 5.5);
+        assert!(
+            s.margin_of_error_99() < 1.9,
+            "got {}",
+            s.margin_of_error_99()
+        );
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert!((percentile_sorted(&sorted, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn percent_error_basics() {
+        assert!((percent_error(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert!((percent_error(0.9, 1.0) - 10.0).abs() < 1e-9);
+        assert_eq!(percent_error(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-zero")]
+    fn percent_error_rejects_zero_actual() {
+        let _ = percent_error(1.0, 0.0);
+    }
+
+    #[test]
+    fn mean_works() {
+        assert!((mean(&[1.0, 2.0, 6.0]) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Model validation helpers (§4.3): compare predictions against measured
+//! runtimes and summarize the errors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{percent_error, Summary};
+
+/// One prediction-vs-measurement pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationPoint {
+    /// Model-predicted value (normalized time or seconds — any unit, as
+    /// long as both sides agree).
+    pub predicted: f64,
+    /// Measured value.
+    pub actual: f64,
+}
+
+impl ValidationPoint {
+    /// Absolute percentage error of this point.
+    pub fn error_pct(&self) -> f64 {
+        percent_error(self.predicted, self.actual)
+    }
+}
+
+/// Validation outcome over a set of points (one bar of Fig. 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// The raw points, in input order.
+    pub points: Vec<ValidationPoint>,
+    /// Summary of the absolute percentage errors.
+    pub errors: Summary,
+}
+
+impl ValidationReport {
+    /// Builds a report from prediction/measurement pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or a measured value is zero/non-finite.
+    pub fn new(points: Vec<ValidationPoint>) -> Self {
+        assert!(!points.is_empty(), "a validation report needs points");
+        let errors: Vec<f64> = points.iter().map(ValidationPoint::error_pct).collect();
+        Self {
+            points,
+            errors: Summary::of(&errors),
+        }
+    }
+
+    /// Builds a report from parallel slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn from_slices(predicted: &[f64], actual: &[f64]) -> Self {
+        assert_eq!(
+            predicted.len(),
+            actual.len(),
+            "prediction and measurement counts differ"
+        );
+        Self::new(
+            predicted
+                .iter()
+                .zip(actual)
+                .map(|(&p, &a)| ValidationPoint {
+                    predicted: p,
+                    actual: a,
+                })
+                .collect(),
+        )
+    }
+
+    /// Mean absolute percentage error.
+    pub fn mean_error_pct(&self) -> f64 {
+        self.errors.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_zero_error() {
+        let report = ValidationReport::from_slices(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(report.mean_error_pct(), 0.0);
+        assert_eq!(report.errors.max, 0.0);
+    }
+
+    #[test]
+    fn known_errors_summarized() {
+        let report = ValidationReport::from_slices(&[1.1, 0.9], &[1.0, 1.0]);
+        assert!((report.mean_error_pct() - 10.0).abs() < 1e-9);
+        assert_eq!(report.points.len(), 2);
+        assert!((report.points[0].error_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quartiles_available_for_error_bars() {
+        let predicted: Vec<f64> = (0..20).map(|i| 1.0 + i as f64 * 0.01).collect();
+        let actual = vec![1.0; 20];
+        let report = ValidationReport::from_slices(&predicted, &actual);
+        assert!(report.errors.p25 < report.errors.p75);
+        assert!(report.errors.p75 <= report.errors.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "counts differ")]
+    fn mismatched_slices_rejected() {
+        let _ = ValidationReport::from_slices(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs points")]
+    fn empty_report_rejected() {
+        let _ = ValidationReport::new(vec![]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let report = ValidationReport::from_slices(&[1.1], &[1.0]);
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: ValidationReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the model's core invariants.
+
+use icm_core::{
+    combine_scores, profile, FnSource, MappingPolicy, ProfilerConfig, ProfilingAlgorithm,
+    PropagationMatrix, SensitivityCurve,
+};
+use proptest::prelude::*;
+
+/// Monotone-ish normalized-time rows for a synthetic matrix.
+fn arb_matrix() -> impl Strategy<Value = PropagationMatrix> {
+    (1usize..6, 2usize..9).prop_flat_map(|(pressures, hosts)| {
+        prop::collection::vec(prop::collection::vec(0.0..0.5f64, hosts), pressures).prop_map(
+            move |increments| {
+                let rows: Vec<Vec<f64>> = increments
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, incs)| {
+                        let mut row = vec![1.0];
+                        let mut value = 1.0 + i as f64 * 0.05;
+                        // first step from 1.0 to the row's level
+                        for (j, inc) in incs.into_iter().enumerate() {
+                            if j == 0 {
+                                row.push(value);
+                            } else {
+                                value += inc;
+                                row.push(value);
+                            }
+                        }
+                        row
+                    })
+                    .collect();
+                PropagationMatrix::new(rows).expect("constructed rows are valid")
+            },
+        )
+    })
+}
+
+fn arb_pressures(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..8.0f64, 1..=max_len)
+}
+
+proptest! {
+    #[test]
+    fn matrix_prediction_stays_within_cell_range(
+        matrix in arb_matrix(),
+        pressure in -2.0..12.0f64,
+        nodes in -2.0..12.0f64,
+    ) {
+        let predicted = matrix.predict(pressure, nodes);
+        let mut lo = 1.0f64;
+        let mut hi = 1.0f64;
+        for i in 1..=matrix.max_pressure() {
+            for j in 0..=matrix.hosts() {
+                lo = lo.min(matrix.at(i, j));
+                hi = hi.max(matrix.at(i, j));
+            }
+        }
+        prop_assert!(predicted >= lo - 1e-9 && predicted <= hi + 1e-9,
+            "prediction {predicted} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn matrix_prediction_zero_nodes_is_one(matrix in arb_matrix(), pressure in 0.0..10.0f64) {
+        prop_assert!((matrix.predict(pressure, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_conversions_preserve_bounds(pressures in arb_pressures(8)) {
+        let max = pressures.iter().cloned().fold(0.0f64, f64::max);
+        for policy in MappingPolicy::ALL {
+            let hom = policy.convert(&pressures);
+            prop_assert!(hom.pressure >= 0.0 && hom.pressure <= max + 1e-12,
+                "{policy}: pressure {} out of [0, {max}]", hom.pressure);
+            prop_assert!(hom.nodes >= 0.0 && hom.nodes <= pressures.len() as f64,
+                "{policy}: nodes {} out of range", hom.nodes);
+            if max == 0.0 {
+                prop_assert_eq!(hom.nodes, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_severity_ordering_holds(pressures in arb_pressures(8)) {
+        let n = MappingPolicy::NMax.convert(&pressures);
+        let n1 = MappingPolicy::NPlus1Max.convert(&pressures);
+        let all = MappingPolicy::AllMax.convert(&pressures);
+        prop_assert!(n.nodes <= n1.nodes + 1e-12);
+        prop_assert!(n1.nodes <= all.nodes + 1e-12);
+        prop_assert_eq!(n.pressure, all.pressure);
+    }
+
+    #[test]
+    fn policy_conversion_is_permutation_invariant(pressures in arb_pressures(8)) {
+        let mut sorted = pressures.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for policy in MappingPolicy::ALL {
+            let a = policy.convert(&pressures);
+            let b = policy.convert(&sorted);
+            prop_assert!((a.pressure - b.pressure).abs() < 1e-12);
+            prop_assert!((a.nodes - b.nodes).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn curve_inversion_is_a_left_inverse_on_the_envelope(
+        raw in prop::collection::vec(0.0..0.4f64, 2..10),
+        probe in 0.0..1.0f64,
+    ) {
+        // Build a strictly increasing curve.
+        let mut values = vec![1.0];
+        for r in &raw {
+            values.push(values.last().expect("non-empty") + r + 0.01);
+        }
+        let curve = SensitivityCurve::new(values).expect("valid");
+        let p = probe * curve.max_pressure() as f64;
+        let inverted = curve.invert(curve.value_at(p));
+        prop_assert!((inverted - p).abs() < 1e-6, "p={p}, inverted={inverted}");
+    }
+
+    #[test]
+    fn every_algorithm_profiles_any_monotone_source(
+        severity in 0.01..0.4f64,
+        shape in 0.2..2.0f64,
+        seed in any::<u64>(),
+    ) {
+        for algorithm in [
+            ProfilingAlgorithm::BinaryBrute,
+            ProfilingAlgorithm::BinaryOptimized,
+            ProfilingAlgorithm::random30(),
+            ProfilingAlgorithm::random50(),
+            ProfilingAlgorithm::Full,
+        ] {
+            let mut source = FnSource::new(8, 8, |i, j| {
+                1.0 + severity * i as f64 * (j as f64 / 8.0).powf(shape)
+            });
+            let result = profile(
+                &mut source,
+                algorithm,
+                &ProfilerConfig { epsilon: 0.04, seed },
+            ).expect("profiles");
+            prop_assert!(result.cost > 0.0 && result.cost <= 1.0);
+            prop_assert_eq!(result.matrix.max_pressure(), 8);
+            prop_assert_eq!(result.matrix.hosts(), 8);
+            // The reconstruction respects the source's corner exactly.
+            let truth_corner = 1.0 + severity * 8.0;
+            prop_assert!((result.matrix.at(8, 8) - truth_corner).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn combine_scores_is_commutative_and_bounded(
+        a in 0.0..8.0f64,
+        b in 0.0..8.0f64,
+    ) {
+        let ab = combine_scores(&[a, b], 0.0);
+        let ba = combine_scores(&[b, a], 0.0);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        let hi = a.max(b);
+        if a > 0.0 && b > 0.0 {
+            prop_assert!(ab >= hi - 1e-12, "combined below max");
+            prop_assert!(ab <= hi + 1.0 + 1e-12, "combined above max+1");
+        }
+    }
+}

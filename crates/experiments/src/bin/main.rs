@@ -1,0 +1,125 @@
+//! Command-line driver: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! icm-experiments <id>... [--fast] [--seed N] [--json DIR]
+//! icm-experiments all [--fast]
+//! icm-experiments list
+//! ```
+
+use std::process::ExitCode;
+
+use icm_experiments::{ExpConfig, Experiment};
+
+fn usage() -> String {
+    let ids: Vec<&str> = Experiment::ALL.iter().map(Experiment::id).collect();
+    format!(
+        "usage: icm-experiments <id>... [--fast] [--seed N] [--json DIR]\n\
+         \x20      icm-experiments all [--fast]\n\
+         \x20      icm-experiments list\n\
+         \n\
+         experiments: {}",
+        ids.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::default();
+    let mut selected: Vec<Experiment> = Vec::new();
+    let mut run_all = false;
+    let mut list_only = false;
+    let mut json_dir: Option<std::path::PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => cfg.fast = true,
+            "--seed" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("--seed requires a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match value.parse() {
+                    Ok(seed) => cfg.seed = seed,
+                    Err(_) => {
+                        eprintln!("invalid seed `{value}`\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--json" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--json requires a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                json_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "all" => run_all = true,
+            "list" => list_only = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            id => match Experiment::parse(id) {
+                Some(exp) => selected.push(exp),
+                None => {
+                    eprintln!("unknown experiment `{id}`\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+        i += 1;
+    }
+
+    if list_only {
+        for exp in Experiment::ALL {
+            println!("{}", exp.id());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if run_all {
+        selected = Experiment::ALL.to_vec();
+    }
+    if selected.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    for exp in selected {
+        eprintln!(
+            "[icm] running {} (seed {}, fast {})",
+            exp.id(),
+            cfg.seed,
+            cfg.fast
+        );
+        match exp.run(&cfg) {
+            Ok(text) => println!("{text}"),
+            Err(err) => {
+                eprintln!("{}: {err}", exp.id());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(dir) = &json_dir {
+            if let Err(err) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let path = dir.join(format!("{}.json", exp.id()));
+            let result = exp
+                .run_json(&cfg)
+                .map_err(|e| e.to_string())
+                .and_then(|value| serde_json::to_string_pretty(&value).map_err(|e| e.to_string()))
+                .and_then(|text| std::fs::write(&path, text).map_err(|e| e.to_string()));
+            match result {
+                Ok(()) => eprintln!("[icm] wrote {}", path.display()),
+                Err(err) => {
+                    eprintln!("{}: JSON export failed: {err}", exp.id());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,213 @@
+//! **Figure 11 & Table 5** — placement for performance: measured average
+//! speedup (vs the worst placement) of the model-guided best placement,
+//! random placements, and the naive model's best placement, over the ten
+//! Table 5 mixes.
+
+use icm_placement::{
+    anneal_unconstrained, average_speedup, AnnealConfig, Estimator, ThroughputConfig,
+};
+use icm_workloads::{table5_mixes, MixDifficulty};
+use serde::{Deserialize, Serialize};
+
+use crate::context::{private_testbed, ExpConfig, ExpError};
+use crate::placement_common::{MixContext, StrategyOutcome};
+use crate::table::{f3, Table};
+
+/// One mix's measured outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11Mix {
+    /// Mix name (Table 5).
+    pub mix: String,
+    /// Difficulty class.
+    pub difficulty: MixDifficulty,
+    /// The four workloads.
+    pub workloads: [String; 4],
+    /// Measured outcome per strategy: worst, best, random (averaged),
+    /// naive.
+    pub strategies: Vec<StrategyOutcome>,
+    /// Average speedup of `best` over `worst`.
+    pub best_speedup: f64,
+    /// Average speedup of `random` over `worst`.
+    pub random_speedup: f64,
+    /// Average speedup of `naive` over `worst`.
+    pub naive_speedup: f64,
+}
+
+/// Fig. 11 / Table 5 output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11Result {
+    /// Per-mix outcomes.
+    pub mixes: Vec<Fig11Mix>,
+}
+
+/// Runs the throughput placement study.
+///
+/// # Errors
+///
+/// Propagates model, placement and simulator failures.
+pub fn run(cfg: &ExpConfig) -> Result<Fig11Result, ExpError> {
+    let all = table5_mixes();
+    let selected = if cfg.fast { &all[..2] } else { &all[..] };
+    let mut testbed = private_testbed(cfg);
+
+    let mut mixes = Vec::with_capacity(selected.len());
+    for mix in selected {
+        let workloads: [String; 4] = mix.workloads.clone();
+        let ctx = MixContext::build(&mut testbed, &workloads, cfg)?;
+        let throughput_config = ThroughputConfig {
+            anneal: AnnealConfig {
+                iterations: if cfg.fast { 800 } else { 4000 },
+                seed: cfg.seed ^ 0xF11,
+                ..AnnealConfig::default()
+            },
+            random_samples: if cfg.fast { 2 } else { 5 },
+        };
+
+        // Model-guided best/worst/random.
+        let estimator = Estimator::new(&ctx.problem, ctx.model_predictors())?;
+        let placements = icm_placement::find_placements(&estimator, &throughput_config)?;
+        // Naive-model best.
+        let naive_estimator = Estimator::new(&ctx.problem, ctx.naive_predictors())?;
+        let naive_best = anneal_unconstrained(
+            &ctx.problem,
+            |state| Ok(naive_estimator.estimate(state)?.weighted_total),
+            &throughput_config.anneal,
+        )?;
+
+        // Ground truth for everything.
+        let worst_times = ctx.ground_truth(&mut testbed, &placements.worst, cfg)?;
+        let best_times = ctx.ground_truth(&mut testbed, &placements.best, cfg)?;
+        let naive_times = ctx.ground_truth(&mut testbed, &naive_best.state, cfg)?;
+        let mut random_speedups = Vec::with_capacity(placements.randoms.len());
+        let mut random_avg_times = vec![0.0; 4];
+        for random in &placements.randoms {
+            let times = ctx.ground_truth(&mut testbed, random, cfg)?;
+            random_speedups.push(average_speedup(&times, &worst_times));
+            for (avg, t) in random_avg_times.iter_mut().zip(&times) {
+                *avg += t / placements.randoms.len() as f64;
+            }
+        }
+
+        let best_speedup = average_speedup(&best_times, &worst_times);
+        let naive_speedup = average_speedup(&naive_times, &worst_times);
+        let random_speedup = random_speedups.iter().sum::<f64>() / random_speedups.len() as f64;
+
+        mixes.push(Fig11Mix {
+            mix: mix.name.clone(),
+            difficulty: mix.difficulty,
+            workloads,
+            strategies: vec![
+                StrategyOutcome::new("worst", worst_times),
+                StrategyOutcome::new("best", best_times),
+                StrategyOutcome::new("random", random_avg_times),
+                StrategyOutcome::new("naive", naive_times),
+            ],
+            best_speedup,
+            random_speedup,
+            naive_speedup,
+        });
+    }
+    Ok(Fig11Result { mixes })
+}
+
+/// Renders the Fig. 11 table (speedups over the worst placement).
+pub fn render_fig11(result: &Fig11Result) -> String {
+    let mut table =
+        Table::new("Figure 11: measured average speedup over the worst placement (1.00 = worst)");
+    table.headers(["mix", "best (model)", "random", "naive", "best gain"]);
+    for mix in &result.mixes {
+        table.row([
+            mix.mix.clone(),
+            f3(mix.best_speedup),
+            f3(mix.random_speedup),
+            f3(mix.naive_speedup),
+            format!("{:+.1}%", (mix.best_speedup - 1.0) * 100.0),
+        ]);
+    }
+    table.render()
+}
+
+/// Renders the Table 5 view (the mixes themselves).
+pub fn render_table5(result: &Fig11Result) -> String {
+    let mut table = Table::new("Table 5: workload combinations");
+    table.headers(["mix", "difficulty", "w1", "w2", "w3", "w4"]);
+    for mix in &result.mixes {
+        table.row([
+            mix.mix.clone(),
+            format!("{:?}", mix.difficulty),
+            mix.workloads[0].clone(),
+            mix.workloads[1].clone(),
+            mix.workloads[2].clone(),
+            mix.workloads[3].clone(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Fig11Result {
+        run(&ExpConfig {
+            fast: true,
+            ..ExpConfig::default()
+        })
+        .expect("runs")
+    }
+
+    #[test]
+    fn best_placement_beats_worst_and_random() {
+        let result = fast();
+        for mix in &result.mixes {
+            assert!(
+                mix.best_speedup >= 1.0,
+                "{}: best ({:.3}) must not lose to worst",
+                mix.mix,
+                mix.best_speedup
+            );
+            assert!(
+                mix.best_speedup >= mix.random_speedup - 0.03,
+                "{}: best ({:.3}) must beat random ({:.3})",
+                mix.mix,
+                mix.best_speedup,
+                mix.random_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn high_difficulty_mixes_show_meaningful_spread() {
+        let result = fast();
+        let high = result
+            .mixes
+            .iter()
+            .find(|m| m.difficulty == MixDifficulty::High)
+            .expect("a high mix in the first two");
+        assert!(
+            high.best_speedup > 1.05,
+            "{}: expected >5% improvement, got {:.3}",
+            high.mix,
+            high.best_speedup
+        );
+    }
+
+    #[test]
+    fn strategies_recorded_for_each_mix() {
+        let result = fast();
+        for mix in &result.mixes {
+            let names: Vec<&str> = mix.strategies.iter().map(|s| s.strategy.as_str()).collect();
+            assert_eq!(names, ["worst", "best", "random", "naive"]);
+            for s in &mix.strategies {
+                assert_eq!(s.times.len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let result = fast();
+        assert!(render_fig11(&result).contains("Figure 11"));
+        assert!(render_table5(&result).contains("Table 5"));
+    }
+}

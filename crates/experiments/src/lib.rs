@@ -1,0 +1,296 @@
+//! Regeneration harness for every table and figure in the ASPLOS'16
+//! evaluation, plus the ablations listed in `DESIGN.md`.
+//!
+//! Each experiment is a module with a `run(&ExpConfig) -> Result<R, _>`
+//! function returning serializable structured data, and one or more
+//! `render*` functions producing the text table printed by the
+//! `icm-experiments` binary:
+//!
+//! ```text
+//! cargo run -p icm-experiments --release -- fig2
+//! cargo run -p icm-experiments --release -- all --fast
+//! ```
+//!
+//! | id | paper artifact |
+//! |----|----------------|
+//! | `fig2` | motivation: naive vs real lammps interference |
+//! | `fig3` | propagation curves, 12 distributed apps |
+//! | `fig4` / `table2` | heterogeneity policy errors / best policy |
+//! | `table3` / `fig6` / `fig7` | profiling cost & accuracy |
+//! | `table4` | bubble scores |
+//! | `fig8` / `fig9` | pairwise model validation |
+//! | `fig10` | QoS-aware placement |
+//! | `fig11` / `table5` | throughput placement over the Table 5 mixes |
+//! | `fig12` / `table6` / `fig13` | EC2 study |
+//! | `ablation-*` | A1–A4 design-choice ablations |
+//! | `ext-online` | online model refinement (§4.4 future work) |
+//! | `ext-multiapp` | 3 tenants per host via score combination (§4.4) |
+//! | `ext-energy` | wasted-CPU placement (conclusion's use case) |
+//! | `ext-phases` | phase-varying sensitivity vs the static model (§4.4) |
+//! | `ext-transfer` | model transfer across host generations (§6) |
+//! | `ext-scale` | placement at 16 hosts / 8 tenants |
+//! | `ext-iochannel` | the unprofiled network/disk I/O channel (§2.1) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod context;
+pub mod ec2;
+pub mod extensions;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig8;
+pub mod placement_common;
+pub mod profiling_source;
+pub mod table;
+pub mod table3;
+pub mod table4;
+
+pub use context::{ExpConfig, ExpError};
+
+/// Every runnable experiment id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Experiment {
+    /// Fig. 2 — motivation.
+    Fig2,
+    /// Fig. 3 — propagation curves.
+    Fig3,
+    /// Fig. 4 — policy errors.
+    Fig4,
+    /// Table 2 — best policies.
+    Table2,
+    /// Table 3 — profiling cost/accuracy averages.
+    Table3,
+    /// Fig. 6 — per-app profiling error.
+    Fig6,
+    /// Fig. 7 — per-app profiling cost.
+    Fig7,
+    /// Table 4 — bubble scores.
+    Table4,
+    /// Fig. 8 — pairwise validation.
+    Fig8,
+    /// Fig. 9 — the M.Gems detail.
+    Fig9,
+    /// Fig. 10 — QoS placement.
+    Fig10,
+    /// Fig. 11 — throughput placement.
+    Fig11,
+    /// Table 5 — mixes.
+    Table5,
+    /// Fig. 12 — EC2 curves.
+    Fig12,
+    /// Table 6 — EC2 policies.
+    Table6,
+    /// Fig. 13 — EC2 validation.
+    Fig13,
+    /// Ablation A1 — binary-search ε.
+    AblationInterp,
+    /// Ablation A2 — search budget.
+    AblationSa,
+    /// Ablation A3 — policy samples.
+    AblationSamples,
+    /// Ablation A4 — multi-app scores.
+    AblationMultiApp,
+    /// Extension — online model refinement.
+    ExtOnline,
+    /// Extension — three tenants per host.
+    ExtMultiApp,
+    /// Extension — wasted-CPU placement.
+    ExtEnergy,
+    /// Extension — phase-varying sensitivity.
+    ExtPhases,
+    /// Extension — model transfer across host generations.
+    ExtTransfer,
+    /// Extension — placement quality vs cluster scale.
+    ExtScale,
+    /// Extension — the unprofiled network/disk I/O channel.
+    ExtIoChannel,
+}
+
+impl Experiment {
+    /// All experiments in paper order.
+    pub const ALL: [Experiment; 27] = [
+        Experiment::Fig2,
+        Experiment::Fig3,
+        Experiment::Fig4,
+        Experiment::Table2,
+        Experiment::Table3,
+        Experiment::Fig6,
+        Experiment::Fig7,
+        Experiment::Table4,
+        Experiment::Fig8,
+        Experiment::Fig9,
+        Experiment::Fig10,
+        Experiment::Fig11,
+        Experiment::Table5,
+        Experiment::Fig12,
+        Experiment::Table6,
+        Experiment::Fig13,
+        Experiment::AblationInterp,
+        Experiment::AblationSa,
+        Experiment::AblationSamples,
+        Experiment::AblationMultiApp,
+        Experiment::ExtOnline,
+        Experiment::ExtMultiApp,
+        Experiment::ExtEnergy,
+        Experiment::ExtPhases,
+        Experiment::ExtTransfer,
+        Experiment::ExtScale,
+        Experiment::ExtIoChannel,
+    ];
+
+    /// Command-line id.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Experiment::Fig2 => "fig2",
+            Experiment::Fig3 => "fig3",
+            Experiment::Fig4 => "fig4",
+            Experiment::Table2 => "table2",
+            Experiment::Table3 => "table3",
+            Experiment::Fig6 => "fig6",
+            Experiment::Fig7 => "fig7",
+            Experiment::Table4 => "table4",
+            Experiment::Fig8 => "fig8",
+            Experiment::Fig9 => "fig9",
+            Experiment::Fig10 => "fig10",
+            Experiment::Fig11 => "fig11",
+            Experiment::Table5 => "table5",
+            Experiment::Fig12 => "fig12",
+            Experiment::Table6 => "table6",
+            Experiment::Fig13 => "fig13",
+            Experiment::AblationInterp => "ablation-interp",
+            Experiment::AblationSa => "ablation-sa",
+            Experiment::AblationSamples => "ablation-samples",
+            Experiment::AblationMultiApp => "ablation-multiapp",
+            Experiment::ExtOnline => "ext-online",
+            Experiment::ExtMultiApp => "ext-multiapp",
+            Experiment::ExtEnergy => "ext-energy",
+            Experiment::ExtPhases => "ext-phases",
+            Experiment::ExtTransfer => "ext-transfer",
+            Experiment::ExtScale => "ext-scale",
+            Experiment::ExtIoChannel => "ext-iochannel",
+        }
+    }
+
+    /// Parses a command-line id.
+    pub fn parse(id: &str) -> Option<Experiment> {
+        Experiment::ALL.into_iter().find(|e| e.id() == id)
+    }
+
+    /// Runs the experiment and returns its structured result as JSON,
+    /// for downstream tooling (plotting, regression tracking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the experiment's failure.
+    pub fn run_json(&self, cfg: &ExpConfig) -> Result<serde_json::Value, ExpError> {
+        fn to_value<T: serde::Serialize>(value: &T) -> Result<serde_json::Value, ExpError> {
+            serde_json::to_value(value).map_err(ExpError::new)
+        }
+        match self {
+            Experiment::Fig2 => to_value(&fig2::run(cfg)?),
+            Experiment::Fig3 => to_value(&fig3::run(cfg)?),
+            Experiment::Fig4 | Experiment::Table2 => to_value(&fig4::run(cfg)?),
+            Experiment::Table3 | Experiment::Fig6 | Experiment::Fig7 => {
+                to_value(&table3::run(cfg)?)
+            }
+            Experiment::Table4 => to_value(&table4::run(cfg)?),
+            Experiment::Fig8 | Experiment::Fig9 => to_value(&fig8::run(cfg)?),
+            Experiment::Fig10 => to_value(&fig10::run(cfg)?),
+            Experiment::Fig11 | Experiment::Table5 => to_value(&fig11::run(cfg)?),
+            Experiment::Fig12 | Experiment::Table6 | Experiment::Fig13 => to_value(&ec2::run(cfg)?),
+            Experiment::AblationInterp => to_value(&ablations::run_interp(cfg)?),
+            Experiment::AblationSa => to_value(&ablations::run_sa(cfg)?),
+            Experiment::AblationSamples => to_value(&ablations::run_samples(cfg)?),
+            Experiment::AblationMultiApp => to_value(&ablations::run_multiapp(cfg)?),
+            Experiment::ExtOnline => to_value(&extensions::run_online(cfg)?),
+            Experiment::ExtMultiApp => to_value(&extensions::run_multiapp(cfg)?),
+            Experiment::ExtEnergy => to_value(&extensions::run_energy(cfg)?),
+            Experiment::ExtPhases => to_value(&extensions::run_phases(cfg)?),
+            Experiment::ExtTransfer => to_value(&extensions::run_transfer(cfg)?),
+            Experiment::ExtScale => to_value(&extensions::run_scale(cfg)?),
+            Experiment::ExtIoChannel => to_value(&extensions::run_iochannel(cfg)?),
+        }
+    }
+
+    /// Runs the experiment and returns its rendered text output.
+    ///
+    /// Experiments sharing a computation (e.g. `fig4`/`table2`) rerun it;
+    /// determinism makes the shared view consistent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the experiment's failure.
+    pub fn run(&self, cfg: &ExpConfig) -> Result<String, ExpError> {
+        Ok(match self {
+            Experiment::Fig2 => fig2::render(&fig2::run(cfg)?),
+            Experiment::Fig3 => fig3::render(&fig3::run(cfg)?),
+            Experiment::Fig4 => fig4::render_fig4(&fig4::run(cfg)?),
+            Experiment::Table2 => fig4::render_table2(&fig4::run(cfg)?),
+            Experiment::Table3 => table3::render_table3(&table3::run(cfg)?),
+            Experiment::Fig6 => table3::render_fig6(&table3::run(cfg)?),
+            Experiment::Fig7 => table3::render_fig7(&table3::run(cfg)?),
+            Experiment::Table4 => table4::render(&table4::run(cfg)?),
+            Experiment::Fig8 => fig8::render_fig8(&fig8::run(cfg)?),
+            Experiment::Fig9 => fig8::render_fig9(&fig8::run(cfg)?),
+            Experiment::Fig10 => fig10::render(&fig10::run(cfg)?),
+            Experiment::Fig11 => fig11::render_fig11(&fig11::run(cfg)?),
+            Experiment::Table5 => fig11::render_table5(&fig11::run(cfg)?),
+            Experiment::Fig12 => ec2::render_fig12(&ec2::run(cfg)?),
+            Experiment::Table6 => ec2::render_table6(&ec2::run(cfg)?),
+            Experiment::Fig13 => ec2::render_fig13(&ec2::run(cfg)?),
+            Experiment::AblationInterp => ablations::render_interp(&ablations::run_interp(cfg)?),
+            Experiment::AblationSa => ablations::render_sa(&ablations::run_sa(cfg)?),
+            Experiment::AblationSamples => ablations::render_samples(&ablations::run_samples(cfg)?),
+            Experiment::AblationMultiApp => {
+                ablations::render_multiapp(&ablations::run_multiapp(cfg)?)
+            }
+            Experiment::ExtOnline => extensions::render_online(&extensions::run_online(cfg)?),
+            Experiment::ExtMultiApp => extensions::render_multiapp(&extensions::run_multiapp(cfg)?),
+            Experiment::ExtEnergy => extensions::render_energy(&extensions::run_energy(cfg)?),
+            Experiment::ExtPhases => extensions::render_phases(&extensions::run_phases(cfg)?),
+            Experiment::ExtTransfer => extensions::render_transfer(&extensions::run_transfer(cfg)?),
+            Experiment::ExtScale => extensions::render_scale(&extensions::run_scale(cfg)?),
+            Experiment::ExtIoChannel => {
+                extensions::render_iochannel(&extensions::run_iochannel(cfg)?)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for exp in Experiment::ALL {
+            assert_eq!(Experiment::parse(exp.id()), Some(exp));
+        }
+        assert_eq!(Experiment::parse("nope"), None);
+    }
+
+    #[test]
+    fn json_output_is_structured() {
+        let cfg = ExpConfig {
+            seed: 3,
+            fast: true,
+        };
+        let value = Experiment::Fig2.run_json(&cfg).expect("runs");
+        assert!(value.get("rows").is_some(), "Fig2Result exposes rows");
+        let text = serde_json::to_string(&value).expect("serializes");
+        assert!(text.contains("interfering_nodes"));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = Experiment::ALL.iter().map(Experiment::id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Experiment::ALL.len());
+    }
+}

@@ -1,0 +1,213 @@
+//! Shared machinery for the placement case studies (§5): building mix
+//! models at deployment span and evaluating placements on the simulator
+//! (ground truth).
+
+use std::collections::BTreeMap;
+
+use icm_core::{InterferenceModel, NaiveModel};
+use icm_placement::{PlacementProblem, PlacementState};
+use icm_simcluster::{Deployment, Placement};
+use icm_workloads::SimTestbedAdapter;
+use serde::{Deserialize, Serialize};
+
+use crate::context::{build_models, ExpConfig, ExpError};
+
+/// Number of hosts each workload instance spans in the §5 experiments
+/// (16 VMs = 4 hosts × 4 VMs).
+pub const MIX_SPAN: usize = 4;
+
+/// A four-workload mix with models profiled at deployment span.
+pub struct MixContext {
+    /// The placement problem (8 hosts × 2 slots).
+    pub problem: PlacementProblem,
+    /// Full interference models, one entry per distinct workload name.
+    pub models: BTreeMap<String, InterferenceModel>,
+    /// Naive baselines derived from the same profiles.
+    pub naives: BTreeMap<String, NaiveModel>,
+}
+
+impl MixContext {
+    /// Profiles all (distinct) workloads of the mix at 4-host span and
+    /// prepares the problem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn build(
+        testbed: &mut SimTestbedAdapter,
+        workloads: &[String; 4],
+        cfg: &ExpConfig,
+    ) -> Result<Self, ExpError> {
+        let refs: Vec<&str> = workloads.iter().map(String::as_str).collect();
+        let models = build_models(testbed, &refs, Some(MIX_SPAN), cfg)?;
+        let naives = models
+            .iter()
+            .map(|(name, model)| (name.clone(), NaiveModel::from_model(model)))
+            .collect();
+        let problem = PlacementProblem::paper_default(workloads.to_vec())?;
+        Ok(Self {
+            problem,
+            models,
+            naives,
+        })
+    }
+
+    /// Full-model predictors in problem (instance) order.
+    pub fn model_predictors(&self) -> Vec<&dyn icm_placement::RuntimePredictor> {
+        self.problem
+            .workloads()
+            .iter()
+            .map(|name| &self.models[name] as &dyn icm_placement::RuntimePredictor)
+            .collect()
+    }
+
+    /// Naive predictors in problem (instance) order.
+    pub fn naive_predictors(&self) -> Vec<&dyn icm_placement::RuntimePredictor> {
+        self.problem
+            .workloads()
+            .iter()
+            .map(|name| &self.naives[name] as &dyn icm_placement::RuntimePredictor)
+            .collect()
+    }
+
+    /// Runs the placement on the simulator and returns each instance's
+    /// *measured* normalized runtime (averaged over `cfg.repeats()`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn ground_truth(
+        &self,
+        testbed: &mut SimTestbedAdapter,
+        state: &PlacementState,
+        cfg: &ExpConfig,
+    ) -> Result<Vec<f64>, ExpError> {
+        let placements: Vec<Placement> = self
+            .problem
+            .workloads()
+            .iter()
+            .enumerate()
+            .map(|(i, name)| Placement::new(name.clone(), state.hosts_of(&self.problem, i)))
+            .collect();
+        let deployment = Deployment::of_placements(placements);
+        let mut totals = vec![0.0; self.problem.workloads().len()];
+        for _ in 0..cfg.repeats() {
+            let runs = testbed.sim_mut().run_deployment(&deployment)?;
+            for (total, run) in totals.iter_mut().zip(&runs) {
+                *total += run.seconds;
+            }
+        }
+        Ok(totals
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let name = &self.problem.workloads()[i];
+                t / cfg.repeats() as f64 / self.models[name].solo_seconds()
+            })
+            .collect())
+    }
+}
+
+/// Measured outcome of one placement strategy on one mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyOutcome {
+    /// Strategy label (`best`, `worst`, `random`, `naive`).
+    pub strategy: String,
+    /// Measured normalized runtime per workload instance.
+    pub times: Vec<f64>,
+    /// Sum of the normalized runtimes (equal VM weights).
+    pub total: f64,
+}
+
+impl StrategyOutcome {
+    /// Bundles measured times under a label.
+    pub fn new(strategy: impl Into<String>, times: Vec<f64>) -> Self {
+        let total = times.iter().sum();
+        Self {
+            strategy: strategy.into(),
+            times,
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::private_testbed;
+    use icm_placement::Estimator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fast_cfg() -> ExpConfig {
+        ExpConfig {
+            fast: true,
+            ..ExpConfig::default()
+        }
+    }
+
+    fn mix() -> [String; 4] {
+        [
+            "M.lmps".into(),
+            "C.libq".into(),
+            "H.KM".into(),
+            "N.cg".into(),
+        ]
+    }
+
+    #[test]
+    fn mix_context_builds_models_at_span() {
+        let cfg = fast_cfg();
+        let mut testbed = private_testbed(&cfg);
+        let ctx = MixContext::build(&mut testbed, &mix(), &cfg).expect("builds");
+        assert_eq!(ctx.models.len(), 4);
+        for model in ctx.models.values() {
+            assert_eq!(model.hosts(), MIX_SPAN);
+        }
+        assert_eq!(ctx.model_predictors().len(), 4);
+        assert_eq!(ctx.naive_predictors().len(), 4);
+    }
+
+    #[test]
+    fn ground_truth_and_estimate_agree_roughly() {
+        let cfg = fast_cfg();
+        let mut testbed = private_testbed(&cfg);
+        let ctx = MixContext::build(&mut testbed, &mix(), &cfg).expect("builds");
+        let estimator = Estimator::new(&ctx.problem, ctx.model_predictors()).expect("valid");
+        let mut rng = StdRng::seed_from_u64(3);
+        let state = PlacementState::random(&ctx.problem, &mut rng);
+        let predicted = estimator.estimate(&state).expect("estimates");
+        let actual = ctx.ground_truth(&mut testbed, &state, &cfg).expect("runs");
+        assert_eq!(actual.len(), 4);
+        for (i, (&a, &p)) in actual.iter().zip(&predicted.normalized_times).enumerate() {
+            let err = (p - a).abs() / a;
+            assert!(
+                err < 0.35,
+                "instance {i}: predicted {p:.2} vs actual {a:.2} ({:.0}% off)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_workloads_share_one_model() {
+        let cfg = fast_cfg();
+        let mut testbed = private_testbed(&cfg);
+        let duplicated = [
+            "M.Gems".into(),
+            "M.Gems".into(),
+            "H.KM".into(),
+            "S.CF".into(),
+        ];
+        let ctx = MixContext::build(&mut testbed, &duplicated, &cfg).expect("builds");
+        assert_eq!(ctx.models.len(), 3, "M.Gems profiled once");
+        assert_eq!(ctx.model_predictors().len(), 4, "but predicts twice");
+    }
+
+    #[test]
+    fn strategy_outcome_totals() {
+        let outcome = StrategyOutcome::new("best", vec![1.0, 1.5]);
+        assert_eq!(outcome.total, 2.5);
+        assert_eq!(outcome.strategy, "best");
+    }
+}

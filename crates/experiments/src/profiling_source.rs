@@ -1,0 +1,115 @@
+//! A [`ProfileSource`] over the simulated testbed, shared by the
+//! profiling-related experiments.
+
+use icm_core::{ModelError, ProfileSource, Testbed};
+use icm_workloads::SimTestbedAdapter;
+
+use crate::context::ExpError;
+
+/// Profiles one application on the testbed: `measure(i, j)` runs the app
+/// with bubbles of pressure `i` on its last `j` hosts and returns the
+/// normalized runtime (matching `icm_core::model`'s interference
+/// placement convention).
+pub struct AppSource<'a> {
+    testbed: &'a mut SimTestbedAdapter,
+    app: String,
+    hosts: usize,
+    max_pressure: usize,
+    solo: f64,
+}
+
+impl<'a> AppSource<'a> {
+    /// Measures the solo baseline (averaging `repeats` runs) and prepares
+    /// the source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates testbed failures.
+    pub fn new(
+        testbed: &'a mut SimTestbedAdapter,
+        app: &str,
+        hosts: usize,
+        repeats: usize,
+    ) -> Result<Self, ExpError> {
+        let max_pressure = testbed.max_pressure();
+        let zeros = vec![0.0; hosts];
+        let mut total = 0.0;
+        for _ in 0..repeats.max(1) {
+            total += testbed.run_app(app, &zeros)?;
+        }
+        Ok(Self {
+            testbed,
+            app: app.to_owned(),
+            hosts,
+            max_pressure,
+            solo: total / repeats.max(1) as f64,
+        })
+    }
+
+    /// The measured solo runtime in seconds.
+    pub fn solo(&self) -> f64 {
+        self.solo
+    }
+
+    /// Snapshot of the underlying testbed's run accounting (runs and
+    /// simulated cluster seconds) — used to report profiling cost in
+    /// cluster time, not just settings counted.
+    pub fn testbed_stats(&self) -> icm_simcluster::TestbedStats {
+        self.testbed.sim().stats()
+    }
+}
+
+impl ProfileSource for AppSource<'_> {
+    fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    fn max_pressure(&self) -> usize {
+        self.max_pressure
+    }
+
+    fn measure(&mut self, pressure: usize, nodes: usize) -> Result<f64, ModelError> {
+        let mut pressures = vec![0.0; self.hosts];
+        for slot in pressures.iter_mut().rev().take(nodes) {
+            *slot = pressure as f64;
+        }
+        let seconds = self.testbed.run_app(&self.app, &pressures)?;
+        Ok(seconds / self.solo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{private_testbed, ExpConfig};
+    use icm_core::profile_full;
+
+    #[test]
+    fn source_profiles_an_app() {
+        let cfg = ExpConfig {
+            fast: true,
+            ..ExpConfig::default()
+        };
+        let mut testbed = private_testbed(&cfg);
+        let mut source = AppSource::new(&mut testbed, "M.zeus", 8, 1).expect("solo runs");
+        assert!(source.solo() > 0.0);
+        assert_eq!(source.hosts(), 8);
+        assert_eq!(source.max_pressure(), 8);
+        let one = source.measure(8, 1).expect("measures");
+        let all = source.measure(8, 8).expect("measures");
+        assert!(all >= one - 0.05, "more interference, more time");
+    }
+
+    #[test]
+    fn full_profile_through_source() {
+        let cfg = ExpConfig {
+            fast: true,
+            ..ExpConfig::default()
+        };
+        let mut testbed = private_testbed(&cfg);
+        let mut source = AppSource::new(&mut testbed, "H.KM", 8, 1).expect("solo runs");
+        let result = profile_full(&mut source).expect("profiles");
+        assert_eq!(result.matrix.hosts(), 8);
+        assert_eq!(result.matrix.max_pressure(), 8);
+    }
+}

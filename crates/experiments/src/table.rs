@@ -1,0 +1,180 @@
+//! Minimal aligned text-table renderer for experiment output.
+
+use std::fmt::Write as _;
+
+/// A text table: title, header row, data rows.
+///
+/// # Example
+///
+/// ```
+/// use icm_experiments::table::Table;
+///
+/// let mut t = Table::new("Demo");
+/// t.headers(["app", "score"]);
+/// t.row(["M.milc", "4.3"]);
+/// let text = t.render();
+/// assert!(text.contains("M.milc"));
+/// assert!(text.contains("Demo"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the header row.
+    pub fn headers<I, S>(&mut self, headers: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if headers are set and the row width differs.
+    pub fn row<I, S>(&mut self, row: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        if !self.headers.is_empty() {
+            assert_eq!(
+                row.len(),
+                self.headers.len(),
+                "row width {} != header width {}",
+                row.len(),
+                self.headers.len()
+            );
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{cell:>width$}");
+            }
+            line.trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            let header = fmt_row(&self.headers);
+            let _ = writeln!(out, "{header}");
+            let _ = writeln!(out, "{}", "-".repeat(header.chars().count()));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{x:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T");
+        t.headers(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["long-name", "2.5"]);
+        let text = t.render();
+        assert!(text.contains("== T =="));
+        assert!(text.contains("name"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header, separator, two rows, plus title.
+        assert_eq!(lines.len(), 5);
+        // Right-aligned: "1" and "2.5" end their lines.
+        assert!(lines[3].ends_with('1'));
+        assert!(lines[4].ends_with("2.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("T");
+        t.headers(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn headerless_table_renders() {
+        let mut t = Table::new("T");
+        t.row(["x", "y"]);
+        assert!(t.render().contains('x'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(0.125), "0.125");
+        assert_eq!(pct(12.345), "12.35%");
+    }
+}

@@ -1,0 +1,396 @@
+//! The stochastic placement search of §5.1: start from a random mapping,
+//! repeatedly swap two slots holding different workloads, and keep the
+//! swap when it helps — with an optional Metropolis acceptance rule for
+//! full simulated annealing (ablation A2 in `DESIGN.md`; the paper's
+//! description accepts only improvements).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PlacementError;
+use crate::state::{PlacementProblem, PlacementState};
+
+/// Acceptance rule for candidate swaps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AcceptRule {
+    /// Accept only strict improvements (the paper's described behaviour —
+    /// stochastic hill climbing).
+    Greedy,
+    /// Metropolis criterion: always accept improvements; accept a
+    /// worsening of Δ with probability `exp(−Δ / t)`, with `t` decaying
+    /// geometrically from `initial_temperature` by `cooling` per
+    /// iteration.
+    Metropolis {
+        /// Starting temperature (objective units).
+        initial_temperature: f64,
+        /// Per-iteration geometric cooling factor in `(0, 1)`.
+        cooling: f64,
+    },
+}
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealConfig {
+    /// Number of candidate swaps to consider.
+    pub iterations: usize,
+    /// RNG seed (initial state + swap choices).
+    pub seed: u64,
+    /// Acceptance rule.
+    pub accept: AcceptRule,
+    /// Attempts per iteration to find a valid random swap.
+    pub swap_attempts: usize,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 4000,
+            seed: 0xA11E,
+            accept: AcceptRule::Greedy,
+            swap_attempts: 32,
+        }
+    }
+}
+
+/// Search outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnealResult {
+    /// The best state found.
+    pub state: PlacementState,
+    /// Its objective value (lower is better).
+    pub cost: f64,
+    /// Whether the best state satisfies the feasibility predicate.
+    pub feasible: bool,
+    /// Number of objective evaluations performed.
+    pub evaluations: usize,
+    /// Number of accepted swaps.
+    pub accepted: usize,
+}
+
+/// Minimizes `cost` over valid placements subject to a constraint.
+///
+/// `violation` quantifies how badly a state breaks the constraint
+/// (`0` = feasible, larger = worse) — e.g. for QoS it is the excess of
+/// the target's predicted time over the allowed bound. This gives the
+/// search a gradient toward feasibility, which a boolean constraint
+/// cannot: from an infeasible state, swaps that reduce the violation are
+/// accepted (ties broken by cost); from a feasible state, only feasible
+/// neighbours are considered and accepted per the [`AcceptRule`], exactly
+/// the paper's §5.2 loop. The best feasible state seen is returned when
+/// one exists, otherwise the least-violating state.
+///
+/// # Errors
+///
+/// Propagates objective failures ([`PlacementError`]).
+pub fn anneal<C, V>(
+    problem: &PlacementProblem,
+    mut cost: C,
+    mut violation: V,
+    config: &AnnealConfig,
+) -> Result<AnnealResult, PlacementError>
+where
+    C: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+    V: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+{
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut current = PlacementState::random(problem, &mut rng);
+    let mut current_cost = cost(&current)?;
+    let mut current_violation = violation(&current)?;
+    let mut evaluations = 1usize;
+    let mut accepted = 0usize;
+
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+    let mut best_violation = current_violation;
+
+    let mut temperature = match config.accept {
+        AcceptRule::Metropolis {
+            initial_temperature,
+            ..
+        } => initial_temperature,
+        AcceptRule::Greedy => 0.0,
+    };
+
+    for _ in 0..config.iterations {
+        let Some(candidate) = current.random_swap(problem, &mut rng, config.swap_attempts) else {
+            continue;
+        };
+        let cand_cost = cost(&candidate)?;
+        let cand_violation = violation(&candidate)?;
+        evaluations += 1;
+
+        let improves = cand_cost < current_cost;
+        let accept = if current_violation > 0.0 {
+            // Climb toward feasibility first (§5.2): reduce the
+            // violation; on a violation plateau (common with max-coupled
+            // targets, where only removing the *last* bad co-runner
+            // helps) walk sideways randomly so the search can cross it.
+            cand_violation < current_violation - 1e-12
+                || ((cand_violation - current_violation).abs() <= 1e-12
+                    && (improves || rng.gen::<f64>() < 0.5))
+        } else if cand_violation > 0.0 {
+            false
+        } else {
+            match config.accept {
+                AcceptRule::Greedy => improves,
+                AcceptRule::Metropolis { cooling, .. } => {
+                    let take = improves
+                        || rng.gen::<f64>()
+                            < (-(cand_cost - current_cost) / temperature.max(1e-12)).exp();
+                    temperature *= cooling;
+                    take
+                }
+            }
+        };
+
+        if accept {
+            current = candidate;
+            current_cost = cand_cost;
+            current_violation = cand_violation;
+            accepted += 1;
+            let better_feasibility = current_violation < best_violation;
+            let same_feasibility_cheaper =
+                current_violation == best_violation && current_cost < best_cost;
+            if better_feasibility || same_feasibility_cheaper {
+                best = current.clone();
+                best_cost = current_cost;
+                best_violation = current_violation;
+            }
+        }
+    }
+
+    Ok(AnnealResult {
+        state: best,
+        cost: best_cost,
+        feasible: best_violation <= 0.0,
+        evaluations,
+        accepted,
+    })
+}
+
+/// Minimizes `cost` without any feasibility constraint.
+///
+/// # Errors
+///
+/// Propagates objective failures.
+pub fn anneal_unconstrained<C>(
+    problem: &PlacementProblem,
+    cost: C,
+    config: &AnnealConfig,
+) -> Result<AnnealResult, PlacementError>
+where
+    C: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+{
+    anneal(problem, cost, |_| Ok(0.0), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::tests::{fake_predictors, fake_problem};
+    use crate::estimator::{Estimator, RuntimePredictor};
+
+    fn estimator_cost<'a>(
+        estimator: &'a Estimator<'a>,
+    ) -> impl FnMut(&PlacementState) -> Result<f64, PlacementError> + 'a {
+        move |state| Ok(estimator.estimate(state)?.weighted_total)
+    }
+
+    #[test]
+    fn greedy_search_improves_over_random() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+
+        let mut rng = StdRng::seed_from_u64(99);
+        let random_costs: Vec<f64> = (0..20)
+            .map(|_| {
+                let s = PlacementState::random(&problem, &mut rng);
+                estimator.estimate(&s).expect("estimates").weighted_total
+            })
+            .collect();
+        let mean_random = random_costs.iter().sum::<f64>() / random_costs.len() as f64;
+
+        let result = anneal_unconstrained(
+            &problem,
+            estimator_cost(&estimator),
+            &AnnealConfig {
+                iterations: 1500,
+                ..AnnealConfig::default()
+            },
+        )
+        .expect("search runs");
+        assert!(
+            result.cost < mean_random,
+            "search ({}) must beat average random ({mean_random})",
+            result.cost
+        );
+        assert!(result.accepted > 0);
+        assert!(result.evaluations > 1);
+    }
+
+    #[test]
+    fn search_separates_aggressor_from_sensitive() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let result = anneal_unconstrained(
+            &problem,
+            estimator_cost(&estimator),
+            &AnnealConfig {
+                iterations: 3000,
+                ..AnnealConfig::default()
+            },
+        )
+        .expect("search runs");
+        // In the found placement, the sensitive workload (0) must never
+        // share a host with the heavy aggressor (1).
+        for slot in result.state.slots_of(0) {
+            assert_ne!(
+                result.state.corunner_at(&problem, slot),
+                Some(1),
+                "sensitive workload still co-located with the aggressor"
+            );
+        }
+    }
+
+    #[test]
+    fn feasibility_constraint_respected_when_reachable() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        // Constraint: workload 0 normalized time ≤ 1.3 (needs to avoid
+        // the aggressor; feasible).
+        let result = anneal(
+            &problem,
+            |state| Ok(estimator.estimate(state)?.weighted_total),
+            |state| Ok((estimator.estimate(state)?.normalized_times[0] - 1.3).max(0.0)),
+            &AnnealConfig {
+                iterations: 3000,
+                ..AnnealConfig::default()
+            },
+        )
+        .expect("search runs");
+        assert!(
+            result.feasible,
+            "a feasible placement exists and must be found"
+        );
+        let est = estimator.estimate(&result.state).expect("estimates");
+        assert!(est.normalized_times[0] <= 1.3);
+    }
+
+    #[test]
+    fn impossible_constraint_reports_infeasible() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let result = anneal(
+            &problem,
+            |state| Ok(estimator.estimate(state)?.weighted_total),
+            |_| Ok(1.0),
+            &AnnealConfig {
+                iterations: 200,
+                ..AnnealConfig::default()
+            },
+        )
+        .expect("search runs");
+        assert!(!result.feasible);
+    }
+
+    #[test]
+    fn metropolis_also_converges() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let greedy = anneal_unconstrained(
+            &problem,
+            |s| Ok(estimator.estimate(s)?.weighted_total),
+            &AnnealConfig {
+                iterations: 3000,
+                ..AnnealConfig::default()
+            },
+        )
+        .expect("runs");
+        let metropolis = anneal_unconstrained(
+            &problem,
+            |s| Ok(estimator.estimate(s)?.weighted_total),
+            &AnnealConfig {
+                iterations: 3000,
+                accept: AcceptRule::Metropolis {
+                    initial_temperature: 0.5,
+                    cooling: 0.999,
+                },
+                ..AnnealConfig::default()
+            },
+        )
+        .expect("runs");
+        assert!(
+            (metropolis.cost - greedy.cost).abs() < 0.3,
+            "both rules should land near the same optimum: {} vs {}",
+            metropolis.cost,
+            greedy.cost
+        );
+    }
+
+    #[test]
+    fn search_is_seed_deterministic() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let run = |seed| {
+            anneal_unconstrained(
+                &problem,
+                |s| Ok(estimator.estimate(s)?.weighted_total),
+                &AnnealConfig {
+                    iterations: 500,
+                    seed,
+                    ..AnnealConfig::default()
+                },
+            )
+            .expect("runs")
+        };
+        assert_eq!(run(5).state, run(5).state);
+        // Different seeds explore differently (almost surely different
+        // accepted counts or states).
+        let a = run(5);
+        let b = run(6);
+        assert!(a.state != b.state || a.accepted != b.accepted);
+    }
+
+    #[test]
+    fn objective_errors_propagate() {
+        let problem = fake_problem();
+        let result = anneal_unconstrained(
+            &problem,
+            |_| Err(PlacementError::Predictor("boom".into())),
+            &AnnealConfig::default(),
+        );
+        assert!(result.is_err());
+    }
+}

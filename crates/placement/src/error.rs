@@ -1,0 +1,50 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for placement construction and search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// The problem dimensions are inconsistent.
+    Shape(String),
+    /// An assignment vector violates the placement invariants.
+    InvalidAssignment(String),
+    /// A predictor was missing or mismatched for a workload.
+    Predictor(String),
+    /// The search could not produce a result (e.g. no valid swap found,
+    /// or no feasible placement for a QoS constraint).
+    Search(String),
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::Shape(msg) => write!(f, "invalid problem shape: {msg}"),
+            PlacementError::InvalidAssignment(msg) => write!(f, "invalid assignment: {msg}"),
+            PlacementError::Predictor(msg) => write!(f, "predictor error: {msg}"),
+            PlacementError::Search(msg) => write!(f, "search failure: {msg}"),
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        assert!(PlacementError::Shape("x".into())
+            .to_string()
+            .contains("shape"));
+        assert!(PlacementError::Search("no feasible".into())
+            .to_string()
+            .contains("no feasible"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<PlacementError>();
+    }
+}

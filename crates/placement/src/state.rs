@@ -1,0 +1,412 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PlacementError;
+
+/// Shape of a placement problem: a cluster of `hosts` hosts, each with
+/// `slots_per_host` co-location slots, filled by `workloads.len()`
+/// workload instances that each occupy the same number of slots.
+///
+/// This mirrors §5.1 of the paper: 8 hosts × 16 cores, four applications
+/// of 16 VMs each; a *slot* is the paper's scheduling unit of 4 VMs of
+/// one application on one host, so each host has 2 slots and each
+/// workload owns 4.
+///
+/// # Example
+///
+/// ```
+/// use icm_placement::PlacementProblem;
+///
+/// let problem = PlacementProblem::paper_default(vec![
+///     "M.milc".into(), "C.libq".into(), "H.KM".into(), "N.cg".into(),
+/// ]).expect("4 workloads fill 8×2 slots");
+/// assert_eq!(problem.slots(), 16);
+/// assert_eq!(problem.slots_per_workload(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementProblem {
+    hosts: usize,
+    slots_per_host: usize,
+    workloads: Vec<String>,
+}
+
+impl PlacementProblem {
+    /// Creates a problem, validating that the workloads exactly fill the
+    /// slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::Shape`] if any dimension is zero or the
+    /// slot count is not divisible by the workload count.
+    pub fn new(
+        hosts: usize,
+        slots_per_host: usize,
+        workloads: Vec<String>,
+    ) -> Result<Self, PlacementError> {
+        if hosts == 0 || slots_per_host == 0 || workloads.is_empty() {
+            return Err(PlacementError::Shape(format!(
+                "degenerate problem: {hosts} hosts × {slots_per_host} slots, {} workloads",
+                workloads.len()
+            )));
+        }
+        let slots = hosts * slots_per_host;
+        if !slots.is_multiple_of(workloads.len()) {
+            return Err(PlacementError::Shape(format!(
+                "{slots} slots not divisible by {} workloads",
+                workloads.len()
+            )));
+        }
+        if slots / workloads.len() > hosts {
+            return Err(PlacementError::Shape(format!(
+                "each workload would need {} slots but only {hosts} hosts exist \
+                 (one slot per host per workload)",
+                slots / workloads.len()
+            )));
+        }
+        Ok(Self {
+            hosts,
+            slots_per_host,
+            workloads,
+        })
+    }
+
+    /// The paper's configuration: 8 hosts, 2 slots per host, four
+    /// workload instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::Shape`] unless exactly four workloads
+    /// are given.
+    pub fn paper_default(workloads: Vec<String>) -> Result<Self, PlacementError> {
+        if workloads.len() != 4 {
+            return Err(PlacementError::Shape(format!(
+                "the paper's placement mixes have 4 workloads, got {}",
+                workloads.len()
+            )));
+        }
+        Self::new(8, 2, workloads)
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Slots per host.
+    pub fn slots_per_host(&self) -> usize {
+        self.slots_per_host
+    }
+
+    /// Total slots.
+    pub fn slots(&self) -> usize {
+        self.hosts * self.slots_per_host
+    }
+
+    /// Slots each workload occupies.
+    pub fn slots_per_workload(&self) -> usize {
+        self.slots() / self.workloads.len()
+    }
+
+    /// The workload instance names (duplicates allowed — e.g. mix HM3
+    /// runs two instances of `M.Gems`).
+    pub fn workloads(&self) -> &[String] {
+        &self.workloads
+    }
+
+    /// Host of a slot index.
+    pub fn host_of_slot(&self, slot: usize) -> usize {
+        slot / self.slots_per_host
+    }
+}
+
+/// A concrete assignment of workload instances to slots.
+///
+/// Invariants (enforced on construction and preserved by
+/// [`swap`](PlacementState::swap)):
+///
+/// * every workload occupies exactly `slots_per_workload` slots, and
+/// * no workload occupies two slots of the same host (the paper places
+///   at most one 4-VM unit of an application per host).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementState {
+    /// `assignment[slot]` = workload index.
+    assignment: Vec<usize>,
+}
+
+impl PlacementState {
+    /// Builds a state from an explicit assignment vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::InvalidAssignment`] if the vector has
+    /// the wrong length, references an unknown workload, gives a workload
+    /// the wrong number of slots, or doubles a workload up on one host.
+    pub fn new(problem: &PlacementProblem, assignment: Vec<usize>) -> Result<Self, PlacementError> {
+        if assignment.len() != problem.slots() {
+            return Err(PlacementError::InvalidAssignment(format!(
+                "expected {} slots, got {}",
+                problem.slots(),
+                assignment.len()
+            )));
+        }
+        let w = problem.workloads().len();
+        let mut counts = vec![0usize; w];
+        for &idx in &assignment {
+            if idx >= w {
+                return Err(PlacementError::InvalidAssignment(format!(
+                    "workload index {idx} out of range (have {w})"
+                )));
+            }
+            counts[idx] += 1;
+        }
+        for (idx, &count) in counts.iter().enumerate() {
+            if count != problem.slots_per_workload() {
+                return Err(PlacementError::InvalidAssignment(format!(
+                    "workload {idx} has {count} slots, expected {}",
+                    problem.slots_per_workload()
+                )));
+            }
+        }
+        for host in 0..problem.hosts() {
+            let base = host * problem.slots_per_host();
+            let slots = &assignment[base..base + problem.slots_per_host()];
+            for (a, &wa) in slots.iter().enumerate() {
+                for &wb in &slots[a + 1..] {
+                    if wa == wb {
+                        return Err(PlacementError::InvalidAssignment(format!(
+                            "workload {wa} occupies two slots of host {host}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(Self { assignment })
+    }
+
+    /// Draws a uniformly random *valid* state.
+    pub fn random(problem: &PlacementProblem, rng: &mut StdRng) -> Self {
+        loop {
+            let mut slots: Vec<usize> = (0..problem.workloads().len())
+                .flat_map(|w| std::iter::repeat_n(w, problem.slots_per_workload()))
+                .collect();
+            slots.shuffle(rng);
+            if let Ok(state) = Self::new(problem, slots) {
+                return state;
+            }
+        }
+    }
+
+    /// The raw assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Workload index in a slot.
+    pub fn workload_at(&self, slot: usize) -> usize {
+        self.assignment[slot]
+    }
+
+    /// Slot indices occupied by a workload, in slot order. The order
+    /// defines the workload's per-unit "host positions" for pressure
+    /// vectors.
+    pub fn slots_of(&self, workload: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w == workload)
+            .map(|(slot, _)| slot)
+            .collect()
+    }
+
+    /// Hosts occupied by a workload, in slot order.
+    pub fn hosts_of(&self, problem: &PlacementProblem, workload: usize) -> Vec<usize> {
+        self.slots_of(workload)
+            .into_iter()
+            .map(|slot| problem.host_of_slot(slot))
+            .collect()
+    }
+
+    /// The workload co-located with the occupant of `slot` on its host,
+    /// if any (the first one, which is the only one when hosts have two
+    /// slots; use [`corunners_at`](Self::corunners_at) for larger hosts).
+    pub fn corunner_at(&self, problem: &PlacementProblem, slot: usize) -> Option<usize> {
+        self.corunners_at(problem, slot).into_iter().next()
+    }
+
+    /// All workloads co-located with the occupant of `slot` on its host,
+    /// in slot order — the inputs to multi-app score combination when
+    /// hosts have more than two slots.
+    pub fn corunners_at(&self, problem: &PlacementProblem, slot: usize) -> Vec<usize> {
+        let host = problem.host_of_slot(slot);
+        let base = host * problem.slots_per_host();
+        (base..base + problem.slots_per_host())
+            .filter(|&s| s != slot)
+            .map(|s| self.assignment[s])
+            .collect()
+    }
+
+    /// Attempts to swap the workloads in two slots, returning the new
+    /// state if the swap is valid (different workloads, no same-host
+    /// doubling).
+    pub fn swap(&self, problem: &PlacementProblem, a: usize, b: usize) -> Option<Self> {
+        if a == b || self.assignment[a] == self.assignment[b] {
+            return None;
+        }
+        let mut next = self.assignment.clone();
+        next.swap(a, b);
+        Self::new(problem, next).ok()
+    }
+
+    /// Draws a random valid swap, if one exists within `attempts` tries.
+    pub fn random_swap(
+        &self,
+        problem: &PlacementProblem,
+        rng: &mut StdRng,
+        attempts: usize,
+    ) -> Option<Self> {
+        for _ in 0..attempts {
+            let a = rng.gen_range(0..problem.slots());
+            let b = rng.gen_range(0..problem.slots());
+            if let Some(next) = self.swap(problem, a, b) {
+                return Some(next);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn problem() -> PlacementProblem {
+        PlacementProblem::paper_default(vec!["A".into(), "B".into(), "C".into(), "D".into()])
+            .expect("valid")
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let p = problem();
+        assert_eq!(p.hosts(), 8);
+        assert_eq!(p.slots(), 16);
+        assert_eq!(p.slots_per_workload(), 4);
+        assert_eq!(p.host_of_slot(0), 0);
+        assert_eq!(p.host_of_slot(15), 7);
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(PlacementProblem::new(0, 2, vec!["A".into()]).is_err());
+        assert!(PlacementProblem::new(8, 2, vec![]).is_err());
+        assert!(PlacementProblem::new(8, 2, vec!["A".into(), "B".into(), "C".into()]).is_err());
+        assert!(PlacementProblem::paper_default(vec!["A".into()]).is_err());
+        // 2 workloads over 8×2 slots → 8 slots each, fits exactly one per
+        // host: allowed.
+        assert!(PlacementProblem::new(8, 2, vec!["A".into(), "B".into()]).is_ok());
+        // 1 workload over 8×2 → 16 slots but only 8 hosts → would double.
+        assert!(PlacementProblem::new(8, 2, vec!["A".into()]).is_err());
+    }
+
+    #[test]
+    fn random_states_are_valid_and_diverse() {
+        let p = problem();
+        let mut rng = rng();
+        let a = PlacementState::random(&p, &mut rng);
+        let b = PlacementState::random(&p, &mut rng);
+        assert_ne!(a, b, "two random draws should differ");
+        for state in [a, b] {
+            for w in 0..4 {
+                assert_eq!(state.slots_of(w).len(), 4);
+                let hosts = state.hosts_of(&p, w);
+                let mut sorted = hosts.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 4, "workload {w} doubled on a host");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_assignment_validation() {
+        let p = problem();
+        // Interleaved: host i gets workloads (i%4, (i+1)%4) — valid.
+        let good: Vec<usize> = (0..8).flat_map(|h| [h % 4, (h + 1) % 4]).collect();
+        assert!(PlacementState::new(&p, good).is_ok());
+        // Same workload twice on host 0.
+        let mut bad: Vec<usize> = (0..8).flat_map(|h| [h % 4, (h + 1) % 4]).collect();
+        bad[1] = bad[0];
+        assert!(PlacementState::new(&p, bad).is_err());
+        // Wrong counts.
+        assert!(PlacementState::new(&p, vec![0; 16]).is_err());
+        // Wrong length.
+        assert!(PlacementState::new(&p, vec![0, 1]).is_err());
+        // Out-of-range index.
+        let mut oob: Vec<usize> = (0..8).flat_map(|h| [h % 4, (h + 1) % 4]).collect();
+        oob[0] = 9;
+        assert!(PlacementState::new(&p, oob).is_err());
+    }
+
+    #[test]
+    fn corunner_lookup() {
+        let p = problem();
+        let state = PlacementState::new(&p, (0..8).flat_map(|h| [h % 4, (h + 1) % 4]).collect())
+            .expect("valid");
+        assert_eq!(state.corunner_at(&p, 0), Some(1)); // host 0: [0, 1]
+        assert_eq!(state.corunner_at(&p, 1), Some(0));
+        assert_eq!(state.corunner_at(&p, 2), Some(2)); // host 1: [1, 2]
+    }
+
+    #[test]
+    fn swap_preserves_validity() {
+        let p = problem();
+        let mut rng = rng();
+        let state = PlacementState::random(&p, &mut rng);
+        let mut found = 0;
+        for a in 0..p.slots() {
+            for b in 0..p.slots() {
+                if let Some(next) = state.swap(&p, a, b) {
+                    found += 1;
+                    // Re-validating must succeed.
+                    PlacementState::new(&p, next.assignment().to_vec()).expect("valid");
+                }
+            }
+        }
+        assert!(found > 0, "some swaps must be possible");
+    }
+
+    #[test]
+    fn swap_rejects_same_workload() {
+        let p = problem();
+        let state = PlacementState::new(&p, (0..8).flat_map(|h| [h % 4, (h + 1) % 4]).collect())
+            .expect("valid");
+        // Slots 0 and 8 both hold workload 0 (host 0 and host 4).
+        assert_eq!(state.workload_at(0), state.workload_at(8));
+        assert!(state.swap(&p, 0, 8).is_none());
+        assert!(state.swap(&p, 3, 3).is_none());
+    }
+
+    #[test]
+    fn random_swap_eventually_finds_one() {
+        let p = problem();
+        let mut rng = rng();
+        let state = PlacementState::random(&p, &mut rng);
+        let next = state.random_swap(&p, &mut rng, 64).expect("a swap exists");
+        assert_ne!(state, next);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = problem();
+        let state = PlacementState::random(&p, &mut rng());
+        let json = serde_json::to_string(&state).expect("serialize");
+        let back: PlacementState = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(state, back);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of placement-state invariants and the search.
+
+use icm_placement::{
+    anneal_unconstrained, AnnealConfig, Estimator, PlacementError, PlacementProblem,
+    PlacementState, RuntimePredictor,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug)]
+struct LinearPredictor {
+    score: f64,
+    sensitivity: f64,
+}
+
+impl RuntimePredictor for LinearPredictor {
+    fn predict_normalized(&self, pressures: &[f64]) -> Result<f64, PlacementError> {
+        Ok(1.0 + self.sensitivity * pressures.iter().sum::<f64>() / pressures.len() as f64)
+    }
+
+    fn bubble_score(&self) -> f64 {
+        self.score
+    }
+
+    fn solo_seconds(&self) -> f64 {
+        100.0
+    }
+}
+
+fn paper_problem() -> PlacementProblem {
+    PlacementProblem::paper_default(vec!["a".into(), "b".into(), "c".into(), "d".into()])
+        .expect("valid")
+}
+
+fn assert_valid(problem: &PlacementProblem, state: &PlacementState) {
+    // Reconstructing through the validating constructor must succeed.
+    PlacementState::new(problem, state.assignment().to_vec()).expect("state invariant broken");
+}
+
+proptest! {
+    #[test]
+    fn random_states_always_satisfy_invariants(seed in any::<u64>()) {
+        let problem = paper_problem();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = PlacementState::random(&problem, &mut rng);
+        assert_valid(&problem, &state);
+        for w in 0..4 {
+            prop_assert_eq!(state.slots_of(w).len(), 4);
+            let mut hosts = state.hosts_of(&problem, w);
+            hosts.sort_unstable();
+            hosts.dedup();
+            prop_assert_eq!(hosts.len(), 4, "workload {} doubled on a host", w);
+        }
+    }
+
+    #[test]
+    fn swap_chains_preserve_invariants(seed in any::<u64>(), swaps in 1usize..40) {
+        let problem = paper_problem();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = PlacementState::random(&problem, &mut rng);
+        for _ in 0..swaps {
+            if let Some(next) = state.random_swap(&problem, &mut rng, 32) {
+                state = next;
+            }
+        }
+        assert_valid(&problem, &state);
+    }
+
+    #[test]
+    fn search_never_returns_worse_than_its_start_population(
+        seed in any::<u64>(),
+        scores in prop::collection::vec(0.1..6.0f64, 4),
+        sens in prop::collection::vec(0.0..0.3f64, 4),
+    ) {
+        let problem = paper_problem();
+        let predictors: Vec<LinearPredictor> = scores
+            .iter()
+            .zip(&sens)
+            .map(|(&score, &sensitivity)| LinearPredictor { score, sensitivity })
+            .collect();
+        let refs: Vec<&dyn RuntimePredictor> =
+            predictors.iter().map(|p| p as &dyn RuntimePredictor).collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let result = anneal_unconstrained(
+            &problem,
+            |s| Ok(estimator.estimate(s)?.weighted_total),
+            &AnnealConfig { iterations: 200, seed, ..AnnealConfig::default() },
+        ).expect("search runs");
+        assert_valid(&problem, &result.state);
+        // The returned cost matches re-evaluating the returned state.
+        let recheck = estimator.estimate(&result.state).expect("estimates").weighted_total;
+        prop_assert!((recheck - result.cost).abs() < 1e-9);
+        // And a fresh random state (same seed stream) is never better
+        // than the search outcome by more than floating noise.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = PlacementState::random(&problem, &mut rng);
+        let start_cost = estimator.estimate(&start).expect("estimates").weighted_total;
+        prop_assert!(result.cost <= start_cost + 1e-9,
+            "search ({}) worse than its own start ({start_cost})", result.cost);
+    }
+
+    #[test]
+    fn pressures_reference_actual_corunners(seed in any::<u64>()) {
+        let problem = paper_problem();
+        let predictors = [
+            LinearPredictor { score: 1.0, sensitivity: 0.1 },
+            LinearPredictor { score: 2.0, sensitivity: 0.1 },
+            LinearPredictor { score: 3.0, sensitivity: 0.1 },
+            LinearPredictor { score: 4.0, sensitivity: 0.1 },
+        ];
+        let refs: Vec<&dyn RuntimePredictor> =
+            predictors.iter().map(|p| p as &dyn RuntimePredictor).collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = PlacementState::random(&problem, &mut rng);
+        for w in 0..4 {
+            let pressures = estimator.pressures_for(&state, w);
+            prop_assert_eq!(pressures.len(), 4);
+            for (slot, pressure) in state.slots_of(w).into_iter().zip(&pressures) {
+                match state.corunner_at(&problem, slot) {
+                    Some(other) => {
+                        prop_assert!((pressure - (other as f64 + 1.0)).abs() < 1e-12,
+                            "pressure must equal the co-runner's score");
+                    }
+                    None => prop_assert_eq!(*pressure, 0.0),
+                }
+            }
+        }
+    }
+}

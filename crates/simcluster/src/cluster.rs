@@ -1,0 +1,207 @@
+use icm_simnode::NodeSpec;
+use serde::{Deserialize, Serialize};
+
+/// Uncontrolled interference from other tenants sharing the physical
+/// hosts, as on Amazon EC2 (§6 of the paper).
+///
+/// Per run and per host, a background bubble is present with probability
+/// `probability`, at a pressure drawn uniformly from
+/// `[0, max_pressure]`. The profiler cannot observe this interference,
+/// which is exactly why the paper's EC2 models have higher error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundTenants {
+    /// Per-host probability that a background tenant is active in a run.
+    pub probability: f64,
+    /// Maximum background bubble pressure.
+    pub max_pressure: f64,
+}
+
+impl BackgroundTenants {
+    /// Creates a background-tenant description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `[0, 1]` or `max_pressure` is
+    /// negative or non-finite.
+    pub fn new(probability: f64, max_pressure: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0,1], got {probability}"
+        );
+        assert!(
+            max_pressure.is_finite() && max_pressure >= 0.0,
+            "max_pressure must be non-negative and finite, got {max_pressure}"
+        );
+        Self {
+            probability,
+            max_pressure,
+        }
+    }
+}
+
+/// Description of a consolidated cluster: its hosts plus the environment's
+/// noise characteristics.
+///
+/// # Example
+///
+/// ```
+/// use icm_simcluster::ClusterSpec;
+///
+/// let private = ClusterSpec::private8();
+/// assert_eq!(private.hosts(), 8);
+/// let ec2 = ClusterSpec::ec2_32();
+/// assert_eq!(ec2.hosts(), 32);
+/// assert!(ec2.background().is_some(), "EC2 has unobserved co-tenants");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    nodes: Vec<NodeSpec>,
+    phase_sigma: f64,
+    measurement_sigma: f64,
+    background: Option<BackgroundTenants>,
+}
+
+impl ClusterSpec {
+    /// Creates a homogeneous cluster of `hosts` copies of `node`.
+    ///
+    /// `phase_sigma` is the per-phase execution jitter (lognormal sigma);
+    /// `measurement_sigma` the end-to-end measurement noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero or a sigma is negative/non-finite.
+    pub fn homogeneous(
+        hosts: usize,
+        node: NodeSpec,
+        phase_sigma: f64,
+        measurement_sigma: f64,
+    ) -> Self {
+        assert!(hosts > 0, "a cluster needs at least one host");
+        for (name, sigma) in [
+            ("phase_sigma", phase_sigma),
+            ("measurement_sigma", measurement_sigma),
+        ] {
+            assert!(
+                sigma.is_finite() && sigma >= 0.0,
+                "{name} must be non-negative and finite, got {sigma}"
+            );
+        }
+        Self {
+            nodes: vec![node; hosts],
+            phase_sigma,
+            measurement_sigma,
+            background: None,
+        }
+    }
+
+    /// The paper's private testbed: 8 hosts, dual Xeon E5-2650 each,
+    /// low noise, no foreign tenants.
+    pub fn private8() -> Self {
+        Self::homogeneous(8, NodeSpec::xeon_e5_2650(), 0.015, 0.005)
+    }
+
+    /// The paper's EC2 validation environment: 32 `c4.2xlarge` slices,
+    /// noisier execution, and unobservable background tenants.
+    pub fn ec2_32() -> Self {
+        let mut spec = Self::homogeneous(32, NodeSpec::ec2_c4_2xlarge(), 0.03, 0.015);
+        spec.background = Some(BackgroundTenants::new(0.30, 2.5));
+        spec
+    }
+
+    /// Replaces the background-tenant model (builder-style).
+    #[must_use]
+    pub fn with_background(mut self, background: Option<BackgroundTenants>) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Host hardware description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn node(&self, host: usize) -> NodeSpec {
+        self.nodes[host]
+    }
+
+    /// All host descriptions.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Per-phase execution jitter sigma.
+    pub fn phase_sigma(&self) -> f64 {
+        self.phase_sigma
+    }
+
+    /// End-to-end measurement noise sigma.
+    pub fn measurement_sigma(&self) -> f64 {
+        self.measurement_sigma
+    }
+
+    /// Background-tenant model, if any.
+    pub fn background(&self) -> Option<BackgroundTenants> {
+        self.background
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private8_matches_paper_testbed() {
+        let c = ClusterSpec::private8();
+        assert_eq!(c.hosts(), 8);
+        assert_eq!(c.node(0), NodeSpec::xeon_e5_2650());
+        assert!(c.background().is_none());
+    }
+
+    #[test]
+    fn ec2_is_noisier_than_private() {
+        let private = ClusterSpec::private8();
+        let ec2 = ClusterSpec::ec2_32();
+        assert!(ec2.phase_sigma() > private.phase_sigma());
+        assert!(ec2.measurement_sigma() > private.measurement_sigma());
+        assert!(ec2.background().is_some());
+    }
+
+    #[test]
+    fn with_background_overrides() {
+        let c = ClusterSpec::private8().with_background(Some(BackgroundTenants::new(0.5, 4.0)));
+        assert_eq!(c.background(), Some(BackgroundTenants::new(0.5, 4.0)));
+        let cleared = c.with_background(None);
+        assert!(cleared.background().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_rejected() {
+        let _ = ClusterSpec::homogeneous(0, NodeSpec::xeon_e5_2650(), 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase_sigma")]
+    fn negative_sigma_rejected() {
+        let _ = ClusterSpec::homogeneous(2, NodeSpec::xeon_e5_2650(), -0.1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_background_probability_rejected() {
+        let _ = BackgroundTenants::new(1.5, 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ClusterSpec::ec2_32();
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: ClusterSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,165 @@
+use serde::{Deserialize, Serialize};
+
+/// Deterministic, addressable noise source.
+///
+/// Every stochastic effect in the simulator — per-phase execution jitter,
+/// measurement noise, background-tenant arrival — is drawn from this
+/// generator, addressed by `(seed, stream, run, unit)`. The same address
+/// always yields the same value, so a whole experiment is reproducible
+/// from a single `u64` seed, while distinct runs/phases/nodes decorrelate.
+///
+/// Values are produced by hashing the address with a SplitMix64-style
+/// finalizer and converting to normal deviates via Box–Muller.
+///
+/// # Example
+///
+/// ```
+/// use icm_simcluster::Noise;
+///
+/// let noise = Noise::new(42);
+/// let a = noise.lognormal(0.02, 1, 7, 3);
+/// let b = noise.lognormal(0.02, 1, 7, 3);
+/// assert_eq!(a, b, "same address, same draw");
+/// assert!(a > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Noise {
+    seed: u64,
+}
+
+/// Noise stream identifiers, used to decorrelate different uses of the
+/// same `(run, unit)` address.
+pub(crate) mod stream {
+    pub const PHASE: u64 = 1;
+    pub const MEASUREMENT: u64 = 2;
+    pub const BACKGROUND_PRESENCE: u64 = 3;
+    pub const BACKGROUND_PRESSURE: u64 = 4;
+    pub const IO_VOLATILITY: u64 = 5;
+    pub const PHASE_DRIFT: u64 = 6;
+}
+
+impl Noise {
+    /// Creates a noise source from a master seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform deviate in `[0, 1)` for the given address.
+    pub fn uniform(&self, stream: u64, run: u64, unit: u64) -> f64 {
+        let h = mix64(
+            self.seed ^ mix64(stream) ^ mix64(run).rotate_left(17) ^ mix64(unit).rotate_left(41),
+        );
+        // 53 bits of mantissa.
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard normal deviate for the given address (Box–Muller).
+    pub fn normal(&self, stream: u64, run: u64, unit: u64) -> f64 {
+        let u1 = self.uniform(stream, run, unit.wrapping_mul(2)).max(1e-12);
+        let u2 = self.uniform(stream, run, unit.wrapping_mul(2).wrapping_add(1));
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Multiplicative lognormal factor `exp(sigma · z)`, mean ≈ 1 for
+    /// small `sigma`. Returns exactly 1 when `sigma` is zero.
+    pub fn lognormal(&self, sigma: f64, stream: u64, run: u64, unit: u64) -> f64 {
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        (sigma * self.normal(stream, run, unit)).exp()
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Packs a `(node, phase)` pair into a single unit id for addressing.
+pub(crate) fn unit_id(node: usize, phase: usize) -> u64 {
+    ((node as u64) << 32) ^ (phase as u64 & 0xFFFF_FFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_address() {
+        let n = Noise::new(9);
+        assert_eq!(n.uniform(1, 2, 3), n.uniform(1, 2, 3));
+        assert_eq!(n.normal(1, 2, 3), n.normal(1, 2, 3));
+    }
+
+    #[test]
+    fn different_addresses_decorrelate() {
+        let n = Noise::new(9);
+        let base = n.uniform(1, 2, 3);
+        assert_ne!(base, n.uniform(1, 2, 4));
+        assert_ne!(base, n.uniform(1, 3, 3));
+        assert_ne!(base, n.uniform(2, 2, 3));
+        assert_ne!(base, Noise::new(10).uniform(1, 2, 3));
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let n = Noise::new(1234);
+        for i in 0..10_000u64 {
+            let u = n.uniform(1, i, i * 31);
+            assert!((0.0..1.0).contains(&u), "out of range: {u}");
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let n = Noise::new(77);
+        let mean: f64 = (0..20_000u64).map(|i| n.uniform(5, i, 0)).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_standard() {
+        let n = Noise::new(4242);
+        let count = 20_000u64;
+        let samples: Vec<f64> = (0..count).map(|i| n.normal(7, i, 1)).collect();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / count as f64;
+        assert!(mean.abs() < 0.03, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance was {var}");
+    }
+
+    #[test]
+    fn lognormal_positive_and_centered() {
+        let n = Noise::new(5);
+        let count = 10_000u64;
+        let mean = (0..count)
+            .map(|i| {
+                let f = n.lognormal(0.05, 1, i, 2);
+                assert!(f > 0.0);
+                f
+            })
+            .sum::<f64>()
+            / count as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn zero_sigma_is_exactly_one() {
+        let n = Noise::new(5);
+        assert_eq!(n.lognormal(0.0, 1, 2, 3), 1.0);
+    }
+
+    #[test]
+    fn unit_id_distinguishes_node_and_phase() {
+        assert_ne!(unit_id(1, 2), unit_id(2, 1));
+        assert_ne!(unit_id(0, 5), unit_id(5, 0));
+    }
+}

@@ -1,0 +1,868 @@
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use icm_simnode::{solve_contention, Bubble, MemoryProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::app::AppSpec;
+use crate::cluster::ClusterSpec;
+use crate::noise::{stream, Noise};
+use crate::sync::execute_phased;
+
+/// CPU-load volatility attributed to unobserved background tenants, as
+/// felt by I/O-sensitive applications.
+const BACKGROUND_VOLATILITY: f64 = 0.5;
+
+/// Deterministic Dom0-CPU contention an I/O-sensitive application suffers
+/// whenever any co-tenant (application, bubble or background tenant)
+/// shares the host, scaled by the app's `io_sensitivity`.
+const IO_COTENANT_BASE: f64 = 0.5;
+
+/// Scale of the *unpredictable* volatility-driven part of the I/O effect,
+/// relative to the deterministic base.
+const IO_VOLATILITY_SCALE: f64 = 0.5;
+
+/// Error returned by [`SimTestbed`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestbedError {
+    /// The named application was never registered.
+    UnknownApp(String),
+    /// A placement referenced a host outside the cluster.
+    HostOutOfRange {
+        /// The offending host index.
+        host: usize,
+        /// Number of hosts in the cluster.
+        hosts: usize,
+    },
+    /// A per-host vector had the wrong length.
+    BadVectorLength {
+        /// Expected length (cluster hosts).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A placement listed the same host twice.
+    DuplicateHost {
+        /// Application whose placement is malformed.
+        app: String,
+        /// The repeated host index.
+        host: usize,
+    },
+    /// A placement had no hosts at all.
+    EmptyPlacement {
+        /// Application whose placement is empty.
+        app: String,
+    },
+    /// A bubble pressure was NaN, infinite or negative.
+    BadPressure(String),
+}
+
+impl fmt::Display for TestbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestbedError::UnknownApp(name) => write!(f, "unknown application `{name}`"),
+            TestbedError::HostOutOfRange { host, hosts } => {
+                write!(f, "host {host} out of range for a {hosts}-host cluster")
+            }
+            TestbedError::BadVectorLength { expected, got } => {
+                write!(f, "per-host vector must have length {expected}, got {got}")
+            }
+            TestbedError::DuplicateHost { app, host } => {
+                write!(f, "placement of `{app}` lists host {host} twice")
+            }
+            TestbedError::EmptyPlacement { app } => {
+                write!(f, "placement of `{app}` has no hosts")
+            }
+            TestbedError::BadPressure(msg) => write!(f, "invalid bubble pressure: {msg}"),
+        }
+    }
+}
+
+impl Error for TestbedError {}
+
+/// One application's assignment to a set of hosts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Application (catalog) name.
+    pub app: String,
+    /// Cluster host indices the application's VMs occupy. The first host
+    /// is the master for applications with a coordinator master.
+    pub hosts: Vec<usize>,
+}
+
+impl Placement {
+    /// Convenience constructor.
+    pub fn new(app: impl Into<String>, hosts: Vec<usize>) -> Self {
+        Self {
+            app: app.into(),
+            hosts,
+        }
+    }
+}
+
+/// A full experiment configuration: which applications run where, plus an
+/// optional bubble pressure per host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Application placements (may co-locate multiple apps on a host).
+    pub placements: Vec<Placement>,
+    /// Bubble pressure per host (`0` = no bubble). Empty means no bubbles
+    /// anywhere.
+    pub bubbles: Vec<f64>,
+}
+
+impl Deployment {
+    /// A deployment with the given placements and no bubbles.
+    pub fn of_placements(placements: Vec<Placement>) -> Self {
+        Self {
+            placements,
+            bubbles: Vec::new(),
+        }
+    }
+}
+
+/// Result of one application's run within a deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRun {
+    /// Application name.
+    pub app: String,
+    /// Measured wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Cumulative accounting of simulated work, used to report profiling cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TestbedStats {
+    /// Number of deployment executions (each is "one experiment run").
+    pub runs: u64,
+    /// Total simulated application-seconds across all runs.
+    pub simulated_seconds: f64,
+}
+
+/// The simulated consolidated cluster the paper's methodology is exercised
+/// against.
+///
+/// `SimTestbed` plays the role of the physical testbed: the profiler and
+/// the placement algorithms interact with it only by *running things and
+/// timing them*. Repeated measurements of the same configuration differ by
+/// deterministic pseudo-random noise (each call advances a run counter),
+/// exactly like re-running a job on real hardware.
+///
+/// # Example
+///
+/// ```
+/// use icm_simcluster::{AppSpec, ClusterSpec, SimTestbed, SyncPattern};
+/// use icm_simnode::MemoryProfile;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut testbed = SimTestbed::new(ClusterSpec::private8(), 42);
+/// testbed.register_app(
+///     AppSpec::builder("toy")
+///         .base_runtime_s(100.0)
+///         .worker_profile(MemoryProfile::builder().working_set_mb(24.0).build()?)
+///         .pattern(SyncPattern::high_propagation(32))
+///         .build()?,
+/// );
+/// let solo = testbed.run_solo("toy")?;
+/// let loaded = testbed.run_with_bubbles("toy", &[8.0; 8])?;
+/// assert!(loaded > solo);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimTestbed {
+    cluster: ClusterSpec,
+    apps: BTreeMap<String, AppSpec>,
+    bubble: Bubble,
+    noise: Noise,
+    run_counter: u64,
+    stats: TestbedStats,
+}
+
+impl SimTestbed {
+    /// Creates a testbed over `cluster`, with all stochastic behaviour
+    /// derived from `seed`.
+    pub fn new(cluster: ClusterSpec, seed: u64) -> Self {
+        let bubble = Bubble::new(cluster.node(0));
+        Self {
+            cluster,
+            apps: BTreeMap::new(),
+            bubble,
+            noise: Noise::new(seed),
+            run_counter: 0,
+            stats: TestbedStats::default(),
+        }
+    }
+
+    /// Registers (or replaces) an application so it can be deployed by
+    /// name.
+    pub fn register_app(&mut self, spec: AppSpec) {
+        self.apps.insert(spec.name().to_owned(), spec);
+    }
+
+    /// Looks up a registered application.
+    pub fn app(&self, name: &str) -> Option<&AppSpec> {
+        self.apps.get(name)
+    }
+
+    /// Names of all registered applications, sorted.
+    pub fn app_names(&self) -> Vec<String> {
+        self.apps.keys().cloned().collect()
+    }
+
+    /// The simulated cluster description.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The bubble generator calibrated for this cluster's hosts.
+    pub fn bubble(&self) -> &Bubble {
+        &self.bubble
+    }
+
+    /// Cumulative run accounting.
+    pub fn stats(&self) -> TestbedStats {
+        self.stats
+    }
+
+    /// Resets run accounting (the run counter keeps advancing so noise
+    /// never repeats).
+    pub fn reset_stats(&mut self) {
+        self.stats = TestbedStats::default();
+    }
+
+    /// Runs `app` alone on the whole cluster and returns seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbedError::UnknownApp`] if `app` is not registered.
+    pub fn run_solo(&mut self, app: &str) -> Result<f64, TestbedError> {
+        let hosts = self.cluster.hosts();
+        self.run_with_bubbles(app, &vec![0.0; hosts])
+    }
+
+    /// Runs `app` spanning every host, with a bubble of pressure
+    /// `pressures[h]` co-located on host `h`; returns seconds.
+    ///
+    /// This is the paper's profiling-run primitive (Fig. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `app` is unknown, the vector length differs
+    /// from the host count, or a pressure is negative/non-finite.
+    pub fn run_with_bubbles(&mut self, app: &str, pressures: &[f64]) -> Result<f64, TestbedError> {
+        let deployment = Deployment {
+            placements: vec![Placement::new(app, (0..self.cluster.hosts()).collect())],
+            bubbles: pressures.to_vec(),
+        };
+        let runs = self.run_deployment(&deployment)?;
+        Ok(runs[0].seconds)
+    }
+
+    /// Runs two applications fully co-located across the whole cluster
+    /// (the §4.3 validation configuration) and returns their times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbedError::UnknownApp`] if either name is unknown.
+    pub fn run_pair(&mut self, a: &str, b: &str) -> Result<(f64, f64), TestbedError> {
+        let all: Vec<usize> = (0..self.cluster.hosts()).collect();
+        let deployment =
+            Deployment::of_placements(vec![Placement::new(a, all.clone()), Placement::new(b, all)]);
+        let runs = self.run_deployment(&deployment)?;
+        Ok((runs[0].seconds, runs[1].seconds))
+    }
+
+    /// Runs an arbitrary deployment; returns one [`AppRun`] per placement,
+    /// in order.
+    ///
+    /// Interference is *persistent*: every co-runner is assumed to remain
+    /// active for the full duration of each measured application
+    /// (co-runners restart until the measured app finishes), matching how
+    /// profiling studies keep pressure constant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TestbedError`] describing the first malformed part of
+    /// the deployment.
+    pub fn run_deployment(&mut self, deployment: &Deployment) -> Result<Vec<AppRun>, TestbedError> {
+        self.validate(deployment)?;
+        let hosts = self.cluster.hosts();
+        let run = self.next_run();
+
+        // Per-host co-located memory profiles, and for each placement the
+        // index of its profile within each host's list.
+        let mut host_profiles: Vec<Vec<MemoryProfile>> = vec![Vec::new(); hosts];
+        let mut host_members: Vec<Vec<usize>> = vec![Vec::new(); hosts]; // placement idx
+        for (pi, placement) in deployment.placements.iter().enumerate() {
+            let spec = &self.apps[&placement.app];
+            for (local, &h) in placement.hosts.iter().enumerate() {
+                host_profiles[h].push(spec.profile_on_host(local, placement.hosts.len()));
+                host_members[h].push(pi);
+            }
+        }
+        for (h, &pressure) in deployment.bubbles.iter().enumerate() {
+            if pressure > 0.0 {
+                host_profiles[h].push(self.bubble.profile_at(pressure));
+                host_members[h].push(usize::MAX); // bubble marker
+            }
+        }
+        // Unobserved background tenants (EC2-style).
+        if let Some(bg) = self.cluster.background() {
+            for h in 0..hosts {
+                let present = self
+                    .noise
+                    .uniform(stream::BACKGROUND_PRESENCE, run, h as u64)
+                    < bg.probability;
+                if present {
+                    let pressure = bg.max_pressure
+                        * self
+                            .noise
+                            .uniform(stream::BACKGROUND_PRESSURE, run, h as u64);
+                    if pressure > 0.0 {
+                        host_profiles[h].push(self.bubble.profile_at(pressure));
+                        host_members[h].push(usize::MAX - 1); // background marker
+                    }
+                }
+            }
+        }
+
+        // Solve per-host contention once.
+        let host_slowdowns: Vec<Vec<f64>> = (0..hosts)
+            .map(|h| solve_contention(&self.cluster.node(h), &host_profiles[h]))
+            .collect();
+
+        // Execute each placement.
+        let mut results = Vec::with_capacity(deployment.placements.len());
+        let mut simulated = 0.0;
+        for (pi, placement) in deployment.placements.iter().enumerate() {
+            let spec = &self.apps[&placement.app];
+            let total = placement.hosts.len();
+            let workers = spec.worker_hosts(total);
+            let mut slowdowns = Vec::with_capacity(workers.len());
+            for &local in &workers {
+                let h = placement.hosts[local];
+                let slot = host_members[h]
+                    .iter()
+                    .position(|&m| m == pi)
+                    .expect("placement registered on its own host");
+                let mut sd = host_slowdowns[h][slot];
+                // The M.Gems effect (§4.3): latency-sensitive blocked I/O
+                // contends for Dom0 CPU with *any* co-tenant — a steady
+                // component the profiling bubble also triggers (so the
+                // model can learn it) — plus an unpredictable component
+                // driven by the co-runner's CPU-load fluctuation, which a
+                // static memory-pressure model cannot see.
+                if spec.io_sensitivity() > 0.0 {
+                    let has_cotenant = host_members[h].iter().any(|&m| m != pi);
+                    if has_cotenant {
+                        let vol = self.ambient_volatility(&deployment.placements, pi, h, run);
+                        let z = self
+                            .noise
+                            .normal(stream::IO_VOLATILITY, run, (pi as u64) << 32 | h as u64)
+                            .abs();
+                        sd *= 1.0
+                            + spec.io_sensitivity()
+                                * (IO_COTENANT_BASE + IO_VOLATILITY_SCALE * vol * (0.3 + 0.7 * z));
+                    }
+                }
+                slowdowns.push(sd);
+            }
+            // Decorrelate phase noise between placements in the same run.
+            let app_run = run.wrapping_mul(251).wrapping_add(pi as u64);
+            // Phase-modulated apps drift out of alignment differently
+            // every run (data-dependent load imbalance) — the dynamic
+            // behaviour a single static profile cannot capture (§4.4).
+            let drifts: Vec<usize> = match spec.phase_modulation() {
+                Some(m) => (0..slowdowns.len())
+                    .map(|node| {
+                        let u = self
+                            .noise
+                            .uniform(stream::PHASE_DRIFT, app_run, node as u64);
+                        (u * (2 * m.period) as f64) as usize
+                    })
+                    .collect(),
+                None => Vec::new(),
+            };
+            let normalized = execute_phased(
+                spec.pattern(),
+                &slowdowns,
+                spec.phase_modulation(),
+                &drifts,
+                &self.noise,
+                self.cluster.phase_sigma(),
+                app_run,
+            );
+            let measurement = self.noise.lognormal(
+                self.cluster.measurement_sigma(),
+                stream::MEASUREMENT,
+                run,
+                pi as u64,
+            );
+            let seconds = spec.base_runtime_s() * normalized * measurement;
+            simulated += seconds;
+            results.push(AppRun {
+                app: placement.app.clone(),
+                seconds,
+            });
+        }
+        self.stats.runs += 1;
+        self.stats.simulated_seconds += simulated;
+        Ok(results)
+    }
+
+    /// Slowdown of the low-pressure reporter bubble co-located with `app`,
+    /// averaged over the hosts the application occupies — the measurement
+    /// that yields the application's *bubble score* (§3.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbedError::UnknownApp`] if `app` is not registered.
+    pub fn reporter_slowdown_with_app(&mut self, app: &str) -> Result<f64, TestbedError> {
+        self.reporter_slowdown_with_apps(&[app])
+    }
+
+    /// Slowdown of the reporter bubble co-located with *several*
+    /// applications simultaneously, averaged over the cluster's hosts —
+    /// the measurement behind the §4.4 multi-app score-combination
+    /// extension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbedError::UnknownApp`] if any name is unknown.
+    pub fn reporter_slowdown_with_apps(&mut self, apps: &[&str]) -> Result<f64, TestbedError> {
+        let mut specs = Vec::with_capacity(apps.len());
+        for &app in apps {
+            specs.push(
+                self.apps
+                    .get(app)
+                    .ok_or_else(|| TestbedError::UnknownApp(app.to_owned()))?
+                    .clone(),
+            );
+        }
+        let hosts = self.cluster.hosts();
+        let reporter = self.bubble.reporter();
+        let run = self.next_run();
+        let mut total = 0.0;
+        for h in 0..hosts {
+            let mut profiles = vec![reporter];
+            for spec in &specs {
+                profiles.push(spec.profile_on_host(h, hosts));
+            }
+            let sd = solve_contention(&self.cluster.node(h), &profiles)[0];
+            total += sd
+                * self.noise.lognormal(
+                    self.cluster.measurement_sigma(),
+                    stream::MEASUREMENT,
+                    run,
+                    h as u64,
+                );
+        }
+        self.stats.runs += 1;
+        Ok(total / hosts as f64)
+    }
+
+    /// Slowdown of the reporter bubble co-located with a bubble of
+    /// `pressure`; sweeping this over pressures yields the reporter
+    /// sensitivity curve that bubble scores are inverted against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbedError::BadPressure`] for negative or non-finite
+    /// pressure.
+    pub fn reporter_slowdown_with_bubble(&mut self, pressure: f64) -> Result<f64, TestbedError> {
+        if !pressure.is_finite() || pressure < 0.0 {
+            return Err(TestbedError::BadPressure(format!(
+                "pressure must be non-negative and finite, got {pressure}"
+            )));
+        }
+        let run = self.next_run();
+        let reporter = self.bubble.reporter();
+        let profiles = [reporter, self.bubble.profile_at(pressure)];
+        let sd = solve_contention(&self.cluster.node(0), &profiles)[0];
+        self.stats.runs += 1;
+        Ok(sd
+            * self.noise.lognormal(
+                self.cluster.measurement_sigma(),
+                stream::MEASUREMENT,
+                run,
+                0,
+            ))
+    }
+
+    fn next_run(&mut self) -> u64 {
+        self.run_counter += 1;
+        self.run_counter
+    }
+
+    /// Maximum CPU volatility among the *other* tenants sharing host `h`
+    /// with placement `pi` (background tenants count at a fixed level).
+    fn ambient_volatility(&self, placements: &[Placement], pi: usize, h: usize, run: u64) -> f64 {
+        let mut vol: f64 = 0.0;
+        for (qi, other) in placements.iter().enumerate() {
+            if qi != pi && other.hosts.contains(&h) {
+                vol = vol.max(self.apps[&other.app].cpu_volatility());
+            }
+        }
+        if let Some(bg) = self.cluster.background() {
+            let present = self
+                .noise
+                .uniform(stream::BACKGROUND_PRESENCE, run, h as u64)
+                < bg.probability;
+            if present {
+                vol = vol.max(BACKGROUND_VOLATILITY);
+            }
+        }
+        vol
+    }
+
+    fn validate(&self, deployment: &Deployment) -> Result<(), TestbedError> {
+        let hosts = self.cluster.hosts();
+        if !deployment.bubbles.is_empty() && deployment.bubbles.len() != hosts {
+            return Err(TestbedError::BadVectorLength {
+                expected: hosts,
+                got: deployment.bubbles.len(),
+            });
+        }
+        for &p in &deployment.bubbles {
+            if !p.is_finite() || p < 0.0 {
+                return Err(TestbedError::BadPressure(format!(
+                    "pressure must be non-negative and finite, got {p}"
+                )));
+            }
+        }
+        for placement in &deployment.placements {
+            if !self.apps.contains_key(&placement.app) {
+                return Err(TestbedError::UnknownApp(placement.app.clone()));
+            }
+            if placement.hosts.is_empty() {
+                return Err(TestbedError::EmptyPlacement {
+                    app: placement.app.clone(),
+                });
+            }
+            let mut seen = vec![false; hosts];
+            for &h in &placement.hosts {
+                if h >= hosts {
+                    return Err(TestbedError::HostOutOfRange { host: h, hosts });
+                }
+                if seen[h] {
+                    return Err(TestbedError::DuplicateHost {
+                        app: placement.app.clone(),
+                        host: h,
+                    });
+                }
+                seen[h] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::SyncPattern;
+    use crate::MasterBehavior;
+
+    fn heavy_profile() -> MemoryProfile {
+        MemoryProfile::builder()
+            .working_set_mb(25.0)
+            .bandwidth_gbps(10.0)
+            .miss_bandwidth_gbps(25.0)
+            .cache_sensitivity(1.0)
+            .bandwidth_sensitivity(0.8)
+            .build()
+            .expect("valid")
+    }
+
+    fn testbed() -> SimTestbed {
+        let mut tb = SimTestbed::new(ClusterSpec::private8(), 7);
+        tb.register_app(
+            AppSpec::builder("coupled")
+                .base_runtime_s(100.0)
+                .worker_profile(heavy_profile())
+                .pattern(SyncPattern::high_propagation(32))
+                .build()
+                .expect("valid"),
+        );
+        tb.register_app(
+            AppSpec::builder("loose")
+                .base_runtime_s(100.0)
+                .worker_profile(heavy_profile())
+                .pattern(SyncPattern::proportional(32))
+                .build()
+                .expect("valid"),
+        );
+        tb.register_app(
+            AppSpec::builder("framework")
+                .base_runtime_s(100.0)
+                .worker_profile(heavy_profile())
+                .pattern(SyncPattern::task_queue(96, 4))
+                .master(MasterBehavior::Coordinator { demand_frac: 0.2 })
+                .cpu_volatility(0.6)
+                .build()
+                .expect("valid"),
+        );
+        tb
+    }
+
+    #[test]
+    fn solo_run_near_base_runtime() {
+        let mut tb = testbed();
+        let t = tb.run_solo("coupled").expect("runs");
+        assert!((t - 100.0).abs() / 100.0 < 0.1, "got {t}");
+    }
+
+    #[test]
+    fn unknown_app_is_an_error() {
+        let mut tb = testbed();
+        assert_eq!(
+            tb.run_solo("nope").unwrap_err(),
+            TestbedError::UnknownApp("nope".into())
+        );
+    }
+
+    #[test]
+    fn bubbles_slow_execution_monotonically() {
+        let mut tb = testbed();
+        let mut last = 0.0;
+        for level in 0..=8 {
+            let t = tb
+                .run_with_bubbles("coupled", &[f64::from(level); 8])
+                .expect("runs");
+            assert!(t > last * 0.97, "level {level}: {t} vs {last}");
+            last = t;
+        }
+        let solo = tb.run_solo("coupled").expect("runs");
+        assert!(
+            last / solo > 1.3,
+            "full pressure must hurt: {}",
+            last / solo
+        );
+    }
+
+    #[test]
+    fn coupled_app_propagates_single_node_interference() {
+        let mut tb = testbed();
+        let solo = tb.run_solo("coupled").expect("runs");
+        let mut one = vec![0.0; 8];
+        one[0] = 8.0;
+        let t1 = tb.run_with_bubbles("coupled", &one).expect("runs");
+        let t8 = tb.run_with_bubbles("coupled", &[8.0; 8]).expect("runs");
+        let frac = (t1 - solo) / (t8 - solo);
+        assert!(
+            frac > 0.6,
+            "one interfering node must cause most of the full-pressure delay, got {frac}"
+        );
+    }
+
+    #[test]
+    fn loose_app_degrades_proportionally() {
+        let mut tb = testbed();
+        let solo = tb.run_solo("loose").expect("runs");
+        let mut one = vec![0.0; 8];
+        one[0] = 8.0;
+        let t1 = tb.run_with_bubbles("loose", &one).expect("runs");
+        let t8 = tb.run_with_bubbles("loose", &[8.0; 8]).expect("runs");
+        let frac = (t1 - solo) / (t8 - solo);
+        assert!(
+            (frac - 1.0 / 8.0).abs() < 0.1,
+            "one of eight nodes ≈ 1/8 of the delay, got {frac}"
+        );
+    }
+
+    #[test]
+    fn framework_resists_single_node_interference() {
+        let mut tb = testbed();
+        let solo = tb.run_solo("framework").expect("runs");
+        let mut one = vec![0.0; 8];
+        one[3] = 8.0;
+        let t1 = tb.run_with_bubbles("framework", &one).expect("runs");
+        let t8 = tb.run_with_bubbles("framework", &[8.0; 8]).expect("runs");
+        let frac = (t1 - solo) / (t8 - solo);
+        assert!(
+            frac < 0.30,
+            "dynamic task routing should absorb one slow node, got {frac}"
+        );
+    }
+
+    #[test]
+    fn repeated_measurements_differ_by_noise_only() {
+        let mut tb = testbed();
+        let a = tb.run_solo("coupled").expect("runs");
+        let b = tb.run_solo("coupled").expect("runs");
+        assert_ne!(a, b, "distinct runs see distinct noise");
+        assert!((a - b).abs() / a < 0.1, "but only noise-sized differences");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_full_history() {
+        let mut t1 = testbed();
+        let mut t2 = testbed();
+        for _ in 0..3 {
+            assert_eq!(
+                t1.run_solo("coupled").expect("runs"),
+                t2.run_solo("coupled").expect("runs")
+            );
+        }
+    }
+
+    #[test]
+    fn pair_run_slows_both_apps() {
+        let mut tb = testbed();
+        let solo_a = tb.run_solo("coupled").expect("runs");
+        let solo_b = tb.run_solo("loose").expect("runs");
+        let (a, b) = tb.run_pair("coupled", "loose").expect("runs");
+        assert!(a > solo_a, "co-location must slow `coupled`");
+        assert!(b > solo_b, "co-location must slow `loose`");
+    }
+
+    #[test]
+    fn deployment_validation_catches_errors() {
+        let mut tb = testbed();
+        let bad_host = Deployment::of_placements(vec![Placement::new("coupled", vec![9])]);
+        assert!(matches!(
+            tb.run_deployment(&bad_host).unwrap_err(),
+            TestbedError::HostOutOfRange { host: 9, hosts: 8 }
+        ));
+        let dup = Deployment::of_placements(vec![Placement::new("coupled", vec![1, 1])]);
+        assert!(matches!(
+            tb.run_deployment(&dup).unwrap_err(),
+            TestbedError::DuplicateHost { host: 1, .. }
+        ));
+        let empty = Deployment::of_placements(vec![Placement::new("coupled", vec![])]);
+        assert!(matches!(
+            tb.run_deployment(&empty).unwrap_err(),
+            TestbedError::EmptyPlacement { .. }
+        ));
+        let short_bubbles = Deployment {
+            placements: vec![Placement::new("coupled", vec![0])],
+            bubbles: vec![1.0; 3],
+        };
+        assert!(matches!(
+            tb.run_deployment(&short_bubbles).unwrap_err(),
+            TestbedError::BadVectorLength {
+                expected: 8,
+                got: 3
+            }
+        ));
+        let nan_bubble = Deployment {
+            placements: vec![Placement::new("coupled", vec![0])],
+            bubbles: vec![f64::NAN; 8],
+        };
+        assert!(matches!(
+            tb.run_deployment(&nan_bubble).unwrap_err(),
+            TestbedError::BadPressure(_)
+        ));
+    }
+
+    #[test]
+    fn reporter_registers_app_interference() {
+        let mut tb = testbed();
+        let with_heavy = tb.reporter_slowdown_with_app("coupled").expect("runs");
+        assert!(with_heavy > 1.0, "a heavy app must slow the reporter");
+    }
+
+    #[test]
+    fn reporter_curve_monotone_in_bubble_pressure() {
+        let mut tb = testbed();
+        let mut last = 0.0;
+        for level in 0..=8 {
+            let sd = tb
+                .reporter_slowdown_with_bubble(f64::from(level))
+                .expect("valid pressure");
+            assert!(sd > last * 0.98, "level {level}");
+            last = sd;
+        }
+    }
+
+    #[test]
+    fn reporter_rejects_bad_pressure() {
+        let mut tb = testbed();
+        assert!(tb.reporter_slowdown_with_bubble(-1.0).is_err());
+        assert!(tb.reporter_slowdown_with_bubble(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut tb = testbed();
+        assert_eq!(tb.stats().runs, 0);
+        let _ = tb.run_solo("coupled");
+        let _ = tb.run_solo("loose");
+        assert_eq!(tb.stats().runs, 2);
+        assert!(tb.stats().simulated_seconds > 0.0);
+        tb.reset_stats();
+        assert_eq!(tb.stats(), TestbedStats::default());
+    }
+
+    #[test]
+    fn background_tenants_add_unexplained_variance() {
+        let quiet = ClusterSpec::private8();
+        let noisy = quiet
+            .clone()
+            .with_background(Some(crate::BackgroundTenants::new(0.8, 6.0)));
+        let spread = |cluster: ClusterSpec| {
+            let mut tb = SimTestbed::new(cluster, 11);
+            tb.register_app(
+                AppSpec::builder("app")
+                    .base_runtime_s(100.0)
+                    .worker_profile(heavy_profile())
+                    .pattern(SyncPattern::high_propagation(32))
+                    .build()
+                    .expect("valid"),
+            );
+            let times: Vec<f64> = (0..12).map(|_| tb.run_solo("app").expect("runs")).collect();
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
+            (mean, var.sqrt() / mean)
+        };
+        let (quiet_mean, quiet_cv) = spread(quiet);
+        let (noisy_mean, noisy_cv) = spread(noisy);
+        assert!(
+            noisy_mean > quiet_mean,
+            "tenants must slow things on average"
+        );
+        assert!(noisy_cv > quiet_cv, "and make timings less predictable");
+    }
+
+    #[test]
+    fn io_sensitive_app_suffers_extra_from_volatile_corunner() {
+        let mut tb = testbed();
+        tb.register_app(
+            AppSpec::builder("gems-like")
+                .base_runtime_s(100.0)
+                .worker_profile(heavy_profile())
+                .pattern(SyncPattern::proportional(32))
+                .io_sensitivity(0.5)
+                .build()
+                .expect("valid"),
+        );
+        // Same memory pressure, but one co-runner has volatile CPU load.
+        let avg = |tb: &mut SimTestbed, corunner: &str| {
+            let mut total = 0.0;
+            for _ in 0..8 {
+                let (t, _) = tb.run_pair("gems-like", corunner).expect("runs");
+                total += t;
+            }
+            total / 8.0
+        };
+        let with_steady = avg(&mut tb, "loose");
+        let with_volatile = avg(&mut tb, "framework");
+        assert!(
+            with_volatile > with_steady * 1.02,
+            "volatile co-runner must hurt the I/O-sensitive app more: {with_volatile} vs {with_steady}"
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = TestbedError::UnknownApp("ghost".into());
+        assert!(err.to_string().contains("ghost"));
+        let err = TestbedError::BadVectorLength {
+            expected: 8,
+            got: 2,
+        };
+        assert!(err.to_string().contains('8'));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the distributed-execution engine.
+
+use icm_simcluster::{execute, Noise, SyncPattern};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = SyncPattern> {
+    prop_oneof![
+        (1usize..64, 0.0..=1.0f64)
+            .prop_map(|(phases, coupling)| SyncPattern::Collective { phases, coupling }),
+        (1usize..128, 1usize..8)
+            .prop_map(|(tasks, stages)| SyncPattern::TaskQueue { tasks, stages }),
+    ]
+}
+
+fn arb_slowdowns() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1.0..4.0f64, 1..16)
+}
+
+proptest! {
+    #[test]
+    fn runtime_is_positive_and_finite(
+        pattern in arb_pattern(),
+        slowdowns in arb_slowdowns(),
+        seed in any::<u64>(),
+        run in any::<u64>(),
+    ) {
+        let t = execute(pattern, &slowdowns, &Noise::new(seed), 0.02, run);
+        prop_assert!(t.is_finite());
+        prop_assert!(t > 0.0);
+    }
+
+    #[test]
+    fn runtime_at_least_mean_slowdown_without_noise(
+        pattern in arb_pattern(),
+        slowdowns in arb_slowdowns(),
+    ) {
+        // Any coupling scheme is ≥ the perfectly balanced lower bound
+        // (mean slowdown) and ≤ the fully serialized upper bound (max),
+        // modulo task-granularity remainder effects for TaskQueue.
+        let t = execute(pattern, &slowdowns, &Noise::new(0), 0.0, 0);
+        let mean = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
+        let max = slowdowns.iter().cloned().fold(0.0f64, f64::max);
+        match pattern {
+            SyncPattern::Collective { .. } => {
+                prop_assert!(t >= mean - 1e-9, "t={t} below mean {mean}");
+                prop_assert!(t <= max + 1e-9, "t={t} above max {max}");
+            }
+            SyncPattern::TaskQueue { .. } => {
+                // Harmonic-mean work sharing can beat the arithmetic
+                // mean; with very coarse tasks a single node may take the
+                // whole stage, so the only universal upper bound is the
+                // fully serialized one.
+                let harmonic = slowdowns.len() as f64
+                    / slowdowns.iter().map(|s| 1.0 / s).sum::<f64>();
+                prop_assert!(t >= harmonic - 1e-9, "t={t} below harmonic {harmonic}");
+                prop_assert!(
+                    t <= max * slowdowns.len() as f64 + 1e-9,
+                    "t={t} above the serialized bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniformly_slowing_all_nodes_scales_runtime(
+        pattern in arb_pattern(),
+        nodes in 1usize..12,
+        factor in 1.0..3.0f64,
+    ) {
+        let noise = Noise::new(1);
+        let base = execute(pattern, &vec![1.0; nodes], &noise, 0.0, 0);
+        let slowed = execute(pattern, &vec![factor; nodes], &noise, 0.0, 0);
+        prop_assert!(
+            (slowed / base - factor).abs() < 1e-6,
+            "uniform slowdown must scale: {slowed}/{base} vs {factor}"
+        );
+    }
+
+    #[test]
+    fn runtime_monotone_in_any_node_slowdown(
+        pattern in arb_pattern(),
+        slowdowns in arb_slowdowns(),
+        which in any::<prop::sample::Index>(),
+        bump in 0.0..2.0f64,
+    ) {
+        let noise = Noise::new(3);
+        let before = execute(pattern, &slowdowns, &noise, 0.0, 0);
+        let mut bumped = slowdowns.clone();
+        let idx = which.index(bumped.len());
+        bumped[idx] += bump;
+        let after = execute(pattern, &bumped, &noise, 0.0, 0);
+        match pattern {
+            SyncPattern::Collective { .. } => {
+                prop_assert!(after >= before - 1e-9, "slowing node {idx} sped things up");
+            }
+            SyncPattern::TaskQueue { tasks, stages } => {
+                // Greedy dispatch has Graham scheduling anomalies:
+                // slowing a node can re-route tasks and shrink the
+                // makespan by up to roughly one task quantum on the
+                // slowest node. Require monotonicity modulo that quantum.
+                let max_sd = bumped.iter().cloned().fold(0.0f64, f64::max);
+                let quantum =
+                    bumped.len() as f64 / (tasks * stages) as f64 * max_sd * stages as f64;
+                prop_assert!(
+                    after >= before - quantum - 1e-9,
+                    "slowing node {idx} helped beyond one task quantum: {before} → {after}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noise_addressing_is_deterministic(
+        seed in any::<u64>(),
+        stream in any::<u64>(),
+        run in any::<u64>(),
+        unit in any::<u64>(),
+        sigma in 0.0..0.3f64,
+    ) {
+        let noise = Noise::new(seed);
+        prop_assert_eq!(
+            noise.lognormal(sigma, stream, run, unit),
+            noise.lognormal(sigma, stream, run, unit)
+        );
+        let u = noise.uniform(stream, run, unit);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+}

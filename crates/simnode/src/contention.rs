@@ -1,0 +1,387 @@
+use serde::{Deserialize, Serialize};
+
+use crate::process::MemoryProfile;
+use crate::spec::NodeSpec;
+
+/// Magnitude of the smooth conflict-miss term at a completely full cache
+/// (miss-fraction points attributed to co-runners as the LLC fills).
+const CONFLICT_COEF: f64 = 0.28;
+
+/// Detailed result of a contention computation for the processes sharing
+/// one node.
+///
+/// Produced by [`solve_contention_detailed`]; most callers only need the
+/// slowdowns from [`solve_contention`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionOutcome {
+    /// Per-process slowdown factor (≥ 1).
+    pub slowdowns: Vec<f64>,
+    /// Per-process fraction of the working set evicted from the LLC.
+    pub miss_fractions: Vec<f64>,
+    /// Per-process memory traffic in GB/s (including miss traffic).
+    pub traffic_gbps: Vec<f64>,
+    /// Total demanded traffic divided by node bandwidth (> 1 means the
+    /// memory controller is saturated).
+    pub bandwidth_pressure: f64,
+    /// Total network/disk I/O traffic divided by the node's I/O
+    /// bandwidth (> 1 = NIC saturated).
+    pub network_pressure: f64,
+}
+
+/// Computes the slowdown each co-located process experiences.
+///
+/// This is the node-level interference mechanism the whole reproduction
+/// rests on. Two effects are modelled:
+///
+/// 1. **LLC capacity contention** — when the combined working sets exceed
+///    the LLC, capacity is divided proportionally to each process's
+///    `working_set × access_weight` (hot data defends its share), capped at
+///    each process's own demand, with the surplus re-distributed
+///    (water-filling). The un-cached fraction of the working set is the
+///    process's *miss fraction*.
+/// 2. **Memory-bandwidth saturation** — each process's traffic is its base
+///    traffic plus miss traffic proportional to its miss fraction. If total
+///    traffic exceeds node bandwidth, every process stalls by the
+///    oversubscription ratio raised to its own `bandwidth_sensitivity`.
+///
+/// The resulting slowdown for process *i* is
+/// `(1 + cache_sensitivity_i × miss_i) × max(1, ρ)^bandwidth_sensitivity_i`.
+///
+/// Slowdowns are monotone: adding a co-runner, or increasing any
+/// co-runner's demand, never speeds anyone up.
+///
+/// Returns one slowdown factor (≥ 1) per input profile, in order. An empty
+/// input yields an empty vector.
+///
+/// # Example
+///
+/// ```
+/// use icm_simnode::{MemoryProfile, NodeSpec, solve_contention};
+///
+/// # fn main() -> Result<(), icm_simnode::ProfileError> {
+/// let node = NodeSpec::xeon_e5_2650();
+/// let a = MemoryProfile::builder().working_set_mb(30.0).build()?;
+/// let b = MemoryProfile::builder().working_set_mb(30.0).build()?;
+/// let both = solve_contention(&node, &[a, b]);
+/// let alone = solve_contention(&node, &[a]);
+/// assert!(both[0] >= alone[0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_contention(node: &NodeSpec, processes: &[MemoryProfile]) -> Vec<f64> {
+    solve_contention_detailed(node, processes).slowdowns
+}
+
+/// Like [`solve_contention`] but also reports miss fractions, per-process
+/// traffic and the node's bandwidth pressure.
+pub fn solve_contention_detailed(
+    node: &NodeSpec,
+    processes: &[MemoryProfile],
+) -> ContentionOutcome {
+    let shares = llc_shares(node.llc_mb(), processes);
+    let total_demand: f64 = processes.iter().map(MemoryProfile::working_set_mb).sum();
+    // Conflict misses appear smoothly as the cache fills up, even before
+    // capacity is exceeded: real set-associative caches do not have a
+    // hard knee. The conflict term for a process grows with the overall
+    // fill level and with the fraction of the fill contributed by others.
+    let fill = (total_demand / node.llc_mb()).min(1.0);
+    let conflict_base = CONFLICT_COEF * fill.powi(3);
+
+    let miss_fractions: Vec<f64> = processes
+        .iter()
+        .zip(&shares)
+        .map(|(p, &share)| {
+            if p.working_set_mb() <= f64::EPSILON {
+                return 0.0;
+            }
+            let capacity_miss = (1.0 - share / p.working_set_mb()).clamp(0.0, 1.0);
+            let others_frac = if total_demand > f64::EPSILON {
+                1.0 - p.working_set_mb() / total_demand
+            } else {
+                0.0
+            };
+            (capacity_miss + conflict_base * others_frac).clamp(0.0, 1.0)
+        })
+        .collect();
+
+    let traffic_gbps: Vec<f64> = processes
+        .iter()
+        .zip(&miss_fractions)
+        .map(|(p, &miss)| p.bandwidth_gbps() + p.miss_bandwidth_gbps() * miss)
+        .collect();
+
+    let bandwidth_pressure = traffic_gbps.iter().sum::<f64>() / node.membw_gbps();
+    let stall_base = bandwidth_pressure.max(1.0);
+
+    // The secondary I/O channel (§2.1's generalization): network/disk
+    // traffic shares a fixed pipe; oversubscription stalls everyone who
+    // is sensitive to it. Zero-demand processes are unaffected.
+    let network_pressure =
+        processes.iter().map(MemoryProfile::net_gbps).sum::<f64>() / node.net_gbps();
+    let net_base = network_pressure.max(1.0);
+
+    let slowdowns: Vec<f64> = processes
+        .iter()
+        .zip(&miss_fractions)
+        .map(|(p, &miss)| {
+            (1.0 + p.cache_sensitivity() * miss)
+                * stall_base.powf(p.bandwidth_sensitivity())
+                * net_base.powf(p.net_sensitivity())
+        })
+        .collect();
+
+    ContentionOutcome {
+        slowdowns,
+        miss_fractions,
+        traffic_gbps,
+        bandwidth_pressure,
+        network_pressure,
+    }
+}
+
+/// Water-filling allocation of LLC capacity.
+///
+/// Each process demands `working_set_mb`; contested capacity is split
+/// proportionally to `working_set × access_weight`, capped at the demand,
+/// and any surplus freed by capped processes is re-distributed among the
+/// rest until a fixed point.
+fn llc_shares(llc_mb: f64, processes: &[MemoryProfile]) -> Vec<f64> {
+    let n = processes.len();
+    let mut shares = vec![0.0; n];
+    let total_demand: f64 = processes.iter().map(MemoryProfile::working_set_mb).sum();
+    if total_demand <= llc_mb {
+        for (share, p) in shares.iter_mut().zip(processes) {
+            *share = p.working_set_mb();
+        }
+        return shares;
+    }
+
+    let mut capped = vec![false; n];
+    let mut remaining_capacity = llc_mb;
+    loop {
+        let active_weight: f64 = processes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !capped[*i])
+            .map(|(_, p)| p.working_set_mb() * p.access_weight())
+            .sum();
+        if active_weight <= f64::EPSILON {
+            break;
+        }
+        let mut newly_capped = false;
+        for (i, p) in processes.iter().enumerate() {
+            if capped[i] {
+                continue;
+            }
+            let proportional =
+                remaining_capacity * p.working_set_mb() * p.access_weight() / active_weight;
+            if proportional >= p.working_set_mb() {
+                shares[i] = p.working_set_mb();
+                capped[i] = true;
+                remaining_capacity -= p.working_set_mb();
+                newly_capped = true;
+            }
+        }
+        if !newly_capped {
+            // Fixed point: split what is left proportionally.
+            for (i, p) in processes.iter().enumerate() {
+                if !capped[i] {
+                    shares[i] =
+                        remaining_capacity * p.working_set_mb() * p.access_weight() / active_weight;
+                }
+            }
+            break;
+        }
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bubble::Bubble;
+
+    fn node() -> NodeSpec {
+        NodeSpec::xeon_e5_2650()
+    }
+
+    fn profile(ws: f64, bw: f64, sens: f64) -> MemoryProfile {
+        MemoryProfile::builder()
+            .working_set_mb(ws)
+            .bandwidth_gbps(bw)
+            .miss_bandwidth_gbps(20.0)
+            .cache_sensitivity(sens)
+            .bandwidth_sensitivity(0.8)
+            .build()
+            .expect("valid test profile")
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(solve_contention(&node(), &[]).is_empty());
+    }
+
+    #[test]
+    fn uncontended_processes_run_at_nearly_full_speed() {
+        // A nearly-empty cache has only a vanishing conflict-miss term.
+        let light = profile(4.0, 1.0, 1.0);
+        let out = solve_contention(&node(), &[light, light]);
+        assert!(out[0] >= 1.0 && out[0] < 1.01, "got {}", out[0]);
+        assert!(out[1] >= 1.0 && out[1] < 1.01, "got {}", out[1]);
+    }
+
+    #[test]
+    fn idle_process_neither_slows_nor_is_slowed() {
+        let heavy = profile(60.0, 30.0, 1.0);
+        let idle = MemoryProfile::idle();
+        let pair = solve_contention(&node(), &[heavy, idle]);
+        let solo = solve_contention(&node(), &[heavy]);
+        assert!((pair[0] - solo[0]).abs() < 1e-9);
+        assert!((pair[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_overflow_slows_the_sensitive_process() {
+        let a = profile(30.0, 2.0, 1.0);
+        let b = profile(30.0, 2.0, 1.0);
+        let out = solve_contention(&node(), &[a, b]);
+        assert!(out[0] > 1.0, "60 MB demand on a 40 MB LLC must miss");
+    }
+
+    #[test]
+    fn insensitive_process_ignores_cache_loss() {
+        let victim = profile(30.0, 2.0, 0.0);
+        let aggressor = profile(60.0, 2.0, 0.0);
+        let out = solve_contention(&node(), &[victim, aggressor]);
+        // Misses happen but cache_sensitivity is 0 and bandwidth is ample.
+        let oversubscription = out[0];
+        assert!(
+            oversubscription < 1.3,
+            "only mild bandwidth effects expected"
+        );
+    }
+
+    #[test]
+    fn bandwidth_saturation_slows_everyone() {
+        let a = profile(4.0, 70.0, 1.0);
+        let b = profile(4.0, 70.0, 1.0);
+        let out = solve_contention_detailed(&node(), &[a, b]);
+        assert!(out.bandwidth_pressure > 1.0);
+        assert!(out.slowdowns[0] > 1.0);
+        assert!(out.slowdowns[1] > 1.0);
+    }
+
+    #[test]
+    fn slowdown_monotone_in_corunner_pressure() {
+        let victim = profile(20.0, 8.0, 1.0);
+        let bubble = Bubble::new(node());
+        let mut last = 0.0;
+        for level in 0..=8 {
+            let sd = solve_contention(&node(), &[victim, bubble.profile_at(f64::from(level))])[0];
+            assert!(sd >= last - 1e-12, "regression at level {level}");
+            last = sd;
+        }
+    }
+
+    #[test]
+    fn adding_a_corunner_never_helps() {
+        let a = profile(24.0, 10.0, 0.9);
+        let b = profile(18.0, 12.0, 0.7);
+        let c = profile(30.0, 9.0, 1.2);
+        let duo = solve_contention(&node(), &[a, b]);
+        let trio = solve_contention(&node(), &[a, b, c]);
+        assert!(trio[0] >= duo[0] - 1e-12);
+        assert!(trio[1] >= duo[1] - 1e-12);
+    }
+
+    #[test]
+    fn water_filling_respects_demand_caps() {
+        // A small, very hot working set (high access weight) earns a
+        // proportional share larger than its demand, so it is capped at
+        // its demand (zero misses) and the surplus goes to the monster.
+        let tiny = MemoryProfile::builder()
+            .working_set_mb(1.0)
+            .access_weight(50.0)
+            .bandwidth_gbps(0.5)
+            .cache_sensitivity(1.0)
+            .build()
+            .expect("valid");
+        let monster = profile(400.0, 0.5, 1.0);
+        let out = solve_contention_detailed(&node(), &[tiny, monster]);
+        assert!(
+            out.miss_fractions[0] < CONFLICT_COEF + 1e-9,
+            "hot tiny process keeps its working set except for conflict misses, got {}",
+            out.miss_fractions[0]
+        );
+        assert!(out.miss_fractions[1] > 0.85, "the monster cannot fit");
+        // The monster receives everything the tiny process left behind.
+        let shares = llc_shares(node().llc_mb(), &[tiny, monster]);
+        assert!((shares[0] + shares[1] - node().llc_mb()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_sum_to_at_most_llc() {
+        let ps = [
+            profile(30.0, 1.0, 1.0),
+            profile(25.0, 1.0, 1.0),
+            profile(10.0, 1.0, 1.0),
+        ];
+        let shares = llc_shares(node().llc_mb(), &ps);
+        let total: f64 = shares.iter().sum();
+        assert!(total <= node().llc_mb() + 1e-9);
+        for (share, p) in shares.iter().zip(&ps) {
+            assert!(*share <= p.working_set_mb() + 1e-9);
+            assert!(*share >= 0.0);
+        }
+    }
+
+    #[test]
+    fn detailed_outcome_is_consistent_with_summary() {
+        let ps = [profile(30.0, 20.0, 1.0), profile(35.0, 25.0, 0.5)];
+        let summary = solve_contention(&node(), &ps);
+        let detailed = solve_contention_detailed(&node(), &ps);
+        assert_eq!(summary, detailed.slowdowns);
+        assert_eq!(detailed.miss_fractions.len(), 2);
+        assert_eq!(detailed.traffic_gbps.len(), 2);
+    }
+
+    #[test]
+    fn network_saturation_slows_only_sensitive_tenants() {
+        let node = NodeSpec::xeon_e5_2650(); // 1.25 GB/s NIC by default
+        let shuffler = MemoryProfile::builder()
+            .working_set_mb(2.0)
+            .net_gbps(0.9)
+            .net_sensitivity(1.0)
+            .build()
+            .expect("valid");
+        let compute = profile(4.0, 1.0, 1.0); // no network demand
+        let out = solve_contention_detailed(&node, &[shuffler, shuffler, compute]);
+        assert!(out.network_pressure > 1.0, "two shufflers saturate the NIC");
+        assert!(
+            out.slowdowns[0] > 1.2,
+            "shuffler stalls: {}",
+            out.slowdowns[0]
+        );
+        assert!(
+            out.slowdowns[2] < 1.05,
+            "compute tenant unaffected by NIC: {}",
+            out.slowdowns[2]
+        );
+        // One shuffler alone fits the pipe.
+        let alone = solve_contention_detailed(&node, &[shuffler]);
+        assert!(alone.network_pressure < 1.0);
+        assert!((alone.slowdowns[0] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn slowdowns_always_at_least_one() {
+        let ps = [
+            MemoryProfile::idle(),
+            profile(80.0, 60.0, 2.0),
+            profile(0.5, 0.1, 0.1),
+        ];
+        for sd in solve_contention(&node(), &ps) {
+            assert!(sd >= 1.0);
+        }
+    }
+}

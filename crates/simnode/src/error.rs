@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing an invalid [`MemoryProfile`].
+///
+/// [`MemoryProfile`]: crate::MemoryProfile
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileError {
+    field: &'static str,
+    value: f64,
+    requirement: &'static str,
+}
+
+impl ProfileError {
+    pub(crate) fn new(field: &'static str, value: f64, requirement: &'static str) -> Self {
+        Self {
+            field,
+            value,
+            requirement,
+        }
+    }
+
+    /// Name of the offending builder field.
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+
+    /// The rejected value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid memory profile: `{}` was {} but must be {}",
+            self.field, self.value, self.requirement
+        )
+    }
+}
+
+impl Error for ProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field_and_requirement() {
+        let err = ProfileError::new("working_set_mb", -3.0, "non-negative and finite");
+        let text = err.to_string();
+        assert!(text.contains("working_set_mb"));
+        assert!(text.contains("-3"));
+        assert!(text.contains("non-negative"));
+    }
+
+    #[test]
+    fn accessors_expose_details() {
+        let err = ProfileError::new("bandwidth_gbps", f64::INFINITY, "finite");
+        assert_eq!(err.field(), "bandwidth_gbps");
+        assert!(err.value().is_infinite());
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ProfileError>();
+    }
+}

@@ -1,0 +1,368 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::ProfileError;
+
+/// Memory-system behaviour of one process (or aggregated set of VMs of the
+/// same application) running on a node.
+///
+/// A profile captures both what the process *demands* from the shared
+/// memory system and how *sensitive* it is when that demand is not met:
+///
+/// * `working_set_mb` — LLC footprint the process wants resident.
+/// * `access_weight` — relative re-reference intensity; under capacity
+///   contention, cache space is split proportionally to
+///   `working_set_mb × access_weight` (hot data defends its share).
+/// * `bandwidth_gbps` — memory traffic when the working set is fully
+///   cached.
+/// * `miss_bandwidth_gbps` — extra traffic generated per unit of evicted
+///   working-set fraction.
+/// * `cache_sensitivity` — slowdown per unit of evicted working-set
+///   fraction (a compute-bound process may not care; a latency-bound one
+///   cares a lot).
+/// * `bandwidth_sensitivity` — exponent applied to the memory-bandwidth
+///   oversubscription ratio.
+///
+/// Construct via [`MemoryProfile::builder`]; all fields are validated.
+///
+/// # Example
+///
+/// ```
+/// use icm_simnode::MemoryProfile;
+///
+/// # fn main() -> Result<(), icm_simnode::ProfileError> {
+/// let profile = MemoryProfile::builder()
+///     .working_set_mb(18.0)
+///     .bandwidth_gbps(9.0)
+///     .cache_sensitivity(0.8)
+///     .build()?;
+/// assert_eq!(profile.working_set_mb(), 18.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryProfile {
+    working_set_mb: f64,
+    access_weight: f64,
+    bandwidth_gbps: f64,
+    miss_bandwidth_gbps: f64,
+    cache_sensitivity: f64,
+    bandwidth_sensitivity: f64,
+    #[serde(default)]
+    net_gbps: f64,
+    #[serde(default)]
+    net_sensitivity: f64,
+}
+
+impl MemoryProfile {
+    /// Starts building a profile. Fields default to a modest,
+    /// memory-light process (see [`MemoryProfileBuilder`]).
+    pub fn builder() -> MemoryProfileBuilder {
+        MemoryProfileBuilder::new()
+    }
+
+    /// A process that exerts no memory pressure and feels none; useful as
+    /// an idle placeholder.
+    pub fn idle() -> Self {
+        Self {
+            working_set_mb: 0.0,
+            access_weight: 1.0,
+            bandwidth_gbps: 0.0,
+            miss_bandwidth_gbps: 0.0,
+            cache_sensitivity: 0.0,
+            bandwidth_sensitivity: 0.0,
+            net_gbps: 0.0,
+            net_sensitivity: 0.0,
+        }
+    }
+
+    /// LLC footprint in MiB.
+    pub fn working_set_mb(&self) -> f64 {
+        self.working_set_mb
+    }
+
+    /// Relative cache re-reference intensity.
+    pub fn access_weight(&self) -> f64 {
+        self.access_weight
+    }
+
+    /// Fully-cached memory traffic in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// Extra traffic per unit of evicted working-set fraction, GB/s.
+    pub fn miss_bandwidth_gbps(&self) -> f64 {
+        self.miss_bandwidth_gbps
+    }
+
+    /// Slowdown per unit of evicted working-set fraction.
+    pub fn cache_sensitivity(&self) -> f64 {
+        self.cache_sensitivity
+    }
+
+    /// Exponent on the bandwidth oversubscription ratio.
+    pub fn bandwidth_sensitivity(&self) -> f64 {
+        self.bandwidth_sensitivity
+    }
+
+    /// Network/disk I/O traffic in GB/s (0 for purely compute/memory
+    /// workloads — the default).
+    pub fn net_gbps(&self) -> f64 {
+        self.net_gbps
+    }
+
+    /// Exponent on the network-oversubscription ratio (0 = insensitive).
+    pub fn net_sensitivity(&self) -> f64 {
+        self.net_sensitivity
+    }
+
+    /// Returns a copy with every *demand* field scaled by `factor`
+    /// (sensitivities unchanged). Used to model partial-node tenancy,
+    /// e.g. a master process that runs fewer tasks than workers.
+    #[must_use]
+    pub fn scaled_demand(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "demand scale factor must be non-negative and finite (got {factor})"
+        );
+        Self {
+            working_set_mb: self.working_set_mb * factor,
+            bandwidth_gbps: self.bandwidth_gbps * factor,
+            miss_bandwidth_gbps: self.miss_bandwidth_gbps * factor,
+            net_gbps: self.net_gbps * factor,
+            ..*self
+        }
+    }
+}
+
+/// Builder for [`MemoryProfile`]; see the type-level docs for field
+/// meanings.
+///
+/// # Example
+///
+/// ```
+/// use icm_simnode::MemoryProfile;
+///
+/// # fn main() -> Result<(), icm_simnode::ProfileError> {
+/// let p = MemoryProfile::builder()
+///     .working_set_mb(30.0)
+///     .access_weight(1.5)
+///     .bandwidth_gbps(12.0)
+///     .miss_bandwidth_gbps(20.0)
+///     .cache_sensitivity(1.1)
+///     .bandwidth_sensitivity(0.9)
+///     .build()?;
+/// assert!(p.cache_sensitivity() > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryProfileBuilder {
+    profile: MemoryProfile,
+}
+
+impl MemoryProfileBuilder {
+    fn new() -> Self {
+        Self {
+            profile: MemoryProfile {
+                working_set_mb: 1.0,
+                access_weight: 1.0,
+                bandwidth_gbps: 0.5,
+                miss_bandwidth_gbps: 4.0,
+                cache_sensitivity: 0.5,
+                bandwidth_sensitivity: 0.7,
+                net_gbps: 0.0,
+                net_sensitivity: 0.0,
+            },
+        }
+    }
+
+    /// Sets the LLC footprint in MiB (≥ 0).
+    pub fn working_set_mb(&mut self, v: f64) -> &mut Self {
+        self.profile.working_set_mb = v;
+        self
+    }
+
+    /// Sets the relative re-reference intensity (> 0).
+    pub fn access_weight(&mut self, v: f64) -> &mut Self {
+        self.profile.access_weight = v;
+        self
+    }
+
+    /// Sets the fully-cached traffic in GB/s (≥ 0).
+    pub fn bandwidth_gbps(&mut self, v: f64) -> &mut Self {
+        self.profile.bandwidth_gbps = v;
+        self
+    }
+
+    /// Sets the extra traffic per unit miss fraction in GB/s (≥ 0).
+    pub fn miss_bandwidth_gbps(&mut self, v: f64) -> &mut Self {
+        self.profile.miss_bandwidth_gbps = v;
+        self
+    }
+
+    /// Sets the slowdown per unit miss fraction (≥ 0).
+    pub fn cache_sensitivity(&mut self, v: f64) -> &mut Self {
+        self.profile.cache_sensitivity = v;
+        self
+    }
+
+    /// Sets the exponent on bandwidth oversubscription (≥ 0).
+    pub fn bandwidth_sensitivity(&mut self, v: f64) -> &mut Self {
+        self.profile.bandwidth_sensitivity = v;
+        self
+    }
+
+    /// Sets the network/disk I/O traffic in GB/s (≥ 0).
+    pub fn net_gbps(&mut self, v: f64) -> &mut Self {
+        self.profile.net_gbps = v;
+        self
+    }
+
+    /// Sets the exponent on network oversubscription (≥ 0).
+    pub fn net_sensitivity(&mut self, v: f64) -> &mut Self {
+        self.profile.net_sensitivity = v;
+        self
+    }
+
+    /// Validates and produces the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError`] if any field is negative, NaN or infinite,
+    /// or if `access_weight` is not strictly positive.
+    pub fn build(&self) -> Result<MemoryProfile, ProfileError> {
+        let p = &self.profile;
+        let non_negative = [
+            ("working_set_mb", p.working_set_mb),
+            ("bandwidth_gbps", p.bandwidth_gbps),
+            ("miss_bandwidth_gbps", p.miss_bandwidth_gbps),
+            ("cache_sensitivity", p.cache_sensitivity),
+            ("bandwidth_sensitivity", p.bandwidth_sensitivity),
+            ("net_gbps", p.net_gbps),
+            ("net_sensitivity", p.net_sensitivity),
+        ];
+        for (name, value) in non_negative {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ProfileError::new(name, value, "non-negative and finite"));
+            }
+        }
+        if !p.access_weight.is_finite() || p.access_weight <= 0.0 {
+            return Err(ProfileError::new(
+                "access_weight",
+                p.access_weight,
+                "strictly positive and finite",
+            ));
+        }
+        Ok(*p)
+    }
+}
+
+impl Default for MemoryProfileBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let p = MemoryProfile::builder().build().expect("defaults valid");
+        assert!(p.working_set_mb() > 0.0);
+        assert!(p.access_weight() > 0.0);
+    }
+
+    #[test]
+    fn idle_profile_demands_nothing() {
+        let p = MemoryProfile::idle();
+        assert_eq!(p.working_set_mb(), 0.0);
+        assert_eq!(p.bandwidth_gbps(), 0.0);
+        assert_eq!(p.cache_sensitivity(), 0.0);
+    }
+
+    #[test]
+    fn negative_working_set_rejected() {
+        let err = MemoryProfile::builder()
+            .working_set_mb(-1.0)
+            .build()
+            .expect_err("must reject");
+        assert_eq!(err.field(), "working_set_mb");
+    }
+
+    #[test]
+    fn zero_access_weight_rejected() {
+        let err = MemoryProfile::builder()
+            .access_weight(0.0)
+            .build()
+            .expect_err("must reject");
+        assert_eq!(err.field(), "access_weight");
+    }
+
+    #[test]
+    fn nan_sensitivity_rejected() {
+        let err = MemoryProfile::builder()
+            .cache_sensitivity(f64::NAN)
+            .build()
+            .expect_err("must reject");
+        assert_eq!(err.field(), "cache_sensitivity");
+    }
+
+    #[test]
+    fn scaled_demand_scales_demands_only() {
+        let p = MemoryProfile::builder()
+            .working_set_mb(10.0)
+            .bandwidth_gbps(4.0)
+            .miss_bandwidth_gbps(8.0)
+            .cache_sensitivity(0.9)
+            .build()
+            .expect("valid");
+        let half = p.scaled_demand(0.5);
+        assert_eq!(half.working_set_mb(), 5.0);
+        assert_eq!(half.bandwidth_gbps(), 2.0);
+        assert_eq!(half.miss_bandwidth_gbps(), 4.0);
+        assert_eq!(half.cache_sensitivity(), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_demand_rejects_negative() {
+        let _ = MemoryProfile::idle().scaled_demand(-0.5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = MemoryProfile::builder()
+            .working_set_mb(7.0)
+            .net_gbps(0.4)
+            .net_sensitivity(0.8)
+            .build()
+            .expect("valid");
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: MemoryProfile = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn network_fields_default_to_zero_and_validate() {
+        let p = MemoryProfile::builder().build().expect("valid");
+        assert_eq!(p.net_gbps(), 0.0);
+        assert_eq!(p.net_sensitivity(), 0.0);
+        let err = MemoryProfile::builder().net_gbps(-1.0).build().unwrap_err();
+        assert_eq!(err.field(), "net_gbps");
+    }
+
+    #[test]
+    fn scaled_demand_scales_network_traffic() {
+        let p = MemoryProfile::builder()
+            .net_gbps(0.8)
+            .net_sensitivity(0.9)
+            .build()
+            .expect("valid");
+        let half = p.scaled_demand(0.5);
+        assert_eq!(half.net_gbps(), 0.4);
+        assert_eq!(half.net_sensitivity(), 0.9, "sensitivity is not demand");
+    }
+}

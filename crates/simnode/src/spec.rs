@@ -1,0 +1,205 @@
+use serde::{Deserialize, Serialize};
+
+/// Hardware description of one physical host node.
+///
+/// Only the resources that matter for the interference model are captured:
+/// core count (for capacity/slot accounting by higher layers), LLC capacity
+/// and aggregate memory bandwidth (the two contended channels).
+///
+/// # Example
+///
+/// ```
+/// use icm_simnode::NodeSpec;
+///
+/// let node = NodeSpec::xeon_e5_2650();
+/// assert_eq!(node.cores(), 16);
+/// assert!(node.llc_mb() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    cores: usize,
+    llc_mb: f64,
+    membw_gbps: f64,
+    #[serde(default = "default_net_gbps")]
+    net_gbps: f64,
+}
+
+/// Default NIC bandwidth: the paper's 10 GbE interconnect (~1.25 GB/s).
+fn default_net_gbps() -> f64 {
+    1.25
+}
+
+impl NodeSpec {
+    /// Creates a node description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or if `llc_mb`/`membw_gbps` are not
+    /// strictly positive finite numbers; a node without cache or bandwidth
+    /// cannot host the contention model.
+    pub fn new(cores: usize, llc_mb: f64, membw_gbps: f64) -> Self {
+        assert!(cores > 0, "a node must have at least one core");
+        assert!(
+            llc_mb.is_finite() && llc_mb > 0.0,
+            "LLC capacity must be positive and finite (got {llc_mb})"
+        );
+        assert!(
+            membw_gbps.is_finite() && membw_gbps > 0.0,
+            "memory bandwidth must be positive and finite (got {membw_gbps})"
+        );
+        Self {
+            cores,
+            llc_mb,
+            membw_gbps,
+            net_gbps: default_net_gbps(),
+        }
+    }
+
+    /// Overrides the node's network (or disk) I/O bandwidth in GB/s —
+    /// the secondary interference channel §2.1 mentions the methodology
+    /// generalizes to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net_gbps` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_net_gbps(mut self, net_gbps: f64) -> Self {
+        assert!(
+            net_gbps.is_finite() && net_gbps > 0.0,
+            "network bandwidth must be positive and finite (got {net_gbps})"
+        );
+        self.net_gbps = net_gbps;
+        self
+    }
+
+    /// The paper's private-cluster host: two octa-core Intel Xeon E5-2650
+    /// sockets (16 cores), 2 × 20 MB LLC, quad-channel DDR3-1600.
+    pub fn xeon_e5_2650() -> Self {
+        Self::new(16, 40.0, 102.4)
+    }
+
+    /// A denser, cache-poorer host generation: more consolidation slots
+    /// per byte of LLC and per GB/s of bandwidth, used by the
+    /// hardware-transfer experiment (`ext-transfer`) to show that model
+    /// parameters do not carry across machine types (§6).
+    pub fn dense_node() -> Self {
+        Self::new(16, 24.0, 68.0)
+    }
+
+    /// The slice of a host backing one Amazon EC2 `c4.2xlarge` instance
+    /// (8 vCPUs): a smaller cache share and bandwidth share of a shared
+    /// Haswell-EP host, which is what §6 of the paper measures against.
+    pub fn ec2_c4_2xlarge() -> Self {
+        Self::new(8, 25.0, 60.0)
+    }
+
+    /// Number of physical cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Last-level cache capacity in MiB.
+    pub fn llc_mb(&self) -> f64 {
+        self.llc_mb
+    }
+
+    /// Aggregate memory bandwidth in GB/s.
+    pub fn membw_gbps(&self) -> f64 {
+        self.membw_gbps
+    }
+
+    /// Network/disk I/O bandwidth in GB/s.
+    pub fn net_gbps(&self) -> f64 {
+        self.net_gbps
+    }
+}
+
+impl Default for NodeSpec {
+    /// Defaults to the paper's private-cluster host ([`NodeSpec::xeon_e5_2650`]).
+    fn default() -> Self {
+        Self::xeon_e5_2650()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_preset_matches_paper_hardware() {
+        let node = NodeSpec::xeon_e5_2650();
+        assert_eq!(node.cores(), 16);
+        assert_eq!(node.llc_mb(), 40.0);
+        assert!(node.membw_gbps() > 50.0);
+    }
+
+    #[test]
+    fn ec2_preset_is_smaller_than_private_host() {
+        let private = NodeSpec::xeon_e5_2650();
+        let ec2 = NodeSpec::ec2_c4_2xlarge();
+        assert!(ec2.cores() < private.cores());
+        assert!(ec2.llc_mb() < private.llc_mb());
+        assert!(ec2.membw_gbps() < private.membw_gbps());
+    }
+
+    #[test]
+    fn dense_node_is_cache_poorer() {
+        let dense = NodeSpec::dense_node();
+        let xeon = NodeSpec::xeon_e5_2650();
+        assert_eq!(dense.cores(), xeon.cores());
+        assert!(dense.llc_mb() < xeon.llc_mb());
+        assert!(dense.membw_gbps() < xeon.membw_gbps());
+    }
+
+    #[test]
+    fn default_is_xeon() {
+        assert_eq!(NodeSpec::default(), NodeSpec::xeon_e5_2650());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = NodeSpec::new(0, 10.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "LLC capacity")]
+    fn negative_llc_rejected() {
+        let _ = NodeSpec::new(4, -1.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory bandwidth")]
+    fn nan_bandwidth_rejected() {
+        let _ = NodeSpec::new(4, 10.0, f64::NAN);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let node = NodeSpec::new(8, 12.5, 34.0).with_net_gbps(2.5);
+        let json = serde_json::to_string(&node).expect("serialize");
+        let back: NodeSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(node, back);
+    }
+
+    #[test]
+    fn net_bandwidth_defaults_to_10gbe() {
+        let node = NodeSpec::new(8, 12.5, 34.0);
+        assert!((node.net_gbps() - 1.25).abs() < 1e-12);
+        let fat = node.with_net_gbps(12.5);
+        assert_eq!(fat.net_gbps(), 12.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "network bandwidth")]
+    fn zero_net_bandwidth_rejected() {
+        let _ = NodeSpec::new(8, 12.5, 34.0).with_net_gbps(0.0);
+    }
+
+    #[test]
+    fn legacy_serialized_nodes_deserialize_with_default_nic() {
+        let json = r#"{"cores":8,"llc_mb":12.5,"membw_gbps":34.0}"#;
+        let node: NodeSpec = serde_json::from_str(json).expect("deserialize");
+        assert!((node.net_gbps() - 1.25).abs() < 1e-12);
+    }
+}

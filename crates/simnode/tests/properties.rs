@@ -1,0 +1,105 @@
+//! Property-based tests of the contention model's invariants.
+
+use icm_simnode::{solve_contention, solve_contention_detailed, Bubble, MemoryProfile, NodeSpec};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = MemoryProfile> {
+    (
+        0.0..120.0f64, // working set
+        0.1..3.0f64,   // access weight
+        0.0..60.0f64,  // bandwidth
+        0.0..50.0f64,  // miss bandwidth
+        0.0..2.0f64,   // cache sensitivity
+        0.0..1.5f64,   // bandwidth sensitivity
+    )
+        .prop_map(|(ws, aw, bw, mbw, cs, bs)| {
+            MemoryProfile::builder()
+                .working_set_mb(ws)
+                .access_weight(aw)
+                .bandwidth_gbps(bw)
+                .miss_bandwidth_gbps(mbw)
+                .cache_sensitivity(cs)
+                .bandwidth_sensitivity(bs)
+                .build()
+                .expect("all sampled values are valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn slowdowns_are_at_least_one_and_finite(
+        profiles in prop::collection::vec(arb_profile(), 0..6)
+    ) {
+        let node = NodeSpec::xeon_e5_2650();
+        for sd in solve_contention(&node, &profiles) {
+            prop_assert!(sd.is_finite());
+            prop_assert!(sd >= 1.0 - 1e-12, "slowdown {sd} below 1");
+        }
+    }
+
+    #[test]
+    fn miss_fractions_bounded_and_shares_within_demand(
+        profiles in prop::collection::vec(arb_profile(), 1..6)
+    ) {
+        let node = NodeSpec::xeon_e5_2650();
+        let out = solve_contention_detailed(&node, &profiles);
+        for (&miss, p) in out.miss_fractions.iter().zip(&profiles) {
+            prop_assert!((0.0..=1.0).contains(&miss));
+            if p.working_set_mb() == 0.0 {
+                prop_assert_eq!(miss, 0.0);
+            }
+        }
+        prop_assert!(out.bandwidth_pressure >= 0.0);
+    }
+
+    #[test]
+    fn adding_a_corunner_never_speeds_anyone_up(
+        base in prop::collection::vec(arb_profile(), 1..4),
+        extra in arb_profile()
+    ) {
+        let node = NodeSpec::xeon_e5_2650();
+        let before = solve_contention(&node, &base);
+        let mut bigger = base.clone();
+        bigger.push(extra);
+        let after = solve_contention(&node, &bigger);
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a >= &(b - 1e-9), "speedup from adding a co-runner: {b} → {a}");
+        }
+    }
+
+    #[test]
+    fn victim_slowdown_monotone_in_bubble_pressure(
+        victim in arb_profile(),
+        lo in 0.0..8.0f64,
+        delta in 0.0..4.0f64,
+    ) {
+        let node = NodeSpec::xeon_e5_2650();
+        let bubble = Bubble::new(node);
+        let at = |p: f64| solve_contention(&node, &[victim, bubble.profile_at(p)])[0];
+        prop_assert!(at(lo + delta) >= at(lo) - 1e-9);
+    }
+
+    #[test]
+    fn contention_is_permutation_stable(
+        profiles in prop::collection::vec(arb_profile(), 2..5),
+    ) {
+        let node = NodeSpec::xeon_e5_2650();
+        let forward = solve_contention(&node, &profiles);
+        let mut reversed_profiles = profiles.clone();
+        reversed_profiles.reverse();
+        let mut reversed = solve_contention(&node, &reversed_profiles);
+        reversed.reverse();
+        for (f, r) in forward.iter().zip(&reversed) {
+            prop_assert!((f - r).abs() < 1e-9, "order dependence: {f} vs {r}");
+        }
+    }
+
+    #[test]
+    fn scaled_demand_zero_is_harmless(victim in arb_profile(), other in arb_profile()) {
+        let node = NodeSpec::xeon_e5_2650();
+        let ghost = other.scaled_demand(0.0);
+        let alone = solve_contention(&node, &[victim])[0];
+        let with_ghost = solve_contention(&node, &[victim, ghost])[0];
+        prop_assert!((alone - with_ghost).abs() < 1e-9);
+    }
+}

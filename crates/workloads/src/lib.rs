@@ -1,0 +1,39 @@
+//! Catalog of the ASPLOS'16 benchmark workloads as synthetic
+//! distributed-application descriptors, plus the glue that exposes the
+//! simulated cluster through the model-building [`icm_core::Testbed`]
+//! interface.
+//!
+//! * [`Catalog::paper`] — all 18 workloads of Table 1 (SPEC MPI2007, NPB,
+//!   Hadoop, Spark, SPEC CPU2006), each calibrated so its *emergent*
+//!   interference phenotype on the simulated testbed matches what the
+//!   paper reports (bubble score, propagation class, policy flavor).
+//! * [`TestbedBuilder`] / [`SimTestbedAdapter`] — a ready-to-profile
+//!   simulated cluster with the catalog registered.
+//! * [`mixes`] — the Table 5 placement mixes and Fig. 10-style QoS mixes.
+//!
+//! # Example
+//!
+//! ```
+//! use icm_workloads::{Catalog, TestbedBuilder};
+//! use icm_core::Testbed;
+//!
+//! let catalog = Catalog::paper();
+//! let mut testbed = TestbedBuilder::new(&catalog).seed(7).build();
+//! let solo = testbed.run_app("M.lmps", &[0.0; 8]).expect("runs");
+//! assert!(solo > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adapter;
+mod builder;
+mod catalog;
+pub mod mixes;
+mod spec;
+
+pub use adapter::{SimTestbedAdapter, TestbedBuilder};
+pub use builder::SyntheticWorkload;
+pub use catalog::Catalog;
+pub use mixes::{qos_mixes, table5_mixes, Mix, MixDifficulty, QosMix};
+pub use spec::{PaperReference, PropagationClass, WorkloadSpec, WorkloadType};

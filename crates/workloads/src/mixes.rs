@@ -1,0 +1,171 @@
+//! The workload mixes of the placement case studies: the ten
+//! throughput-placement mixes of Table 5, and four QoS mixes in the style
+//! of Fig. 10.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+
+/// Expected spread between the best and worst placement of a mix
+/// (Table 5's grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MixDifficulty {
+    /// ≥ 20% best-to-worst performance difference.
+    High,
+    /// 5–20% difference.
+    Medium,
+    /// ≤ 5% difference (interference-insensitive mixes).
+    Low,
+}
+
+/// A named four-workload combination placed together on the cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mix {
+    /// Mix identifier from Table 5 (e.g. `"HW1"`).
+    pub name: String,
+    /// The four workload names.
+    pub workloads: [String; 4],
+    /// Expected best-vs-worst spread class.
+    pub difficulty: MixDifficulty,
+}
+
+impl Mix {
+    fn new(name: &str, workloads: [&str; 4], difficulty: MixDifficulty) -> Self {
+        Self {
+            name: name.to_owned(),
+            workloads: workloads.map(str::to_owned),
+            difficulty,
+        }
+    }
+
+    /// Verifies every member exists in `catalog`.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), String> {
+        for w in &self.workloads {
+            if catalog.get(w).is_none() {
+                return Err(format!("mix {} references unknown workload {w}", self.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The ten mixes of Table 5, verbatim.
+pub fn table5_mixes() -> Vec<Mix> {
+    use MixDifficulty::{High, Low, Medium};
+    vec![
+        Mix::new("HW1", ["N.mg", "N.cg", "H.KM", "M.lmps"], High),
+        Mix::new("HW2", ["M.zeus", "C.libq", "H.KM", "M.Gems"], High),
+        Mix::new("HW3", ["C.libq", "N.cg", "H.KM", "S.PR"], High),
+        Mix::new("HM1", ["M.zeus", "S.WC", "M.Gems", "S.PR"], High),
+        Mix::new("HM2", ["H.KM", "M.Gems", "M.lu", "C.xbmk"], High),
+        Mix::new("HM3", ["S.CF", "H.KM", "M.Gems", "M.Gems"], High),
+        Mix::new("MW", ["N.mg", "H.KM", "H.KM", "M.lesl"], Medium),
+        Mix::new("MM", ["C.cact", "C.libq", "M.Gems", "M.lmps"], Medium),
+        Mix::new("MB", ["N.cg", "M.milc", "C.libq", "C.xbmk"], Medium),
+        Mix::new("L", ["M.lesl", "M.zeus", "M.zeus", "N.mg"], Low),
+    ]
+}
+
+/// A QoS scenario: a mix plus the workload whose performance is
+/// guaranteed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosMix {
+    /// The underlying mix.
+    pub mix: Mix,
+    /// Name of the mission-critical workload (must be in the mix).
+    pub target: String,
+}
+
+/// Four QoS mixes in the style of Fig. 10.
+///
+/// The paper's figure does not enumerate its exact mixes in the text, so
+/// these are representative combinations built from the same pool: each
+/// pairs one interference-sensitive QoS target with aggressive and mild
+/// co-runners (substitution documented in `DESIGN.md`).
+pub fn qos_mixes() -> Vec<QosMix> {
+    use MixDifficulty::High;
+    vec![
+        QosMix {
+            mix: Mix::new("Q1", ["M.lmps", "C.libq", "H.KM", "N.cg"], High),
+            target: "M.lmps".into(),
+        },
+        QosMix {
+            mix: Mix::new("Q2", ["M.milc", "C.mcf", "S.WC", "M.zeus"], High),
+            target: "M.milc".into(),
+        },
+        QosMix {
+            mix: Mix::new("Q3", ["N.mg", "C.libq", "S.PR", "H.KM"], High),
+            target: "N.mg".into(),
+        },
+        QosMix {
+            mix: Mix::new("Q4", ["M.lesl", "C.sopl", "M.Gems", "S.CF"], High),
+            target: "M.lesl".into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_has_ten_valid_mixes() {
+        let catalog = Catalog::paper();
+        let mixes = table5_mixes();
+        assert_eq!(mixes.len(), 10);
+        for mix in &mixes {
+            mix.validate(&catalog).expect("all members in catalog");
+        }
+    }
+
+    #[test]
+    fn table5_difficulty_grouping_matches_paper() {
+        let mixes = table5_mixes();
+        let count = |d: MixDifficulty| mixes.iter().filter(|m| m.difficulty == d).count();
+        assert_eq!(count(MixDifficulty::High), 6);
+        assert_eq!(count(MixDifficulty::Medium), 3);
+        assert_eq!(count(MixDifficulty::Low), 1);
+    }
+
+    #[test]
+    fn hm3_contains_gems_twice() {
+        // Table 5's HM3 deliberately repeats M.Gems.
+        let mixes = table5_mixes();
+        let hm3 = mixes.iter().find(|m| m.name == "HM3").expect("present");
+        let gems = hm3.workloads.iter().filter(|w| *w == "M.Gems").count();
+        assert_eq!(gems, 2);
+    }
+
+    #[test]
+    fn qos_mixes_target_a_member() {
+        let catalog = Catalog::paper();
+        for qos in qos_mixes() {
+            qos.mix.validate(&catalog).expect("valid");
+            assert!(
+                qos.mix.workloads.contains(&qos.target),
+                "{}: target {} not in mix",
+                qos.mix.name,
+                qos.target
+            );
+        }
+    }
+
+    #[test]
+    fn validate_catches_unknown_workload() {
+        let catalog = Catalog::paper();
+        let bad = Mix::new(
+            "X",
+            ["M.milc", "ghost", "H.KM", "N.cg"],
+            MixDifficulty::High,
+        );
+        assert!(bad.validate(&catalog).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mixes = table5_mixes();
+        let json = serde_json::to_string(&mixes).expect("serialize");
+        let back: Vec<Mix> = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(mixes, back);
+    }
+}

@@ -1,0 +1,148 @@
+use icm_simcluster::AppSpec;
+use serde::{Deserialize, Serialize};
+
+/// Benchmark-suite family of a workload (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadType {
+    /// SPEC MPI2007 — tightly coupled MPI codes.
+    SpecMpi,
+    /// NAS Parallel Benchmarks (class D).
+    Npb,
+    /// Hadoop MapReduce applications.
+    Hadoop,
+    /// Spark applications.
+    Spark,
+    /// SPEC CPU2006 — single-node batch programs used as co-runners.
+    SpecCpu,
+}
+
+impl WorkloadType {
+    /// Whether workloads of this type are distributed parallel
+    /// applications (everything except SPEC CPU2006).
+    pub fn is_distributed(&self) -> bool {
+        !matches!(self, WorkloadType::SpecCpu)
+    }
+}
+
+/// The paper's qualitative interference-propagation classes (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PropagationClass {
+    /// Interference in one or two nodes already delays the whole run
+    /// (barrier/allreduce-heavy codes).
+    High,
+    /// Delay grows roughly linearly with the number of interfering nodes
+    /// (few collectives, e.g. `M.Gems`).
+    Proportional,
+    /// Largely resilient to interference (small footprints, dynamic task
+    /// scheduling).
+    Low,
+}
+
+/// Reference values reported by the paper for one workload, used to
+/// check that the synthetic catalog reproduces the right *phenotype*
+/// (not to drive any model logic).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperReference {
+    /// Bubble score from Table 4.
+    pub bubble_score: f64,
+    /// Propagation class apparent in Fig. 3.
+    pub propagation: PropagationClass,
+    /// Whether Table 2 reports a max-flavored best policy (`N max`,
+    /// `N+1 max`, `all max`) rather than `interpolate`.
+    pub max_flavored_policy: bool,
+}
+
+/// One catalog entry: the executable application description plus its
+/// suite metadata and the paper's reference phenotype.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    app: AppSpec,
+    workload_type: WorkloadType,
+    reference: PaperReference,
+}
+
+impl WorkloadSpec {
+    /// Bundles an application description with its metadata.
+    pub fn new(app: AppSpec, workload_type: WorkloadType, reference: PaperReference) -> Self {
+        Self {
+            app,
+            workload_type,
+            reference,
+        }
+    }
+
+    /// Workload (catalog) name, e.g. `"M.milc"`.
+    pub fn name(&self) -> &str {
+        self.app.name()
+    }
+
+    /// The executable application description.
+    pub fn app(&self) -> &AppSpec {
+        &self.app
+    }
+
+    /// Which suite the workload belongs to.
+    pub fn workload_type(&self) -> WorkloadType {
+        self.workload_type
+    }
+
+    /// The paper-reported phenotype this entry is calibrated against.
+    pub fn reference(&self) -> PaperReference {
+        self.reference
+    }
+
+    /// Whether this is a distributed parallel application.
+    pub fn is_distributed(&self) -> bool {
+        self.workload_type.is_distributed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icm_simcluster::SyncPattern;
+    use icm_simnode::MemoryProfile;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::new(
+            AppSpec::builder("test")
+                .base_runtime_s(100.0)
+                .worker_profile(MemoryProfile::idle())
+                .pattern(SyncPattern::high_propagation(10))
+                .build()
+                .expect("valid"),
+            WorkloadType::SpecMpi,
+            PaperReference {
+                bubble_score: 4.0,
+                propagation: PropagationClass::High,
+                max_flavored_policy: true,
+            },
+        )
+    }
+
+    #[test]
+    fn accessors_expose_parts() {
+        let w = spec();
+        assert_eq!(w.name(), "test");
+        assert_eq!(w.workload_type(), WorkloadType::SpecMpi);
+        assert_eq!(w.reference().bubble_score, 4.0);
+        assert!(w.is_distributed());
+    }
+
+    #[test]
+    fn spec_cpu_is_not_distributed() {
+        assert!(!WorkloadType::SpecCpu.is_distributed());
+        assert!(WorkloadType::Hadoop.is_distributed());
+        assert!(WorkloadType::Spark.is_distributed());
+        assert!(WorkloadType::Npb.is_distributed());
+        assert!(WorkloadType::SpecMpi.is_distributed());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let w = spec();
+        let json = serde_json::to_string(&w).expect("serialize");
+        let back: WorkloadSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(w, back);
+    }
+}

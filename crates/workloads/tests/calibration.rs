@@ -1,0 +1,213 @@
+//! End-to-end calibration checks: building models for the whole catalog
+//! on the simulated testbed must reproduce the paper's *phenotypes* —
+//! bubble-score ranking (Table 4), propagation classes (Fig. 3) and
+//! policy flavors (Table 2).
+
+use icm_core::model::ModelBuilder;
+use icm_core::{MappingPolicy, ProfilingAlgorithm, Testbed};
+use icm_workloads::{Catalog, PropagationClass, TestbedBuilder};
+
+struct Built {
+    name: String,
+    model: icm_core::InterferenceModel,
+    reference: icm_workloads::PaperReference,
+}
+
+fn build_all() -> Vec<Built> {
+    let catalog = Catalog::paper();
+    let mut testbed = TestbedBuilder::new(&catalog).seed(42).build();
+    catalog
+        .workloads()
+        .iter()
+        .map(|w| {
+            let model = ModelBuilder::new(w.name())
+                .algorithm(ProfilingAlgorithm::BinaryOptimized)
+                .policy_samples(30)
+                .seed(7)
+                .build(&mut testbed)
+                .unwrap_or_else(|e| panic!("model for {} failed: {e}", w.name()));
+            Built {
+                name: w.name().to_owned(),
+                model,
+                reference: w.reference(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn catalog_phenotypes_match_paper() {
+    let built = build_all();
+
+    println!(
+        "\n{:<8} {:>7} {:>7}  {:<12} {:<6}  T(8,1) T(8,8)",
+        "app", "score", "paper", "policy", "flav"
+    );
+    let mut spearman_pairs = Vec::new();
+    for b in &built {
+        let t81 = b.model.propagation().at(8, 1);
+        let t88 = b.model.propagation().at(8, b.model.hosts());
+        println!(
+            "{:<8} {:>7.2} {:>7.2}  {:<12} {:<6}  {:>6.3} {:>6.3}",
+            b.name,
+            b.model.bubble_score(),
+            b.reference.bubble_score,
+            b.model.policy().name(),
+            if b.reference.max_flavored_policy {
+                "max"
+            } else {
+                "avg"
+            },
+            t81,
+            t88,
+        );
+        spearman_pairs.push((b.model.bubble_score(), b.reference.bubble_score));
+    }
+
+    // 1. Bubble-score ranking must correlate strongly with Table 4.
+    let rho = spearman(&spearman_pairs);
+    println!("spearman rank correlation of bubble scores: {rho:.3}");
+    assert!(
+        rho > 0.8,
+        "bubble-score ranking must track Table 4, got ρ={rho}"
+    );
+
+    // 2. Propagation classes must be visible in the matrices.
+    for b in &built {
+        let t81 = b.model.propagation().at(8, 1);
+        let t88 = b.model.propagation().at(8, b.model.hosts());
+        let frac = (t81 - 1.0) / (t88 - 1.0).max(1e-9);
+        match b.reference.propagation {
+            PropagationClass::High => {
+                assert!(
+                    frac > 0.55,
+                    "{}: high-propagation app must take most damage from one node, frac={frac:.2} (T81={t81:.3}, T88={t88:.3})",
+                    b.name
+                );
+            }
+            PropagationClass::Proportional => {
+                assert!(
+                    frac < 0.45,
+                    "{}: proportional app must scale with node count, frac={frac:.2}",
+                    b.name
+                );
+            }
+            PropagationClass::Low => {
+                assert!(
+                    t88 < 1.50,
+                    "{}: low-propagation app must stay resilient, T88={t88:.3}",
+                    b.name
+                );
+            }
+        }
+    }
+
+    // 3. Policy flavor (max-like vs averaging) must match Table 2 for the
+    //    distributed apps.
+    let mut mismatches = Vec::new();
+    for b in &built {
+        let is_max = matches!(
+            b.model.policy(),
+            MappingPolicy::NMax | MappingPolicy::NPlus1Max | MappingPolicy::AllMax
+        );
+        if is_max != b.reference.max_flavored_policy {
+            mismatches.push(format!(
+                "{}: selected {} but paper reports {}",
+                b.name,
+                b.model.policy(),
+                if b.reference.max_flavored_policy {
+                    "a max flavor"
+                } else {
+                    "interpolate"
+                }
+            ));
+        }
+    }
+    println!("policy flavor mismatches: {mismatches:?}");
+    assert!(
+        mismatches.len() <= 3,
+        "at most 3 of 18 policy-flavor mismatches tolerated (near-ties happen): {mismatches:?}"
+    );
+
+    // 4. Policy selection must be accurate in absolute terms (Table 2:
+    //    best-policy error < 9% on the private cluster).
+    for b in &built {
+        let best = b
+            .model
+            .policy_evaluations()
+            .iter()
+            .find(|e| e.policy == b.model.policy())
+            .expect("selected policy was evaluated");
+        // M.Gems is the paper's hardest workload as well (7.34% in
+        // Table 2); our reproduction amplifies its convex sensitivity, so
+        // it gets a wider allowance.
+        let bound = if b.name == "M.Gems" { 15.0 } else { 12.0 };
+        assert!(
+            best.errors.mean < bound,
+            "{}: best-policy error {:.1}% too high",
+            b.name,
+            best.errors.mean
+        );
+    }
+}
+
+#[test]
+fn gems_prediction_error_is_worst_with_volatile_corunners() {
+    // Fig. 9: M.Gems is the unpredictable co-runner because its blocked
+    // I/O reacts to CPU-load fluctuation the model cannot see.
+    let catalog = Catalog::paper();
+    let mut testbed = TestbedBuilder::new(&catalog).seed(11).build();
+    let model = ModelBuilder::new("M.Gems")
+        .policy_samples(20)
+        .build(&mut testbed)
+        .expect("builds");
+    let score_of = |tb: &mut icm_workloads::SimTestbedAdapter, name: &str| {
+        // crude corunner score: reuse the model-building machinery's view
+        tb.reporter_slowdown_with_app(name).expect("runs")
+    };
+    let _ = score_of(&mut testbed, "M.milc");
+
+    let err_with = |tb: &mut icm_workloads::SimTestbedAdapter,
+                    model: &icm_core::InterferenceModel,
+                    corunner: &str,
+                    corunner_score: f64| {
+        let mut total = 0.0;
+        let n = 6;
+        for _ in 0..n {
+            let (gems_s, _) = tb.sim_mut().run_pair("M.Gems", corunner).expect("runs");
+            let actual = gems_s / model.solo_seconds();
+            let predicted = model.predict(&[corunner_score; 8]);
+            total += ((predicted - actual) / actual).abs() * 100.0;
+        }
+        total / n as f64
+    };
+
+    // Steady MPI co-runner vs volatile Hadoop co-runner with *similar*
+    // memory pressure classes is hard to find, so compare against the
+    // same co-runner class: steady M.zeus vs volatile H.KM (both mild).
+    let zeus_err = err_with(&mut testbed, &model, "M.zeus", 1.4);
+    let hkm_err = err_with(&mut testbed, &model, "H.KM", 0.2);
+    println!("M.Gems error vs steady co-runner {zeus_err:.1}%, vs volatile {hkm_err:.1}%");
+    assert!(
+        hkm_err > zeus_err,
+        "volatile co-runner must be harder to predict for M.Gems: {hkm_err:.1}% vs {zeus_err:.1}%"
+    );
+}
+
+/// Spearman rank correlation of paired values.
+fn spearman(pairs: &[(f64, f64)]) -> f64 {
+    let n = pairs.len();
+    let rank = |values: Vec<f64>| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+        let mut ranks = vec![0.0; values.len()];
+        for (r, &i) in idx.iter().enumerate() {
+            ranks[i] = r as f64;
+        }
+        ranks
+    };
+    let ra = rank(pairs.iter().map(|p| p.0).collect());
+    let rb = rank(pairs.iter().map(|p| p.1).collect());
+    let d2: f64 = ra.iter().zip(&rb).map(|(a, b)| (a - b).powi(2)).sum();
+    1.0 - 6.0 * d2 / (n as f64 * (n as f64 * n as f64 - 1.0))
+}

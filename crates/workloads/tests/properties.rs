@@ -1,0 +1,87 @@
+//! Property-based tests of the workload catalog and synthetic builder.
+
+use icm_workloads::{Catalog, PropagationClass, SyntheticWorkload};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn synthetic_builder_is_total_over_valid_knobs(
+        intensity in 0.0..=1.0f64,
+        sensitivity in 0.0..=1.0f64,
+        framework in any::<bool>(),
+        class in prop_oneof![
+            Just(PropagationClass::High),
+            Just(PropagationClass::Proportional),
+            Just(PropagationClass::Low),
+        ],
+        runtime in 10.0..2000.0f64,
+    ) {
+        let workload = SyntheticWorkload::new("syn")
+            .intensity(intensity)
+            .sensitivity(sensitivity)
+            .framework(framework)
+            .propagation(class)
+            .base_runtime_s(runtime)
+            .build()
+            .expect("valid knobs always build");
+        let profile = workload.app().worker_profile();
+        prop_assert!(profile.working_set_mb() > 0.0);
+        prop_assert!(profile.cache_sensitivity() >= 0.3);
+        prop_assert!(workload.app().base_runtime_s() == runtime);
+    }
+
+    #[test]
+    fn synthetic_builder_rejects_out_of_range_knobs(
+        bad in prop_oneof![(-10.0..-0.001f64), (1.001..10.0f64)],
+    ) {
+        prop_assert!(SyntheticWorkload::new("x").intensity(bad).build().is_err());
+        prop_assert!(SyntheticWorkload::new("x").sensitivity(bad).build().is_err());
+    }
+
+    #[test]
+    fn synthetic_demand_monotone_in_intensity(
+        lo in 0.0..=0.5f64,
+        delta in 0.01..=0.5f64,
+    ) {
+        let build = |i: f64| {
+            SyntheticWorkload::new("x")
+                .intensity(i)
+                .build()
+                .expect("valid")
+                .app()
+                .worker_profile()
+        };
+        let low = build(lo);
+        let high = build(lo + delta);
+        prop_assert!(high.working_set_mb() > low.working_set_mb());
+        prop_assert!(high.bandwidth_gbps() > low.bandwidth_gbps());
+    }
+}
+
+#[test]
+fn catalog_entries_all_pass_appspec_validation() {
+    // Every catalog entry must be rebuildable through the validating
+    // builder path (the catalog constructs them with expect()).
+    let catalog = Catalog::paper();
+    assert_eq!(catalog.len(), 18);
+    for w in catalog.workloads() {
+        assert!(!w.name().is_empty());
+        assert!(w.app().base_runtime_s() > 0.0);
+        assert!(w.app().worker_profile().working_set_mb() > 0.0);
+        let json = serde_json::to_string(w).expect("serializes");
+        let back: icm_workloads::WorkloadSpec = serde_json::from_str(&json).expect("parses");
+        assert_eq!(&back, w);
+    }
+}
+
+#[test]
+fn all_mixes_reference_catalog_apps() {
+    let catalog = Catalog::paper();
+    for mix in icm_workloads::table5_mixes() {
+        mix.validate(&catalog).expect("valid mix");
+    }
+    for qos in icm_workloads::qos_mixes() {
+        qos.mix.validate(&catalog).expect("valid mix");
+        assert!(qos.mix.workloads.contains(&qos.target));
+    }
+}

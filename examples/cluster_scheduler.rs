@@ -1,0 +1,100 @@
+//! Throughput-oriented scheduling: given a mix of four tenants, compare
+//! the interference-aware placement against random and worst placements
+//! by actually running all of them — a miniature Fig. 11.
+//!
+//! ```text
+//! cargo run --release --example cluster_scheduler
+//! ```
+
+use std::collections::BTreeMap;
+
+use icm::core::model::ModelBuilder;
+use icm::core::InterferenceModel;
+use icm::placement::{
+    average_speedup, find_placements, AnnealConfig, Estimator, PlacementProblem, PlacementState,
+    ThroughputConfig,
+};
+use icm::simcluster::{Deployment, Placement};
+use icm::workloads::{Catalog, SimTestbedAdapter, TestbedBuilder};
+
+fn measure(
+    testbed: &mut SimTestbedAdapter,
+    problem: &PlacementProblem,
+    models: &BTreeMap<String, InterferenceModel>,
+    state: &PlacementState,
+) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+    let placements: Vec<Placement> = problem
+        .workloads()
+        .iter()
+        .enumerate()
+        .map(|(i, app)| Placement::new(app.clone(), state.hosts_of(problem, i)))
+        .collect();
+    let runs = testbed
+        .sim_mut()
+        .run_deployment(&Deployment::of_placements(placements))?;
+    Ok(runs
+        .iter()
+        .map(|r| r.seconds / models[&r.app].solo_seconds())
+        .collect())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper();
+    let mut testbed = TestbedBuilder::new(&catalog).seed(23).build();
+
+    // Table 5's HW1 mix: two NPB solvers, K-means and lammps.
+    let workloads = ["N.mg", "N.cg", "H.KM", "M.lmps"];
+    let mut models = BTreeMap::new();
+    for app in workloads {
+        models.insert(
+            app.to_owned(),
+            ModelBuilder::new(app)
+                .hosts(4)
+                .policy_samples(30)
+                .seed(11)
+                .build(&mut testbed)?,
+        );
+    }
+
+    let problem =
+        PlacementProblem::paper_default(workloads.iter().map(|w| (*w).to_owned()).collect())?;
+    let estimator = Estimator::from_map(&problem, &models)?;
+    let placements = find_placements(
+        &estimator,
+        &ThroughputConfig {
+            anneal: AnnealConfig {
+                iterations: 4000,
+                ..AnnealConfig::default()
+            },
+            random_samples: 5,
+        },
+    )?;
+
+    let worst_times = measure(&mut testbed, &problem, &models, &placements.worst)?;
+    let best_times = measure(&mut testbed, &problem, &models, &placements.best)?;
+    let mut random_speedup = 0.0;
+    for random in &placements.randoms {
+        let times = measure(&mut testbed, &problem, &models, random)?;
+        random_speedup += average_speedup(&times, &worst_times) / placements.randoms.len() as f64;
+    }
+
+    println!("mix: {workloads:?}");
+    println!();
+    println!("chosen (best) placement:");
+    for (i, app) in workloads.iter().enumerate() {
+        let hosts = placements.best.hosts_of(&problem, i);
+        println!("  {app:<7} → hosts {hosts:?}");
+    }
+    println!();
+    println!("measured normalized runtimes (best placement):");
+    for (app, t) in workloads.iter().zip(&best_times) {
+        println!("  {app:<7} {t:.3}×");
+    }
+    println!();
+    println!(
+        "average speedup vs worst placement: best {:.3}, random {:.3}, worst 1.000",
+        average_speedup(&best_times, &worst_times),
+        random_speedup
+    );
+    Ok(())
+}

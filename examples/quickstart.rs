@@ -1,0 +1,55 @@
+//! Quickstart: build an interference model for one distributed
+//! application and predict its slowdown under a hypothetical placement.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use icm::core::model::ModelBuilder;
+use icm::core::ProfilingAlgorithm;
+use icm::workloads::{Catalog, TestbedBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A consolidated cluster. On real hardware this would be your
+    //    cluster behind the `icm_core::Testbed` trait; here it is the
+    //    paper-calibrated simulator (8 hosts, dual Xeon E5-2650 each).
+    let catalog = Catalog::paper();
+    let mut testbed = TestbedBuilder::new(&catalog).seed(42).build();
+
+    // 2. Profile `M.milc` with the cheap binary-optimized algorithm:
+    //    bubble co-runs measure its sensitivity curves, propagation
+    //    matrix, bubble score and the best heterogeneity policy.
+    let model = ModelBuilder::new("M.milc")
+        .algorithm(ProfilingAlgorithm::BinaryOptimized)
+        .policy_samples(30)
+        .seed(7)
+        .build(&mut testbed)?;
+
+    println!("application      : {}", model.app());
+    println!("solo runtime     : {:.1} s", model.solo_seconds());
+    println!("bubble score     : {:.2}", model.bubble_score());
+    println!("mapping policy   : {}", model.policy());
+    println!(
+        "profiling cost   : {:.1}% of all interference settings",
+        model.profiling_cost() * 100.0
+    );
+
+    // 3. Predict: suppose a scheduler wants to co-locate aggressive
+    //    workloads (pressure ≈ 5) on two of milc's eight hosts and a mild
+    //    one (pressure ≈ 1.5) on a third.
+    let pressures = [5.0, 5.0, 1.5, 0.0, 0.0, 0.0, 0.0, 0.0];
+    let hom = model.convert(&pressures);
+    let normalized = model.predict(&pressures);
+    println!();
+    println!("placement pressures  : {pressures:?}");
+    println!(
+        "policy conversion    : {:.1} pressure on {:.0} node(s)",
+        hom.pressure, hom.nodes
+    );
+    println!("predicted slowdown   : {normalized:.3}×");
+    println!(
+        "predicted runtime    : {:.1} s",
+        model.predict_seconds(&pressures)?
+    );
+    Ok(())
+}

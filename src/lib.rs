@@ -1,0 +1,51 @@
+//! # icm — Interference management for distributed parallel applications
+//!
+//! Umbrella crate re-exporting the full reproduction of *"Interference
+//! Management for Distributed Parallel Applications in Consolidated
+//! Clusters"* (Han, Jeon, Choi, Huh — ASPLOS 2016).
+//!
+//! The workspace is organized bottom-up:
+//!
+//! * [`simnode`] — single-node LLC/memory-bandwidth contention substrate.
+//! * [`simcluster`] — consolidated virtual-cluster testbed simulator for
+//!   distributed parallel applications.
+//! * [`workloads`] — catalog of the paper's 18 benchmark applications as
+//!   synthetic workload descriptors.
+//! * [`core`] — the paper's contribution: the interference propagation +
+//!   heterogeneity model and the profiling algorithms that build it.
+//! * [`placement`] — the two case studies: QoS-aware and
+//!   throughput-maximizing interference-aware VM placement.
+//! * [`experiments`] — regeneration harness for every table and figure of
+//!   the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use icm::workloads::{Catalog, TestbedBuilder};
+//! use icm::core::profiling::ProfilingAlgorithm;
+//! use icm::core::model::ModelBuilder;
+//!
+//! // A simulated 8-node cluster, the paper's private testbed.
+//! let catalog = Catalog::paper();
+//! let mut testbed = TestbedBuilder::new(&catalog).seed(7).build();
+//!
+//! // Profile one application and build its interference model.
+//! let model = ModelBuilder::new("M.lmps")
+//!     .algorithm(ProfilingAlgorithm::BinaryOptimized)
+//!     .policy_samples(12)
+//!     .build(&mut testbed)
+//!     .expect("profiling succeeds on the simulated testbed");
+//!
+//! // Predict the normalized runtime under heterogeneous interference.
+//! let slowdown = model.predict(&[3.0, 2.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+//! assert!(slowdown >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use icm_core as core;
+pub use icm_experiments as experiments;
+pub use icm_placement as placement;
+pub use icm_simcluster as simcluster;
+pub use icm_simnode as simnode;
+pub use icm_workloads as workloads;

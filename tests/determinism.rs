@@ -1,0 +1,85 @@
+//! Reproducibility guarantees: everything is a pure function of the
+//! seed.
+
+use icm::core::model::ModelBuilder;
+use icm::core::Testbed;
+use icm::experiments::{ExpConfig, Experiment};
+use icm::workloads::{Catalog, TestbedBuilder};
+
+#[test]
+fn identical_seeds_give_identical_measurement_histories() {
+    let catalog = Catalog::paper();
+    let mut a = TestbedBuilder::new(&catalog).seed(99).build();
+    let mut b = TestbedBuilder::new(&catalog).seed(99).build();
+    for app in ["M.milc", "H.KM", "C.libq"] {
+        for _ in 0..3 {
+            assert_eq!(
+                a.run_app(app, &[2.0; 8]).expect("runs"),
+                b.run_app(app, &[2.0; 8]).expect("runs"),
+                "{app} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_noise() {
+    let catalog = Catalog::paper();
+    let mut a = TestbedBuilder::new(&catalog).seed(1).build();
+    let mut b = TestbedBuilder::new(&catalog).seed(2).build();
+    let ta = a.run_app("M.milc", &[2.0; 8]).expect("runs");
+    let tb = b.run_app("M.milc", &[2.0; 8]).expect("runs");
+    assert_ne!(ta, tb);
+    // But only by noise, not by behaviour.
+    assert!((ta - tb).abs() / ta < 0.1);
+}
+
+#[test]
+fn model_building_is_reproducible() {
+    let build = || {
+        let mut tb = TestbedBuilder::new(&Catalog::paper()).seed(4).build();
+        ModelBuilder::new("M.zeus")
+            .policy_samples(8)
+            .seed(6)
+            .build(&mut tb)
+            .expect("builds")
+    };
+    let m1 = build();
+    let m2 = build();
+    assert_eq!(m1.bubble_score(), m2.bubble_score());
+    assert_eq!(m1.policy(), m2.policy());
+    assert_eq!(
+        m1.predict(&[3.0, 1.0, 0.0, 0.0, 5.0, 0.0, 0.0, 2.0]),
+        m2.predict(&[3.0, 1.0, 0.0, 0.0, 5.0, 0.0, 0.0, 2.0])
+    );
+}
+
+#[test]
+fn experiment_outputs_are_reproducible() {
+    let cfg = ExpConfig {
+        seed: 12,
+        fast: true,
+    };
+    for exp in [Experiment::Fig2, Experiment::Table4] {
+        let first = exp.run(&cfg).expect("runs");
+        let second = exp.run(&cfg).expect("runs");
+        assert_eq!(first, second, "{} not reproducible", exp.id());
+    }
+}
+
+#[test]
+fn experiment_seed_changes_output() {
+    let a = Experiment::Table4
+        .run(&ExpConfig {
+            seed: 1,
+            fast: true,
+        })
+        .expect("runs");
+    let b = Experiment::Table4
+        .run(&ExpConfig {
+            seed: 2,
+            fast: true,
+        })
+        .expect("runs");
+    assert_ne!(a, b, "different seeds must change measured values");
+}

@@ -1,0 +1,82 @@
+//! Smoke-runs every experiment in fast mode: each must succeed and emit a
+//! non-trivial table.
+
+use icm::experiments::{ExpConfig, Experiment};
+
+fn cfg() -> ExpConfig {
+    ExpConfig {
+        seed: 2016,
+        fast: true,
+    }
+}
+
+fn check(exp: Experiment) {
+    let output = exp
+        .run(&cfg())
+        .unwrap_or_else(|e| panic!("{} failed: {e}", exp.id()));
+    assert!(
+        output.lines().count() >= 4,
+        "{} produced a suspiciously short table:\n{output}",
+        exp.id()
+    );
+    assert!(output.contains("=="), "{} lacks a title", exp.id());
+}
+
+#[test]
+fn motivation_and_propagation() {
+    check(Experiment::Fig2);
+    check(Experiment::Fig3);
+}
+
+#[test]
+fn heterogeneity() {
+    check(Experiment::Fig4);
+    check(Experiment::Table2);
+}
+
+#[test]
+fn profiling_cost() {
+    check(Experiment::Table3);
+    check(Experiment::Fig6);
+    check(Experiment::Fig7);
+}
+
+#[test]
+fn scores_and_validation() {
+    check(Experiment::Table4);
+    check(Experiment::Fig8);
+    check(Experiment::Fig9);
+}
+
+#[test]
+fn placement_studies() {
+    check(Experiment::Fig10);
+    check(Experiment::Fig11);
+    check(Experiment::Table5);
+}
+
+#[test]
+fn ec2_study() {
+    check(Experiment::Fig12);
+    check(Experiment::Table6);
+    check(Experiment::Fig13);
+}
+
+#[test]
+fn ablations() {
+    check(Experiment::AblationInterp);
+    check(Experiment::AblationSa);
+    check(Experiment::AblationSamples);
+    check(Experiment::AblationMultiApp);
+}
+
+#[test]
+fn extensions() {
+    check(Experiment::ExtOnline);
+    check(Experiment::ExtMultiApp);
+    check(Experiment::ExtEnergy);
+    check(Experiment::ExtPhases);
+    check(Experiment::ExtTransfer);
+    check(Experiment::ExtScale);
+    check(Experiment::ExtIoChannel);
+}

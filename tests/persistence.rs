@@ -1,0 +1,66 @@
+//! Model persistence: a profiled fleet can be serialized, stored and
+//! reloaded without behavioural drift.
+
+use icm::core::model::ModelBuilder;
+use icm::core::InterferenceModel;
+use icm::workloads::{Catalog, TestbedBuilder};
+
+#[test]
+fn model_fleet_round_trips_through_json() {
+    let mut tb = TestbedBuilder::new(&Catalog::paper()).seed(13).build();
+    let apps = ["M.milc", "H.KM", "S.PR"];
+    let fleet: Vec<InterferenceModel> = apps
+        .iter()
+        .map(|app| {
+            ModelBuilder::new(*app)
+                .policy_samples(8)
+                .build(&mut tb)
+                .expect("builds")
+        })
+        .collect();
+
+    let json = serde_json::to_string_pretty(&fleet).expect("serializes");
+    let restored: Vec<InterferenceModel> = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(restored.len(), fleet.len());
+
+    let probe = [4.0, 0.0, 2.0, 0.0, 6.0, 0.0, 0.0, 1.0];
+    for (orig, back) in fleet.iter().zip(&restored) {
+        assert_eq!(orig.app(), back.app());
+        assert_eq!(orig.policy(), back.policy());
+        let a = orig.predict(&probe);
+        let b = back.predict(&probe);
+        assert!(
+            (a - b).abs() < 1e-9,
+            "{}: prediction drifted through JSON: {a} vs {b}",
+            orig.app()
+        );
+    }
+}
+
+#[test]
+fn model_json_is_self_describing() {
+    let mut tb = TestbedBuilder::new(&Catalog::paper()).seed(13).build();
+    let model = ModelBuilder::new("M.zeus")
+        .policy_samples(8)
+        .build(&mut tb)
+        .expect("builds");
+    let json = serde_json::to_string(&model).expect("serializes");
+    // Key fields are visible for external tooling.
+    for field in ["bubble_score", "propagation", "policy", "solo_seconds"] {
+        assert!(json.contains(field), "JSON lacks `{field}`");
+    }
+}
+
+#[test]
+fn catalog_and_cluster_serialize_for_config_files() {
+    let catalog = Catalog::paper();
+    let json = serde_json::to_string(catalog.workloads()).expect("serializes");
+    let back: Vec<icm::workloads::WorkloadSpec> =
+        serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.len(), 18);
+
+    let cluster = icm::simcluster::ClusterSpec::ec2_32();
+    let json = serde_json::to_string(&cluster).expect("serializes");
+    let back: icm::simcluster::ClusterSpec = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, cluster);
+}

@@ -1,0 +1,200 @@
+//! Placement case studies end-to-end: models built from profiling drive
+//! the annealer, and outcomes are verified on the simulator.
+
+use std::collections::BTreeMap;
+
+use icm::core::model::ModelBuilder;
+use icm::core::InterferenceModel;
+use icm::placement::{
+    anneal_unconstrained, exhaustive, place_qos, AnnealConfig, Estimator, PlacementProblem,
+    QosConfig,
+};
+use icm::simcluster::{Deployment, Placement};
+use icm::workloads::{Catalog, SimTestbedAdapter, TestbedBuilder};
+
+fn build_models(
+    tb: &mut SimTestbedAdapter,
+    apps: &[&str],
+    hosts: usize,
+) -> BTreeMap<String, InterferenceModel> {
+    apps.iter()
+        .map(|app| {
+            (
+                (*app).to_owned(),
+                ModelBuilder::new(*app)
+                    .hosts(hosts)
+                    .policy_samples(10)
+                    .seed(9)
+                    .build(tb)
+                    .expect("model builds"),
+            )
+        })
+        .collect()
+}
+
+fn measured_times(
+    tb: &mut SimTestbedAdapter,
+    problem: &PlacementProblem,
+    models: &BTreeMap<String, InterferenceModel>,
+    state: &icm::placement::PlacementState,
+) -> Vec<f64> {
+    let placements: Vec<Placement> = problem
+        .workloads()
+        .iter()
+        .enumerate()
+        .map(|(i, app)| Placement::new(app.clone(), state.hosts_of(problem, i)))
+        .collect();
+    let runs = tb
+        .sim_mut()
+        .run_deployment(&Deployment::of_placements(placements))
+        .expect("deployment runs");
+    runs.iter()
+        .map(|r| r.seconds / models[&r.app].solo_seconds())
+        .collect()
+}
+
+#[test]
+fn qos_placement_guarantee_verified_on_simulator() {
+    let mut tb = TestbedBuilder::new(&Catalog::paper()).seed(41).build();
+    let apps = ["M.lmps", "C.libq", "H.KM", "N.cg"];
+    let models = build_models(&mut tb, &apps, 4);
+    let problem = PlacementProblem::paper_default(apps.iter().map(|a| (*a).to_owned()).collect())
+        .expect("valid");
+    let estimator = Estimator::from_map(&problem, &models).expect("valid");
+    let outcome = place_qos(
+        &estimator,
+        0,
+        &QosConfig {
+            qos_fraction: 0.9,
+            anneal: AnnealConfig {
+                iterations: 1500,
+                ..AnnealConfig::default()
+            },
+        },
+    )
+    .expect("places");
+    assert!(outcome.predicted_satisfied, "a safe placement exists");
+    // Average a few measured runs to dodge noise.
+    let mut total = 0.0;
+    for _ in 0..3 {
+        total += measured_times(&mut tb, &problem, &models, &outcome.state)[0];
+    }
+    let measured = total / 3.0;
+    assert!(
+        measured <= (1.0 / 0.9) * 1.04,
+        "measured target time {measured:.3} violates the guarantee"
+    );
+}
+
+#[test]
+fn annealer_matches_exhaustive_oracle_on_small_problem() {
+    let mut tb = TestbedBuilder::new(&Catalog::paper()).seed(43).build();
+    // 2 workloads × 4 slots on 4 hosts: 16 valid states, enumerable.
+    let apps = ["M.milc", "H.KM"];
+    let models = build_models(&mut tb, &apps, 4);
+    let problem =
+        PlacementProblem::new(4, 2, apps.iter().map(|a| (*a).to_owned()).collect()).expect("valid");
+    let estimator = Estimator::from_map(&problem, &models).expect("valid");
+    let cost = |state: &icm::placement::PlacementState| {
+        estimator.estimate(state).expect("estimates").weighted_total
+    };
+    let (oracle_state, oracle_cost) =
+        exhaustive::exhaustive_best(&problem, cost).expect("enumerates");
+    let result = anneal_unconstrained(
+        &problem,
+        |s| Ok(cost(s)),
+        &AnnealConfig {
+            iterations: 400,
+            ..AnnealConfig::default()
+        },
+    )
+    .expect("search runs");
+    assert!(
+        result.cost <= oracle_cost + 1e-9,
+        "annealer ({}) must reach the oracle optimum ({oracle_cost})",
+        result.cost
+    );
+    // With every host forced to hold {milc, hkm}, all placements tie; the
+    // oracle state is structurally equivalent.
+    assert_eq!(
+        oracle_state.hosts_of(&problem, 0).len(),
+        result.state.hosts_of(&problem, 0).len()
+    );
+}
+
+#[test]
+fn model_guided_best_beats_worst_on_simulator() {
+    let mut tb = TestbedBuilder::new(&Catalog::paper()).seed(47).build();
+    let apps = ["N.mg", "N.cg", "H.KM", "M.lmps"]; // Table 5 HW1
+    let models = build_models(&mut tb, &apps, 4);
+    let problem = PlacementProblem::paper_default(apps.iter().map(|a| (*a).to_owned()).collect())
+        .expect("valid");
+    let estimator = Estimator::from_map(&problem, &models).expect("valid");
+    let placements = icm::placement::find_placements(
+        &estimator,
+        &icm::placement::ThroughputConfig {
+            anneal: AnnealConfig {
+                iterations: 1500,
+                ..AnnealConfig::default()
+            },
+            random_samples: 2,
+        },
+    )
+    .expect("finds");
+    let avg = |tb: &mut SimTestbedAdapter, state| {
+        let mut totals = vec![0.0; 4];
+        for _ in 0..3 {
+            for (t, v) in totals
+                .iter_mut()
+                .zip(measured_times(tb, &problem, &models, state))
+            {
+                *t += v / 3.0;
+            }
+        }
+        totals
+    };
+    let best = avg(&mut tb, &placements.best);
+    let worst = avg(&mut tb, &placements.worst);
+    let speedup = icm::placement::average_speedup(&best, &worst);
+    assert!(
+        speedup > 1.05,
+        "model-guided placement must visibly beat the worst: speedup {speedup:.3}"
+    );
+}
+
+#[test]
+fn duplicate_instance_mix_places_cleanly() {
+    // Table 5's HM3 runs two M.Gems instances: same model object, two
+    // placement entities.
+    let mut tb = TestbedBuilder::new(&Catalog::paper()).seed(53).build();
+    let distinct = ["S.CF", "H.KM", "M.Gems"];
+    let models = build_models(&mut tb, &distinct, 4);
+    let problem = PlacementProblem::paper_default(vec![
+        "S.CF".into(),
+        "H.KM".into(),
+        "M.Gems".into(),
+        "M.Gems".into(),
+    ])
+    .expect("valid");
+    let estimator = Estimator::from_map(&problem, &models).expect("valid");
+    let result = anneal_unconstrained(
+        &problem,
+        |s| Ok(estimator.estimate(s)?.weighted_total),
+        &AnnealConfig {
+            iterations: 500,
+            ..AnnealConfig::default()
+        },
+    )
+    .expect("search runs");
+    // Both Gems instances own 4 distinct hosts each.
+    let gems_a = result.state.hosts_of(&problem, 2);
+    let gems_b = result.state.hosts_of(&problem, 3);
+    assert_eq!(gems_a.len(), 4);
+    assert_eq!(gems_b.len(), 4);
+    // And the ground truth run executes without errors.
+    let times = measured_times(&mut tb, &problem, &models, &result.state);
+    assert_eq!(times.len(), 4);
+    for t in times {
+        assert!(t >= 0.9, "normalized time {t}");
+    }
+}
