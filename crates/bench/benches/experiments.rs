@@ -2,7 +2,7 @@
 //! of paper artifact (in fast mode, so the full suite stays minutes, not
 //! hours).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icm_bench::Bench;
 use icm_experiments::{ExpConfig, Experiment};
 
 fn fast_cfg() -> ExpConfig {
@@ -12,9 +12,8 @@ fn fast_cfg() -> ExpConfig {
     }
 }
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments_fast");
-    group.sample_size(10);
+fn main() {
+    let mut b = Bench::from_args();
     for exp in [
         Experiment::Fig2,
         Experiment::Table3,
@@ -22,12 +21,8 @@ fn bench_experiments(c: &mut Criterion) {
         Experiment::Fig10,
         Experiment::AblationMultiApp,
     ] {
-        group.bench_function(BenchmarkId::new("run", exp.id()), |b| {
-            b.iter(|| exp.run(&fast_cfg()).expect("runs"))
+        b.bench(&format!("experiments_fast/run/{}", exp.id()), || {
+            exp.run(&fast_cfg()).expect("runs")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

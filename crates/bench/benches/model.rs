@@ -1,11 +1,10 @@
 //! Benchmarks of model construction and prediction — the operations a
 //! production scheduler would run on every placement decision.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icm_bench::{black_box, Bench};
 use icm_core::model::ModelBuilder;
 use icm_core::{MappingPolicy, NaiveModel, ProfilingAlgorithm};
 use icm_workloads::{Catalog, TestbedBuilder};
-use std::hint::black_box;
 
 fn built_model() -> icm_core::InterferenceModel {
     let mut testbed = TestbedBuilder::new(&Catalog::paper()).seed(1).build();
@@ -16,56 +15,36 @@ fn built_model() -> icm_core::InterferenceModel {
         .expect("builds")
 }
 
-fn bench_model_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model_build");
-    group.sample_size(10);
+fn main() {
+    let mut b = Bench::from_args();
+
     for (name, algorithm) in [
         ("binary-optimized", ProfilingAlgorithm::BinaryOptimized),
         ("binary-brute", ProfilingAlgorithm::BinaryBrute),
     ] {
-        group.bench_function(BenchmarkId::new("algorithm", name), |b| {
-            b.iter(|| {
-                let mut testbed = TestbedBuilder::new(&Catalog::paper()).seed(1).build();
-                ModelBuilder::new("M.milc")
-                    .algorithm(algorithm)
-                    .policy_samples(12)
-                    .build(&mut testbed)
-                    .expect("builds")
-            })
+        b.bench(&format!("model_build/algorithm/{name}"), || {
+            let mut testbed = TestbedBuilder::new(&Catalog::paper()).seed(1).build();
+            ModelBuilder::new("M.milc")
+                .algorithm(algorithm)
+                .policy_samples(12)
+                .build(&mut testbed)
+                .expect("builds")
         });
     }
-    group.finish();
-}
 
-fn bench_prediction(c: &mut Criterion) {
     let model = built_model();
     let naive = NaiveModel::from_model(&model);
     let pressures = [4.3, 0.0, 2.1, 0.0, 6.6, 0.0, 1.0, 0.2];
-    let mut group = c.benchmark_group("predict");
-    group.bench_function("full_model", |b| {
-        b.iter(|| model.predict(black_box(&pressures)))
+    b.bench("predict/full_model", || {
+        model.predict(black_box(&pressures))
     });
-    group.bench_function("naive_model", |b| {
-        b.iter(|| naive.predict(black_box(&pressures)))
+    b.bench("predict/naive_model", || {
+        naive.predict(black_box(&pressures))
     });
-    group.finish();
-}
 
-fn bench_policy_conversion(c: &mut Criterion) {
-    let pressures = [4.3, 0.0, 2.1, 0.0, 6.6, 0.0, 1.0, 0.2];
-    let mut group = c.benchmark_group("policy_convert");
     for policy in MappingPolicy::ALL {
-        group.bench_function(policy.name(), |b| {
-            b.iter(|| policy.convert(black_box(&pressures)))
+        b.bench(&format!("policy_convert/{}", policy.name()), || {
+            policy.convert(black_box(&pressures))
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_model_build,
-    bench_prediction,
-    bench_policy_conversion
-);
-criterion_main!(benches);

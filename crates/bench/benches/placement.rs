@@ -1,14 +1,12 @@
 //! Benchmarks of the placement machinery: estimate throughput and
 //! annealing-search cost at the paper's problem size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icm_bench::{black_box, Bench};
 use icm_placement::{
     anneal_unconstrained, AnnealConfig, Estimator, PlacementError, PlacementProblem,
     PlacementState, RuntimePredictor,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
+use icm_rng::Rng;
 
 struct Synthetic {
     score: f64,
@@ -52,50 +50,33 @@ fn predictors() -> Vec<Synthetic> {
     ]
 }
 
-fn bench_estimate(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::from_args();
+
     let problem =
         PlacementProblem::paper_default(vec!["a".into(), "b".into(), "c".into(), "d".into()])
             .expect("valid");
     let preds = predictors();
     let refs: Vec<&dyn RuntimePredictor> = preds.iter().map(|p| p as _).collect();
     let estimator = Estimator::new(&problem, refs).expect("valid");
-    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut rng = Rng::from_seed(1);
     let state = PlacementState::random(&problem, &mut rng);
-    c.bench_function("placement/estimate_8x2x4", |b| {
-        b.iter(|| estimator.estimate(black_box(&state)).expect("estimates"))
+    b.bench("placement/estimate_8x2x4", || {
+        estimator.estimate(black_box(&state)).expect("estimates")
     });
-}
 
-fn bench_anneal(c: &mut Criterion) {
-    let problem =
-        PlacementProblem::paper_default(vec!["a".into(), "b".into(), "c".into(), "d".into()])
-            .expect("valid");
-    let preds = predictors();
-    let refs: Vec<&dyn RuntimePredictor> = preds.iter().map(|p| p as _).collect();
-    let estimator = Estimator::new(&problem, refs).expect("valid");
-    let mut group = c.benchmark_group("placement/anneal");
-    group.sample_size(10);
     for iterations in [500usize, 4000] {
-        group.bench_with_input(
-            BenchmarkId::new("iterations", iterations),
-            &iterations,
-            |b, &iterations| {
-                b.iter(|| {
-                    anneal_unconstrained(
-                        &problem,
-                        |s| Ok(estimator.estimate(s)?.weighted_total),
-                        &AnnealConfig {
-                            iterations,
-                            ..AnnealConfig::default()
-                        },
-                    )
-                    .expect("search runs")
-                })
-            },
-        );
+        b.bench(&format!("placement/anneal/iterations/{iterations}"), || {
+            anneal_unconstrained(
+                &problem,
+                |s| Ok(estimator.estimate(s)?.weighted_total),
+                &AnnealConfig {
+                    iterations,
+                    ..AnnealConfig::default()
+                },
+            )
+            .expect("search runs")
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_estimate, bench_anneal);
-criterion_main!(benches);

@@ -1,15 +1,16 @@
 //! Benchmarks of the profiling algorithms (Table 3's subjects): wall
 //! cost here, measured-runs cost in the experiment itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icm_bench::Bench;
 use icm_core::{profile, FnSource, ProfilerConfig, ProfilingAlgorithm};
 
 fn synthetic_truth(pressure: usize, nodes: usize) -> f64 {
     1.0 + 0.12 * pressure as f64 * (nodes as f64 / 8.0).powf(0.3)
 }
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("profiling");
+fn main() {
+    let mut b = Bench::from_args();
+
     for (name, algorithm) in [
         ("binary-optimized", ProfilingAlgorithm::BinaryOptimized),
         ("binary-brute", ProfilingAlgorithm::BinaryBrute),
@@ -17,39 +18,26 @@ fn bench_algorithms(c: &mut Criterion) {
         ("random-50", ProfilingAlgorithm::random50()),
         ("full", ProfilingAlgorithm::Full),
     ] {
-        group.bench_function(BenchmarkId::new("algorithm", name), |b| {
-            b.iter(|| {
-                let mut source = FnSource::new(8, 8, synthetic_truth);
-                profile(&mut source, algorithm, &ProfilerConfig::default()).expect("profiles")
-            })
+        b.bench(&format!("profiling/algorithm/{name}"), || {
+            let mut source = FnSource::new(8, 8, synthetic_truth);
+            profile(&mut source, algorithm, &ProfilerConfig::default()).expect("profiles")
         });
     }
-    group.finish();
-}
 
-fn bench_grid_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("profiling_scale");
     for hosts in [8usize, 32, 128] {
-        group.bench_with_input(
-            BenchmarkId::new("binary_optimized_hosts", hosts),
-            &hosts,
-            |b, &hosts| {
-                b.iter(|| {
-                    let mut source = FnSource::new(8, hosts, |i, j| {
-                        1.0 + 0.1 * i as f64 * (j as f64 / hosts as f64).powf(0.3)
-                    });
-                    profile(
-                        &mut source,
-                        ProfilingAlgorithm::BinaryOptimized,
-                        &ProfilerConfig::default(),
-                    )
-                    .expect("profiles")
-                })
+        b.bench(
+            &format!("profiling_scale/binary_optimized_hosts/{hosts}"),
+            || {
+                let mut source = FnSource::new(8, hosts, |i, j| {
+                    1.0 + 0.1 * i as f64 * (j as f64 / hosts as f64).powf(0.3)
+                });
+                profile(
+                    &mut source,
+                    ProfilingAlgorithm::BinaryOptimized,
+                    &ProfilerConfig::default(),
+                )
+                .expect("profiles")
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_algorithms, bench_grid_scaling);
-criterion_main!(benches);

@@ -1,13 +1,14 @@
 //! Microbenchmarks of the simulation substrate: node contention solving
 //! and distributed-run execution.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icm_bench::{black_box, Bench};
 use icm_simcluster::{execute, Noise, SyncPattern};
 use icm_simnode::{solve_contention, Bubble, MemoryProfile, NodeSpec};
 use icm_workloads::{Catalog, TestbedBuilder};
-use std::hint::black_box;
 
-fn bench_contention(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::from_args();
+
     let node = NodeSpec::xeon_e5_2650();
     let bubble = Bubble::new(node);
     let app = MemoryProfile::builder()
@@ -18,7 +19,6 @@ fn bench_contention(c: &mut Criterion) {
         .bandwidth_sensitivity(0.85)
         .build()
         .expect("valid");
-    let mut group = c.benchmark_group("contention");
     for tenants in [2usize, 4, 8] {
         let profiles: Vec<MemoryProfile> = (0..tenants)
             .map(|i| {
@@ -29,53 +29,35 @@ fn bench_contention(c: &mut Criterion) {
                 }
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("solve", tenants),
-            &profiles,
-            |b, profiles| b.iter(|| solve_contention(&node, black_box(profiles))),
-        );
+        b.bench(&format!("contention/solve/{tenants}"), || {
+            solve_contention(&node, black_box(&profiles))
+        });
     }
-    group.finish();
-}
 
-fn bench_execute(c: &mut Criterion) {
     let noise = Noise::new(1);
     let slowdowns: Vec<f64> = (0..8).map(|i| 1.0 + 0.1 * i as f64).collect();
-    let mut group = c.benchmark_group("execute");
-    group.bench_function("collective_48_phases", |b| {
-        b.iter(|| {
-            execute(
-                SyncPattern::high_propagation(48),
-                black_box(&slowdowns),
-                &noise,
-                0.015,
-                7,
-            )
-        })
+    b.bench("execute/collective_48_phases", || {
+        execute(
+            SyncPattern::high_propagation(48),
+            black_box(&slowdowns),
+            &noise,
+            0.015,
+            7,
+        )
     });
-    group.bench_function("task_queue_120x6", |b| {
-        b.iter(|| {
-            execute(
-                SyncPattern::task_queue(120, 6),
-                black_box(&slowdowns),
-                &noise,
-                0.015,
-                7,
-            )
-        })
+    b.bench("execute/task_queue_120x6", || {
+        execute(
+            SyncPattern::task_queue(120, 6),
+            black_box(&slowdowns),
+            &noise,
+            0.015,
+            7,
+        )
     });
-    group.finish();
-}
 
-fn bench_testbed_run(c: &mut Criterion) {
     let mut testbed = TestbedBuilder::new(&Catalog::paper()).seed(1).build();
     let pressures = vec![4.0; 8];
-    c.bench_function("testbed/run_with_bubbles(M.milc)", |b| {
-        b.iter(|| {
-            icm_core::Testbed::run_app(&mut testbed, "M.milc", black_box(&pressures)).expect("runs")
-        })
+    b.bench("testbed/run_with_bubbles(M.milc)", || {
+        icm_core::Testbed::run_app(&mut testbed, "M.milc", black_box(&pressures)).expect("runs")
     });
 }
-
-criterion_group!(benches, bench_contention, bench_execute, bench_testbed_run);
-criterion_main!(benches);

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 
 /// A single-node interference sensitivity curve: normalized runtime (or
@@ -25,10 +23,12 @@ use crate::error::ModelError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensitivityCurve {
     values: Vec<f64>,
 }
+
+icm_json::impl_json!(struct SensitivityCurve { values });
 
 impl SensitivityCurve {
     /// Creates a curve from values at integer pressures `0..values.len()`.
@@ -218,8 +218,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let c = curve();
-        let json = serde_json::to_string(&c).expect("serialize");
-        let back: SensitivityCurve = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&c);
+        let back: SensitivityCurve = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(c, back);
     }
 }

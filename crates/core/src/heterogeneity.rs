@@ -1,8 +1,6 @@
 //! The four heterogeneity→homogeneity mapping policies of §3.3 and
 //! their sample-based selection.
 
-use serde::{Deserialize, Serialize};
-
 use crate::propagation::PropagationMatrix;
 use crate::stats::Summary;
 
@@ -28,7 +26,7 @@ pub const DEFAULT_TIE_TOLERANCE: f64 = 0.25;
 ///   assumed to reach every node.
 /// * [`Interpolate`](MappingPolicy::Interpolate) — the average pressure
 ///   over all nodes is applied to all nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MappingPolicy {
     /// Count only the top-pressure nodes.
     NMax,
@@ -39,6 +37,15 @@ pub enum MappingPolicy {
     /// Average pressure on every node.
     Interpolate,
 }
+
+icm_json::impl_json!(
+    enum MappingPolicy {
+        NMax,
+        NPlus1Max,
+        AllMax,
+        Interpolate,
+    }
+);
 
 impl MappingPolicy {
     /// All four policies, in the paper's order.
@@ -133,7 +140,7 @@ impl std::fmt::Display for MappingPolicy {
 
 /// A homogeneous interference setting: `nodes` nodes each under
 /// `pressure`; the lookup coordinates for a [`PropagationMatrix`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HomogeneousInterference {
     /// Bubble-equivalent pressure on each interfering node.
     pub pressure: f64,
@@ -141,16 +148,20 @@ pub struct HomogeneousInterference {
     pub nodes: f64,
 }
 
+icm_json::impl_json!(struct HomogeneousInterference { pressure, nodes });
+
 /// Accuracy of one mapping policy over a set of sampled heterogeneous
 /// configurations (one bar group of Fig. 4 / one row candidate of
 /// Table 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyEvaluation {
     /// The evaluated policy.
     pub policy: MappingPolicy,
     /// Per-sample absolute percentage errors.
     pub errors: Summary,
 }
+
+icm_json::impl_json!(struct PolicyEvaluation { policy, errors });
 
 impl PolicyEvaluation {
     /// 99% confidence margin of error of the mean error (the paper's
@@ -378,8 +389,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let policy = MappingPolicy::NPlus1Max;
-        let json = serde_json::to_string(&policy).expect("serialize");
-        let back: MappingPolicy = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&policy);
+        let back: MappingPolicy = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(policy, back);
     }
 }

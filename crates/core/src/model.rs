@@ -1,10 +1,7 @@
 //! The assembled interference-aware performance model (§3.4) and its
 //! builder.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use icm_rng::Rng;
 
 use crate::curve::SensitivityCurve;
 use crate::error::ModelError;
@@ -30,7 +27,7 @@ use crate::testbed::Testbed;
 /// expected normalized execution time.
 ///
 /// Models serialize with serde so a profiled fleet can be persisted.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterferenceModel {
     app: String,
     solo_seconds: f64,
@@ -42,6 +39,18 @@ pub struct InterferenceModel {
     profiling_cost: f64,
     reporter_curve: ReporterCurve,
 }
+
+icm_json::impl_json!(struct InterferenceModel {
+    app,
+    solo_seconds,
+    bubble_score,
+    propagation,
+    policy,
+    policy_evaluations,
+    tie_tolerance,
+    profiling_cost,
+    reporter_curve,
+});
 
 impl InterferenceModel {
     /// Application name.
@@ -157,7 +166,7 @@ impl InterferenceModel {
 /// with a fixed `N+1 max` policy (the best single static choice), and
 /// propagation is assumed *proportional* — interference on `j` of `m`
 /// nodes contributes `j/m` of the full-cluster slowdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NaiveModel {
     app: String,
     solo_seconds: f64,
@@ -166,6 +175,15 @@ pub struct NaiveModel {
     hosts: usize,
     tie_tolerance: f64,
 }
+
+icm_json::impl_json!(struct NaiveModel {
+    app,
+    solo_seconds,
+    bubble_score,
+    full_pressure_curve,
+    hosts,
+    tie_tolerance,
+});
 
 impl NaiveModel {
     /// Derives the naive model from a fully built interference model
@@ -454,7 +472,7 @@ impl ModelBuilder {
         n: usize,
         solo: f64,
     ) -> Result<Vec<(Vec<f64>, f64)>, ModelError> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::from_seed(self.seed);
         let mut samples = Vec::with_capacity(self.policy_samples);
         for _ in 0..self.policy_samples {
             let mut pressures: Vec<f64>;
@@ -741,8 +759,8 @@ mod tests {
     #[test]
     fn serde_round_trip_preserves_behaviour() {
         let (model, _) = build_default();
-        let json = serde_json::to_string(&model).expect("serialize");
-        let back: InterferenceModel = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&model);
+        let back: InterferenceModel = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(model.app(), back.app());
         assert_eq!(model.policy(), back.policy());
         assert_eq!(model.hosts(), back.hosts());

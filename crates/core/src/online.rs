@@ -18,8 +18,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 use crate::model::InterferenceModel;
 
@@ -49,7 +47,7 @@ pub const DEFAULT_CORRECTION_BAND: (f64, f64) = (0.5, 2.0);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OnlineModel {
     base: InterferenceModel,
     alpha: f64,
@@ -59,12 +57,23 @@ pub struct OnlineModel {
     keyed: BTreeMap<String, Correction>,
 }
 
+icm_json::impl_json!(struct OnlineModel {
+    base,
+    alpha,
+    min_correction,
+    max_correction,
+    global,
+    keyed,
+});
+
 /// One EWMA correction state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Correction {
     factor: f64,
     observations: u64,
 }
+
+icm_json::impl_json!(struct Correction { factor, observations });
 
 impl Default for Correction {
     fn default() -> Self {
@@ -305,8 +314,8 @@ mod tests {
         online
             .observe_for("x", &pressures, base * 1.4)
             .expect("valid");
-        let json = serde_json::to_string(&online).expect("serializes");
-        let back: OnlineModel = serde_json::from_str(&json).expect("deserializes");
+        let json = icm_json::to_string(&online);
+        let back: OnlineModel = icm_json::from_str(&json).expect("deserializes");
         assert_eq!(back.correction_for("x"), online.correction_for("x"));
         assert_eq!(back.observations(), online.observations());
     }

@@ -7,10 +7,7 @@
 //! `n × m` settings actually measured (settings with `j = 0` are free —
 //! they are the solo run).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use icm_rng::{Rng, Shuffle};
 
 use crate::error::ModelError;
 use crate::propagation::PropagationMatrix;
@@ -75,7 +72,7 @@ where
 }
 
 /// Which profiling algorithm to use to construct the propagation matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProfilingAlgorithm {
     /// Algorithm 1: binary search along the node axis of *every* pressure
     /// row. Most accurate, most expensive.
@@ -90,6 +87,40 @@ pub enum ProfilingAlgorithm {
     RandomFraction(f64),
     /// Measure every setting (ground truth; cost 100%).
     Full,
+}
+
+impl icm_json::ToJson for ProfilingAlgorithm {
+    fn to_json(&self) -> icm_json::Json {
+        match *self {
+            ProfilingAlgorithm::BinaryBrute => icm_json::Json::String("BinaryBrute".to_owned()),
+            ProfilingAlgorithm::BinaryOptimized => {
+                icm_json::Json::String("BinaryOptimized".to_owned())
+            }
+            ProfilingAlgorithm::Full => icm_json::Json::String("Full".to_owned()),
+            ProfilingAlgorithm::RandomFraction(f) => {
+                icm_json::Json::object([("RandomFraction", f.to_json())])
+            }
+        }
+    }
+}
+
+impl icm_json::FromJson for ProfilingAlgorithm {
+    fn from_json(value: &icm_json::Json) -> Result<Self, icm_json::JsonError> {
+        match value.as_str() {
+            Some("BinaryBrute") => return Ok(ProfilingAlgorithm::BinaryBrute),
+            Some("BinaryOptimized") => return Ok(ProfilingAlgorithm::BinaryOptimized),
+            Some("Full") => return Ok(ProfilingAlgorithm::Full),
+            _ => {}
+        }
+        if let Some(f) = value.get("RandomFraction") {
+            return Ok(ProfilingAlgorithm::RandomFraction(
+                icm_json::FromJson::from_json(f)?,
+            ));
+        }
+        Err(icm_json::JsonError::msg(
+            "unknown ProfilingAlgorithm variant",
+        ))
+    }
 }
 
 impl ProfilingAlgorithm {
@@ -115,7 +146,7 @@ impl ProfilingAlgorithm {
 }
 
 /// Tuning knobs for the profiling algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProfilerConfig {
     /// Binary-search refinement threshold: if two measured endpoints of a
     /// span differ by less than this (normalized time), the interior is
@@ -124,6 +155,8 @@ pub struct ProfilerConfig {
     /// Seed for the random-fraction cell selection.
     pub seed: u64,
 }
+
+icm_json::impl_json!(struct ProfilerConfig { epsilon, seed });
 
 impl Default for ProfilerConfig {
     fn default() -> Self {
@@ -136,7 +169,7 @@ impl Default for ProfilerConfig {
 
 /// Output of a profiling run: the constructed matrix plus cost
 /// accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileResult {
     /// The constructed propagation matrix.
     pub matrix: PropagationMatrix,
@@ -145,6 +178,8 @@ pub struct ProfileResult {
     /// `measured.len() / (n × m)` — the paper's profiling-cost metric.
     pub cost: f64,
 }
+
+icm_json::impl_json!(struct ProfileResult { matrix, measured, cost });
 
 /// Runs `algorithm` against `source` and constructs the propagation
 /// matrix.
@@ -201,7 +236,7 @@ pub fn profile(
             let target = ((fraction * (n * m) as f64).round() as usize).max(n);
             let mut remaining: Vec<(usize, usize)> =
                 (1..=n).flat_map(|i| (1..m).map(move |j| (i, j))).collect();
-            let mut rng = StdRng::seed_from_u64(config.seed);
+            let mut rng = Rng::from_seed(config.seed);
             remaining.shuffle(&mut rng);
             for (i, j) in remaining {
                 if grid.measured_count() >= target {

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 
 /// The interference *propagation* model of one distributed application:
@@ -34,12 +32,14 @@ use crate::error::ModelError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PropagationMatrix {
     /// rows[i][j]: pressure i+1, j interfering nodes; each row has m+1
     /// entries (j = 0..=m).
     rows: Vec<Vec<f64>>,
 }
+
+icm_json::impl_json!(struct PropagationMatrix { rows });
 
 impl PropagationMatrix {
     /// Creates a matrix from rows indexed by pressure − 1; each row holds
@@ -332,8 +332,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let t = matrix();
-        let json = serde_json::to_string(&t).expect("serialize");
-        let back: PropagationMatrix = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&t);
+        let back: PropagationMatrix = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(t, back);
     }
 }

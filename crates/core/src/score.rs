@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::curve::SensitivityCurve;
 use crate::error::ModelError;
 
@@ -29,10 +27,12 @@ use crate::error::ModelError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReporterCurve {
     curve: SensitivityCurve,
 }
+
+icm_json::impl_json!(struct ReporterCurve { curve });
 
 impl ReporterCurve {
     /// Wraps a measured reporter-vs-bubble sensitivity curve.
@@ -188,8 +188,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let c = curve();
-        let json = serde_json::to_string(&c).expect("serialize");
-        let back: ReporterCurve = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&c);
+        let back: ReporterCurve = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(c, back);
     }
 

@@ -1,14 +1,12 @@
 //! Small statistics helpers shared by validation, policy selection and the
 //! experiment harness.
 
-use serde::{Deserialize, Serialize};
-
 /// Z value of the two-sided 99% confidence interval of a normal
 /// distribution; the paper's §3.3 sample-size argument uses this level.
 pub const Z_99: f64 = 2.576;
 
 /// Summary statistics over a set of (typically error) values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of values.
     pub count: usize,
@@ -27,6 +25,8 @@ pub struct Summary {
     /// 75th percentile (linear interpolation).
     pub p75: f64,
 }
+
+icm_json::impl_json!(struct Summary { count, mean, std_dev, min, max, p25, p50, p75 });
 
 impl Summary {
     /// Summarizes `values`.

@@ -11,8 +11,6 @@ use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 use crate::model::InterferenceModel;
 
@@ -30,11 +28,13 @@ pub const STORE_VERSION: u32 = 1;
 /// assert!(store.is_empty());
 /// // store.insert(model); store.save_to(&mut file)?;
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelStore {
     version: u32,
     models: BTreeMap<String, InterferenceModel>,
 }
+
+icm_json::impl_json!(struct ModelStore { version, models });
 
 impl ModelStore {
     /// Creates an empty store.
@@ -97,8 +97,9 @@ impl ModelStore {
     ///
     /// Returns [`ModelError::InvalidData`] on serialization or I/O
     /// failure.
-    pub fn save_to<W: Write>(&self, writer: W) -> Result<(), ModelError> {
-        serde_json::to_writer_pretty(writer, self)
+    pub fn save_to<W: Write>(&self, mut writer: W) -> Result<(), ModelError> {
+        writer
+            .write_all(icm_json::to_string_pretty(self).as_bytes())
             .map_err(|e| ModelError::InvalidData(format!("cannot serialize model store: {e}")))
     }
 
@@ -108,8 +109,12 @@ impl ModelStore {
     ///
     /// Returns [`ModelError::InvalidData`] on parse failure or version
     /// mismatch.
-    pub fn load_from<R: Read>(reader: R) -> Result<Self, ModelError> {
-        let store: Self = serde_json::from_reader(reader)
+    pub fn load_from<R: Read>(mut reader: R) -> Result<Self, ModelError> {
+        let mut text = String::new();
+        reader
+            .read_to_string(&mut text)
+            .map_err(|e| ModelError::InvalidData(format!("cannot read model store: {e}")))?;
+        let store: Self = icm_json::from_str(&text)
             .map_err(|e| ModelError::InvalidData(format!("cannot parse model store: {e}")))?;
         if store.version != STORE_VERSION {
             return Err(ModelError::InvalidData(format!(

@@ -1,12 +1,10 @@
 //! Model validation helpers (§4.3): compare predictions against measured
 //! runtimes and summarize the errors.
 
-use serde::{Deserialize, Serialize};
-
 use crate::stats::{percent_error, Summary};
 
 /// One prediction-vs-measurement pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ValidationPoint {
     /// Model-predicted value (normalized time or seconds — any unit, as
     /// long as both sides agree).
@@ -14,6 +12,8 @@ pub struct ValidationPoint {
     /// Measured value.
     pub actual: f64,
 }
+
+icm_json::impl_json!(struct ValidationPoint { predicted, actual });
 
 impl ValidationPoint {
     /// Absolute percentage error of this point.
@@ -23,13 +23,15 @@ impl ValidationPoint {
 }
 
 /// Validation outcome over a set of points (one bar of Fig. 8).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ValidationReport {
     /// The raw points, in input order.
     pub points: Vec<ValidationPoint>,
     /// Summary of the absolute percentage errors.
     pub errors: Summary,
 }
+
+icm_json::impl_json!(struct ValidationReport { points, errors });
 
 impl ValidationReport {
     /// Builds a report from prediction/measurement pairs.
@@ -118,8 +120,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let report = ValidationReport::from_slices(&[1.1], &[1.0]);
-        let json = serde_json::to_string(&report).expect("serialize");
-        let back: ValidationReport = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&report);
+        let back: ValidationReport = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(report, back);
     }
 }

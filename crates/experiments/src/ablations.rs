@@ -12,7 +12,6 @@ use icm_core::model::ModelBuilder;
 use icm_core::profiling::{profile, profile_full, ProfilerConfig, ProfilingAlgorithm};
 use icm_core::{combine_scores, measure_bubble_score, Testbed};
 use icm_placement::{anneal_unconstrained, AcceptRule, AnnealConfig, Estimator};
-use serde::{Deserialize, Serialize};
 
 use crate::context::{private_testbed, ExpConfig, ExpError};
 use crate::placement_common::MixContext;
@@ -22,7 +21,7 @@ use crate::table::{f2, f3, pct, Table};
 // ---------------------------------------------------------------- A1 --
 
 /// One ε setting's cost/error for one algorithm.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpsilonPoint {
     /// Algorithm name.
     pub algorithm: String,
@@ -34,14 +33,18 @@ pub struct EpsilonPoint {
     pub error_pct: f64,
 }
 
+icm_json::impl_json!(struct EpsilonPoint { algorithm, epsilon, cost_pct, error_pct });
+
 /// A1 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationInterp {
     /// Application profiled.
     pub app: String,
     /// Sweep points.
     pub points: Vec<EpsilonPoint>,
 }
+
+icm_json::impl_json!(struct AblationInterp { app, points });
 
 /// Runs A1: ε sweep of the binary profiling algorithms on `M.milc`.
 ///
@@ -108,7 +111,7 @@ pub fn render_interp(result: &AblationInterp) -> String {
 // ---------------------------------------------------------------- A2 --
 
 /// One search configuration's outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchPoint {
     /// Acceptance rule label.
     pub rule: String,
@@ -118,14 +121,18 @@ pub struct SearchPoint {
     pub predicted_total: f64,
 }
 
+icm_json::impl_json!(struct SearchPoint { rule, iterations, predicted_total });
+
 /// A2 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationSa {
     /// Mix used.
     pub mix: [String; 4],
     /// Sweep points.
     pub points: Vec<SearchPoint>,
 }
+
+icm_json::impl_json!(struct AblationSa { mix, points });
 
 /// Runs A2: SA budget / acceptance-rule sweep on mix HW1.
 ///
@@ -198,7 +205,7 @@ pub fn render_sa(result: &AblationSa) -> String {
 // ---------------------------------------------------------------- A3 --
 
 /// Policy selected at one sample count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SamplePoint {
     /// Sample count.
     pub samples: usize,
@@ -208,8 +215,10 @@ pub struct SamplePoint {
     pub error_pct: f64,
 }
 
+icm_json::impl_json!(struct SamplePoint { samples, policy, error_pct });
+
 /// A3 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationSamples {
     /// Application studied.
     pub app: String,
@@ -218,6 +227,8 @@ pub struct AblationSamples {
     /// Sweep points.
     pub points: Vec<SamplePoint>,
 }
+
+icm_json::impl_json!(struct AblationSamples { app, reference_policy, points });
 
 /// Runs A3: how many heterogeneous samples does policy selection need?
 ///
@@ -273,7 +284,7 @@ pub fn render_samples(result: &AblationSamples) -> String {
 // ---------------------------------------------------------------- A4 --
 
 /// One co-location triple's combined-score validation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CombinePoint {
     /// The two co-located applications.
     pub apps: [String; 2],
@@ -285,14 +296,18 @@ pub struct CombinePoint {
     pub measured_combined: f64,
 }
 
+icm_json::impl_json!(struct CombinePoint { apps, scores, predicted_combined, measured_combined });
+
 /// A4 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationMultiApp {
     /// Validation points.
     pub points: Vec<CombinePoint>,
     /// Mean absolute score error of the rule.
     pub mean_abs_error: f64,
 }
+
+icm_json::impl_json!(struct AblationMultiApp { points, mean_abs_error });
 
 /// Runs A4: validate `combine_scores` (the §4.4 extension) by measuring
 /// the reporter's slowdown under two simultaneous co-runners.

@@ -110,7 +110,7 @@ fn main() -> ExitCode {
             let result = exp
                 .run_json(&cfg)
                 .map_err(|e| e.to_string())
-                .and_then(|value| serde_json::to_string_pretty(&value).map_err(|e| e.to_string()))
+                .map(|value| icm_json::to_string_pretty(&value))
                 .and_then(|text| std::fs::write(&path, text).map_err(|e| e.to_string()));
             match result {
                 Ok(()) => eprintln!("[icm] wrote {}", path.display()),

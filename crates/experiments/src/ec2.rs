@@ -9,10 +9,7 @@ use icm_core::{
     evaluate_policies, measure_bubble_score, PolicyEvaluation, Summary, Testbed,
     DEFAULT_TIE_TOLERANCE,
 };
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use icm_rng::Rng;
 
 use crate::context::{build_models, ec2_testbed, ExpConfig, ExpError};
 use crate::fig8::PairPoint;
@@ -26,7 +23,7 @@ pub const EC2_APPS: [&str; 4] = ["M.milc", "M.Gems", "M.zeus", "M.lu"];
 pub const EC2_NODE_COUNTS: [usize; 8] = [0, 1, 2, 4, 8, 16, 24, 32];
 
 /// Propagation curves for one application on EC2 (Fig. 12).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ec2Curves {
     /// Application name.
     pub app: String,
@@ -38,8 +35,10 @@ pub struct Ec2Curves {
     pub curves: Vec<Vec<f64>>,
 }
 
+icm_json::impl_json!(struct Ec2Curves { app, pressures, node_counts, curves });
+
 /// Best-policy row for Table 6.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ec2Policy {
     /// Application name.
     pub app: String,
@@ -49,8 +48,10 @@ pub struct Ec2Policy {
     pub best: usize,
 }
 
+icm_json::impl_json!(struct Ec2Policy { app, evaluations, best });
+
 /// Pairwise validation per application (Fig. 13).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ec2Validation {
     /// Target application.
     pub app: String,
@@ -60,8 +61,10 @@ pub struct Ec2Validation {
     pub errors: Summary,
 }
 
+icm_json::impl_json!(struct Ec2Validation { app, points, errors });
+
 /// Combined §6 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ec2Result {
     /// Fig. 12 curves.
     pub curves: Vec<Ec2Curves>,
@@ -70,6 +73,8 @@ pub struct Ec2Result {
     /// Fig. 13 validations.
     pub validations: Vec<Ec2Validation>,
 }
+
+icm_json::impl_json!(struct Ec2Result { curves, policies, validations });
 
 /// Runs the full EC2 study.
 ///
@@ -136,7 +141,7 @@ pub fn run(cfg: &ExpConfig) -> Result<Ec2Result, ExpError> {
         let mut source = AppSource::new(&mut testbed, app, hosts, cfg.repeats())?;
         let matrix = profile_full(&mut source)?.matrix;
         let solo = source.solo();
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xEC26);
+        let mut rng = Rng::from_seed(cfg.seed ^ 0xEC26);
         let mut samples = Vec::with_capacity(policy_samples);
         for _ in 0..policy_samples {
             let mut vector: Vec<f64>;

@@ -17,11 +17,8 @@ use icm_core::model::ModelBuilder;
 use icm_core::online::OnlineModel;
 use icm_core::{combine_scores, measure_bubble_score, Testbed};
 use icm_placement::{energy, AnnealConfig, Estimator, PlacementState};
+use icm_rng::Rng;
 use icm_simcluster::{Deployment, PhaseModulation, Placement};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::context::{private_testbed, ExpConfig, ExpError};
 use crate::placement_common::MixContext;
@@ -30,7 +27,7 @@ use crate::table::{f2, f3, pct, Table};
 // --------------------------------------------------------- ext-online --
 
 /// Static vs online error for one co-runner.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OnlinePoint {
     /// Co-runner name.
     pub corunner: String,
@@ -42,14 +39,18 @@ pub struct OnlinePoint {
     pub warmup: usize,
 }
 
+icm_json::impl_json!(struct OnlinePoint { corunner, static_error, online_error, warmup });
+
 /// ext-online output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtOnline {
     /// Target application (M.Gems — the hard case).
     pub app: String,
     /// Per-co-runner comparison.
     pub points: Vec<OnlinePoint>,
 }
+
+icm_json::impl_json!(struct ExtOnline { app, points });
 
 /// Runs ext-online: M.Gems predictions against volatile co-runners,
 /// before and after feeding the online model a handful of observed runs.
@@ -133,7 +134,7 @@ pub fn render_online(result: &ExtOnline) -> String {
 // ------------------------------------------------------- ext-multiapp --
 
 /// One three-tenant co-location validation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiAppPoint {
     /// Target application.
     pub app: String,
@@ -151,8 +152,18 @@ pub struct MultiAppPoint {
     pub pairwise_error: f64,
 }
 
+icm_json::impl_json!(struct MultiAppPoint {
+    app,
+    corunners,
+    actual,
+    combined_prediction,
+    pairwise_prediction,
+    combined_error,
+    pairwise_error,
+});
+
 /// ext-multiapp output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtMultiApp {
     /// Per-triple validations.
     pub points: Vec<MultiAppPoint>,
@@ -161,6 +172,8 @@ pub struct ExtMultiApp {
     /// Mean error of the pairwise fallback.
     pub pairwise_mean: f64,
 }
+
+icm_json::impl_json!(struct ExtMultiApp { points, combined_mean, pairwise_mean });
 
 /// Runs ext-multiapp: three applications fully co-located; predictions
 /// for the target use either the combined score of both co-runners
@@ -252,7 +265,7 @@ pub fn render_multiapp(result: &ExtMultiApp) -> String {
 // --------------------------------------------------------- ext-energy --
 
 /// ext-energy output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtEnergy {
     /// The mix studied.
     pub mix: [String; 4],
@@ -265,6 +278,14 @@ pub struct ExtEnergy {
     /// Measured wasted node-seconds averaged over random placements.
     pub random_measured: f64,
 }
+
+icm_json::impl_json!(struct ExtEnergy {
+    mix,
+    optimized_waste,
+    random_waste,
+    optimized_measured,
+    random_measured,
+});
 
 /// Runs ext-energy: minimize interference-wasted node-seconds for mix
 /// HW2 and verify the saving on the simulator.
@@ -294,7 +315,7 @@ pub fn run_energy(cfg: &ExpConfig) -> Result<ExtEnergy, ExpError> {
     let optimized_waste = optimized.cost;
 
     let samples = if cfg.fast { 3 } else { 8 };
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE6F);
+    let mut rng = Rng::from_seed(cfg.seed ^ 0xE6F);
     let mut random_waste = 0.0;
     let mut random_measured = 0.0;
     for _ in 0..samples {
@@ -357,7 +378,7 @@ pub fn render_energy(result: &ExtEnergy) -> String {
 // --------------------------------------------------------- ext-phases --
 
 /// Static-model error at one phase amplitude.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhasePoint {
     /// Phase-sensitivity amplitude.
     pub amplitude: f64,
@@ -365,14 +386,18 @@ pub struct PhasePoint {
     pub error: f64,
 }
 
+icm_json::impl_json!(struct PhasePoint { amplitude, error });
+
 /// ext-phases output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtPhases {
     /// Base application the variants derive from.
     pub app: String,
     /// Error vs amplitude.
     pub points: Vec<PhasePoint>,
 }
+
+icm_json::impl_json!(struct ExtPhases { app, points });
 
 /// Runs ext-phases: derive phase-modulated variants of `M.milc`, build a
 /// static model for each, and measure how validation error grows with
@@ -420,7 +445,7 @@ pub fn run_phases(cfg: &ExpConfig) -> Result<ExtPhases, ExpError> {
             .seed(cfg.seed)
             .build(&mut testbed)?;
 
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9A5E);
+        let mut rng = Rng::from_seed(cfg.seed ^ 0x9A5E);
         let hosts = model.hosts();
         let mut err_total = 0.0;
         for _ in 0..validations {
@@ -539,7 +564,7 @@ mod tests {
 // ------------------------------------------------------- ext-transfer --
 
 /// Model-transfer error for one application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferPoint {
     /// Application name.
     pub app: String,
@@ -551,12 +576,16 @@ pub struct TransferPoint {
     pub transferred_error: f64,
 }
 
+icm_json::impl_json!(struct TransferPoint { app, native_error, transferred_error });
+
 /// ext-transfer output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtTransfer {
     /// Per-application comparison.
     pub points: Vec<TransferPoint>,
 }
+
+icm_json::impl_json!(struct ExtTransfer { points });
 
 /// Runs ext-transfer: §6 observes that sensitivity curves, policies and
 /// scores "are dependent on physical system configurations" — models
@@ -603,7 +632,7 @@ pub fn run_transfer(cfg: &ExpConfig) -> Result<ExtTransfer, ExpError> {
             .build(&mut dense_tb)?;
 
         // Validate both against fresh measurements on the dense cluster.
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7A45);
+        let mut rng = Rng::from_seed(cfg.seed ^ 0x7A45);
         let hosts = native.hosts();
         let mut native_err = 0.0;
         let mut transferred_err = 0.0;
@@ -678,7 +707,7 @@ mod transfer_tests {
 // ---------------------------------------------------------- ext-scale --
 
 /// Placement quality at one cluster scale.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalePoint {
     /// Hosts in the cluster.
     pub hosts: usize,
@@ -694,12 +723,22 @@ pub struct ScalePoint {
     pub random_speedup: f64,
 }
 
+icm_json::impl_json!(struct ScalePoint {
+    hosts,
+    workloads,
+    log10_states,
+    best_speedup,
+    random_speedup,
+});
+
 /// ext-scale output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtScale {
     /// One point per cluster scale.
     pub points: Vec<ScalePoint>,
 }
+
+icm_json::impl_json!(struct ExtScale { points });
 
 /// Runs ext-scale: the paper evaluates placement on 8 hosts with 4
 /// workloads; here the same machinery drives a 16-host cluster with 8
@@ -870,7 +909,7 @@ mod scale_tests {
 // ------------------------------------------------------ ext-iochannel --
 
 /// ext-iochannel output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtIoChannel {
     /// Memory-bubble score measured for the shuffle-heavy co-runner
     /// (near zero — the bubble cannot see NIC pressure).
@@ -886,6 +925,15 @@ pub struct ExtIoChannel {
     /// Online error (%).
     pub online_error: f64,
 }
+
+icm_json::impl_json!(struct ExtIoChannel {
+    corunner_memory_score,
+    actual,
+    static_prediction,
+    static_error,
+    online_prediction,
+    online_error,
+});
 
 /// Runs ext-iochannel: §2.1 notes the methodology "can be generalized to
 /// different types of interferences such as network and disk I/O

@@ -5,14 +5,13 @@
 //! guarantee actually holds, and at what total-runtime cost.
 
 use icm_placement::{AnnealConfig, Estimator, QosConfig};
-use serde::{Deserialize, Serialize};
 
 use crate::context::{private_testbed, ExpConfig, ExpError};
 use crate::placement_common::MixContext;
 use crate::table::{f2, f3, Table};
 
 /// Outcome of one model's placement for one mix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QosModelOutcome {
     /// `proposed` or `naive`.
     pub model: String,
@@ -26,8 +25,16 @@ pub struct QosModelOutcome {
     pub total: f64,
 }
 
+icm_json::impl_json!(struct QosModelOutcome {
+    model,
+    predicted_target,
+    actual_target,
+    satisfied,
+    total,
+});
+
 /// One mix's results.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QosMixOutcome {
     /// Mix name.
     pub mix: String,
@@ -41,14 +48,18 @@ pub struct QosMixOutcome {
     pub outcomes: Vec<QosModelOutcome>,
 }
 
+icm_json::impl_json!(struct QosMixOutcome { mix, workloads, target, bound, outcomes });
+
 /// Fig. 10 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig10Result {
     /// Per-mix outcomes.
     pub mixes: Vec<QosMixOutcome>,
     /// The QoS fraction used (0.8 in the paper).
     pub qos_fraction: f64,
 }
+
+icm_json::impl_json!(struct Fig10Result { mixes, qos_fraction });
 
 /// Runs the QoS placement study.
 ///

@@ -7,14 +7,13 @@ use icm_placement::{
     anneal_unconstrained, average_speedup, AnnealConfig, Estimator, ThroughputConfig,
 };
 use icm_workloads::{table5_mixes, MixDifficulty};
-use serde::{Deserialize, Serialize};
 
 use crate::context::{private_testbed, ExpConfig, ExpError};
 use crate::placement_common::{MixContext, StrategyOutcome};
 use crate::table::{f3, Table};
 
 /// One mix's measured outcomes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig11Mix {
     /// Mix name (Table 5).
     pub mix: String,
@@ -33,12 +32,24 @@ pub struct Fig11Mix {
     pub naive_speedup: f64,
 }
 
+icm_json::impl_json!(struct Fig11Mix {
+    mix,
+    difficulty,
+    workloads,
+    strategies,
+    best_speedup,
+    random_speedup,
+    naive_speedup,
+});
+
 /// Fig. 11 / Table 5 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig11Result {
     /// Per-mix outcomes.
     pub mixes: Vec<Fig11Mix>,
 }
+
+icm_json::impl_json!(struct Fig11Result { mixes });
 
 /// Runs the throughput placement study.
 ///

@@ -5,13 +5,12 @@
 use icm_core::model::ModelBuilder;
 use icm_core::{measure_bubble_score, NaiveModel, ProfilingAlgorithm, Testbed};
 use icm_simcluster::{Deployment, Placement};
-use serde::{Deserialize, Serialize};
 
 use crate::context::{private_testbed, ExpConfig, ExpError};
 use crate::table::{f3, Table};
 
 /// One bar group of Fig. 2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig2Row {
     /// Number of nodes where `C.libq` instances run.
     pub interfering_nodes: usize,
@@ -21,8 +20,10 @@ pub struct Fig2Row {
     pub real: f64,
 }
 
+icm_json::impl_json!(struct Fig2Row { interfering_nodes, naive_expected, real });
+
 /// Fig. 2 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig2Result {
     /// Target application (`M.lmps`).
     pub app: String,
@@ -33,6 +34,8 @@ pub struct Fig2Result {
     /// Rows for 0..=8 interfering nodes.
     pub rows: Vec<Fig2Row>,
 }
+
+icm_json::impl_json!(struct Fig2Result { app, corunner, corunner_score, rows });
 
 /// Runs the Fig. 2 experiment.
 ///

@@ -3,13 +3,12 @@
 //! from 0 to 8, one curve per bubble pressure 1–8.
 
 use icm_core::Testbed;
-use serde::{Deserialize, Serialize};
 
 use crate::context::{distributed_apps, private_testbed, ExpConfig, ExpError};
 use crate::table::{f3, Table};
 
 /// Curves for one application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3App {
     /// Application name.
     pub app: String,
@@ -22,12 +21,16 @@ pub struct Fig3App {
     pub curves: Vec<Vec<f64>>,
 }
 
+icm_json::impl_json!(struct Fig3App { app, pressures, node_counts, curves });
+
 /// Fig. 3 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3Result {
     /// Per-application curve families.
     pub apps: Vec<Fig3App>,
 }
+
+icm_json::impl_json!(struct Fig3Result { apps });
 
 /// Runs the Fig. 3 measurement (direct testbed runs, no model).
 ///

@@ -4,17 +4,14 @@
 
 use icm_core::profiling::profile_full;
 use icm_core::{evaluate_policies, PolicyEvaluation, Testbed, DEFAULT_TIE_TOLERANCE};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use icm_rng::Rng;
 
 use crate::context::{distributed_apps, private_testbed, ExpConfig, ExpError};
 use crate::profiling_source::AppSource;
 use crate::table::{f2, pct, Table};
 
 /// Policy evaluations for one application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig4App {
     /// Application name.
     pub app: String,
@@ -26,12 +23,16 @@ pub struct Fig4App {
     pub samples: usize,
 }
 
+icm_json::impl_json!(struct Fig4App { app, evaluations, best, samples });
+
 /// Fig. 4 / Table 2 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig4Result {
     /// Per-application evaluations.
     pub apps: Vec<Fig4App>,
 }
+
+icm_json::impl_json!(struct Fig4Result { apps });
 
 /// Runs the heterogeneity study: full-profile each app's propagation
 /// matrix, sample random heterogeneous settings, measure them, and score
@@ -57,7 +58,7 @@ pub fn run(cfg: &ExpConfig) -> Result<Fig4Result, ExpError> {
         let matrix = profile_full(&mut source)?.matrix;
         let solo = source.solo();
 
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF164);
+        let mut rng = Rng::from_seed(cfg.seed ^ 0xF164);
         let mut measured = Vec::with_capacity(samples);
         for _ in 0..samples {
             let mut pressures: Vec<f64>;

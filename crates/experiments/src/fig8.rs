@@ -5,7 +5,6 @@
 use std::collections::BTreeMap;
 
 use icm_core::{measure_bubble_score, InterferenceModel, Summary};
-use serde::{Deserialize, Serialize};
 
 use crate::context::{
     all_apps, build_models, distributed_apps, private_testbed, ExpConfig, ExpError,
@@ -13,7 +12,7 @@ use crate::context::{
 use crate::table::{f3, pct, Table};
 
 /// Validation of one (target, co-runner) pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PairPoint {
     /// Co-runner name.
     pub corunner: String,
@@ -25,8 +24,10 @@ pub struct PairPoint {
     pub error_pct: f64,
 }
 
+icm_json::impl_json!(struct PairPoint { corunner, predicted, actual, error_pct });
+
 /// Validation results for one target application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TargetValidation {
     /// Target (modeled) application.
     pub app: String,
@@ -36,14 +37,18 @@ pub struct TargetValidation {
     pub errors: Summary,
 }
 
+icm_json::impl_json!(struct TargetValidation { app, points, errors });
+
 /// Fig. 8/9 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig8Result {
     /// Per-target validations (Fig. 8 bars with 25–75% whiskers).
     pub targets: Vec<TargetValidation>,
     /// Measured bubble scores used for predictions.
     pub scores: BTreeMap<String, f64>,
 }
+
+icm_json::impl_json!(struct Fig8Result { targets, scores });
 
 /// Runs the pairwise validation.
 ///

@@ -187,9 +187,9 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates the experiment's failure.
-    pub fn run_json(&self, cfg: &ExpConfig) -> Result<serde_json::Value, ExpError> {
-        fn to_value<T: serde::Serialize>(value: &T) -> Result<serde_json::Value, ExpError> {
-            serde_json::to_value(value).map_err(ExpError::new)
+    pub fn run_json(&self, cfg: &ExpConfig) -> Result<icm_json::Json, ExpError> {
+        fn to_value<T: icm_json::ToJson>(value: &T) -> Result<icm_json::Json, ExpError> {
+            Ok(value.to_json())
         }
         match self {
             Experiment::Fig2 => to_value(&fig2::run(cfg)?),
@@ -282,7 +282,7 @@ mod tests {
         };
         let value = Experiment::Fig2.run_json(&cfg).expect("runs");
         assert!(value.get("rows").is_some(), "Fig2Result exposes rows");
-        let text = serde_json::to_string(&value).expect("serializes");
+        let text = icm_json::to_string(&value);
         assert!(text.contains("interfering_nodes"));
     }
 

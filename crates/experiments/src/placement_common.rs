@@ -8,7 +8,6 @@ use icm_core::{InterferenceModel, NaiveModel};
 use icm_placement::{PlacementProblem, PlacementState};
 use icm_simcluster::{Deployment, Placement};
 use icm_workloads::SimTestbedAdapter;
-use serde::{Deserialize, Serialize};
 
 use crate::context::{build_models, ExpConfig, ExpError};
 
@@ -109,7 +108,7 @@ impl MixContext {
 }
 
 /// Measured outcome of one placement strategy on one mix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrategyOutcome {
     /// Strategy label (`best`, `worst`, `random`, `naive`).
     pub strategy: String,
@@ -118,6 +117,8 @@ pub struct StrategyOutcome {
     /// Sum of the normalized runtimes (equal VM weights).
     pub total: f64,
 }
+
+icm_json::impl_json!(struct StrategyOutcome { strategy, times, total });
 
 impl StrategyOutcome {
     /// Bundles measured times under a label.
@@ -136,8 +137,7 @@ mod tests {
     use super::*;
     use crate::context::private_testbed;
     use icm_placement::Estimator;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use icm_rng::Rng;
 
     fn fast_cfg() -> ExpConfig {
         ExpConfig {
@@ -174,7 +174,7 @@ mod tests {
         let mut testbed = private_testbed(&cfg);
         let ctx = MixContext::build(&mut testbed, &mix(), &cfg).expect("builds");
         let estimator = Estimator::new(&ctx.problem, ctx.model_predictors()).expect("valid");
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let state = PlacementState::random(&ctx.problem, &mut rng);
         let predicted = estimator.estimate(&state).expect("estimates");
         let actual = ctx.ground_truth(&mut testbed, &state, &cfg).expect("runs");

@@ -3,14 +3,13 @@
 //! *binary-optimized*, *random-50%*, *random-30%*).
 
 use icm_core::profiling::{profile, profile_full, ProfilerConfig, ProfilingAlgorithm};
-use serde::{Deserialize, Serialize};
 
 use crate::context::{distributed_apps, private_testbed, ExpConfig, ExpError};
 use crate::profiling_source::AppSource;
 use crate::table::{pct, Table};
 
 /// Cost/error of one algorithm on one application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlgoOutcome {
     /// Algorithm display name.
     pub algorithm: String,
@@ -24,8 +23,10 @@ pub struct AlgoOutcome {
     pub cluster_hours: f64,
 }
 
+icm_json::impl_json!(struct AlgoOutcome { algorithm, cost_pct, error_pct, cluster_hours });
+
 /// All four algorithms on one application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3App {
     /// Application name.
     pub app: String,
@@ -34,14 +35,18 @@ pub struct Table3App {
     pub outcomes: Vec<AlgoOutcome>,
 }
 
+icm_json::impl_json!(struct Table3App { app, outcomes });
+
 /// Table 3 / Figs. 6–7 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Result {
     /// Per-application outcomes.
     pub apps: Vec<Table3App>,
     /// Averages over applications (Table 3's rows).
     pub averages: Vec<AlgoOutcome>,
 }
+
+icm_json::impl_json!(struct Table3Result { apps, averages });
 
 fn algorithms() -> Vec<ProfilingAlgorithm> {
     vec![

@@ -2,13 +2,12 @@
 
 use icm_core::measure_bubble_score;
 use icm_workloads::Catalog;
-use serde::{Deserialize, Serialize};
 
 use crate::context::{all_apps, private_testbed, ExpConfig, ExpError};
 use crate::table::{f2, Table};
 
 /// One application's score.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table4Row {
     /// Application name.
     pub app: String,
@@ -18,14 +17,18 @@ pub struct Table4Row {
     pub paper: f64,
 }
 
+icm_json::impl_json!(struct Table4Row { app, measured, paper });
+
 /// Table 4 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table4Result {
     /// Per-application scores.
     pub rows: Vec<Table4Row>,
     /// Spearman rank correlation between measured and paper scores.
     pub rank_correlation: f64,
 }
+
+icm_json::impl_json!(struct Table4Result { rows, rank_correlation });
 
 /// Measures all bubble scores.
 ///

@@ -1,0 +1,376 @@
+//! Strict recursive-descent JSON parser.
+//!
+//! Accepts exactly the JSON grammar (RFC 8259) with three deliberate
+//! tightenings that matter for a scientific store format:
+//!
+//! * duplicate object keys are an error (silently keeping one side hides
+//!   corrupted or hand-edited model files);
+//! * `NaN` / `Infinity` tokens are rejected (they are not JSON, and a
+//!   model containing them is meaningless);
+//! * nesting deeper than [`crate::MAX_DEPTH`] is an error, so corrupt
+//!   input cannot overflow the stack.
+
+use crate::{Json, JsonError, MAX_DEPTH};
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] (with byte offset) on any syntax violation,
+/// duplicate object key, or trailing non-whitespace content.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError::msg(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal (expected `{word}`)")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 (it is a &str) and we only
+                // stopped on ASCII boundaries, so the slice is valid.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let c = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'b' => '\u{08}',
+            b'f' => '\u{0C}',
+            b'u' => return self.unicode_escape(),
+            _ => return Err(self.err("invalid escape character")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let nibble = match d {
+                b'0'..=b'9' => u32::from(d - b'0'),
+                b'a'..=b'f' => u32::from(d - b'a') + 10,
+                b'A'..=b'F' => u32::from(d - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            code = code * 16 + nibble;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        // Surrogate pair handling.
+        if (0xD800..0xDC00).contains(&first) {
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let second = self.hex4()?;
+                if !(0xDC00..0xE000).contains(&second) {
+                    return Err(self.err("invalid low surrogate"));
+                }
+                let combined = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                return char::from_u32(combined).ok_or_else(|| self.err("invalid surrogate pair"));
+            }
+            return Err(self.err("lone high surrogate"));
+        }
+        if (0xDC00..0xE000).contains(&first) {
+            return Err(self.err("lone low surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` or non-zero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number (missing digits)")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("invalid number (missing fraction digits)"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("invalid number (missing exponent digits)"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let slice = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        let n: f64 = slice
+            .parse()
+            .map_err(|_| self.err("number out of representable range"))?;
+        if !n.is_finite() {
+            // e.g. `1e999` overflows to infinity — not a usable model value.
+            return Err(self.err("number overflows f64"));
+        }
+        Ok(Json::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("-12.5e-1").unwrap(), Json::Number(-1.25));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::String("a\nb".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": null}], "c": ""}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Json::String(String::new())));
+        let a = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(a[0], Json::Number(1.0));
+        assert_eq!(a[1].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = parse(r#"{"a":1,"a":2}"#).unwrap_err();
+        assert!(err.to_string().contains("duplicate object key"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nan_and_infinity_tokens() {
+        for bad in ["NaN", "nan", "Infinity", "-Infinity", "inf"] {
+            assert!(parse(bad).is_err(), "{bad} must not parse");
+        }
+        assert!(parse("1e999").is_err(), "overflow to inf must not parse");
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            r#"{"a"}"#,
+            r#"{"a":}"#,
+            "tru",
+            "nul",
+            "-",
+            "1.",
+            "1e",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_json5isms() {
+        for bad in [
+            "1 2",
+            "{} []",
+            "[1,]",
+            "{\"a\":1,}",
+            "'single'",
+            "01",
+            "+1",
+            ".5",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn rejects_overdeep_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.to_string().contains("MAX_DEPTH"), "{err}");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse("\"\\ud83e\\udd80\"").unwrap(),
+            Json::String("🦀".into())
+        );
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        assert_eq!(parse("\"héllo\"").unwrap(), Json::String("héllo".into()));
+    }
+}

@@ -1,0 +1,150 @@
+//! Serialization of [`Json`] trees to text.
+
+use crate::Json;
+
+/// Appends the compact form of `value` to `out`.
+pub(crate) fn write_compact(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Number(n) => write_number(*n, out),
+        Json::String(s) => write_string(s, out),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Object(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Appends the pretty (two-space indented) form of `value` to `out`.
+pub(crate) fn write_pretty(value: &Json, indent: usize, out: &mut String) {
+    match value {
+        Json::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Json::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_string(key, out);
+                out.push_str(": ");
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        leaf => write_compact(leaf, out),
+    }
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Writes a number. Rust's shortest-round-trip `Display` already prints
+/// integer-valued doubles without a fractional part (`2`, not `2.0`) and
+/// never produces locale-dependent output. Non-finite values (which
+/// [`crate::ToJson`] for `f64` should have mapped to null already)
+/// degrade to `null` rather than emitting invalid JSON.
+fn write_number(n: f64, out: &mut String) {
+    if n.is_finite() {
+        // JSON has no negative zero distinct from zero worth preserving,
+        // and `-0` would parse back as `0` anyway; normalize for
+        // byte-stable output across arithmetic that flips the sign bit.
+        let n = if n == 0.0 { 0.0 } else { n };
+        out.push_str(&format!("{n}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compact(v: &Json) -> String {
+        v.to_text()
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(compact(&Json::Null), "null");
+        assert_eq!(compact(&Json::Bool(true)), "true");
+        assert_eq!(compact(&Json::Number(-1.5)), "-1.5");
+        assert_eq!(compact(&Json::Number(-0.0)), "0");
+        assert_eq!(compact(&Json::String("hi".into())), "\"hi\"");
+    }
+
+    #[test]
+    fn control_characters_escape_as_unicode() {
+        assert_eq!(compact(&Json::String("\u{1}".into())), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_matches_expected_layout() {
+        let v = Json::object([
+            ("a", Json::Number(1.0)),
+            ("b", Json::Array(vec![Json::Number(1.0), Json::Null])),
+            ("c", Json::Array(vec![])),
+            ("d", Json::Object(vec![])),
+        ]);
+        assert_eq!(
+            v.to_text_pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    null\n  ],\n  \"c\": [],\n  \"d\": {}\n}\n"
+        );
+    }
+}

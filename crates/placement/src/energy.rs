@@ -10,21 +10,21 @@
 //! Minimizing the cluster-wide waste is a placement objective like any
 //! other, so the same annealer applies.
 
-use serde::{Deserialize, Serialize};
-
 use crate::annealing::{anneal_unconstrained, AnnealConfig, AnnealResult};
 use crate::error::PlacementError;
 use crate::estimator::Estimator;
 use crate::state::PlacementState;
 
 /// Energy accounting for one placement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyEstimate {
     /// Wasted node-seconds per workload instance (problem order).
     pub wasted_per_workload: Vec<f64>,
     /// Total wasted node-seconds across the cluster.
     pub total_wasted: f64,
 }
+
+icm_json::impl_json!(struct EnergyEstimate { wasted_per_workload, total_wasted });
 
 /// Predicts the node-seconds wasted to interference under `state`.
 ///
@@ -74,8 +74,7 @@ mod tests {
     use super::*;
     use crate::estimator::tests::{fake_predictors, fake_problem};
     use crate::estimator::RuntimePredictor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use icm_rng::Rng;
 
     fn estimator_fixture() -> (
         crate::PlacementProblem,
@@ -103,7 +102,7 @@ mod tests {
         let frees = [Free, Free, Free, Free];
         let refs: Vec<&dyn RuntimePredictor> = frees.iter().map(|p| p as _).collect();
         let estimator = Estimator::new(&problem, refs).expect("valid");
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let state = PlacementState::random(&problem, &mut rng);
         let waste = estimate_waste(&estimator, &state).expect("estimates");
         assert_eq!(waste.total_wasted, 0.0);
@@ -138,15 +137,23 @@ mod tests {
             .map(|p| p as &dyn RuntimePredictor)
             .collect();
         let estimator = Estimator::new(&problem, refs).expect("valid");
+        // Metropolis acceptance: the max-coupled sensitive workload makes
+        // strict hill climbing stall in an aggressor-herding local
+        // optimum (see `annealing::tests`), which random placements can
+        // actually beat on average.
         let result = place_min_waste(
             &estimator,
             &AnnealConfig {
                 iterations: 1500,
+                accept: crate::AcceptRule::Metropolis {
+                    initial_temperature: 50.0,
+                    cooling: 0.999,
+                },
                 ..AnnealConfig::default()
             },
         )
         .expect("search runs");
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::from_seed(7);
         let mut random_total = 0.0;
         for _ in 0..10 {
             let state = PlacementState::random(&problem, &mut rng);

@@ -3,7 +3,6 @@
 use std::collections::BTreeMap;
 
 use icm_core::{InterferenceModel, NaiveModel};
-use serde::{Deserialize, Serialize};
 
 use crate::error::PlacementError;
 use crate::state::{PlacementProblem, PlacementState};
@@ -55,7 +54,7 @@ impl RuntimePredictor for NaiveModel {
 }
 
 /// Predicted outcome of one placement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlacementEstimate {
     /// Predicted normalized runtime per workload instance (problem
     /// order).
@@ -65,6 +64,8 @@ pub struct PlacementEstimate {
     /// sum — the Fig. 10 right-axis metric).
     pub weighted_total: f64,
 }
+
+icm_json::impl_json!(struct PlacementEstimate { normalized_times, weighted_total });
 
 impl PlacementEstimate {
     /// Mean normalized runtime.

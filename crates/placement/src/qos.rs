@@ -2,15 +2,13 @@
 //! fraction of its solo performance while minimizing everyone's total
 //! runtime.
 
-use serde::{Deserialize, Serialize};
-
 use crate::annealing::{anneal, AnnealConfig};
 use crate::error::PlacementError;
 use crate::estimator::Estimator;
 use crate::state::PlacementState;
 
 /// QoS placement configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosConfig {
     /// Guaranteed fraction of solo performance (the paper uses 0.8: the
     /// target may run at most 1/0.8 = 1.25× its solo time).
@@ -18,6 +16,8 @@ pub struct QosConfig {
     /// Search configuration.
     pub anneal: AnnealConfig,
 }
+
+icm_json::impl_json!(struct QosConfig { qos_fraction, anneal });
 
 impl Default for QosConfig {
     fn default() -> Self {
@@ -36,7 +36,7 @@ impl QosConfig {
 }
 
 /// Outcome of a QoS-aware placement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QosOutcome {
     /// The chosen placement.
     pub state: PlacementState,
@@ -49,6 +49,14 @@ pub struct QosOutcome {
     /// Predicted weighted total (the Fig. 10 right-axis metric).
     pub predicted_total: f64,
 }
+
+icm_json::impl_json!(struct QosOutcome {
+    state,
+    predicted_satisfied,
+    predicted_target_time,
+    predicted_times,
+    predicted_total,
+});
 
 /// Finds a placement that (per the given predictors) keeps workload
 /// `target` within the QoS bound while minimizing the weighted total

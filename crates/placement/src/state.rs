@@ -1,7 +1,4 @@
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use icm_rng::{Rng, Shuffle};
 
 use crate::error::PlacementError;
 
@@ -25,12 +22,14 @@ use crate::error::PlacementError;
 /// assert_eq!(problem.slots(), 16);
 /// assert_eq!(problem.slots_per_workload(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlacementProblem {
     hosts: usize,
     slots_per_host: usize,
     workloads: Vec<String>,
 }
+
+icm_json::impl_json!(struct PlacementProblem { hosts, slots_per_host, workloads });
 
 impl PlacementProblem {
     /// Creates a problem, validating that the workloads exactly fill the
@@ -129,11 +128,13 @@ impl PlacementProblem {
 /// * every workload occupies exactly `slots_per_workload` slots, and
 /// * no workload occupies two slots of the same host (the paper places
 ///   at most one 4-VM unit of an application per host).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlacementState {
     /// `assignment[slot]` = workload index.
     assignment: Vec<usize>,
 }
+
+icm_json::impl_json!(struct PlacementState { assignment });
 
 impl PlacementState {
     /// Builds a state from an explicit assignment vector.
@@ -186,7 +187,7 @@ impl PlacementState {
     }
 
     /// Draws a uniformly random *valid* state.
-    pub fn random(problem: &PlacementProblem, rng: &mut StdRng) -> Self {
+    pub fn random(problem: &PlacementProblem, rng: &mut Rng) -> Self {
         loop {
             let mut slots: Vec<usize> = (0..problem.workloads().len())
                 .flat_map(|w| std::iter::repeat_n(w, problem.slots_per_workload()))
@@ -263,7 +264,7 @@ impl PlacementState {
     pub fn random_swap(
         &self,
         problem: &PlacementProblem,
-        rng: &mut StdRng,
+        rng: &mut Rng,
         attempts: usize,
     ) -> Option<Self> {
         for _ in 0..attempts {
@@ -280,15 +281,14 @@ impl PlacementState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn problem() -> PlacementProblem {
         PlacementProblem::paper_default(vec!["A".into(), "B".into(), "C".into(), "D".into()])
             .expect("valid")
     }
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1)
+    fn rng() -> Rng {
+        Rng::from_seed(1)
     }
 
     #[test]
@@ -405,8 +405,8 @@ mod tests {
     fn serde_round_trip() {
         let p = problem();
         let state = PlacementState::random(&p, &mut rng());
-        let json = serde_json::to_string(&state).expect("serialize");
-        let back: PlacementState = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&state);
+        let back: PlacementState = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(state, back);
     }
 }

@@ -1,9 +1,7 @@
 //! Placement for overall performance (§5.3): find the best (and, for
 //! comparison, the worst and random) placements of a workload mix.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use icm_rng::Rng;
 
 use crate::annealing::{anneal_unconstrained, AnnealConfig};
 use crate::error::PlacementError;
@@ -11,13 +9,15 @@ use crate::estimator::Estimator;
 use crate::state::PlacementState;
 
 /// Configuration for the throughput-placement study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThroughputConfig {
     /// Search configuration for the best placement.
     pub anneal: AnnealConfig,
     /// Number of random placements to average (the paper uses 5).
     pub random_samples: usize,
 }
+
+icm_json::impl_json!(struct ThroughputConfig { anneal, random_samples });
 
 impl Default for ThroughputConfig {
     fn default() -> Self {
@@ -29,7 +29,7 @@ impl Default for ThroughputConfig {
 }
 
 /// The placements produced for one mix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputPlacements {
     /// Best placement per the predictors (minimum weighted total time).
     pub best: PlacementState,
@@ -39,6 +39,8 @@ pub struct ThroughputPlacements {
     /// Random placements.
     pub randoms: Vec<PlacementState>,
 }
+
+icm_json::impl_json!(struct ThroughputPlacements { best, worst, randoms });
 
 /// Searches for the best and worst placements and draws random ones.
 ///
@@ -67,7 +69,7 @@ pub fn find_placements(
         |state| Ok(-estimator.estimate(state)?.weighted_total),
         &worst_config,
     )?;
-    let mut rng = StdRng::seed_from_u64(config.anneal.seed.wrapping_add(2));
+    let mut rng = Rng::from_seed(config.anneal.seed.wrapping_add(2));
     let randoms = (0..config.random_samples)
         .map(|_| PlacementState::random(estimator.problem(), &mut rng))
         .collect();
@@ -115,11 +117,18 @@ mod tests {
             .map(|p| p as &dyn RuntimePredictor)
             .collect();
         let estimator = Estimator::new(&problem, refs).expect("valid");
+        // Metropolis acceptance: strict hill climbing stalls in an
+        // aggressor-herding local optimum on this fixture (see
+        // `annealing::tests`), which loses to the random-placement mean.
         let placements = find_placements(
             &estimator,
             &ThroughputConfig {
                 anneal: AnnealConfig {
                     iterations: 2000,
+                    accept: crate::AcceptRule::Metropolis {
+                        initial_temperature: 0.5,
+                        cooling: 0.999,
+                    },
                     ..AnnealConfig::default()
                 },
                 random_samples: 5,

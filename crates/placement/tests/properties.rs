@@ -1,12 +1,17 @@
-//! Property-based tests of placement-state invariants and the search.
+//! Property-style tests of placement-state invariants and the search,
+//! driven by seeded deterministic loops over `icm-rng` (vendored; no
+//! external property-testing framework). Each test replays a fixed
+//! pseudo-random case list, so a failure reproduces exactly and prints
+//! its case index.
 
 use icm_placement::{
     anneal_unconstrained, AnnealConfig, Estimator, PlacementError, PlacementProblem,
     PlacementState, RuntimePredictor,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use icm_rng::Rng;
+
+/// Cases per property; the old proptest default was 256.
+const CASES: usize = 256;
 
 #[derive(Debug)]
 struct LinearPredictor {
@@ -38,26 +43,37 @@ fn assert_valid(problem: &PlacementProblem, state: &PlacementState) {
     PlacementState::new(problem, state.assignment().to_vec()).expect("state invariant broken");
 }
 
-proptest! {
-    #[test]
-    fn random_states_always_satisfy_invariants(seed in any::<u64>()) {
+#[test]
+fn random_states_always_satisfy_invariants() {
+    let mut outer = Rng::from_seed(0x91_0001);
+    for case in 0..CASES {
+        let seed = outer.next_u64();
         let problem = paper_problem();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let state = PlacementState::random(&problem, &mut rng);
         assert_valid(&problem, &state);
         for w in 0..4 {
-            prop_assert_eq!(state.slots_of(w).len(), 4);
+            assert_eq!(state.slots_of(w).len(), 4, "case {case}");
             let mut hosts = state.hosts_of(&problem, w);
             hosts.sort_unstable();
             hosts.dedup();
-            prop_assert_eq!(hosts.len(), 4, "workload {} doubled on a host", w);
+            assert_eq!(
+                hosts.len(),
+                4,
+                "case {case}: workload {w} doubled on a host"
+            );
         }
     }
+}
 
-    #[test]
-    fn swap_chains_preserve_invariants(seed in any::<u64>(), swaps in 1usize..40) {
+#[test]
+fn swap_chains_preserve_invariants() {
+    let mut outer = Rng::from_seed(0x91_0002);
+    for _case in 0..CASES {
+        let seed = outer.next_u64();
+        let swaps = outer.gen_range(1..40usize);
         let problem = paper_problem();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let mut state = PlacementState::random(&problem, &mut rng);
         for _ in 0..swaps {
             if let Some(next) = state.random_swap(&problem, &mut rng, 32) {
@@ -66,64 +82,107 @@ proptest! {
         }
         assert_valid(&problem, &state);
     }
+}
 
-    #[test]
-    fn search_never_returns_worse_than_its_start_population(
-        seed in any::<u64>(),
-        scores in prop::collection::vec(0.1..6.0f64, 4),
-        sens in prop::collection::vec(0.0..0.3f64, 4),
-    ) {
+#[test]
+fn search_never_returns_worse_than_its_start_population() {
+    let mut outer = Rng::from_seed(0x91_0003);
+    // The search is the expensive path; 64 cases of 200 iterations each.
+    for case in 0..CASES / 4 {
+        let seed = outer.next_u64();
+        let scores: Vec<f64> = (0..4).map(|_| outer.gen_f64_range(0.1, 6.0)).collect();
+        let sens: Vec<f64> = (0..4).map(|_| outer.gen_f64_range(0.0, 0.3)).collect();
         let problem = paper_problem();
         let predictors: Vec<LinearPredictor> = scores
             .iter()
             .zip(&sens)
             .map(|(&score, &sensitivity)| LinearPredictor { score, sensitivity })
             .collect();
-        let refs: Vec<&dyn RuntimePredictor> =
-            predictors.iter().map(|p| p as &dyn RuntimePredictor).collect();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
         let estimator = Estimator::new(&problem, refs).expect("valid");
         let result = anneal_unconstrained(
             &problem,
             |s| Ok(estimator.estimate(s)?.weighted_total),
-            &AnnealConfig { iterations: 200, seed, ..AnnealConfig::default() },
-        ).expect("search runs");
+            &AnnealConfig {
+                iterations: 200,
+                seed,
+                ..AnnealConfig::default()
+            },
+        )
+        .expect("search runs");
         assert_valid(&problem, &result.state);
         // The returned cost matches re-evaluating the returned state.
-        let recheck = estimator.estimate(&result.state).expect("estimates").weighted_total;
-        prop_assert!((recheck - result.cost).abs() < 1e-9);
+        let recheck = estimator
+            .estimate(&result.state)
+            .expect("estimates")
+            .weighted_total;
+        assert!(
+            (recheck - result.cost).abs() < 1e-9,
+            "case {case}: cost {} does not re-evaluate ({recheck})",
+            result.cost
+        );
         // And a fresh random state (same seed stream) is never better
         // than the search outcome by more than floating noise.
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let start = PlacementState::random(&problem, &mut rng);
-        let start_cost = estimator.estimate(&start).expect("estimates").weighted_total;
-        prop_assert!(result.cost <= start_cost + 1e-9,
-            "search ({}) worse than its own start ({start_cost})", result.cost);
+        let start_cost = estimator
+            .estimate(&start)
+            .expect("estimates")
+            .weighted_total;
+        assert!(
+            result.cost <= start_cost + 1e-9,
+            "case {case}: search ({}) worse than its own start ({start_cost})",
+            result.cost
+        );
     }
+}
 
-    #[test]
-    fn pressures_reference_actual_corunners(seed in any::<u64>()) {
+#[test]
+fn pressures_reference_actual_corunners() {
+    let mut outer = Rng::from_seed(0x91_0004);
+    for case in 0..CASES {
+        let seed = outer.next_u64();
         let problem = paper_problem();
         let predictors = [
-            LinearPredictor { score: 1.0, sensitivity: 0.1 },
-            LinearPredictor { score: 2.0, sensitivity: 0.1 },
-            LinearPredictor { score: 3.0, sensitivity: 0.1 },
-            LinearPredictor { score: 4.0, sensitivity: 0.1 },
+            LinearPredictor {
+                score: 1.0,
+                sensitivity: 0.1,
+            },
+            LinearPredictor {
+                score: 2.0,
+                sensitivity: 0.1,
+            },
+            LinearPredictor {
+                score: 3.0,
+                sensitivity: 0.1,
+            },
+            LinearPredictor {
+                score: 4.0,
+                sensitivity: 0.1,
+            },
         ];
-        let refs: Vec<&dyn RuntimePredictor> =
-            predictors.iter().map(|p| p as &dyn RuntimePredictor).collect();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
         let estimator = Estimator::new(&problem, refs).expect("valid");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let state = PlacementState::random(&problem, &mut rng);
         for w in 0..4 {
             let pressures = estimator.pressures_for(&state, w);
-            prop_assert_eq!(pressures.len(), 4);
+            assert_eq!(pressures.len(), 4, "case {case}");
             for (slot, pressure) in state.slots_of(w).into_iter().zip(&pressures) {
                 match state.corunner_at(&problem, slot) {
                     Some(other) => {
-                        prop_assert!((pressure - (other as f64 + 1.0)).abs() < 1e-12,
-                            "pressure must equal the co-runner's score");
+                        assert!(
+                            (pressure - (other as f64 + 1.0)).abs() < 1e-12,
+                            "case {case}: pressure must equal the co-runner's score"
+                        );
                     }
-                    None => prop_assert_eq!(*pressure, 0.0),
+                    None => assert_eq!(*pressure, 0.0, "case {case}"),
                 }
             }
         }

@@ -1,0 +1,312 @@
+//! Vendored deterministic pseudo-random number generation.
+//!
+//! Every stochastic component of the ICM reproduction — profiling-order
+//! shuffles, annealing move proposals, synthetic background-pressure
+//! sampling, testbed noise — draws from this crate instead of an external
+//! PRNG. The generator is a [xoshiro256++] stream seeded from a single
+//! `u64` through [SplitMix64], both implemented in-tree so that the byte
+//! stream behind every figure in the paper reproduction is a *frozen
+//! contract*: it cannot drift when a third-party crate changes its
+//! algorithm, word-consumption pattern, or range-sampling strategy
+//! between versions.
+//!
+//! The stream contract is pinned by doc-tests on [`Rng::from_seed`] and
+//! exercised by the workspace-level determinism suite
+//! (`tests/determinism.rs`), which asserts byte-identical JSON output for
+//! identical seeds.
+//!
+//! [xoshiro256++]: https://prng.di.unimi.it/
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! # Example
+//!
+//! ```
+//! use icm_rng::{Rng, Shuffle};
+//!
+//! let mut rng = Rng::from_seed(7);
+//! let die = rng.gen_range(1..=6u32);
+//! assert!((1..=6).contains(&die));
+//! let coin = rng.gen_bool(0.5);
+//! let unit = rng.gen_f64();
+//! assert!((0.0..1.0).contains(&unit));
+//! let _ = coin;
+//!
+//! let mut items = vec![1, 2, 3, 4, 5];
+//! items.shuffle(&mut rng);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Used only to expand the one-word seed into the four words of
+/// xoshiro256++ state, exactly as Blackman & Vigna recommend.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ generator.
+///
+/// Construct with [`Rng::from_seed`]; the same seed always yields the
+/// same stream, on every platform, forever. The generator is `Clone`, so
+/// a stream can be forked for what-if exploration without disturbing the
+/// parent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose 256-bit state is expanded from `seed`
+    /// with SplitMix64.
+    ///
+    /// The raw 64-bit output stream is a frozen contract. These are the
+    /// first four words of the seed-42 stream; if this test ever fails,
+    /// the reproduction's figures are no longer comparable across
+    /// versions:
+    ///
+    /// ```
+    /// let mut rng = icm_rng::Rng::from_seed(42);
+    /// assert_eq!(rng.next_u64(), 15021278609987233951);
+    /// assert_eq!(rng.next_u64(), 5881210131331364753);
+    /// assert_eq!(rng.next_u64(), 18149643915985481100);
+    /// assert_eq!(rng.next_u64(), 12933668939759105464);
+    /// ```
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Returns the next raw 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`, using the top 53 bits of one word.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` or `hi` is not finite or `lo > hi`.
+    pub fn gen_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid f64 range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.gen_f64()
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.gen_f64() < p
+    }
+
+    /// Uniform integer below `n` (consumes exactly one stream word).
+    ///
+    /// Uses the widening-multiply range reduction; the bias for the
+    /// `n ≪ 2^64` values used in this workspace is far below measurement
+    /// noise, and fixed word consumption keeps replays aligned.
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform draw from an integer range, e.g. `rng.gen_range(0..10)`
+    /// or `rng.gen_range(1..=6u32)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// An integer range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The integer type produced.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[allow(irrefutable_let_patterns)]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end as u64) - (start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(span + 1) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// In-place Fisher–Yates shuffling driven by a [`Rng`].
+pub trait Shuffle {
+    /// Uniformly permutes `self`.
+    fn shuffle(&mut self, rng: &mut Rng);
+}
+
+impl<T> Shuffle for [T] {
+    fn shuffle(&mut self, rng: &mut Rng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::from_seed(123);
+        let mut b = Rng::from_seed(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::from_seed(1);
+        let mut b = Rng::from_seed(2);
+        assert_ne!((a.next_u64(), a.next_u64()), (b.next_u64(), b.next_u64()));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::from_seed(9);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_roughly_half() {
+        let mut rng = Rng::from_seed(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_f64()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = Rng::from_seed(5);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.gen_range(1..=6u32);
+            assert!((1..=6).contains(&v));
+            seen[(v - 1) as usize] = true;
+            let w = rng.gen_range(0..10usize);
+            assert!(w < 10);
+        }
+        assert!(seen.iter().all(|&s| s), "six-sided die missed a face");
+    }
+
+    #[test]
+    fn singleton_range_is_constant() {
+        let mut rng = Rng::from_seed(6);
+        assert_eq!(rng.gen_range(3..4usize), 3);
+        assert_eq!(rng.gen_range(7..=7u32), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Rng::from_seed(6);
+        let _ = rng.gen_range(3..3usize);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Rng::from_seed(8);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        a.shuffle(&mut Rng::from_seed(11));
+        b.shuffle(&mut Rng::from_seed(11));
+        assert_eq!(a, b, "same seed must give the same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn forked_stream_is_independent() {
+        let mut rng = Rng::from_seed(21);
+        let _ = rng.next_u64();
+        let mut fork = rng.clone();
+        assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+
+    #[test]
+    fn gen_f64_range_spans() {
+        let mut rng = Rng::from_seed(13);
+        for _ in 0..1000 {
+            let x = rng.gen_f64_range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,5 +1,4 @@
 use icm_simnode::MemoryProfile;
-use serde::{Deserialize, Serialize};
 
 use crate::sync::{PhaseModulation, SyncPattern};
 
@@ -9,7 +8,7 @@ use crate::sync::{PhaseModulation, SyncPattern};
 /// Spark have a master/driver that coordinates but processes little data
 /// (§3.4 of the paper), which both lowers the interference the application
 /// generates on that node and removes the node from the worker pool.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MasterBehavior {
     /// Rank 0 is an ordinary worker (MPI style).
     Participates,
@@ -19,6 +18,33 @@ pub enum MasterBehavior {
         /// Fraction of a worker's memory demand the master exerts.
         demand_frac: f64,
     },
+}
+
+impl icm_json::ToJson for MasterBehavior {
+    fn to_json(&self) -> icm_json::Json {
+        match self {
+            MasterBehavior::Participates => icm_json::Json::String("Participates".to_owned()),
+            MasterBehavior::Coordinator { demand_frac } => icm_json::Json::object([(
+                "Coordinator",
+                icm_json::Json::object([("demand_frac", demand_frac.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl icm_json::FromJson for MasterBehavior {
+    fn from_json(value: &icm_json::Json) -> Result<Self, icm_json::JsonError> {
+        if value.as_str() == Some("Participates") {
+            return Ok(MasterBehavior::Participates);
+        }
+        if let Some(body) = value.get("Coordinator") {
+            let fields = icm_json::expect_object(body, "MasterBehavior::Coordinator")?;
+            return Ok(MasterBehavior::Coordinator {
+                demand_frac: icm_json::parse_field(fields, "Coordinator", "demand_frac")?,
+            });
+        }
+        Err(icm_json::JsonError::msg("unknown MasterBehavior variant"))
+    }
 }
 
 /// Full description of one distributed application instance as the
@@ -46,7 +72,7 @@ pub enum MasterBehavior {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppSpec {
     name: String,
     base_runtime_s: f64,
@@ -57,6 +83,17 @@ pub struct AppSpec {
     cpu_volatility: f64,
     phase_modulation: Option<PhaseModulation>,
 }
+
+icm_json::impl_json!(struct AppSpec {
+    name,
+    base_runtime_s,
+    worker_profile,
+    pattern,
+    master,
+    io_sensitivity,
+    cpu_volatility,
+    phase_modulation,
+});
 
 impl AppSpec {
     /// Starts building an application description.
@@ -380,8 +417,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let app = framework_app();
-        let json = serde_json::to_string(&app).expect("serialize");
-        let back: AppSpec = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&app);
+        let back: AppSpec = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(app, back);
     }
 }

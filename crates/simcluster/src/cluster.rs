@@ -1,5 +1,4 @@
 use icm_simnode::NodeSpec;
-use serde::{Deserialize, Serialize};
 
 /// Uncontrolled interference from other tenants sharing the physical
 /// hosts, as on Amazon EC2 (§6 of the paper).
@@ -8,13 +7,15 @@ use serde::{Deserialize, Serialize};
 /// `probability`, at a pressure drawn uniformly from
 /// `[0, max_pressure]`. The profiler cannot observe this interference,
 /// which is exactly why the paper's EC2 models have higher error.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BackgroundTenants {
     /// Per-host probability that a background tenant is active in a run.
     pub probability: f64,
     /// Maximum background bubble pressure.
     pub max_pressure: f64,
 }
+
+icm_json::impl_json!(struct BackgroundTenants { probability, max_pressure });
 
 impl BackgroundTenants {
     /// Creates a background-tenant description.
@@ -53,13 +54,15 @@ impl BackgroundTenants {
 /// assert_eq!(ec2.hosts(), 32);
 /// assert!(ec2.background().is_some(), "EC2 has unobserved co-tenants");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     nodes: Vec<NodeSpec>,
     phase_sigma: f64,
     measurement_sigma: f64,
     background: Option<BackgroundTenants>,
 }
+
+icm_json::impl_json!(struct ClusterSpec { nodes, phase_sigma, measurement_sigma, background });
 
 impl ClusterSpec {
     /// Creates a homogeneous cluster of `hosts` copies of `node`.
@@ -200,8 +203,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let c = ClusterSpec::ec2_32();
-        let json = serde_json::to_string(&c).expect("serialize");
-        let back: ClusterSpec = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&c);
+        let back: ClusterSpec = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(c, back);
     }
 }

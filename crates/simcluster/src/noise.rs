@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Deterministic, addressable noise source.
 ///
 /// Every stochastic effect in the simulator — per-phase execution jitter,
@@ -22,10 +20,12 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a, b, "same address, same draw");
 /// assert!(a > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Noise {
     seed: u64,
 }
+
+icm_json::impl_json!(struct Noise { seed });
 
 /// Noise stream identifiers, used to decorrelate different uses of the
 /// same `(run, unit)` address.

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::noise::{stream, unit_id, Noise};
 
 /// Parallelism/synchronization structure of a distributed application.
@@ -18,7 +16,7 @@ use crate::noise::{stream, unit_id, Noise};
 /// The two variants here implement those coupling mechanisms directly, so
 /// the propagation classes *emerge* from structure rather than being
 /// hard-coded curves.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SyncPattern {
     /// Phased execution with a (partial) barrier after each phase.
     ///
@@ -45,6 +43,44 @@ pub enum SyncPattern {
         /// Number of barrier-separated stages.
         stages: usize,
     },
+}
+
+impl icm_json::ToJson for SyncPattern {
+    fn to_json(&self) -> icm_json::Json {
+        match *self {
+            SyncPattern::Collective { phases, coupling } => icm_json::Json::object([(
+                "Collective",
+                icm_json::Json::object([
+                    ("phases", phases.to_json()),
+                    ("coupling", coupling.to_json()),
+                ]),
+            )]),
+            SyncPattern::TaskQueue { tasks, stages } => icm_json::Json::object([(
+                "TaskQueue",
+                icm_json::Json::object([("tasks", tasks.to_json()), ("stages", stages.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl icm_json::FromJson for SyncPattern {
+    fn from_json(value: &icm_json::Json) -> Result<Self, icm_json::JsonError> {
+        if let Some(body) = value.get("Collective") {
+            let fields = icm_json::expect_object(body, "SyncPattern::Collective")?;
+            return Ok(SyncPattern::Collective {
+                phases: icm_json::parse_field(fields, "Collective", "phases")?,
+                coupling: icm_json::parse_field(fields, "Collective", "coupling")?,
+            });
+        }
+        if let Some(body) = value.get("TaskQueue") {
+            let fields = icm_json::expect_object(body, "SyncPattern::TaskQueue")?;
+            return Ok(SyncPattern::TaskQueue {
+                tasks: icm_json::parse_field(fields, "TaskQueue", "tasks")?,
+                stages: icm_json::parse_field(fields, "TaskQueue", "stages")?,
+            });
+        }
+        Err(icm_json::JsonError::msg("unknown SyncPattern variant"))
+    }
 }
 
 impl SyncPattern {
@@ -106,13 +142,15 @@ impl SyncPattern {
 /// in a square wave of the given `period` (phases per half-wave). Nodes
 /// drift out of alignment run-to-run (data-dependent imbalance), which
 /// is what a single statically profiled model cannot capture.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseModulation {
     /// Fraction by which the excess slowdown swings (0 ≤ amplitude < 1).
     pub amplitude: f64,
     /// Phases per half-wave.
     pub period: usize,
 }
+
+icm_json::impl_json!(struct PhaseModulation { amplitude, period });
 
 impl PhaseModulation {
     /// Validates the modulation parameters.

@@ -3,7 +3,6 @@ use std::error::Error;
 use std::fmt;
 
 use icm_simnode::{solve_contention, Bubble, MemoryProfile};
-use serde::{Deserialize, Serialize};
 
 use crate::app::AppSpec;
 use crate::cluster::ClusterSpec;
@@ -82,7 +81,7 @@ impl fmt::Display for TestbedError {
 impl Error for TestbedError {}
 
 /// One application's assignment to a set of hosts.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
     /// Application (catalog) name.
     pub app: String,
@@ -90,6 +89,8 @@ pub struct Placement {
     /// is the master for applications with a coordinator master.
     pub hosts: Vec<usize>,
 }
+
+icm_json::impl_json!(struct Placement { app, hosts });
 
 impl Placement {
     /// Convenience constructor.
@@ -103,7 +104,7 @@ impl Placement {
 
 /// A full experiment configuration: which applications run where, plus an
 /// optional bubble pressure per host.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Deployment {
     /// Application placements (may co-locate multiple apps on a host).
     pub placements: Vec<Placement>,
@@ -111,6 +112,8 @@ pub struct Deployment {
     /// anywhere.
     pub bubbles: Vec<f64>,
 }
+
+icm_json::impl_json!(struct Deployment { placements, bubbles });
 
 impl Deployment {
     /// A deployment with the given placements and no bubbles.
@@ -123,7 +126,7 @@ impl Deployment {
 }
 
 /// Result of one application's run within a deployment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppRun {
     /// Application name.
     pub app: String,
@@ -131,14 +134,18 @@ pub struct AppRun {
     pub seconds: f64,
 }
 
+icm_json::impl_json!(struct AppRun { app, seconds });
+
 /// Cumulative accounting of simulated work, used to report profiling cost.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TestbedStats {
     /// Number of deployment executions (each is "one experiment run").
     pub runs: u64,
     /// Total simulated application-seconds across all runs.
     pub simulated_seconds: f64,
 }
+
+icm_json::impl_json!(struct TestbedStats { runs, simulated_seconds });
 
 /// The simulated consolidated cluster the paper's methodology is exercised
 /// against.

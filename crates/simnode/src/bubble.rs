@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::process::MemoryProfile;
 use crate::spec::NodeSpec;
 
@@ -18,7 +16,7 @@ pub const MAX_PRESSURE: u8 = 8;
 /// similarly for bandwidth. The defaults are calibrated so that pressure 8
 /// overwhelms the LLC of the default host about two-fold and consumes a
 /// large share of its memory bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BubbleScale {
     /// Working-set fraction of LLC at pressure 0⁺.
     pub ws_base_frac: f64,
@@ -39,6 +37,17 @@ pub struct BubbleScale {
     /// Bandwidth-stall exponent of the reporter bubble.
     pub bandwidth_sensitivity: f64,
 }
+
+icm_json::impl_json!(struct BubbleScale {
+    ws_base_frac,
+    ws_doubling,
+    bw_base_frac,
+    bw_doubling,
+    access_weight,
+    miss_bw_frac,
+    cache_sensitivity,
+    bandwidth_sensitivity,
+});
 
 impl Default for BubbleScale {
     fn default() -> Self {
@@ -75,11 +84,13 @@ impl Default for BubbleScale {
 /// assert!(severe.working_set_mb() > mild.working_set_mb());
 /// assert!(severe.bandwidth_gbps() > mild.bandwidth_gbps());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bubble {
     node: NodeSpec,
     scale: BubbleScale,
 }
+
+icm_json::impl_json!(struct Bubble { node, scale });
 
 impl Bubble {
     /// Creates a bubble generator calibrated for `node` with default
@@ -251,8 +262,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let b = bubble();
-        let json = serde_json::to_string(&b).expect("serialize");
-        let back: Bubble = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&b);
+        let back: Bubble = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(b, back);
     }
 }

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::process::MemoryProfile;
 use crate::spec::NodeSpec;
 
@@ -12,7 +10,7 @@ const CONFLICT_COEF: f64 = 0.28;
 ///
 /// Produced by [`solve_contention_detailed`]; most callers only need the
 /// slowdowns from [`solve_contention`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContentionOutcome {
     /// Per-process slowdown factor (≥ 1).
     pub slowdowns: Vec<f64>,
@@ -27,6 +25,14 @@ pub struct ContentionOutcome {
     /// bandwidth (> 1 = NIC saturated).
     pub network_pressure: f64,
 }
+
+icm_json::impl_json!(struct ContentionOutcome {
+    slowdowns,
+    miss_fractions,
+    traffic_gbps,
+    bandwidth_pressure,
+    network_pressure,
+});
 
 /// Computes the slowdown each co-located process experiences.
 ///

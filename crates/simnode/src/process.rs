@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::error::ProfileError;
 
 /// Memory-system behaviour of one process (or aggregated set of VMs of the
@@ -39,7 +37,7 @@ use crate::error::ProfileError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryProfile {
     working_set_mb: f64,
     access_weight: f64,
@@ -47,11 +45,20 @@ pub struct MemoryProfile {
     miss_bandwidth_gbps: f64,
     cache_sensitivity: f64,
     bandwidth_sensitivity: f64,
-    #[serde(default)]
     net_gbps: f64,
-    #[serde(default)]
     net_sensitivity: f64,
 }
+
+icm_json::impl_json!(struct MemoryProfile {
+    working_set_mb,
+    access_weight,
+    bandwidth_gbps,
+    miss_bandwidth_gbps,
+    cache_sensitivity,
+    bandwidth_sensitivity,
+    net_gbps = Default::default(),
+    net_sensitivity = Default::default(),
+});
 
 impl MemoryProfile {
     /// Starts building a profile. Fields default to a modest,
@@ -340,8 +347,8 @@ mod tests {
             .net_sensitivity(0.8)
             .build()
             .expect("valid");
-        let json = serde_json::to_string(&p).expect("serialize");
-        let back: MemoryProfile = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&p);
+        let back: MemoryProfile = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(p, back);
     }
 

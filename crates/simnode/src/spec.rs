@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Hardware description of one physical host node.
 ///
 /// Only the resources that matter for the interference model are captured:
@@ -15,14 +13,15 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(node.cores(), 16);
 /// assert!(node.llc_mb() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeSpec {
     cores: usize,
     llc_mb: f64,
     membw_gbps: f64,
-    #[serde(default = "default_net_gbps")]
     net_gbps: f64,
 }
+
+icm_json::impl_json!(struct NodeSpec { cores, llc_mb, membw_gbps, net_gbps = default_net_gbps() });
 
 /// Default NIC bandwidth: the paper's 10 GbE interconnect (~1.25 GB/s).
 fn default_net_gbps() -> f64 {
@@ -177,8 +176,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let node = NodeSpec::new(8, 12.5, 34.0).with_net_gbps(2.5);
-        let json = serde_json::to_string(&node).expect("serialize");
-        let back: NodeSpec = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&node);
+        let back: NodeSpec = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(node, back);
     }
 
@@ -199,7 +198,7 @@ mod tests {
     #[test]
     fn legacy_serialized_nodes_deserialize_with_default_nic() {
         let json = r#"{"cores":8,"llc_mb":12.5,"membw_gbps":34.0}"#;
-        let node: NodeSpec = serde_json::from_str(json).expect("deserialize");
+        let node: NodeSpec = icm_json::from_str(json).expect("deserialize");
         assert!((node.net_gbps() - 1.25).abs() < 1e-12);
     }
 }

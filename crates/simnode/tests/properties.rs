@@ -1,105 +1,134 @@
-//! Property-based tests of the contention model's invariants.
+//! Property-style tests of the contention model's invariants, driven by
+//! seeded deterministic loops over `icm-rng` (vendored; no external
+//! property-testing framework). Each test replays a fixed pseudo-random
+//! case list, so a failure reproduces exactly and prints its case index.
 
+use icm_rng::Rng;
 use icm_simnode::{solve_contention, solve_contention_detailed, Bubble, MemoryProfile, NodeSpec};
-use proptest::prelude::*;
 
-fn arb_profile() -> impl Strategy<Value = MemoryProfile> {
-    (
-        0.0..120.0f64, // working set
-        0.1..3.0f64,   // access weight
-        0.0..60.0f64,  // bandwidth
-        0.0..50.0f64,  // miss bandwidth
-        0.0..2.0f64,   // cache sensitivity
-        0.0..1.5f64,   // bandwidth sensitivity
-    )
-        .prop_map(|(ws, aw, bw, mbw, cs, bs)| {
-            MemoryProfile::builder()
-                .working_set_mb(ws)
-                .access_weight(aw)
-                .bandwidth_gbps(bw)
-                .miss_bandwidth_gbps(mbw)
-                .cache_sensitivity(cs)
-                .bandwidth_sensitivity(bs)
-                .build()
-                .expect("all sampled values are valid")
-        })
+/// Cases per property; the old proptest default was 256.
+const CASES: usize = 256;
+
+fn random_profile(rng: &mut Rng) -> MemoryProfile {
+    MemoryProfile::builder()
+        .working_set_mb(rng.gen_f64_range(0.0, 120.0))
+        .access_weight(rng.gen_f64_range(0.1, 3.0))
+        .bandwidth_gbps(rng.gen_f64_range(0.0, 60.0))
+        .miss_bandwidth_gbps(rng.gen_f64_range(0.0, 50.0))
+        .cache_sensitivity(rng.gen_f64_range(0.0, 2.0))
+        .bandwidth_sensitivity(rng.gen_f64_range(0.0, 1.5))
+        .build()
+        .expect("all sampled values are valid")
 }
 
-proptest! {
-    #[test]
-    fn slowdowns_are_at_least_one_and_finite(
-        profiles in prop::collection::vec(arb_profile(), 0..6)
-    ) {
-        let node = NodeSpec::xeon_e5_2650();
+fn random_profiles(rng: &mut Rng, min: usize, max_exclusive: usize) -> Vec<MemoryProfile> {
+    let n = rng.gen_range(min..max_exclusive);
+    (0..n).map(|_| random_profile(rng)).collect()
+}
+
+#[test]
+fn slowdowns_are_at_least_one_and_finite() {
+    let node = NodeSpec::xeon_e5_2650();
+    let mut rng = Rng::from_seed(0x51_0001);
+    for case in 0..CASES {
+        let profiles = random_profiles(&mut rng, 0, 6);
         for sd in solve_contention(&node, &profiles) {
-            prop_assert!(sd.is_finite());
-            prop_assert!(sd >= 1.0 - 1e-12, "slowdown {sd} below 1");
+            assert!(sd.is_finite(), "case {case}: non-finite slowdown");
+            assert!(sd >= 1.0 - 1e-12, "case {case}: slowdown {sd} below 1");
         }
     }
+}
 
-    #[test]
-    fn miss_fractions_bounded_and_shares_within_demand(
-        profiles in prop::collection::vec(arb_profile(), 1..6)
-    ) {
-        let node = NodeSpec::xeon_e5_2650();
+#[test]
+fn miss_fractions_bounded_and_shares_within_demand() {
+    let node = NodeSpec::xeon_e5_2650();
+    let mut rng = Rng::from_seed(0x51_0002);
+    for case in 0..CASES {
+        let profiles = random_profiles(&mut rng, 1, 6);
         let out = solve_contention_detailed(&node, &profiles);
         for (&miss, p) in out.miss_fractions.iter().zip(&profiles) {
-            prop_assert!((0.0..=1.0).contains(&miss));
+            assert!(
+                (0.0..=1.0).contains(&miss),
+                "case {case}: miss fraction {miss} out of bounds"
+            );
             if p.working_set_mb() == 0.0 {
-                prop_assert_eq!(miss, 0.0);
+                assert_eq!(miss, 0.0, "case {case}: footprint-free process missed");
             }
         }
-        prop_assert!(out.bandwidth_pressure >= 0.0);
+        assert!(out.bandwidth_pressure >= 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn adding_a_corunner_never_speeds_anyone_up(
-        base in prop::collection::vec(arb_profile(), 1..4),
-        extra in arb_profile()
-    ) {
-        let node = NodeSpec::xeon_e5_2650();
+#[test]
+fn adding_a_corunner_never_speeds_anyone_up() {
+    let node = NodeSpec::xeon_e5_2650();
+    let mut rng = Rng::from_seed(0x51_0003);
+    for case in 0..CASES {
+        let base = random_profiles(&mut rng, 1, 4);
+        let extra = random_profile(&mut rng);
         let before = solve_contention(&node, &base);
         let mut bigger = base.clone();
         bigger.push(extra);
         let after = solve_contention(&node, &bigger);
         for (b, a) in before.iter().zip(&after) {
-            prop_assert!(a >= &(b - 1e-9), "speedup from adding a co-runner: {b} → {a}");
+            assert!(
+                a >= &(b - 1e-9),
+                "case {case}: speedup from adding a co-runner: {b} → {a}"
+            );
         }
     }
+}
 
-    #[test]
-    fn victim_slowdown_monotone_in_bubble_pressure(
-        victim in arb_profile(),
-        lo in 0.0..8.0f64,
-        delta in 0.0..4.0f64,
-    ) {
-        let node = NodeSpec::xeon_e5_2650();
-        let bubble = Bubble::new(node);
+#[test]
+fn victim_slowdown_monotone_in_bubble_pressure() {
+    let node = NodeSpec::xeon_e5_2650();
+    let bubble = Bubble::new(node);
+    let mut rng = Rng::from_seed(0x51_0004);
+    for case in 0..CASES {
+        let victim = random_profile(&mut rng);
+        let lo = rng.gen_f64_range(0.0, 8.0);
+        let delta = rng.gen_f64_range(0.0, 4.0);
         let at = |p: f64| solve_contention(&node, &[victim, bubble.profile_at(p)])[0];
-        prop_assert!(at(lo + delta) >= at(lo) - 1e-9);
+        assert!(
+            at(lo + delta) >= at(lo) - 1e-9,
+            "case {case}: pressure increase sped the victim up"
+        );
     }
+}
 
-    #[test]
-    fn contention_is_permutation_stable(
-        profiles in prop::collection::vec(arb_profile(), 2..5),
-    ) {
-        let node = NodeSpec::xeon_e5_2650();
+#[test]
+fn contention_is_permutation_stable() {
+    let node = NodeSpec::xeon_e5_2650();
+    let mut rng = Rng::from_seed(0x51_0005);
+    for case in 0..CASES {
+        let profiles = random_profiles(&mut rng, 2, 5);
         let forward = solve_contention(&node, &profiles);
         let mut reversed_profiles = profiles.clone();
         reversed_profiles.reverse();
         let mut reversed = solve_contention(&node, &reversed_profiles);
         reversed.reverse();
         for (f, r) in forward.iter().zip(&reversed) {
-            prop_assert!((f - r).abs() < 1e-9, "order dependence: {f} vs {r}");
+            assert!(
+                (f - r).abs() < 1e-9,
+                "case {case}: order dependence: {f} vs {r}"
+            );
         }
     }
+}
 
-    #[test]
-    fn scaled_demand_zero_is_harmless(victim in arb_profile(), other in arb_profile()) {
-        let node = NodeSpec::xeon_e5_2650();
+#[test]
+fn scaled_demand_zero_is_harmless() {
+    let node = NodeSpec::xeon_e5_2650();
+    let mut rng = Rng::from_seed(0x51_0006);
+    for case in 0..CASES {
+        let victim = random_profile(&mut rng);
+        let other = random_profile(&mut rng);
         let ghost = other.scaled_demand(0.0);
         let alone = solve_contention(&node, &[victim])[0];
         let with_ghost = solve_contention(&node, &[victim, ghost])[0];
-        prop_assert!((alone - with_ghost).abs() < 1e-9);
+        assert!(
+            (alone - with_ghost).abs() < 1e-9,
+            "case {case}: zero-demand ghost changed the victim"
+        );
     }
 }

@@ -2,13 +2,11 @@
 //! throughput-placement mixes of Table 5, and four QoS mixes in the style
 //! of Fig. 10.
 
-use serde::{Deserialize, Serialize};
-
 use crate::catalog::Catalog;
 
 /// Expected spread between the best and worst placement of a mix
 /// (Table 5's grouping).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MixDifficulty {
     /// ≥ 20% best-to-worst performance difference.
     High,
@@ -18,8 +16,16 @@ pub enum MixDifficulty {
     Low,
 }
 
+icm_json::impl_json!(
+    enum MixDifficulty {
+        High,
+        Medium,
+        Low,
+    }
+);
+
 /// A named four-workload combination placed together on the cluster.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mix {
     /// Mix identifier from Table 5 (e.g. `"HW1"`).
     pub name: String,
@@ -28,6 +34,8 @@ pub struct Mix {
     /// Expected best-vs-worst spread class.
     pub difficulty: MixDifficulty,
 }
+
+icm_json::impl_json!(struct Mix { name, workloads, difficulty });
 
 impl Mix {
     fn new(name: &str, workloads: [&str; 4], difficulty: MixDifficulty) -> Self {
@@ -68,13 +76,15 @@ pub fn table5_mixes() -> Vec<Mix> {
 
 /// A QoS scenario: a mix plus the workload whose performance is
 /// guaranteed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QosMix {
     /// The underlying mix.
     pub mix: Mix,
     /// Name of the mission-critical workload (must be in the mix).
     pub target: String,
 }
+
+icm_json::impl_json!(struct QosMix { mix, target });
 
 /// Four QoS mixes in the style of Fig. 10.
 ///
@@ -164,8 +174,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let mixes = table5_mixes();
-        let json = serde_json::to_string(&mixes).expect("serialize");
-        let back: Vec<Mix> = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&mixes);
+        let back: Vec<Mix> = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(mixes, back);
     }
 }

@@ -1,8 +1,7 @@
 use icm_simcluster::AppSpec;
-use serde::{Deserialize, Serialize};
 
 /// Benchmark-suite family of a workload (Table 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadType {
     /// SPEC MPI2007 — tightly coupled MPI codes.
     SpecMpi,
@@ -16,6 +15,16 @@ pub enum WorkloadType {
     SpecCpu,
 }
 
+icm_json::impl_json!(
+    enum WorkloadType {
+        SpecMpi,
+        Npb,
+        Hadoop,
+        Spark,
+        SpecCpu,
+    }
+);
+
 impl WorkloadType {
     /// Whether workloads of this type are distributed parallel
     /// applications (everything except SPEC CPU2006).
@@ -25,7 +34,7 @@ impl WorkloadType {
 }
 
 /// The paper's qualitative interference-propagation classes (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PropagationClass {
     /// Interference in one or two nodes already delays the whole run
     /// (barrier/allreduce-heavy codes).
@@ -38,10 +47,18 @@ pub enum PropagationClass {
     Low,
 }
 
+icm_json::impl_json!(
+    enum PropagationClass {
+        High,
+        Proportional,
+        Low,
+    }
+);
+
 /// Reference values reported by the paper for one workload, used to
 /// check that the synthetic catalog reproduces the right *phenotype*
 /// (not to drive any model logic).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaperReference {
     /// Bubble score from Table 4.
     pub bubble_score: f64,
@@ -52,14 +69,18 @@ pub struct PaperReference {
     pub max_flavored_policy: bool,
 }
 
+icm_json::impl_json!(struct PaperReference { bubble_score, propagation, max_flavored_policy });
+
 /// One catalog entry: the executable application description plus its
 /// suite metadata and the paper's reference phenotype.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     app: AppSpec,
     workload_type: WorkloadType,
     reference: PaperReference,
 }
+
+icm_json::impl_json!(struct WorkloadSpec { app, workload_type, reference });
 
 impl WorkloadSpec {
     /// Bundles an application description with its metadata.
@@ -141,8 +162,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let w = spec();
-        let json = serde_json::to_string(&w).expect("serialize");
-        let back: WorkloadSpec = serde_json::from_str(&json).expect("deserialize");
+        let json = icm_json::to_string(&w);
+        let back: WorkloadSpec = icm_json::from_str(&json).expect("deserialize");
         assert_eq!(w, back);
     }
 }

@@ -1,21 +1,30 @@
-//! Property-based tests of the workload catalog and synthetic builder.
+//! Property-style tests of the workload catalog and synthetic builder,
+//! driven by seeded deterministic loops over `icm-rng` (vendored; no
+//! external property-testing framework).
 
+use icm_rng::Rng;
 use icm_workloads::{Catalog, PropagationClass, SyntheticWorkload};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn synthetic_builder_is_total_over_valid_knobs(
-        intensity in 0.0..=1.0f64,
-        sensitivity in 0.0..=1.0f64,
-        framework in any::<bool>(),
-        class in prop_oneof![
-            Just(PropagationClass::High),
-            Just(PropagationClass::Proportional),
-            Just(PropagationClass::Low),
-        ],
-        runtime in 10.0..2000.0f64,
-    ) {
+/// Cases per property; the old proptest default was 256.
+const CASES: usize = 256;
+
+fn random_class(rng: &mut Rng) -> PropagationClass {
+    match rng.gen_range(0..3u32) {
+        0 => PropagationClass::High,
+        1 => PropagationClass::Proportional,
+        _ => PropagationClass::Low,
+    }
+}
+
+#[test]
+fn synthetic_builder_is_total_over_valid_knobs() {
+    let mut rng = Rng::from_seed(0x30_0001);
+    for case in 0..CASES {
+        let intensity = rng.gen_f64_range(0.0, 1.0);
+        let sensitivity = rng.gen_f64_range(0.0, 1.0);
+        let framework = rng.gen_bool(0.5);
+        let class = random_class(&mut rng);
+        let runtime = rng.gen_f64_range(10.0, 2000.0);
         let workload = SyntheticWorkload::new("syn")
             .intensity(intensity)
             .sensitivity(sensitivity)
@@ -25,24 +34,41 @@ proptest! {
             .build()
             .expect("valid knobs always build");
         let profile = workload.app().worker_profile();
-        prop_assert!(profile.working_set_mb() > 0.0);
-        prop_assert!(profile.cache_sensitivity() >= 0.3);
-        prop_assert!(workload.app().base_runtime_s() == runtime);
+        assert!(profile.working_set_mb() > 0.0, "case {case}");
+        assert!(profile.cache_sensitivity() >= 0.3, "case {case}");
+        assert!(workload.app().base_runtime_s() == runtime, "case {case}");
     }
+}
 
-    #[test]
-    fn synthetic_builder_rejects_out_of_range_knobs(
-        bad in prop_oneof![(-10.0..-0.001f64), (1.001..10.0f64)],
-    ) {
-        prop_assert!(SyntheticWorkload::new("x").intensity(bad).build().is_err());
-        prop_assert!(SyntheticWorkload::new("x").sensitivity(bad).build().is_err());
+#[test]
+fn synthetic_builder_rejects_out_of_range_knobs() {
+    let mut rng = Rng::from_seed(0x30_0002);
+    for case in 0..CASES {
+        let bad = if rng.gen_bool(0.5) {
+            rng.gen_f64_range(-10.0, -0.001)
+        } else {
+            rng.gen_f64_range(1.001, 10.0)
+        };
+        assert!(
+            SyntheticWorkload::new("x").intensity(bad).build().is_err(),
+            "case {case}: intensity {bad} must be rejected"
+        );
+        assert!(
+            SyntheticWorkload::new("x")
+                .sensitivity(bad)
+                .build()
+                .is_err(),
+            "case {case}: sensitivity {bad} must be rejected"
+        );
     }
+}
 
-    #[test]
-    fn synthetic_demand_monotone_in_intensity(
-        lo in 0.0..=0.5f64,
-        delta in 0.01..=0.5f64,
-    ) {
+#[test]
+fn synthetic_demand_monotone_in_intensity() {
+    let mut rng = Rng::from_seed(0x30_0003);
+    for case in 0..CASES {
+        let lo = rng.gen_f64_range(0.0, 0.5);
+        let delta = rng.gen_f64_range(0.01, 0.5);
         let build = |i: f64| {
             SyntheticWorkload::new("x")
                 .intensity(i)
@@ -53,8 +79,8 @@ proptest! {
         };
         let low = build(lo);
         let high = build(lo + delta);
-        prop_assert!(high.working_set_mb() > low.working_set_mb());
-        prop_assert!(high.bandwidth_gbps() > low.bandwidth_gbps());
+        assert!(high.working_set_mb() > low.working_set_mb(), "case {case}");
+        assert!(high.bandwidth_gbps() > low.bandwidth_gbps(), "case {case}");
     }
 }
 
@@ -68,8 +94,8 @@ fn catalog_entries_all_pass_appspec_validation() {
         assert!(!w.name().is_empty());
         assert!(w.app().base_runtime_s() > 0.0);
         assert!(w.app().worker_profile().working_set_mb() > 0.0);
-        let json = serde_json::to_string(w).expect("serializes");
-        let back: icm_workloads::WorkloadSpec = serde_json::from_str(&json).expect("parses");
+        let json = icm_json::to_string(w);
+        let back: icm_workloads::WorkloadSpec = icm_json::from_str(&json).expect("parses");
         assert_eq!(&back, w);
     }
 }

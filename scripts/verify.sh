@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate (see ROADMAP.md).
+#
+# The workspace is hermetic: every dependency is an in-tree path crate,
+# so --offline both works and *enforces* that no crates.io dependency
+# sneaks back in — a registry fetch attempt fails the build outright.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release --offline
+cargo test -q --workspace --offline
+cargo fmt --check

@@ -6,6 +6,10 @@
 //!
 //! The workspace is organized bottom-up:
 //!
+//! * [`rng`] — vendored deterministic PRNG (xoshiro256++), the only
+//!   randomness source in the workspace.
+//! * [`json`] — vendored JSON value type, serializer, and parser backing
+//!   all persistence.
 //! * [`simnode`] — single-node LLC/memory-bandwidth contention substrate.
 //! * [`simcluster`] — consolidated virtual-cluster testbed simulator for
 //!   distributed parallel applications.
@@ -45,7 +49,9 @@
 
 pub use icm_core as core;
 pub use icm_experiments as experiments;
+pub use icm_json as json;
 pub use icm_placement as placement;
+pub use icm_rng as rng;
 pub use icm_simcluster as simcluster;
 pub use icm_simnode as simnode;
 pub use icm_workloads as workloads;

@@ -55,6 +55,61 @@ fn model_building_is_reproducible() {
 }
 
 #[test]
+fn profiler_json_is_byte_identical_across_runs() {
+    // The whole point of the vendored RNG: two fresh processes-worth of
+    // state, same seeds, must persist *byte-identical* artifacts — not
+    // just behaviourally equivalent ones.
+    let profile = || {
+        let mut tb = TestbedBuilder::new(&Catalog::paper()).seed(17).build();
+        let model = ModelBuilder::new("C.libq")
+            .policy_samples(8)
+            .seed(19)
+            .build(&mut tb)
+            .expect("builds");
+        icm::json::to_string_pretty(&model)
+    };
+    assert_eq!(profile(), profile(), "profiler JSON must not drift");
+}
+
+#[test]
+fn placement_json_is_byte_identical_across_runs() {
+    use icm::placement::{
+        anneal_unconstrained, AnnealConfig, Estimator, PlacementProblem, RuntimePredictor,
+    };
+    let search = || {
+        let mut tb = TestbedBuilder::new(&Catalog::paper()).seed(23).build();
+        let apps = ["M.milc", "C.libq", "H.KM", "N.cg"];
+        let models: Vec<_> = apps
+            .iter()
+            .map(|app| {
+                ModelBuilder::new(*app)
+                    .hosts(4)
+                    .policy_samples(6)
+                    .build(&mut tb)
+                    .expect("builds")
+            })
+            .collect();
+        let problem =
+            PlacementProblem::paper_default(apps.iter().map(|a| (*a).to_owned()).collect())
+                .expect("valid");
+        let refs: Vec<&dyn RuntimePredictor> =
+            models.iter().map(|m| m as &dyn RuntimePredictor).collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let result = anneal_unconstrained(
+            &problem,
+            |s| Ok(estimator.estimate(s)?.weighted_total),
+            &AnnealConfig {
+                iterations: 400,
+                ..AnnealConfig::default()
+            },
+        )
+        .expect("search runs");
+        icm::json::to_string_pretty(&result)
+    };
+    assert_eq!(search(), search(), "placement JSON must not drift");
+}
+
+#[test]
 fn experiment_outputs_are_reproducible() {
     let cfg = ExpConfig {
         seed: 12,
