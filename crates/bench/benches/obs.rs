@@ -1,0 +1,42 @@
+//! Overhead of the `icm-obs` instrumentation: the disabled-tracer path
+//! must be free enough that leaving instrumentation in hot code costs
+//! nothing measurable (the acceptance bar is < 5% on the simulator
+//! benches, which run with the default disabled tracer).
+
+use icm_bench::{black_box, Bench};
+use icm_obs::{NullSink, Tracer, Value};
+use icm_workloads::{Catalog, TestbedBuilder};
+
+fn main() {
+    let mut b = Bench::from_args();
+
+    let disabled = Tracer::disabled();
+    b.bench("obs/event/disabled", || {
+        disabled.event("probe", &[("pressure", Value::from(3u64))]);
+    });
+
+    let null = Tracer::with_sink(NullSink);
+    b.bench("obs/event/null_sink", || {
+        null.event("probe", &[("pressure", Value::from(3u64))]);
+    });
+
+    let (recording, recorder) = Tracer::recording(4096);
+    b.bench("obs/event/ring_buffer", || {
+        recording.event("probe", &[("pressure", Value::from(3u64))]);
+    });
+    black_box(recorder.len());
+
+    // The real question: does an attached-but-null tracer change the
+    // cost of a full simulated run?
+    let pressures = vec![4.0; 8];
+    let mut plain = TestbedBuilder::new(&Catalog::paper()).seed(1).build();
+    b.bench("obs/run_with_bubbles/disabled", || {
+        icm_core::Testbed::run_app(&mut plain, "M.milc", black_box(&pressures)).expect("runs")
+    });
+
+    let mut traced = TestbedBuilder::new(&Catalog::paper()).seed(1).build();
+    traced.sim_mut().set_tracer(Tracer::with_sink(NullSink));
+    b.bench("obs/run_with_bubbles/null_sink", || {
+        icm_core::Testbed::run_app(&mut traced, "M.milc", black_box(&pressures)).expect("runs")
+    });
+}

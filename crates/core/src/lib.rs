@@ -75,7 +75,7 @@ pub use heterogeneity::{
 pub use model::{measure_bubble_score, InterferenceModel, ModelBuilder, NaiveModel};
 pub use online::OnlineModel;
 pub use profiling::{
-    profile, profile_full, FnSource, ProfileResult, ProfileSource, ProfilerConfig,
+    profile, profile_full, profile_traced, FnSource, ProfileResult, ProfileSource, ProfilerConfig,
     ProfilingAlgorithm,
 };
 pub use propagation::PropagationMatrix;

@@ -8,7 +8,9 @@ use crate::error::ModelError;
 use crate::heterogeneity::{
     select_policy, HomogeneousInterference, MappingPolicy, PolicyEvaluation, DEFAULT_TIE_TOLERANCE,
 };
-use crate::profiling::{profile, ProfileSource, ProfilerConfig, ProfilingAlgorithm};
+use icm_obs::{Tracer, Value};
+
+use crate::profiling::{profile_traced, ProfileSource, ProfilerConfig, ProfilingAlgorithm};
 use crate::propagation::PropagationMatrix;
 use crate::score::ReporterCurve;
 use crate::stats::mean;
@@ -292,6 +294,7 @@ pub struct ModelBuilder {
     score_repeats: usize,
     tie_tolerance: f64,
     seed: u64,
+    tracer: Tracer,
 }
 
 impl ModelBuilder {
@@ -310,7 +313,16 @@ impl ModelBuilder {
             score_repeats: 5,
             tie_tolerance: DEFAULT_TIE_TOLERANCE,
             seed: 0xBEEF,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer: the build emits phase spans (`solo`,
+    /// `reporter_curve`, `bubble_score`, `profile`, `policy`), per-probe
+    /// events, and a final `model_built` summary event.
+    pub fn tracer(&mut self, tracer: Tracer) -> &mut Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Number of hosts the application spans during profiling (default:
@@ -387,7 +399,16 @@ impl ModelBuilder {
         }
         let n = testbed.max_pressure();
 
+        let build_span = self.tracer.span(
+            "model_build",
+            &[
+                ("app", Value::from(self.app.as_str())),
+                ("hosts", Value::from(m)),
+            ],
+        );
+
         // 1. Solo baseline.
+        let stage = self.tracer.span("solo", &[]);
         let zeros = vec![0.0; m];
         let solo_runs: Vec<f64> = (0..self.solo_repeats)
             .map(|_| testbed.run_app(&self.app, &zeros))
@@ -399,8 +420,10 @@ impl ModelBuilder {
                 self.app
             )));
         }
+        stage.end_with(&[("seconds", Value::from(solo))]);
 
         // 2. Reporter calibration curve (bubble vs reporter).
+        let stage = self.tracer.span("reporter_curve", &[]);
         let mut reporter_values = Vec::with_capacity(n + 1);
         for p in 0..=n {
             reporter_values.push(testbed.reporter_slowdown_with_bubble(p as f64)?);
@@ -418,12 +441,15 @@ impl ModelBuilder {
             .map(|v| (v / baseline).max(1.0))
             .collect();
         let reporter_curve = ReporterCurve::from_slowdowns(normalized)?;
+        stage.end_with(&[("baseline", Value::from(baseline))]);
 
         // 3. Bubble score.
+        let stage = self.tracer.span("bubble_score", &[]);
         let score_runs: Vec<f64> = (0..self.score_repeats)
             .map(|_| testbed.reporter_slowdown_with_app(&self.app))
             .collect::<Result<_, _>>()?;
         let bubble_score = reporter_curve.score_for_slowdown(mean(&score_runs) / baseline);
+        stage.end_with(&[("score", Value::from(bubble_score))]);
 
         // 4. Propagation matrix via the selected profiling algorithm.
         let mut source = TestbedSource {
@@ -433,9 +459,10 @@ impl ModelBuilder {
             hosts: m,
             max_pressure: n,
         };
-        let profiled = profile(&mut source, self.algorithm, &self.config)?;
+        let profiled = profile_traced(&mut source, self.algorithm, &self.config, &self.tracer)?;
 
         // 5. Heterogeneity policy.
+        let stage = self.tracer.span("policy", &[]);
         let (policy, evaluations) = match self.forced_policy {
             Some(policy) => (policy, Vec::new()),
             None => {
@@ -449,6 +476,20 @@ impl ModelBuilder {
                 (best.policy, evaluations)
             }
         };
+        stage.end_with(&[("policy", Value::from(policy.to_string()))]);
+
+        self.tracer.event(
+            "model_built",
+            &[
+                ("app", Value::from(self.app.as_str())),
+                ("solo_seconds", Value::from(solo)),
+                ("bubble_score", Value::from(bubble_score)),
+                ("policy", Value::from(policy.to_string())),
+                ("profiling_cost", Value::from(profiled.cost)),
+                ("probes", Value::from(profiled.measured.len())),
+            ],
+        );
+        build_span.end();
 
         Ok(InterferenceModel {
             app: self.app.clone(),

@@ -7,6 +7,7 @@
 //! `n × m` settings actually measured (settings with `j = 0` are free —
 //! they are the solo run).
 
+use icm_obs::{Tracer, Value};
 use icm_rng::{Rng, Shuffle};
 
 use crate::error::ModelError;
@@ -194,6 +195,24 @@ pub fn profile(
     algorithm: ProfilingAlgorithm,
     config: &ProfilerConfig,
 ) -> Result<ProfileResult, ModelError> {
+    profile_traced(source, algorithm, config, &Tracer::disabled())
+}
+
+/// [`profile`] with structured tracing: the whole run is wrapped in a
+/// `profile` span and, once the matrix is fitted, one `probe` event is
+/// emitted per measured setting carrying the measured slowdown and the
+/// fitted-curve residual (fitted − measured; non-zero where the matrix
+/// floored a noisy sub-unity measurement).
+///
+/// # Errors
+///
+/// Same as [`profile`].
+pub fn profile_traced(
+    source: &mut dyn ProfileSource,
+    algorithm: ProfilingAlgorithm,
+    config: &ProfilerConfig,
+    tracer: &Tracer,
+) -> Result<ProfileResult, ModelError> {
     let n = source.max_pressure();
     let m = source.hosts();
     if n == 0 || m == 0 {
@@ -201,6 +220,18 @@ pub fn profile(
             "degenerate profiling space: {n} pressures × {m} hosts"
         )));
     }
+    let span = if tracer.enabled() {
+        Some(tracer.span(
+            "profile",
+            &[
+                ("algorithm", Value::from(algorithm.name())),
+                ("pressures", Value::from(n)),
+                ("hosts", Value::from(m)),
+            ],
+        ))
+    } else {
+        None
+    };
     let mut grid = Grid::new(n, m);
     match algorithm {
         ProfilingAlgorithm::BinaryBrute => {
@@ -256,7 +287,14 @@ pub fn profile(
             }
         }
     }
-    grid.finish()
+    let result = grid.finish(tracer)?;
+    if let Some(span) = span {
+        span.end_with(&[
+            ("probes", Value::from(result.measured.len())),
+            ("cost", Value::from(result.cost)),
+        ]);
+    }
+    Ok(result)
 }
 
 /// Measures every setting — the ground-truth matrix used to score the
@@ -276,6 +314,9 @@ struct Grid {
     /// cells[i-1][j] for pressures i in 1..=n, nodes j in 0..=m.
     cells: Vec<Vec<Option<f64>>>,
     measured: Vec<(usize, usize)>,
+    /// Raw (pre-floor) measurement per `measured` entry, kept so the
+    /// trace can report fitted-curve residuals.
+    raw: Vec<f64>,
 }
 
 impl Grid {
@@ -289,6 +330,7 @@ impl Grid {
             m,
             cells,
             measured: Vec::new(),
+            raw: Vec::new(),
         }
     }
 
@@ -323,6 +365,7 @@ impl Grid {
         // so matrix validation holds.
         self.set(i, j, v.max(0.95));
         self.measured.push((i, j));
+        self.raw.push(v);
         Ok(v)
     }
 
@@ -431,9 +474,10 @@ impl Grid {
         }
     }
 
-    fn finish(self) -> Result<ProfileResult, ModelError> {
+    fn finish(self, tracer: &Tracer) -> Result<ProfileResult, ModelError> {
         let n = self.n;
         let m = self.m;
+        let raw = self.raw;
         let rows: Vec<Vec<f64>> = self
             .cells
             .into_iter()
@@ -454,6 +498,24 @@ impl Grid {
             .collect::<Result<_, _>>()?;
         let matrix = PropagationMatrix::new(rows)?;
         let cost = self.measured.len() as f64 / (n * m) as f64;
+        if tracer.enabled() {
+            // One event per probe, in measurement order: residuals are
+            // computed against the *fitted* matrix, so they expose both
+            // the 0.95 noise floor and any later smoothing.
+            for (&(i, j), &measured) in self.measured.iter().zip(&raw) {
+                let fitted = matrix.at(i, j);
+                tracer.event(
+                    "probe",
+                    &[
+                        ("pressure", Value::from(i)),
+                        ("nodes", Value::from(j)),
+                        ("slowdown", Value::from(measured)),
+                        ("fitted", Value::from(fitted)),
+                        ("residual", Value::from(fitted - measured)),
+                    ],
+                );
+            }
+        }
         Ok(ProfileResult {
             matrix,
             measured: self.measured,
@@ -766,6 +828,77 @@ mod tests {
         );
         assert_eq!(ProfilingAlgorithm::random30().name(), "random-30%");
         assert_eq!(ProfilingAlgorithm::Full.name(), "full");
+    }
+
+    #[test]
+    fn traced_profile_emits_one_probe_event_per_measurement() {
+        let (tracer, recorder) = icm_obs::Tracer::recording(4096);
+        let mut src = source_of(saturating_truth);
+        let result = profile_traced(
+            &mut src,
+            ProfilingAlgorithm::BinaryBrute,
+            &ProfilerConfig::default(),
+            &tracer,
+        )
+        .expect("profiles");
+        let events = recorder.events();
+        assert_eq!(events[0].name, "profile.begin");
+        assert_eq!(events[0].str("algorithm"), Some("binary-brute"));
+        let probes: Vec<_> = events.iter().filter(|e| e.name == "probe").collect();
+        assert_eq!(probes.len(), result.measured.len());
+        for (probe, &(i, j)) in probes.iter().zip(&result.measured) {
+            assert_eq!(probe.num("pressure"), Some(i as f64));
+            assert_eq!(probe.num("nodes"), Some(j as f64));
+            let slowdown = probe.num("slowdown").expect("field");
+            let fitted = probe.num("fitted").expect("field");
+            let residual = probe.num("residual").expect("field");
+            assert!((residual - (fitted - slowdown)).abs() < 1e-12);
+            assert_eq!(fitted, result.matrix.at(i, j));
+        }
+        let end = events.last().expect("events");
+        assert_eq!(end.name, "profile.end");
+        assert_eq!(end.num("probes"), Some(result.measured.len() as f64));
+        assert_eq!(end.num("cost"), Some(result.cost));
+    }
+
+    #[test]
+    fn traced_profile_reports_floor_residuals() {
+        // A sub-unity measurement is floored at 0.95 by the grid, so the
+        // fitted value differs from the raw one — exactly what the
+        // residual field must expose.
+        let (tracer, recorder) = icm_obs::Tracer::recording(4096);
+        let mut src = FnSource::new(2, 2, |_i, _j| 0.90);
+        let _ = profile_traced(
+            &mut src,
+            ProfilingAlgorithm::Full,
+            &ProfilerConfig::default(),
+            &tracer,
+        )
+        .expect("profiles");
+        let probe = recorder
+            .events()
+            .into_iter()
+            .find(|e| e.name == "probe")
+            .expect("probe event");
+        assert_eq!(probe.num("slowdown"), Some(0.90));
+        assert_eq!(probe.num("fitted"), Some(0.95));
+        assert!((probe.num("residual").expect("field") - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracing_does_not_change_profiling_results() {
+        let run = |tracer: &icm_obs::Tracer| {
+            let mut src = source_of(saturating_truth);
+            profile_traced(
+                &mut src,
+                ProfilingAlgorithm::BinaryOptimized,
+                &ProfilerConfig::default(),
+                tracer,
+            )
+            .expect("profiles")
+        };
+        let (tracer, _recorder) = icm_obs::Tracer::recording(4096);
+        assert_eq!(run(&icm_obs::Tracer::disabled()), run(&tracer));
     }
 
     #[test]

@@ -1,25 +1,46 @@
 //! Command-line driver: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! icm-experiments <id>... [--fast] [--seed N] [--json DIR]
+//! icm-experiments <id>... [--fast] [--seed N] [--json DIR] [--trace FILE] [--quiet]
 //! icm-experiments all [--fast]
 //! icm-experiments list
 //! ```
+//!
+//! `--trace FILE` appends one JSONL event per progress message (plus an
+//! `experiment` span per run) for `icm-trace`; `--quiet` silences the
+//! stderr progress lines without touching the result tables on stdout.
 
 use std::process::ExitCode;
 
 use icm_experiments::{ExpConfig, Experiment};
+use icm_obs::{Tracer, Value};
 
 fn usage() -> String {
     let ids: Vec<&str> = Experiment::ALL.iter().map(Experiment::id).collect();
     format!(
-        "usage: icm-experiments <id>... [--fast] [--seed N] [--json DIR]\n\
+        "usage: icm-experiments <id>... [--fast] [--seed N] [--json DIR] [--trace FILE] [--quiet]\n\
          \x20      icm-experiments all [--fast]\n\
          \x20      icm-experiments list\n\
          \n\
          experiments: {}",
         ids.join(", ")
     )
+}
+
+/// Progress reporting that goes to stderr (unless `--quiet`) and, when
+/// tracing, to the event sink as well.
+struct Reporter {
+    tracer: Tracer,
+    quiet: bool,
+}
+
+impl Reporter {
+    fn say(&self, name: &str, fields: &[(&str, Value)], human: String) {
+        self.tracer.event(name, fields);
+        if !self.quiet {
+            eprintln!("[icm] {human}");
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -29,11 +50,22 @@ fn main() -> ExitCode {
     let mut run_all = false;
     let mut list_only = false;
     let mut json_dir: Option<std::path::PathBuf> = None;
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut quiet = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--fast" => cfg.fast = true,
+            "--quiet" => quiet = true,
+            "--trace" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--trace requires a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                trace_path = Some(std::path::PathBuf::from(path));
+            }
             "--seed" => {
                 i += 1;
                 let Some(value) = args.get(i) else {
@@ -87,15 +119,43 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let tracer = match &trace_path {
+        Some(path) => match Tracer::jsonl_file(path) {
+            Ok(tracer) => tracer,
+            Err(err) => {
+                eprintln!("cannot open trace file {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Tracer::disabled(),
+    };
+    let reporter = Reporter {
+        tracer: tracer.clone(),
+        quiet,
+    };
+
     for exp in selected {
-        eprintln!(
-            "[icm] running {} (seed {}, fast {})",
-            exp.id(),
-            cfg.seed,
-            cfg.fast
+        reporter.say(
+            "experiment_start",
+            &[
+                ("id", exp.id().into()),
+                ("seed", cfg.seed.into()),
+                ("fast", cfg.fast.into()),
+            ],
+            format!(
+                "running {} (seed {}, fast {})",
+                exp.id(),
+                cfg.seed,
+                cfg.fast
+            ),
         );
         match exp.run(&cfg) {
-            Ok(text) => println!("{text}"),
+            Ok(text) => {
+                reporter
+                    .tracer
+                    .event("experiment_done", &[("id", exp.id().into())]);
+                println!("{text}");
+            }
             Err(err) => {
                 eprintln!("{}: {err}", exp.id());
                 return ExitCode::FAILURE;
@@ -113,7 +173,14 @@ fn main() -> ExitCode {
                 .map(|value| icm_json::to_string_pretty(&value))
                 .and_then(|text| std::fs::write(&path, text).map_err(|e| e.to_string()));
             match result {
-                Ok(()) => eprintln!("[icm] wrote {}", path.display()),
+                Ok(()) => reporter.say(
+                    "json_export",
+                    &[
+                        ("id", exp.id().into()),
+                        ("path", path.display().to_string().into()),
+                    ],
+                    format!("wrote {}", path.display()),
+                ),
                 Err(err) => {
                     eprintln!("{}: JSON export failed: {err}", exp.id());
                     return ExitCode::FAILURE;
@@ -121,5 +188,6 @@ fn main() -> ExitCode {
             }
         }
     }
+    tracer.flush();
     ExitCode::SUCCESS
 }

@@ -5,21 +5,26 @@
 //! ```text
 //! icm-profiler profile --apps M.milc,H.KM --out fleet.json [--hosts N]
 //!                      [--algorithm binary-optimized|binary-brute|random30|random50|full]
-//!                      [--seed N] [--ec2]
+//!                      [--seed N] [--ec2] [--trace FILE] [--quiet]
 //! icm-profiler show    --store fleet.json
 //! icm-profiler predict --store fleet.json --app M.milc --pressures 5,5,0,0,0,0,0,0
 //! ```
+//!
+//! With `--trace FILE` every testbed run, probe and model-build phase is
+//! appended to FILE as JSONL for `icm-trace`; `--quiet` silences the
+//! stderr progress lines.
 
 use std::process::ExitCode;
 
 use icm_core::model::ModelBuilder;
 use icm_core::{ModelStore, ProfilingAlgorithm};
+use icm_obs::{Tracer, Value};
 use icm_simcluster::ClusterSpec;
 use icm_workloads::{Catalog, TestbedBuilder};
 
 fn usage() -> &'static str {
     "usage:\n\
-     \x20 icm-profiler profile --apps A,B,... --out FILE [--hosts N] [--algorithm NAME] [--seed N] [--ec2]\n\
+     \x20 icm-profiler profile --apps A,B,... --out FILE [--hosts N] [--algorithm NAME] [--seed N] [--ec2] [--trace FILE] [--quiet]\n\
      \x20 icm-profiler show    --store FILE\n\
      \x20 icm-profiler predict --store FILE --app NAME --pressures P1,P2,...\n\
      \n\
@@ -38,7 +43,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     while i < args.len() {
         let arg = &args[i];
         if let Some(name) = arg.strip_prefix("--") {
-            if matches!(name, "ec2") {
+            if matches!(name, "ec2" | "quiet") {
                 flags.push(name.to_owned());
             } else {
                 i += 1;
@@ -93,6 +98,13 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         None => None,
     };
 
+    let quiet = args.flags.iter().any(|f| f == "quiet");
+    let tracer = match args.values.get("trace") {
+        Some(path) => Tracer::jsonl_file(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open trace file {path}: {e}"))?,
+        None => Tracer::disabled(),
+    };
+
     let catalog = Catalog::paper();
     let mut builder = TestbedBuilder::new(&catalog);
     builder.seed(seed);
@@ -100,6 +112,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         builder.cluster(ClusterSpec::ec2_32());
     }
     let mut testbed = builder.build();
+    testbed.sim_mut().set_tracer(tracer.clone());
 
     let mut store = ModelStore::new();
     for app in apps {
@@ -109,23 +122,37 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
                 catalog.names().join(", ")
             ));
         }
-        eprintln!("[icm-profiler] profiling {app}...");
+        if !quiet {
+            eprintln!("[icm-profiler] profiling {app}...");
+        }
         let mut mb = ModelBuilder::new(app);
-        mb.algorithm(algorithm).seed(seed);
+        mb.algorithm(algorithm).seed(seed).tracer(tracer.clone());
         if let Some(h) = hosts {
             mb.hosts(h);
         }
         let model = mb.build(&mut testbed).map_err(|e| e.to_string())?;
-        eprintln!(
-            "[icm-profiler]   score {:.2}, policy {}, cost {:.1}%",
-            model.bubble_score(),
-            model.policy(),
-            model.profiling_cost() * 100.0
-        );
+        if !quiet {
+            eprintln!(
+                "[icm-profiler]   score {:.2}, policy {}, cost {:.1}%",
+                model.bubble_score(),
+                model.policy(),
+                model.profiling_cost() * 100.0
+            );
+        }
         store.insert(model);
     }
     store.save_to_path(out).map_err(|e| e.to_string())?;
-    eprintln!("[icm-profiler] wrote {} models to {out}", store.len());
+    tracer.event(
+        "fleet_saved",
+        &[
+            ("models", Value::from(store.len() as u64)),
+            ("path", Value::from(out.as_str())),
+        ],
+    );
+    tracer.flush();
+    if !quiet {
+        eprintln!("[icm-profiler] wrote {} models to {out}", store.len());
+    }
     Ok(())
 }
 

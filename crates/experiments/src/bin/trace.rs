@@ -1,0 +1,57 @@
+//! `icm-trace` — summarize a JSONL trace produced by the instrumented
+//! simulator, profiler or placement search.
+//!
+//! ```text
+//! icm-trace <trace.jsonl> [--json]
+//! ```
+//!
+//! Prints probe-budget totals (run counts per kind, matching
+//! `TestbedStats`), per-phase simulated-time breakdowns, profiling
+//! residual summaries and search-convergence reports. With `--json` the
+//! summary is emitted as a single JSON object instead. Exits non-zero on
+//! malformed traces, naming the offending line.
+
+use std::process::ExitCode;
+
+use icm_experiments::trace::{render, summarize};
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: icm-trace <trace.jsonl> [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => {
+                eprintln!("icm-trace: unexpected argument `{other}`");
+                eprintln!("usage: icm-trace <trace.jsonl> [--json]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("icm-trace: missing trace path");
+        eprintln!("usage: icm-trace <trace.jsonl> [--json]");
+        return ExitCode::FAILURE;
+    };
+
+    let events = match icm_obs::read_jsonl_file(std::path::Path::new(&path)) {
+        Ok(events) => events,
+        Err(err) => {
+            eprintln!("icm-trace: {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let summary = summarize(&events);
+    if json {
+        println!("{}", icm_json::to_string(&summary));
+    } else {
+        print!("{}", render(&summary));
+    }
+    ExitCode::SUCCESS
+}

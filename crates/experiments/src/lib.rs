@@ -49,6 +49,7 @@ pub mod profiling_source;
 pub mod table;
 pub mod table3;
 pub mod table4;
+pub mod trace;
 
 pub use context::{ExpConfig, ExpError};
 

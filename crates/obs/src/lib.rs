@@ -1,0 +1,626 @@
+//! Deterministic structured tracing and metrics for the ICM workspace.
+//!
+//! The paper's central claims are *cost/trajectory* claims — profiling
+//! takes O(N) testbed runs instead of O(N²) pairings (Table 3), and the
+//! placement search converges to near-optimal mappings (Figs. 10/11).
+//! This crate makes those trajectories observable: instrumented code
+//! emits typed [`Event`]s and [`Span`]s through a cloneable [`Tracer`]
+//! handle into a pluggable [`Sink`] — a no-op sink whose disabled-path
+//! cost is a single pointer check, an in-memory ring-buffer
+//! [`Recorder`], or a [`JsonlSink`] writing one `icm-json` object per
+//! line.
+//!
+//! # Determinism
+//!
+//! Events are **never** stamped with wall-clock time. The [`Clock`]
+//! carries two deterministic coordinates:
+//!
+//! * `step` — a monotonic counter incremented once per emitted event,
+//! * `sim_s` — cumulative *simulated* seconds, advanced explicitly by
+//!   the simulator (`SimTestbed` adds each run's simulated duration).
+//!
+//! Both derive purely from the computation, so a traced run at a fixed
+//! seed produces a byte-identical JSONL file every time — traces can be
+//! diffed, cached and replayed. See `DESIGN.md` §8.
+//!
+//! # Example
+//!
+//! ```
+//! use icm_obs::{Tracer, Value};
+//!
+//! let (tracer, recorder) = Tracer::recording(1024);
+//! tracer.advance_sim(12.5);
+//! tracer.event("probe", &[("pressure", Value::from(3u64)), ("slowdown", 1.4.into())]);
+//!
+//! let events = recorder.events();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].name, "probe");
+//! assert_eq!(events[0].sim_s, 12.5);
+//! let line = icm_json::to_string(&events[0]);
+//! assert_eq!(
+//!     line,
+//!     r#"{"step":1,"sim_s":12.5,"name":"probe","fields":{"pressure":3,"slowdown":1.4}}"#
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use icm_json::{FromJson, Json, JsonError, ToJson};
+
+mod metrics;
+mod reader;
+mod sink;
+
+pub use metrics::{Histogram, Metrics};
+pub use reader::{parse_events, read_jsonl_file, TraceError};
+pub use sink::{JsonlSink, NullSink, Recorder, SharedBuf, Sink};
+
+/// A typed field value attached to an [`Event`].
+///
+/// Numbers serialize through `icm-json` as `f64`, so integers are exact
+/// up to 2⁵³ — far beyond any counter in this workspace. On the read
+/// side every JSON number deserializes as [`Value::F64`] (JSON does not
+/// distinguish integer kinds), which keeps serialize → parse →
+/// serialize byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned counter.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Measurement.
+    F64(f64),
+    /// Label.
+    Str(String),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl Value {
+    /// Numeric payload, unifying the three number variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::Bool(b) => Json::Bool(*b),
+            Value::U64(v) => Json::Number(*v as f64),
+            Value::I64(v) => Json::Number(*v as f64),
+            Value::F64(v) => v.to_json(),
+            Value::Str(s) => Json::String(s.clone()),
+        }
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Bool(b) => Ok(Value::Bool(*b)),
+            Json::Number(n) => Ok(Value::F64(*n)),
+            Json::String(s) => Ok(Value::Str(s.clone())),
+            other => Err(JsonError::msg(format!(
+                "field value must be bool, number or string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Serializes as a single compact JSON object —
+/// `{"step":…,"sim_s":…,"name":…,"fields":{…}}` — one per line in a
+/// JSONL trace. Field order is insertion order, so a deterministic
+/// emitter produces byte-identical lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic event counter (1-based; assigned by the [`Tracer`]).
+    pub step: u64,
+    /// Cumulative simulated seconds when the event was emitted.
+    pub sim_s: f64,
+    /// Event name, e.g. `"probe"` or `"run.begin"`.
+    pub name: String,
+    /// Typed key–value payload, in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Numeric field shortcut.
+    pub fn num(&self, name: &str) -> Option<f64> {
+        self.field(name).and_then(Value::as_f64)
+    }
+
+    /// String field shortcut.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.field(name).and_then(Value::as_str)
+    }
+}
+
+impl ToJson for Event {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("step".to_owned(), Json::Number(self.step as f64)),
+            ("sim_s".to_owned(), self.sim_s.to_json()),
+            ("name".to_owned(), Json::String(self.name.clone())),
+            (
+                "fields".to_owned(),
+                Json::Object(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Event {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let outer = icm_json::expect_object(value, "Event")?;
+        if outer.len() != 4 {
+            return Err(JsonError::msg(format!(
+                "Event: expected exactly step/sim_s/name/fields, found {} keys",
+                outer.len()
+            )));
+        }
+        let step: u64 = icm_json::parse_field(outer, "Event", "step")?;
+        let sim_s: f64 = icm_json::parse_field(outer, "Event", "sim_s")?;
+        let name: String = icm_json::parse_field(outer, "Event", "name")?;
+        let fields_json = icm_json::find_field(outer, "fields")
+            .ok_or_else(|| JsonError::msg("Event: missing field `fields`"))?;
+        let pairs = icm_json::expect_object(fields_json, "Event.fields")?;
+        let mut fields = Vec::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            fields.push((
+                k.clone(),
+                Value::from_json(v).map_err(|e| e.in_field("Event", k))?,
+            ));
+        }
+        Ok(Event {
+            step,
+            sim_s,
+            name,
+            fields,
+        })
+    }
+}
+
+/// A deterministic timestamp: event counter plus simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stamp {
+    /// Monotonic event counter.
+    pub step: u64,
+    /// Cumulative simulated seconds.
+    pub sim_s: f64,
+}
+
+/// The deterministic clock every event is stamped from.
+///
+/// Wall-clock time never enters a trace: `step` counts emitted events
+/// and `sim_s` is advanced explicitly with the simulation. Identical
+/// computations therefore stamp identical timestamps, which is what
+/// makes same-seed traces byte-identical (and traces resumable — a
+/// replay re-derives the exact same clock).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Clock {
+    step: u64,
+    sim_s: f64,
+}
+
+impl Clock {
+    /// A clock at step 0, zero simulated seconds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the event counter and returns the new stamp.
+    pub fn tick(&mut self) -> Stamp {
+        self.step += 1;
+        Stamp {
+            step: self.step,
+            sim_s: self.sim_s,
+        }
+    }
+
+    /// Adds simulated seconds (negative or non-finite deltas are
+    /// ignored so a buggy caller cannot rewind the clock).
+    pub fn advance_sim(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.sim_s += seconds;
+        }
+    }
+
+    /// Current stamp without advancing.
+    pub fn now(&self) -> Stamp {
+        Stamp {
+            step: self.step,
+            sim_s: self.sim_s,
+        }
+    }
+}
+
+struct Inner {
+    clock: Clock,
+    sink: Box<dyn Sink>,
+    next_span: u64,
+}
+
+/// Cloneable handle instrumented code emits through.
+///
+/// A disabled tracer (the default) costs one `Option` check per call —
+/// hot paths additionally guard field construction behind
+/// [`enabled`](Tracer::enabled). All clones of a tracer share one sink
+/// and one [`Clock`].
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+// `Tracer` holds a `dyn Sink`, so `Debug` prints only liveness + clock.
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Tracer(disabled)"),
+            Some(inner) => {
+                let stamp = inner.borrow().clock.now();
+                write!(f, "Tracer(step {}, sim_s {})", stamp.step, stamp.sim_s)
+            }
+        }
+    }
+}
+
+impl Tracer {
+    /// A tracer that drops everything (the near-zero-cost default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an arbitrary sink.
+    pub fn with_sink<S: Sink + 'static>(sink: S) -> Self {
+        Self {
+            inner: Some(Rc::new(RefCell::new(Inner {
+                clock: Clock::new(),
+                sink: Box::new(sink),
+                next_span: 0,
+            }))),
+        }
+    }
+
+    /// A tracer recording into an in-memory ring buffer of `capacity`
+    /// events; the returned [`Recorder`] handle reads them back.
+    pub fn recording(capacity: usize) -> (Self, Recorder) {
+        let recorder = Recorder::with_capacity(capacity);
+        (Self::with_sink(recorder.clone()), recorder)
+    }
+
+    /// A tracer appending JSONL to a freshly created file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn jsonl_file(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self::with_sink(JsonlSink::create(path)?))
+    }
+
+    /// Whether events are being recorded. Instrumentation with
+    /// expensive field construction should check this first.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits one event with the given fields.
+    pub fn event(&self, name: &str, fields: &[(&str, Value)]) {
+        let Some(inner) = &self.inner else { return };
+        let mut inner = inner.borrow_mut();
+        let stamp = inner.clock.tick();
+        let event = Event {
+            step: stamp.step,
+            sim_s: stamp.sim_s,
+            name: name.to_owned(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        };
+        inner.sink.record(&event);
+    }
+
+    /// Opens a span: emits `"<name>.begin"` carrying a fresh `span` id
+    /// plus `fields`, and returns a guard whose [`Span::end`] (or drop)
+    /// emits the matching `"<name>.end"`.
+    pub fn span(&self, name: &str, fields: &[(&str, Value)]) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                tracer: Tracer::disabled(),
+                name: String::new(),
+                id: 0,
+                ended: true,
+            };
+        };
+        let id = {
+            let mut borrow = inner.borrow_mut();
+            borrow.next_span += 1;
+            borrow.next_span
+        };
+        let mut all = Vec::with_capacity(fields.len() + 1);
+        all.push(("span", Value::U64(id)));
+        all.extend_from_slice(fields);
+        self.event(&format!("{name}.begin"), &all);
+        Span {
+            tracer: self.clone(),
+            name: name.to_owned(),
+            id,
+            ended: false,
+        }
+    }
+
+    /// Adds simulated seconds to the shared clock.
+    pub fn advance_sim(&self, seconds: f64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().clock.advance_sim(seconds);
+        }
+    }
+
+    /// Current deterministic timestamp (zero when disabled).
+    pub fn now(&self) -> Stamp {
+        match &self.inner {
+            Some(inner) => inner.borrow().clock.now(),
+            None => Stamp {
+                step: 0,
+                sim_s: 0.0,
+            },
+        }
+    }
+
+    /// Flushes the sink (e.g. a buffered JSONL writer).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().sink.flush();
+        }
+    }
+}
+
+/// Guard for an open span; see [`Tracer::span`].
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    name: String,
+    id: u64,
+    ended: bool,
+}
+
+impl Span {
+    /// The span id carried by the begin/end events (0 when disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Ends the span with extra result fields.
+    pub fn end_with(mut self, fields: &[(&str, Value)]) {
+        self.emit_end(fields);
+    }
+
+    /// Ends the span without extra fields.
+    pub fn end(mut self) {
+        self.emit_end(&[]);
+    }
+
+    fn emit_end(&mut self, fields: &[(&str, Value)]) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        let mut all = Vec::with_capacity(fields.len() + 1);
+        all.push(("span", Value::U64(self.id)));
+        all.extend_from_slice(fields);
+        self.tracer.event(&format!("{}.end", self.name), &all);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.emit_end(&[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        tracer.event("x", &[("a", 1.0.into())]);
+        tracer.advance_sim(5.0);
+        assert_eq!(
+            tracer.now(),
+            Stamp {
+                step: 0,
+                sim_s: 0.0
+            }
+        );
+        let span = tracer.span("s", &[]);
+        assert_eq!(span.id(), 0);
+        span.end();
+    }
+
+    #[test]
+    fn events_are_stamped_monotonically() {
+        let (tracer, recorder) = Tracer::recording(16);
+        tracer.event("a", &[]);
+        tracer.advance_sim(2.5);
+        tracer.event("b", &[]);
+        let events = recorder.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].step, 1);
+        assert_eq!(events[0].sim_s, 0.0);
+        assert_eq!(events[1].step, 2);
+        assert_eq!(events[1].sim_s, 2.5);
+    }
+
+    #[test]
+    fn clock_ignores_bad_deltas() {
+        let mut clock = Clock::new();
+        clock.advance_sim(-1.0);
+        clock.advance_sim(f64::NAN);
+        assert_eq!(clock.now().sim_s, 0.0);
+        clock.advance_sim(3.0);
+        assert_eq!(clock.now().sim_s, 3.0);
+    }
+
+    #[test]
+    fn spans_emit_begin_and_end_with_matching_id() {
+        let (tracer, recorder) = Tracer::recording(16);
+        let span = tracer.span("run", &[("app", "milc".into())]);
+        tracer.event("inside", &[]);
+        span.end_with(&[("seconds", 10.0.into())]);
+        let events = recorder.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["run.begin", "inside", "run.end"]);
+        assert_eq!(events[0].num("span"), events[2].num("span"));
+        assert_eq!(events[0].str("app"), Some("milc"));
+        assert_eq!(events[2].num("seconds"), Some(10.0));
+    }
+
+    #[test]
+    fn dropped_span_still_ends() {
+        let (tracer, recorder) = Tracer::recording(16);
+        {
+            let _span = tracer.span("scope", &[]);
+        }
+        let names: Vec<String> = recorder.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["scope.begin", "scope.end"]);
+    }
+
+    #[test]
+    fn event_json_round_trips_exactly() {
+        let event = Event {
+            step: 7,
+            sim_s: 123.25,
+            name: "probe".into(),
+            fields: vec![
+                ("pressure".into(), Value::U64(3)),
+                ("ok".into(), Value::Bool(true)),
+                ("slowdown".into(), Value::F64(1.75)),
+                ("app".into(), Value::Str("M.milc".into())),
+            ],
+        };
+        let text = icm_json::to_string(&event);
+        let back: Event = icm_json::from_str(&text).expect("parses");
+        // Numbers come back as F64 — re-serialization is byte-identical.
+        assert_eq!(icm_json::to_string(&back), text);
+        assert_eq!(back.num("pressure"), Some(3.0));
+        assert_eq!(back.str("app"), Some("M.milc"));
+        assert_eq!(back.field("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn event_json_rejects_wrong_shapes() {
+        for bad in [
+            r#"{"step":1,"sim_s":0,"name":"x"}"#,
+            r#"{"step":1,"sim_s":0,"name":"x","fields":{},"extra":1}"#,
+            r#"{"step":-1,"sim_s":0,"name":"x","fields":{}}"#,
+            r#"{"step":1,"sim_s":0,"name":"x","fields":{"a":[1]}}"#,
+            r#"{"step":1,"sim_s":0,"name":7,"fields":{}}"#,
+            r#"[1,2,3]"#,
+        ] {
+            assert!(icm_json::from_str::<Event>(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn clones_share_one_clock_and_sink() {
+        let (tracer, recorder) = Tracer::recording(16);
+        let clone = tracer.clone();
+        clone.event("from-clone", &[]);
+        tracer.event("from-original", &[]);
+        let events = recorder.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].step, 2);
+    }
+
+    #[test]
+    fn debug_formats_both_states() {
+        assert_eq!(format!("{:?}", Tracer::disabled()), "Tracer(disabled)");
+        let (tracer, _recorder) = Tracer::recording(4);
+        assert!(format!("{tracer:?}").contains("step 0"));
+    }
+}

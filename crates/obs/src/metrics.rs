@@ -1,0 +1,280 @@
+//! Counters, gauges and fixed-bucket histograms.
+//!
+//! The registry is deliberately plain data — `BTreeMap`s keyed by name —
+//! so snapshots serialize deterministically (sorted keys) and two
+//! same-seed runs produce identical metric JSON.
+
+use std::collections::BTreeMap;
+
+use icm_json::{Json, ToJson};
+
+/// A fixed-bucket histogram.
+///
+/// `bounds = [b0, …, bk]` define `k + 2` buckets:
+/// `(-∞, b0], (b0, b1], …, (bk, +∞)`. Fixed bounds keep merging and
+/// serialization trivial and deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given strictly increasing, finite bucket
+    /// bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite or not strictly
+    /// increasing (bucket layout is static configuration; failing fast
+    /// beats recording into garbage buckets).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Buckets suited to normalized-runtime slowdown distributions
+    /// (1.0× = no interference; the paper's worst cases sit near 3×).
+    pub fn slowdown() -> Self {
+        Self::new(&[1.0, 1.05, 1.1, 1.2, 1.35, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0])
+    }
+
+    /// Records one observation (non-finite values are counted in
+    /// `count` extremes but placed in the overflow bucket).
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries, the last being
+    /// the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of finite observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Smallest finite observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.min.is_finite().then_some(self.min)
+    }
+
+    /// Largest finite observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.max.is_finite().then_some(self.max)
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("bounds".to_owned(), self.bounds.to_json()),
+            ("counts".to_owned(), self.counts.to_json()),
+            ("count".to_owned(), self.count.to_json()),
+            ("sum".to_owned(), self.sum.to_json()),
+        ])
+    }
+}
+
+/// A deterministic metrics registry: counters, gauges and histograms
+/// keyed by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter by 1 (creating it at 0).
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to its latest value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Latest gauge value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Registers a histogram with explicit bucket bounds (replacing any
+    /// existing histogram of that name).
+    pub fn register_histogram(&mut self, name: &str, histogram: Histogram) {
+        self.histograms.insert(name.to_owned(), histogram);
+    }
+
+    /// Records an observation, creating the histogram with
+    /// [`Histogram::slowdown`] buckets on first use.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(Histogram::slowdown)
+            .observe(value);
+    }
+
+    /// A registered histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+}
+
+impl ToJson for Metrics {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("counters".to_owned(), self.counters.to_json()),
+            ("gauges".to_owned(), self.gauges.to_json()),
+            (
+                "histograms".to_owned(),
+                Json::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("probes"), 0);
+        m.inc("probes");
+        m.add("probes", 4);
+        assert_eq!(m.counter("probes"), 5);
+        assert_eq!(m.gauge("temp"), None);
+        m.set_gauge("temp", 0.5);
+        m.set_gauge("temp", 0.25);
+        assert_eq!(m.gauge("temp"), Some(0.25));
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let mut h = Histogram::new(&[1.0, 2.0, 3.0]);
+        for v in [0.5, 1.0, 1.5, 2.5, 10.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(10.0));
+        let mean = h.mean().expect("non-empty");
+        assert!((mean - 15.5 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_histogram_covers_typical_range() {
+        let mut h = Histogram::slowdown();
+        h.observe(1.0);
+        h.observe(1.4);
+        h.observe(2.9);
+        h.observe(7.0); // overflow bucket
+        assert_eq!(h.count(), 4);
+        assert_eq!(*h.bucket_counts().last().expect("overflow bucket"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_auto_creates_slowdown_histograms() {
+        let mut m = Metrics::new();
+        m.observe("slowdowns", 1.3);
+        m.observe("slowdowns", 1.6);
+        let h = m.histogram("slowdowns").expect("created");
+        assert_eq!(h.count(), 2);
+        assert!(m.histogram("other").is_none());
+    }
+
+    #[test]
+    fn snapshot_serializes_deterministically() {
+        let build = || {
+            let mut m = Metrics::new();
+            m.inc("b");
+            m.inc("a");
+            m.set_gauge("g", 1.5);
+            m.observe("h", 1.2);
+            icm_json::to_string(&m)
+        };
+        let text = build();
+        assert_eq!(text, build());
+        // BTreeMap ordering: "a" before "b" regardless of insertion.
+        let a = text.find("\"a\"").expect("a present");
+        let b = text.find("\"b\"").expect("b present");
+        assert!(a < b);
+    }
+}

@@ -4,6 +4,7 @@
 //! full simulated annealing (ablation A2 in `DESIGN.md`; the paper's
 //! description accepts only improvements).
 
+use icm_obs::{Tracer, Value};
 use icm_rng::Rng;
 
 use crate::error::PlacementError;
@@ -104,9 +105,20 @@ pub struct AnnealResult {
     pub evaluations: usize,
     /// Number of accepted swaps.
     pub accepted: usize,
+    /// Iteration (1-based) at which the returned best state was last
+    /// improved; `0` means the random initial state was never beaten.
+    /// The convergence metric of Fig. 10.
+    pub best_iteration: usize,
 }
 
-icm_json::impl_json!(struct AnnealResult { state, cost, feasible, evaluations, accepted });
+icm_json::impl_json!(struct AnnealResult {
+    state,
+    cost,
+    feasible,
+    evaluations,
+    accepted,
+    best_iteration = 0
+});
 
 /// Minimizes `cost` over valid placements subject to a constraint.
 ///
@@ -125,9 +137,32 @@ icm_json::impl_json!(struct AnnealResult { state, cost, feasible, evaluations, a
 /// Propagates objective failures ([`PlacementError`]).
 pub fn anneal<C, V>(
     problem: &PlacementProblem,
+    cost: C,
+    violation: V,
+    config: &AnnealConfig,
+) -> Result<AnnealResult, PlacementError>
+where
+    C: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+    V: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+{
+    anneal_traced(problem, cost, violation, config, &Tracer::disabled())
+}
+
+/// [`anneal`] with structured tracing: the search is wrapped in an
+/// `anneal` span, every evaluated candidate emits an `anneal_iter` event
+/// (objective, violation, acceptance decision, temperature), and the
+/// span end carries the convergence summary (best cost,
+/// iterations-to-best, acceptance count).
+///
+/// # Errors
+///
+/// Propagates objective failures ([`PlacementError`]).
+pub fn anneal_traced<C, V>(
+    problem: &PlacementProblem,
     mut cost: C,
     mut violation: V,
     config: &AnnealConfig,
+    tracer: &Tracer,
 ) -> Result<AnnealResult, PlacementError>
 where
     C: FnMut(&PlacementState) -> Result<f64, PlacementError>,
@@ -143,6 +178,7 @@ where
     let mut best = current.clone();
     let mut best_cost = current_cost;
     let mut best_violation = current_violation;
+    let mut best_iteration = 0usize;
 
     let mut temperature = match config.accept {
         AcceptRule::Metropolis {
@@ -152,7 +188,26 @@ where
         AcceptRule::Greedy => 0.0,
     };
 
-    for _ in 0..config.iterations {
+    let span = if tracer.enabled() {
+        let rule = match config.accept {
+            AcceptRule::Greedy => "greedy",
+            AcceptRule::Metropolis { .. } => "metropolis",
+        };
+        Some(tracer.span(
+            "anneal",
+            &[
+                ("rule", Value::from(rule)),
+                ("iterations", Value::from(config.iterations)),
+                ("seed", Value::from(config.seed)),
+                ("start_cost", Value::from(current_cost)),
+                ("start_violation", Value::from(current_violation)),
+            ],
+        ))
+    } else {
+        None
+    };
+
+    for iteration in 1..=config.iterations {
         let Some(candidate) = current.random_swap(problem, &mut rng, config.swap_attempts) else {
             continue;
         };
@@ -196,8 +251,34 @@ where
                 best = current.clone();
                 best_cost = current_cost;
                 best_violation = current_violation;
+                best_iteration = iteration;
             }
         }
+
+        if tracer.enabled() {
+            tracer.event(
+                "anneal_iter",
+                &[
+                    ("iter", Value::from(iteration)),
+                    ("cost", Value::from(cand_cost)),
+                    ("violation", Value::from(cand_violation)),
+                    ("accepted", Value::from(accept)),
+                    ("current", Value::from(current_cost)),
+                    ("best", Value::from(best_cost)),
+                    ("temperature", Value::from(temperature)),
+                ],
+            );
+        }
+    }
+
+    if let Some(span) = span {
+        span.end_with(&[
+            ("cost", Value::from(best_cost)),
+            ("feasible", Value::from(best_violation <= 0.0)),
+            ("evaluations", Value::from(evaluations)),
+            ("accepted", Value::from(accepted)),
+            ("best_iteration", Value::from(best_iteration)),
+        ]);
     }
 
     Ok(AnnealResult {
@@ -206,6 +287,7 @@ where
         feasible: best_violation <= 0.0,
         evaluations,
         accepted,
+        best_iteration,
     })
 }
 
@@ -437,6 +519,117 @@ mod tests {
         let a = run(5);
         let b = run(6);
         assert!(a.state != b.state || a.accepted != b.accepted);
+    }
+
+    #[test]
+    fn traced_search_records_objective_trajectory() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let (tracer, recorder) = icm_obs::Tracer::recording(8192);
+        let config = AnnealConfig {
+            iterations: 400,
+            accept: AcceptRule::Metropolis {
+                initial_temperature: 0.5,
+                cooling: 0.999,
+            },
+            ..AnnealConfig::default()
+        };
+        let result = anneal_traced(
+            &problem,
+            |s| Ok(estimator.estimate(s)?.weighted_total),
+            |_| Ok(0.0),
+            &config,
+            &tracer,
+        )
+        .expect("runs");
+        let events = recorder.events();
+        assert_eq!(events[0].name, "anneal.begin");
+        assert_eq!(events[0].str("rule"), Some("metropolis"));
+        let iters: Vec<_> = events.iter().filter(|e| e.name == "anneal_iter").collect();
+        assert_eq!(iters.len(), result.evaluations - 1);
+        let accepted = iters
+            .iter()
+            .filter(|e| e.field("accepted") == Some(&icm_obs::Value::Bool(true)))
+            .count();
+        assert_eq!(accepted, result.accepted);
+        // The running best in the trace is monotone non-increasing and
+        // ends at the result's cost.
+        let mut last_best = f64::INFINITY;
+        for e in &iters {
+            let best = e.num("best").expect("field");
+            assert!(best <= last_best + 1e-12);
+            last_best = best;
+        }
+        assert!((last_best - result.cost).abs() < 1e-12);
+        let end = events.last().expect("events");
+        assert_eq!(end.name, "anneal.end");
+        assert_eq!(
+            end.num("best_iteration"),
+            Some(result.best_iteration as f64)
+        );
+        assert_eq!(end.num("accepted"), Some(result.accepted as f64));
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_search() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let config = AnnealConfig {
+            iterations: 300,
+            ..AnnealConfig::default()
+        };
+        let plain = anneal_unconstrained(
+            &problem,
+            |s| Ok(estimator.estimate(s)?.weighted_total),
+            &config,
+        )
+        .expect("runs");
+        let (tracer, _recorder) = icm_obs::Tracer::recording(8192);
+        let traced = anneal_traced(
+            &problem,
+            |s| Ok(estimator.estimate(s)?.weighted_total),
+            |_| Ok(0.0),
+            &config,
+            &tracer,
+        )
+        .expect("runs");
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn best_iteration_tracks_last_improvement() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let result = anneal_unconstrained(
+            &problem,
+            |s| Ok(estimator.estimate(s)?.weighted_total),
+            &AnnealConfig {
+                iterations: 1500,
+                ..AnnealConfig::default()
+            },
+        )
+        .expect("runs");
+        assert!(result.best_iteration >= 1, "some swap must have helped");
+        assert!(result.best_iteration <= 1500);
+        // Round-trip including the new field; legacy JSON still parses.
+        let back: AnnealResult =
+            icm_json::from_str(&icm_json::to_string(&result)).expect("round-trips");
+        assert_eq!(back, result);
     }
 
     #[test]

@@ -62,7 +62,9 @@ mod qos;
 mod state;
 mod throughput;
 
-pub use annealing::{anneal, anneal_unconstrained, AcceptRule, AnnealConfig, AnnealResult};
+pub use annealing::{
+    anneal, anneal_traced, anneal_unconstrained, AcceptRule, AnnealConfig, AnnealResult,
+};
 pub use energy::{estimate_waste, place_min_waste, EnergyEstimate};
 pub use error::PlacementError;
 pub use estimator::{Estimator, PlacementEstimate, RuntimePredictor};

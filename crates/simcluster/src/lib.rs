@@ -59,4 +59,4 @@ pub use app::{AppSpec, AppSpecBuilder, MasterBehavior};
 pub use cluster::{BackgroundTenants, ClusterSpec};
 pub use noise::Noise;
 pub use sync::{execute, execute_phased, PhaseModulation, SyncPattern};
-pub use testbed::{AppRun, Deployment, Placement, SimTestbed, TestbedError, TestbedStats};
+pub use testbed::{AppRun, Deployment, Placement, RunKind, SimTestbed, TestbedError, TestbedStats};

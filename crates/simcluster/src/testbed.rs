@@ -2,6 +2,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+use icm_obs::{Tracer, Value};
 use icm_simnode::{solve_contention, Bubble, MemoryProfile};
 
 use crate::app::AppSpec;
@@ -136,6 +137,61 @@ pub struct AppRun {
 
 icm_json::impl_json!(struct AppRun { app, seconds });
 
+/// What a testbed run was *for* — the unit the paper's Table 3 counts
+/// profiling cost in.
+///
+/// The kind is classified from the deployment's shape (see
+/// [`RunKind::classify`]), so every entry point — profiler probes going
+/// through an adapter, validation pair runs, placement-search
+/// deployments — is attributed without the caller having to say.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// One application, no synthetic pressure anywhere.
+    Solo,
+    /// One application against per-host bubbles (the Fig. 3 probe).
+    Bubble,
+    /// Two applications fully co-located (§4.3 validation).
+    Pair,
+    /// Any other placement mix (e.g. placement-search candidates).
+    Deployment,
+    /// Reporter-bubble measurement (bubble score / sensitivity curve).
+    Reporter,
+}
+
+impl RunKind {
+    /// Stable lowercase label used in trace events and summaries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunKind::Solo => "solo",
+            RunKind::Bubble => "bubble",
+            RunKind::Pair => "pair",
+            RunKind::Deployment => "deployment",
+            RunKind::Reporter => "reporter",
+        }
+    }
+
+    /// Classifies a deployment: one app without/with bubbles is a
+    /// solo/bubble probe, two fully co-located apps are a pair, and
+    /// everything else is a general deployment.
+    pub fn classify(deployment: &Deployment) -> Self {
+        let bubbled = deployment.bubbles.iter().any(|&p| p > 0.0);
+        match (deployment.placements.len(), bubbled) {
+            (1, false) => RunKind::Solo,
+            (1, true) => RunKind::Bubble,
+            (2, false) if deployment.placements[0].hosts == deployment.placements[1].hosts => {
+                RunKind::Pair
+            }
+            _ => RunKind::Deployment,
+        }
+    }
+}
+
+impl fmt::Display for RunKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Cumulative accounting of simulated work, used to report profiling cost.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TestbedStats {
@@ -143,9 +199,52 @@ pub struct TestbedStats {
     pub runs: u64,
     /// Total simulated application-seconds across all runs.
     pub simulated_seconds: f64,
+    /// Completed solo runs (one app, no synthetic pressure).
+    pub solo_runs: u64,
+    /// Completed bubble-probe runs (one app vs. per-host bubbles).
+    pub bubble_runs: u64,
+    /// Completed pair runs (two apps fully co-located).
+    pub pair_runs: u64,
+    /// Completed general deployments (placement-search candidates etc.).
+    pub deployment_runs: u64,
+    /// Completed reporter-bubble measurements.
+    pub reporter_runs: u64,
 }
 
-icm_json::impl_json!(struct TestbedStats { runs, simulated_seconds });
+icm_json::impl_json!(struct TestbedStats {
+    runs,
+    simulated_seconds,
+    solo_runs = 0,
+    bubble_runs = 0,
+    pair_runs = 0,
+    deployment_runs = 0,
+    reporter_runs = 0
+});
+
+impl TestbedStats {
+    /// Completed runs of one kind.
+    pub fn kind_count(&self, kind: RunKind) -> u64 {
+        match kind {
+            RunKind::Solo => self.solo_runs,
+            RunKind::Bubble => self.bubble_runs,
+            RunKind::Pair => self.pair_runs,
+            RunKind::Deployment => self.deployment_runs,
+            RunKind::Reporter => self.reporter_runs,
+        }
+    }
+
+    fn record(&mut self, kind: RunKind, simulated_seconds: f64) {
+        self.runs += 1;
+        self.simulated_seconds += simulated_seconds;
+        match kind {
+            RunKind::Solo => self.solo_runs += 1,
+            RunKind::Bubble => self.bubble_runs += 1,
+            RunKind::Pair => self.pair_runs += 1,
+            RunKind::Deployment => self.deployment_runs += 1,
+            RunKind::Reporter => self.reporter_runs += 1,
+        }
+    }
+}
 
 /// The simulated consolidated cluster the paper's methodology is exercised
 /// against.
@@ -185,6 +284,7 @@ pub struct SimTestbed {
     noise: Noise,
     run_counter: u64,
     stats: TestbedStats,
+    tracer: Tracer,
 }
 
 impl SimTestbed {
@@ -199,7 +299,20 @@ impl SimTestbed {
             noise: Noise::new(seed),
             run_counter: 0,
             stats: TestbedStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; every subsequent run emits structured events
+    /// and advances the tracer's simulated clock by the run's simulated
+    /// seconds. Pass [`Tracer::disabled`] to detach.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Registers (or replaces) an application so it can be deployed by
@@ -294,9 +407,43 @@ impl SimTestbed {
     /// Returns a [`TestbedError`] describing the first malformed part of
     /// the deployment.
     pub fn run_deployment(&mut self, deployment: &Deployment) -> Result<Vec<AppRun>, TestbedError> {
+        // Validation comes first so a malformed deployment leaves *no*
+        // trace: the run counter, the stats (including the per-kind
+        // counters) and the event stream all describe completed runs
+        // only — an error path can never desynchronize accounting.
         self.validate(deployment)?;
+        let kind = RunKind::classify(deployment);
         let hosts = self.cluster.hosts();
         let run = self.next_run();
+
+        let span = if self.tracer.enabled() {
+            let apps = deployment
+                .placements
+                .iter()
+                .map(|p| p.app.as_str())
+                .collect::<Vec<_>>()
+                .join("+");
+            let span = self.tracer.span(
+                "run",
+                &[
+                    ("kind", Value::from(kind.as_str())),
+                    ("run", Value::from(run)),
+                    ("apps", Value::from(apps)),
+                    ("placements", Value::from(deployment.placements.len())),
+                ],
+            );
+            for (h, &p) in deployment.bubbles.iter().enumerate() {
+                if p > 0.0 {
+                    self.tracer.event(
+                        "host_bubble",
+                        &[("host", Value::from(h)), ("pressure", Value::from(p))],
+                    );
+                }
+            }
+            Some(span)
+        } else {
+            None
+        };
 
         // Per-host co-located memory profiles, and for each placement the
         // index of its profile within each host's list.
@@ -409,13 +556,34 @@ impl SimTestbed {
             );
             let seconds = spec.base_runtime_s() * normalized * measurement;
             simulated += seconds;
+            if self.tracer.enabled() {
+                // Phase/sync breakdown: `mean_slowdown` is the average
+                // node-local contention, `normalized` what the sync
+                // pattern amplified it into, so `sync_factor` isolates
+                // the propagation cost (§4.1).
+                let mean_slowdown = slowdowns.iter().sum::<f64>() / slowdowns.len().max(1) as f64;
+                self.tracer.event(
+                    "app_run",
+                    &[
+                        ("app", Value::from(placement.app.as_str())),
+                        ("nodes", Value::from(slowdowns.len())),
+                        ("mean_slowdown", Value::from(mean_slowdown)),
+                        ("normalized", Value::from(normalized)),
+                        ("sync_factor", Value::from(normalized / mean_slowdown)),
+                        ("seconds", Value::from(seconds)),
+                    ],
+                );
+            }
             results.push(AppRun {
                 app: placement.app.clone(),
                 seconds,
             });
         }
-        self.stats.runs += 1;
-        self.stats.simulated_seconds += simulated;
+        self.stats.record(kind, simulated);
+        self.tracer.advance_sim(simulated);
+        if let Some(span) = span {
+            span.end_with(&[("simulated_s", Value::from(simulated))]);
+        }
         Ok(results)
     }
 
@@ -466,8 +634,18 @@ impl SimTestbed {
                     h as u64,
                 );
         }
-        self.stats.runs += 1;
-        Ok(total / hosts as f64)
+        self.stats.record(RunKind::Reporter, 0.0);
+        let slowdown = total / hosts as f64;
+        if self.tracer.enabled() {
+            self.tracer.event(
+                "reporter",
+                &[
+                    ("with", Value::from(apps.join("+"))),
+                    ("slowdown", Value::from(slowdown)),
+                ],
+            );
+        }
+        Ok(slowdown)
     }
 
     /// Slowdown of the reporter bubble co-located with a bubble of
@@ -488,14 +666,24 @@ impl SimTestbed {
         let reporter = self.bubble.reporter();
         let profiles = [reporter, self.bubble.profile_at(pressure)];
         let sd = solve_contention(&self.cluster.node(0), &profiles)[0];
-        self.stats.runs += 1;
-        Ok(sd
+        self.stats.record(RunKind::Reporter, 0.0);
+        let slowdown = sd
             * self.noise.lognormal(
                 self.cluster.measurement_sigma(),
                 stream::MEASUREMENT,
                 run,
                 0,
-            ))
+            );
+        if self.tracer.enabled() {
+            self.tracer.event(
+                "reporter",
+                &[
+                    ("pressure", Value::from(pressure)),
+                    ("slowdown", Value::from(slowdown)),
+                ],
+            );
+        }
+        Ok(slowdown)
     }
 
     fn next_run(&mut self) -> u64 {
@@ -801,6 +989,126 @@ mod tests {
         assert!(tb.stats().simulated_seconds > 0.0);
         tb.reset_stats();
         assert_eq!(tb.stats(), TestbedStats::default());
+    }
+
+    #[test]
+    fn stats_classify_runs_by_kind() {
+        let mut tb = testbed();
+        let _ = tb.run_solo("coupled").expect("runs");
+        let _ = tb.run_with_bubbles("coupled", &[4.0; 8]).expect("runs");
+        let _ = tb.run_pair("coupled", "loose").expect("runs");
+        let _ = tb.reporter_slowdown_with_bubble(2.0).expect("runs");
+        let _ = tb.reporter_slowdown_with_app("coupled").expect("runs");
+        let mixed = Deployment::of_placements(vec![
+            Placement::new("coupled", vec![0, 1, 2, 3]),
+            Placement::new("loose", vec![4, 5, 6, 7]),
+        ]);
+        let _ = tb.run_deployment(&mixed).expect("runs");
+        let stats = tb.stats();
+        assert_eq!(stats.solo_runs, 1);
+        assert_eq!(stats.bubble_runs, 1);
+        assert_eq!(stats.pair_runs, 1);
+        assert_eq!(stats.reporter_runs, 2);
+        assert_eq!(stats.deployment_runs, 1);
+        assert_eq!(
+            stats.runs,
+            stats.solo_runs
+                + stats.bubble_runs
+                + stats.pair_runs
+                + stats.reporter_runs
+                + stats.deployment_runs,
+            "per-kind counters must partition the total"
+        );
+        assert_eq!(stats.kind_count(RunKind::Pair), 1);
+    }
+
+    #[test]
+    fn stats_json_round_trips_and_accepts_legacy_shape() {
+        let mut tb = testbed();
+        let _ = tb.run_solo("coupled");
+        let stats = tb.stats();
+        let back: TestbedStats =
+            icm_json::from_str(&icm_json::to_string(&stats)).expect("round-trips");
+        assert_eq!(back, stats);
+        // Pre-observability snapshots lack the per-kind counters.
+        let legacy: TestbedStats =
+            icm_json::from_str(r#"{"runs":3,"simulated_seconds":120.5}"#).expect("parses");
+        assert_eq!(legacy.runs, 3);
+        assert_eq!(legacy.solo_runs, 0);
+    }
+
+    #[test]
+    fn failed_deployment_leaves_no_trace_in_accounting_or_noise() {
+        // Regression test: a deployment that errors mid-way must count
+        // nothing — stats, per-kind counters, the trace, and the noise
+        // history of *subsequent* runs must all be as if the failed
+        // attempt never happened.
+        let mut with_failure = testbed();
+        let (tracer, recorder) = Tracer::recording(64);
+        with_failure.set_tracer(tracer);
+        let before = with_failure.stats();
+        let bad = Deployment {
+            placements: vec![Placement::new("coupled", vec![0])],
+            bubbles: vec![f64::NAN; 8],
+        };
+        assert!(with_failure.run_deployment(&bad).is_err());
+        assert!(with_failure.run_solo("ghost").is_err());
+        assert_eq!(with_failure.stats(), before, "failed runs count nothing");
+        assert!(recorder.is_empty(), "failed runs emit no events");
+
+        let mut clean = testbed();
+        for _ in 0..3 {
+            assert_eq!(
+                with_failure.run_solo("coupled").expect("runs"),
+                clean.run_solo("coupled").expect("runs"),
+                "failed attempts must not perturb later noise"
+            );
+        }
+        assert_eq!(with_failure.stats(), clean.stats());
+    }
+
+    #[test]
+    fn traced_run_emits_span_and_app_events() {
+        let mut tb = testbed();
+        let (tracer, recorder) = Tracer::recording(256);
+        tb.set_tracer(tracer);
+        let seconds = tb.run_with_bubbles("coupled", &[2.0; 8]).expect("runs");
+        let events = recorder.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names[0], "run.begin");
+        assert_eq!(names.iter().filter(|n| **n == "host_bubble").count(), 8);
+        assert_eq!(*names.last().expect("events"), "run.end");
+        let begin = &events[0];
+        assert_eq!(begin.str("kind"), Some("bubble"));
+        assert_eq!(begin.str("apps"), Some("coupled"));
+        let app_run = events
+            .iter()
+            .find(|e| e.name == "app_run")
+            .expect("app_run event");
+        assert_eq!(app_run.num("seconds"), Some(seconds));
+        assert!(app_run.num("sync_factor").expect("field") >= 1.0);
+        let end = events.last().expect("events");
+        assert_eq!(end.num("simulated_s"), Some(seconds));
+        assert_eq!(
+            tb.tracer().now().sim_s,
+            seconds,
+            "tracer clock advances by simulated seconds"
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_change_measurements() {
+        let mut plain = testbed();
+        let mut traced = testbed();
+        let (tracer, _recorder) = Tracer::recording(1024);
+        traced.set_tracer(tracer);
+        for _ in 0..3 {
+            assert_eq!(
+                plain.run_solo("coupled").expect("runs"),
+                traced.run_solo("coupled").expect("runs")
+            );
+        }
+        assert_eq!(plain.stats(), traced.stats());
     }
 
     #[test]

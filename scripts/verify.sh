@@ -9,4 +9,5 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release --offline
 cargo test -q --workspace --offline
+cargo clippy --workspace --offline -- -D warnings
 cargo fmt --check

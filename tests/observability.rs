@@ -1,0 +1,143 @@
+//! End-to-end observability guarantees: at a fixed seed, traced runs of
+//! a profiling sweep and an annealing search emit byte-identical JSONL,
+//! every line round-trips through `icm-json`, and the `icm-trace`
+//! summarizer reconstructs exactly the probe budget the testbed itself
+//! accounted.
+
+use icm_core::{profile_traced, ProfilerConfig, ProfilingAlgorithm};
+use icm_experiments::context::{private_testbed, ExpConfig};
+use icm_experiments::profiling_source::AppSource;
+use icm_experiments::trace::summarize;
+use icm_obs::{parse_events, Event, JsonlSink, SharedBuf, Tracer};
+use icm_placement::{anneal_traced, AcceptRule, AnnealConfig, PlacementProblem, PlacementState};
+use icm_simcluster::TestbedStats;
+
+/// Runs the same profiling sweep with a JSONL sink and returns the raw
+/// trace bytes plus the testbed's own accounting.
+fn traced_profiling_sweep(seed: u64) -> (String, TestbedStats) {
+    let cfg = ExpConfig {
+        fast: true,
+        seed,
+        ..ExpConfig::default()
+    };
+    let mut testbed = private_testbed(&cfg);
+    let buf = SharedBuf::new();
+    let tracer = Tracer::with_sink(JsonlSink::new(buf.clone()));
+    testbed.sim_mut().set_tracer(tracer.clone());
+    let mut source = AppSource::new(&mut testbed, "M.zeus", 8, 1).expect("solo runs");
+    profile_traced(
+        &mut source,
+        ProfilingAlgorithm::BinaryOptimized,
+        &ProfilerConfig::default(),
+        &tracer,
+    )
+    .expect("profiles");
+    let stats = source.testbed_stats();
+    tracer.flush();
+    (buf.text(), stats)
+}
+
+fn anneal_cost(problem: &PlacementProblem, state: &PlacementState) -> f64 {
+    state
+        .assignment()
+        .iter()
+        .enumerate()
+        .map(|(slot, &w)| (w + 1) as f64 * (problem.host_of_slot(slot) + 1) as f64)
+        .sum()
+}
+
+/// Runs the same Metropolis search with a JSONL sink and returns the raw
+/// trace bytes.
+fn traced_search(seed: u64) -> String {
+    let problem =
+        PlacementProblem::paper_default(vec!["a".into(), "b".into(), "c".into(), "d".into()])
+            .expect("valid problem");
+    let buf = SharedBuf::new();
+    let tracer = Tracer::with_sink(JsonlSink::new(buf.clone()));
+    anneal_traced(
+        &problem,
+        |state| Ok(anneal_cost(&problem, state)),
+        |_| Ok(0.0),
+        &AnnealConfig {
+            iterations: 300,
+            seed,
+            accept: AcceptRule::Metropolis {
+                initial_temperature: 0.5,
+                cooling: 0.995,
+            },
+            ..AnnealConfig::default()
+        },
+        &tracer,
+    )
+    .expect("search runs");
+    tracer.flush();
+    buf.text()
+}
+
+#[test]
+fn profiling_sweep_trace_is_byte_identical_across_runs() {
+    let (first, _) = traced_profiling_sweep(2016);
+    let (second, _) = traced_profiling_sweep(2016);
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "same seed must produce identical traces");
+}
+
+#[test]
+fn annealing_trace_is_byte_identical_across_runs() {
+    let first = traced_search(7);
+    let second = traced_search(7);
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "same seed must produce identical traces");
+}
+
+#[test]
+fn traces_round_trip_through_icm_json() {
+    let (trace, _) = traced_profiling_sweep(2016);
+    let events = parse_events(&trace).expect("trace parses");
+    assert!(!events.is_empty());
+    let reserialized: String = events
+        .iter()
+        .map(|e| {
+            let mut line = icm_json::to_string(e);
+            line.push('\n');
+            line
+        })
+        .collect();
+    assert_eq!(trace, reserialized, "parse → serialize must be lossless");
+    let back: Vec<Event> = parse_events(&reserialized).expect("reparses");
+    assert_eq!(events, back);
+}
+
+#[test]
+fn trace_summary_matches_testbed_accounting() {
+    let (trace, stats) = traced_profiling_sweep(2016);
+    let events = parse_events(&trace).expect("trace parses");
+    let summary = summarize(&events);
+    assert_eq!(
+        summary.budget.as_stats(),
+        stats,
+        "icm-trace probe budget must reproduce TestbedStats exactly"
+    );
+    assert!(summary.budget.solo > 0);
+    assert!(summary.budget.bubble > 0);
+    assert_eq!(summary.profiles.len(), 1);
+}
+
+#[test]
+fn search_trace_summarizes_the_objective_trajectory() {
+    let trace = traced_search(7);
+    let events = parse_events(&trace).expect("trace parses");
+    let summary = summarize(&events);
+    assert_eq!(summary.searches.len(), 1);
+    let search = &summary.searches[0];
+    assert_eq!(search.rule, "metropolis");
+    assert_eq!(search.trajectory.len() as u64, search.iterations);
+    assert!(search.iterations > 0);
+    // The running best is monotone non-increasing and ends at best_cost.
+    let mut prev = f64::INFINITY;
+    for point in &search.trajectory {
+        assert!(point.best <= prev + 1e-12);
+        prev = point.best;
+    }
+    assert!((prev - search.best_cost).abs() < 1e-12);
+}
