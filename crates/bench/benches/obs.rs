@@ -26,6 +26,19 @@ fn main() {
     });
     black_box(recorder.len());
 
+    // Wall-time side channel: a scope on a disabled profiler must be
+    // near-free (it guards every annealing iteration), and an enabled
+    // one is two Instant reads plus a histogram bump.
+    b.bench("obs/wall_scope/disabled", || {
+        let _scope = disabled.wall_scope("bench.scope");
+    });
+
+    let profiled = Tracer::wall_only();
+    b.bench("obs/wall_scope/enabled", || {
+        let _scope = profiled.wall_scope("bench.scope");
+    });
+    black_box(profiled.wall_profile());
+
     // The real question: does an attached-but-null tracer change the
     // cost of a full simulated run?
     let pressures = vec![4.0; 8];

@@ -475,6 +475,8 @@ impl Grid {
     }
 
     fn finish(self, tracer: &Tracer) -> Result<ProfileResult, ModelError> {
+        // Wall side channel only (fit cost never enters the trace).
+        let _fit_scope = tracer.wall_scope("profile.fit");
         let n = self.n;
         let m = self.m;
         let raw = self.raw;

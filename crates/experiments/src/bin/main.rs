@@ -1,7 +1,8 @@
 //! Command-line driver: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! icm-experiments <id>... [--fast] [--seed N] [--json DIR] [--trace FILE] [--quiet]
+//! icm-experiments <id>... [--fast] [--seed N] [--json DIR] [--results FILE]
+//!                         [--trace FILE] [--profile FILE] [--quiet]
 //! icm-experiments all [--fast]
 //! icm-experiments list
 //! ```
@@ -9,16 +10,25 @@
 //! `--trace FILE` appends one JSONL event per progress message (plus an
 //! `experiment` span per run) for `icm-trace`; `--quiet` silences the
 //! stderr progress lines without touching the result tables on stdout.
+//!
+//! `--results FILE` writes one machine-readable document holding every
+//! selected experiment's structured output (the input to `icm-report`);
+//! `all` writes `results.json` by default. `--profile FILE` dumps
+//! per-span wall-time histograms — a side channel that never enters the
+//! deterministic trace, so traces stay byte-identical whether or not
+//! profiling is on.
 
 use std::process::ExitCode;
 
+use icm_experiments::results::ResultsDoc;
 use icm_experiments::{ExpConfig, Experiment};
 use icm_obs::{Tracer, Value};
 
 fn usage() -> String {
     let ids: Vec<&str> = Experiment::ALL.iter().map(Experiment::id).collect();
     format!(
-        "usage: icm-experiments <id>... [--fast] [--seed N] [--json DIR] [--trace FILE] [--quiet]\n\
+        "usage: icm-experiments <id>... [--fast] [--seed N] [--json DIR] [--results FILE]\n\
+         \x20                       [--trace FILE] [--profile FILE] [--quiet]\n\
          \x20      icm-experiments all [--fast]\n\
          \x20      icm-experiments list\n\
          \n\
@@ -50,7 +60,9 @@ fn main() -> ExitCode {
     let mut run_all = false;
     let mut list_only = false;
     let mut json_dir: Option<std::path::PathBuf> = None;
+    let mut results_path: Option<std::path::PathBuf> = None;
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut profile_path: Option<std::path::PathBuf> = None;
     let mut quiet = false;
 
     let mut i = 0;
@@ -65,6 +77,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 trace_path = Some(std::path::PathBuf::from(path));
+            }
+            "--profile" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--profile requires a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                profile_path = Some(std::path::PathBuf::from(path));
+            }
+            "--results" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--results requires a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                results_path = Some(std::path::PathBuf::from(path));
             }
             "--seed" => {
                 i += 1;
@@ -113,6 +141,11 @@ fn main() -> ExitCode {
     }
     if run_all {
         selected = Experiment::ALL.to_vec();
+        // The full regeneration always leaves a machine-readable record
+        // next to the human log.
+        if results_path.is_none() {
+            results_path = Some(std::path::PathBuf::from("results.json"));
+        }
     }
     if selected.is_empty() {
         eprintln!("{}", usage());
@@ -127,34 +160,40 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+        None if profile_path.is_some() => Tracer::wall_only(),
         None => Tracer::disabled(),
     };
+    if profile_path.is_some() {
+        tracer.enable_wall_profiling();
+    }
     let reporter = Reporter {
         tracer: tracer.clone(),
         quiet,
     };
 
+    let mut results = ResultsDoc::new(cfg.seed, cfg.fast);
     for exp in selected {
-        reporter.say(
-            "experiment_start",
+        if !quiet {
+            eprintln!(
+                "[icm] running {} (seed {}, fast {})",
+                exp.id(),
+                cfg.seed,
+                cfg.fast
+            );
+        }
+        let span = tracer.span(
+            "experiment",
             &[
                 ("id", exp.id().into()),
                 ("seed", cfg.seed.into()),
                 ("fast", cfg.fast.into()),
             ],
-            format!(
-                "running {} (seed {}, fast {})",
-                exp.id(),
-                cfg.seed,
-                cfg.fast
-            ),
         );
-        match exp.run(&cfg) {
-            Ok(text) => {
-                reporter
-                    .tracer
-                    .event("experiment_done", &[("id", exp.id().into())]);
+        match exp.run_full(&cfg) {
+            Ok((text, data)) => {
+                span.end_with(&[("id", exp.id().into())]);
                 println!("{text}");
+                results.push(exp.id(), data);
             }
             Err(err) => {
                 eprintln!("{}: {err}", exp.id());
@@ -167,12 +206,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             let path = dir.join(format!("{}.json", exp.id()));
-            let result = exp
-                .run_json(&cfg)
-                .map_err(|e| e.to_string())
-                .map(|value| icm_json::to_string_pretty(&value))
-                .and_then(|text| std::fs::write(&path, text).map_err(|e| e.to_string()));
-            match result {
+            let data = results.get(exp.id()).expect("just pushed");
+            let text = icm_json::to_string_pretty(data);
+            match std::fs::write(&path, text) {
                 Ok(()) => reporter.say(
                     "json_export",
                     &[
@@ -188,6 +224,28 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if let Some(path) = &results_path {
+        if let Err(err) = std::fs::write(path, results.to_text()) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("[icm] wrote {}", path.display());
+        }
+    }
     tracer.flush();
+    if let Some(path) = &profile_path {
+        let profile = tracer.wall_profile().unwrap_or_default();
+        let mut text = icm_json::to_string_pretty(&profile);
+        text.push('\n');
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("[icm] wrote {}", path.display());
+        }
+    }
     ExitCode::SUCCESS
 }

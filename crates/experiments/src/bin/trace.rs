@@ -1,57 +1,107 @@
-//! `icm-trace` — summarize a JSONL trace produced by the instrumented
+//! `icm-trace` — inspect JSONL traces produced by the instrumented
 //! simulator, profiler or placement search.
 //!
 //! ```text
-//! icm-trace <trace.jsonl> [--json]
+//! icm-trace summarize <trace.jsonl> [--json]
+//! icm-trace diff <a.jsonl> <b.jsonl> [--json]
+//! icm-trace <trace.jsonl> [--json]          # legacy alias for summarize
 //! ```
 //!
-//! Prints probe-budget totals (run counts per kind, matching
-//! `TestbedStats`), per-phase simulated-time breakdowns, profiling
-//! residual summaries and search-convergence reports. With `--json` the
-//! summary is emitted as a single JSON object instead. Exits non-zero on
-//! malformed traces, naming the offending line.
+//! `summarize` prints probe-budget totals (run counts per kind,
+//! matching `TestbedStats`), per-phase simulated-time breakdowns,
+//! profiling residual summaries and search-convergence reports; with
+//! `--json` the summary is one JSON object instead. A trace with zero
+//! events exits non-zero — an empty trace from an instrumented run
+//! means the instrumentation is broken, not that nothing happened.
+//!
+//! `diff` aligns two traces event-by-event and reports the first
+//! divergence (index, mismatch kind, field deltas); it exits zero only
+//! when the traces are event-identical, so it doubles as a determinism
+//! check in CI. Both subcommands exit non-zero on malformed traces,
+//! naming the offending line.
 
 use std::process::ExitCode;
 
 use icm_experiments::trace::{render, summarize};
+use icm_experiments::tracediff::{diff_traces, render_diff};
+use icm_obs::Event;
 
-fn main() -> ExitCode {
-    let mut path: Option<String> = None;
-    let mut json = false;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--json" => json = true,
-            "--help" | "-h" => {
-                println!("usage: icm-trace <trace.jsonl> [--json]");
-                return ExitCode::SUCCESS;
-            }
-            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
-            other => {
-                eprintln!("icm-trace: unexpected argument `{other}`");
-                eprintln!("usage: icm-trace <trace.jsonl> [--json]");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let Some(path) = path else {
-        eprintln!("icm-trace: missing trace path");
-        eprintln!("usage: icm-trace <trace.jsonl> [--json]");
-        return ExitCode::FAILURE;
-    };
+const USAGE: &str = "usage: icm-trace summarize <trace.jsonl> [--json]\n\
+                     \x20      icm-trace diff <a.jsonl> <b.jsonl> [--json]\n\
+                     \x20      icm-trace <trace.jsonl> [--json]";
 
-    let events = match icm_obs::read_jsonl_file(std::path::Path::new(&path)) {
-        Ok(events) => events,
-        Err(err) => {
-            eprintln!("icm-trace: {path}: {err}");
-            return ExitCode::FAILURE;
-        }
-    };
+fn read_events(path: &str) -> Result<Vec<Event>, String> {
+    icm_obs::read_jsonl_file(std::path::Path::new(path)).map_err(|err| format!("{path}: {err}"))
+}
 
+fn run_summarize(path: &str, json: bool) -> Result<ExitCode, String> {
+    let events = read_events(path)?;
     let summary = summarize(&events);
     if json {
         println!("{}", icm_json::to_string(&summary));
     } else {
         print!("{}", render(&summary));
     }
-    ExitCode::SUCCESS
+    if events.is_empty() {
+        return Err(format!("{path}: trace contains zero events"));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_diff(path_a: &str, path_b: &str, json: bool) -> Result<ExitCode, String> {
+    let events_a = read_events(path_a)?;
+    let events_b = read_events(path_b)?;
+    let report = diff_traces(&events_a, &events_b);
+    if json {
+        println!("{}", icm_json::to_string(&report));
+    } else {
+        print!("{}", render_diff(&report));
+    }
+    Ok(if report.identical() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("icm-trace: unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+
+    let outcome = match positional.split_first() {
+        Some((cmd, rest)) if cmd == "summarize" => match rest {
+            [path] => run_summarize(path, json),
+            _ => Err("summarize takes exactly one trace path".to_owned()),
+        },
+        Some((cmd, rest)) if cmd == "diff" => match rest {
+            [a, b] => run_diff(a, b, json),
+            _ => Err("diff takes exactly two trace paths".to_owned()),
+        },
+        // Legacy form: a bare path means summarize.
+        Some((path, [])) => run_summarize(path, json),
+        Some(_) => Err("too many arguments".to_owned()),
+        None => Err("missing subcommand or trace path".to_owned()),
+    };
+
+    match outcome {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("icm-trace: {message}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
 }

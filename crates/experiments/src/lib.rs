@@ -46,10 +46,12 @@ pub mod fig4;
 pub mod fig8;
 pub mod placement_common;
 pub mod profiling_source;
+pub mod results;
 pub mod table;
 pub mod table3;
 pub mod table4;
 pub mod trace;
+pub mod tracediff;
 
 pub use context::{ExpConfig, ExpError};
 
@@ -182,6 +184,133 @@ impl Experiment {
         Experiment::ALL.into_iter().find(|e| e.id() == id)
     }
 
+    /// Runs the experiment once and returns both its rendered text
+    /// table and its structured JSON result, so callers that want both
+    /// (the binary's `--results`/`--json` exports) pay for one run.
+    ///
+    /// Experiments sharing a computation (e.g. `fig4`/`table2`) rerun
+    /// it; determinism makes the shared view consistent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the experiment's failure.
+    pub fn run_full(&self, cfg: &ExpConfig) -> Result<(String, icm_json::Json), ExpError> {
+        use icm_json::ToJson;
+        fn both<T: ToJson>(result: &T, text: String) -> (String, icm_json::Json) {
+            (text, result.to_json())
+        }
+        Ok(match self {
+            Experiment::Fig2 => {
+                let r = fig2::run(cfg)?;
+                both(&r, fig2::render(&r))
+            }
+            Experiment::Fig3 => {
+                let r = fig3::run(cfg)?;
+                both(&r, fig3::render(&r))
+            }
+            Experiment::Fig4 => {
+                let r = fig4::run(cfg)?;
+                both(&r, fig4::render_fig4(&r))
+            }
+            Experiment::Table2 => {
+                let r = fig4::run(cfg)?;
+                both(&r, fig4::render_table2(&r))
+            }
+            Experiment::Table3 => {
+                let r = table3::run(cfg)?;
+                both(&r, table3::render_table3(&r))
+            }
+            Experiment::Fig6 => {
+                let r = table3::run(cfg)?;
+                both(&r, table3::render_fig6(&r))
+            }
+            Experiment::Fig7 => {
+                let r = table3::run(cfg)?;
+                both(&r, table3::render_fig7(&r))
+            }
+            Experiment::Table4 => {
+                let r = table4::run(cfg)?;
+                both(&r, table4::render(&r))
+            }
+            Experiment::Fig8 => {
+                let r = fig8::run(cfg)?;
+                both(&r, fig8::render_fig8(&r))
+            }
+            Experiment::Fig9 => {
+                let r = fig8::run(cfg)?;
+                both(&r, fig8::render_fig9(&r))
+            }
+            Experiment::Fig10 => {
+                let r = fig10::run(cfg)?;
+                both(&r, fig10::render(&r))
+            }
+            Experiment::Fig11 => {
+                let r = fig11::run(cfg)?;
+                both(&r, fig11::render_fig11(&r))
+            }
+            Experiment::Table5 => {
+                let r = fig11::run(cfg)?;
+                both(&r, fig11::render_table5(&r))
+            }
+            Experiment::Fig12 => {
+                let r = ec2::run(cfg)?;
+                both(&r, ec2::render_fig12(&r))
+            }
+            Experiment::Table6 => {
+                let r = ec2::run(cfg)?;
+                both(&r, ec2::render_table6(&r))
+            }
+            Experiment::Fig13 => {
+                let r = ec2::run(cfg)?;
+                both(&r, ec2::render_fig13(&r))
+            }
+            Experiment::AblationInterp => {
+                let r = ablations::run_interp(cfg)?;
+                both(&r, ablations::render_interp(&r))
+            }
+            Experiment::AblationSa => {
+                let r = ablations::run_sa(cfg)?;
+                both(&r, ablations::render_sa(&r))
+            }
+            Experiment::AblationSamples => {
+                let r = ablations::run_samples(cfg)?;
+                both(&r, ablations::render_samples(&r))
+            }
+            Experiment::AblationMultiApp => {
+                let r = ablations::run_multiapp(cfg)?;
+                both(&r, ablations::render_multiapp(&r))
+            }
+            Experiment::ExtOnline => {
+                let r = extensions::run_online(cfg)?;
+                both(&r, extensions::render_online(&r))
+            }
+            Experiment::ExtMultiApp => {
+                let r = extensions::run_multiapp(cfg)?;
+                both(&r, extensions::render_multiapp(&r))
+            }
+            Experiment::ExtEnergy => {
+                let r = extensions::run_energy(cfg)?;
+                both(&r, extensions::render_energy(&r))
+            }
+            Experiment::ExtPhases => {
+                let r = extensions::run_phases(cfg)?;
+                both(&r, extensions::render_phases(&r))
+            }
+            Experiment::ExtTransfer => {
+                let r = extensions::run_transfer(cfg)?;
+                both(&r, extensions::render_transfer(&r))
+            }
+            Experiment::ExtScale => {
+                let r = extensions::run_scale(cfg)?;
+                both(&r, extensions::render_scale(&r))
+            }
+            Experiment::ExtIoChannel => {
+                let r = extensions::run_iochannel(cfg)?;
+                both(&r, extensions::render_iochannel(&r))
+            }
+        })
+    }
+
     /// Runs the experiment and returns its structured result as JSON,
     /// for downstream tooling (plotting, regression tracking).
     ///
@@ -189,77 +318,16 @@ impl Experiment {
     ///
     /// Propagates the experiment's failure.
     pub fn run_json(&self, cfg: &ExpConfig) -> Result<icm_json::Json, ExpError> {
-        fn to_value<T: icm_json::ToJson>(value: &T) -> Result<icm_json::Json, ExpError> {
-            Ok(value.to_json())
-        }
-        match self {
-            Experiment::Fig2 => to_value(&fig2::run(cfg)?),
-            Experiment::Fig3 => to_value(&fig3::run(cfg)?),
-            Experiment::Fig4 | Experiment::Table2 => to_value(&fig4::run(cfg)?),
-            Experiment::Table3 | Experiment::Fig6 | Experiment::Fig7 => {
-                to_value(&table3::run(cfg)?)
-            }
-            Experiment::Table4 => to_value(&table4::run(cfg)?),
-            Experiment::Fig8 | Experiment::Fig9 => to_value(&fig8::run(cfg)?),
-            Experiment::Fig10 => to_value(&fig10::run(cfg)?),
-            Experiment::Fig11 | Experiment::Table5 => to_value(&fig11::run(cfg)?),
-            Experiment::Fig12 | Experiment::Table6 | Experiment::Fig13 => to_value(&ec2::run(cfg)?),
-            Experiment::AblationInterp => to_value(&ablations::run_interp(cfg)?),
-            Experiment::AblationSa => to_value(&ablations::run_sa(cfg)?),
-            Experiment::AblationSamples => to_value(&ablations::run_samples(cfg)?),
-            Experiment::AblationMultiApp => to_value(&ablations::run_multiapp(cfg)?),
-            Experiment::ExtOnline => to_value(&extensions::run_online(cfg)?),
-            Experiment::ExtMultiApp => to_value(&extensions::run_multiapp(cfg)?),
-            Experiment::ExtEnergy => to_value(&extensions::run_energy(cfg)?),
-            Experiment::ExtPhases => to_value(&extensions::run_phases(cfg)?),
-            Experiment::ExtTransfer => to_value(&extensions::run_transfer(cfg)?),
-            Experiment::ExtScale => to_value(&extensions::run_scale(cfg)?),
-            Experiment::ExtIoChannel => to_value(&extensions::run_iochannel(cfg)?),
-        }
+        self.run_full(cfg).map(|(_, json)| json)
     }
 
     /// Runs the experiment and returns its rendered text output.
-    ///
-    /// Experiments sharing a computation (e.g. `fig4`/`table2`) rerun it;
-    /// determinism makes the shared view consistent.
     ///
     /// # Errors
     ///
     /// Propagates the experiment's failure.
     pub fn run(&self, cfg: &ExpConfig) -> Result<String, ExpError> {
-        Ok(match self {
-            Experiment::Fig2 => fig2::render(&fig2::run(cfg)?),
-            Experiment::Fig3 => fig3::render(&fig3::run(cfg)?),
-            Experiment::Fig4 => fig4::render_fig4(&fig4::run(cfg)?),
-            Experiment::Table2 => fig4::render_table2(&fig4::run(cfg)?),
-            Experiment::Table3 => table3::render_table3(&table3::run(cfg)?),
-            Experiment::Fig6 => table3::render_fig6(&table3::run(cfg)?),
-            Experiment::Fig7 => table3::render_fig7(&table3::run(cfg)?),
-            Experiment::Table4 => table4::render(&table4::run(cfg)?),
-            Experiment::Fig8 => fig8::render_fig8(&fig8::run(cfg)?),
-            Experiment::Fig9 => fig8::render_fig9(&fig8::run(cfg)?),
-            Experiment::Fig10 => fig10::render(&fig10::run(cfg)?),
-            Experiment::Fig11 => fig11::render_fig11(&fig11::run(cfg)?),
-            Experiment::Table5 => fig11::render_table5(&fig11::run(cfg)?),
-            Experiment::Fig12 => ec2::render_fig12(&ec2::run(cfg)?),
-            Experiment::Table6 => ec2::render_table6(&ec2::run(cfg)?),
-            Experiment::Fig13 => ec2::render_fig13(&ec2::run(cfg)?),
-            Experiment::AblationInterp => ablations::render_interp(&ablations::run_interp(cfg)?),
-            Experiment::AblationSa => ablations::render_sa(&ablations::run_sa(cfg)?),
-            Experiment::AblationSamples => ablations::render_samples(&ablations::run_samples(cfg)?),
-            Experiment::AblationMultiApp => {
-                ablations::render_multiapp(&ablations::run_multiapp(cfg)?)
-            }
-            Experiment::ExtOnline => extensions::render_online(&extensions::run_online(cfg)?),
-            Experiment::ExtMultiApp => extensions::render_multiapp(&extensions::run_multiapp(cfg)?),
-            Experiment::ExtEnergy => extensions::render_energy(&extensions::run_energy(cfg)?),
-            Experiment::ExtPhases => extensions::render_phases(&extensions::run_phases(cfg)?),
-            Experiment::ExtTransfer => extensions::render_transfer(&extensions::run_transfer(cfg)?),
-            Experiment::ExtScale => extensions::render_scale(&extensions::run_scale(cfg)?),
-            Experiment::ExtIoChannel => {
-                extensions::render_iochannel(&extensions::run_iochannel(cfg)?)
-            }
-        })
+        self.run_full(cfg).map(|(text, _)| text)
     }
 }
 

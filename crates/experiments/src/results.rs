@@ -1,0 +1,112 @@
+//! The machine-readable `results.json` document: every experiment's
+//! structured output in one file, keyed by experiment id.
+//!
+//! `icm-experiments all` writes one of these next to its human log;
+//! `icm-report` reads it back to build the figure-grade HTML/text
+//! report. The document is plain `icm-json`, deterministically ordered
+//! (experiments appear in the order they ran, which is paper order for
+//! `all`), so two same-seed runs produce byte-identical files.
+
+use icm_json::Json;
+
+/// One experiment's structured result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentEntry {
+    /// Command-line experiment id (`fig2`, `table3`, …).
+    pub id: String,
+    /// The experiment's `run_json` output, verbatim.
+    pub data: Json,
+}
+
+icm_json::impl_json!(struct ExperimentEntry { id, data });
+
+/// The full results document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultsDoc {
+    /// Master seed the experiments ran with.
+    pub seed: u64,
+    /// Whether reduced (`--fast`) grids were used.
+    pub fast: bool,
+    /// Per-experiment results, in run order.
+    pub experiments: Vec<ExperimentEntry>,
+}
+
+icm_json::impl_json!(struct ResultsDoc { seed, fast, experiments });
+
+impl ResultsDoc {
+    /// An empty document for the given configuration.
+    pub fn new(seed: u64, fast: bool) -> Self {
+        Self {
+            seed,
+            fast,
+            experiments: Vec::new(),
+        }
+    }
+
+    /// Appends one experiment's result (replacing an earlier entry with
+    /// the same id, so rerunning an experiment never duplicates it).
+    pub fn push(&mut self, id: &str, data: Json) {
+        if let Some(entry) = self.experiments.iter_mut().find(|e| e.id == id) {
+            entry.data = data;
+        } else {
+            self.experiments.push(ExperimentEntry {
+                id: id.to_owned(),
+                data,
+            });
+        }
+    }
+
+    /// Looks up an experiment's result by id.
+    pub fn get(&self, id: &str) -> Option<&Json> {
+        self.experiments
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| &e.data)
+    }
+
+    /// Parses a document from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error, stringified.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        icm_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Pretty-printed JSON text, newline-terminated.
+    pub fn to_text(&self) -> String {
+        let mut text = icm_json::to_string_pretty(self);
+        text.push('\n');
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_replaces_by_id_and_get_finds() {
+        let mut doc = ResultsDoc::new(7, true);
+        doc.push("fig2", Json::Number(1.0));
+        doc.push("fig3", Json::Number(2.0));
+        doc.push("fig2", Json::Number(3.0));
+        assert_eq!(doc.experiments.len(), 2);
+        assert_eq!(doc.get("fig2"), Some(&Json::Number(3.0)));
+        assert_eq!(doc.get("fig4"), None);
+    }
+
+    #[test]
+    fn document_round_trips_through_text() {
+        let mut doc = ResultsDoc::new(2016, false);
+        doc.push(
+            "fig2",
+            Json::Object(vec![("app".to_owned(), Json::String("lammps".to_owned()))]),
+        );
+        let text = doc.to_text();
+        assert!(text.ends_with('\n'));
+        let back = ResultsDoc::parse(&text).expect("parses");
+        assert_eq!(back, doc);
+        assert_eq!(back.to_text(), text, "serialization is stable");
+    }
+}

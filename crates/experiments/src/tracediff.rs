@@ -1,0 +1,336 @@
+//! Event-by-event trace diffing: the `icm-trace diff` engine.
+//!
+//! Two traces from same-seed runs must be byte-identical; when they are
+//! not, the interesting question is *where* they first part ways. The
+//! differ aligns two parsed event streams index-by-index and reports
+//! the first divergence with enough context to localize the
+//! non-determinism: the event index, what kind of mismatch it is
+//! (name, timing, fields, or one trace ending early), and a per-field
+//! delta for payload mismatches.
+//!
+//! Only the first divergence is reported: once two deterministic
+//! streams disagree at step `k`, every later step is noise caused by
+//! the first fork, so enumerating them would bury the signal.
+
+use icm_obs::{Event, Value};
+
+/// One field whose value differs between the two traces (or is present
+/// on only one side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDelta {
+    /// Field name.
+    pub field: String,
+    /// Rendered value in trace A (`"(absent)"` when missing).
+    pub a: String,
+    /// Rendered value in trace B (`"(absent)"` when missing).
+    pub b: String,
+}
+
+icm_json::impl_json!(struct FieldDelta { field, a, b });
+
+/// The first point where two traces disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// 0-based index into both event streams.
+    pub index: u64,
+    /// Mismatch class: `name`, `timing`, `fields` or `length`.
+    pub kind: String,
+    /// `step` stamp of trace A's event (0 when A ended).
+    pub step_a: u64,
+    /// `step` stamp of trace B's event (0 when B ended).
+    pub step_b: u64,
+    /// Event name in trace A (`"(end of trace)"` when A ended).
+    pub name_a: String,
+    /// Event name in trace B (`"(end of trace)"` when B ended).
+    pub name_b: String,
+    /// Differing fields (empty for `name`/`length` mismatches).
+    pub deltas: Vec<FieldDelta>,
+}
+
+icm_json::impl_json!(struct Divergence {
+    index,
+    kind,
+    step_a,
+    step_b,
+    name_a,
+    name_b,
+    deltas
+});
+
+/// Outcome of diffing two traces. An empty `divergences` list means the
+/// traces are event-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Events in trace A.
+    pub events_a: u64,
+    /// Events in trace B.
+    pub events_b: u64,
+    /// The first divergence, if any (at most one entry).
+    pub divergences: Vec<Divergence>,
+}
+
+icm_json::impl_json!(struct DiffReport { events_a, events_b, divergences });
+
+impl DiffReport {
+    /// Whether the two traces are event-identical.
+    pub fn identical(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+fn value_text(value: &Value) -> String {
+    icm_json::to_string(value)
+}
+
+/// Per-field deltas between two payloads, in A's field order with
+/// B-only fields appended.
+fn field_deltas(a: &Event, b: &Event) -> Vec<FieldDelta> {
+    let mut deltas = Vec::new();
+    for (key, va) in &a.fields {
+        match b.field(key) {
+            Some(vb) if vb == va => {}
+            Some(vb) => deltas.push(FieldDelta {
+                field: key.clone(),
+                a: value_text(va),
+                b: value_text(vb),
+            }),
+            None => deltas.push(FieldDelta {
+                field: key.clone(),
+                a: value_text(va),
+                b: "(absent)".to_owned(),
+            }),
+        }
+    }
+    for (key, vb) in &b.fields {
+        if a.field(key).is_none() {
+            deltas.push(FieldDelta {
+                field: key.clone(),
+                a: "(absent)".to_owned(),
+                b: value_text(vb),
+            });
+        }
+    }
+    deltas
+}
+
+fn divergence_at(index: usize, a: &Event, b: &Event) -> Option<Divergence> {
+    let kind = if a.name != b.name {
+        "name"
+    } else if a.step != b.step || a.sim_s.to_bits() != b.sim_s.to_bits() {
+        "timing"
+    } else if a.fields != b.fields {
+        "fields"
+    } else {
+        return None;
+    };
+    let deltas = match kind {
+        "timing" => {
+            let mut deltas = Vec::new();
+            if a.step != b.step {
+                deltas.push(FieldDelta {
+                    field: "step".to_owned(),
+                    a: a.step.to_string(),
+                    b: b.step.to_string(),
+                });
+            }
+            if a.sim_s.to_bits() != b.sim_s.to_bits() {
+                deltas.push(FieldDelta {
+                    field: "sim_s".to_owned(),
+                    a: icm_json::to_string(&a.sim_s),
+                    b: icm_json::to_string(&b.sim_s),
+                });
+            }
+            deltas
+        }
+        "fields" => field_deltas(a, b),
+        _ => Vec::new(),
+    };
+    Some(Divergence {
+        index: index as u64,
+        kind: kind.to_owned(),
+        step_a: a.step,
+        step_b: b.step,
+        name_a: a.name.clone(),
+        name_b: b.name.clone(),
+        deltas,
+    })
+}
+
+/// Aligns two event streams index-by-index and reports the first
+/// divergence (empty report when identical).
+pub fn diff_traces(a: &[Event], b: &[Event]) -> DiffReport {
+    let mut divergences = Vec::new();
+    for (index, (ea, eb)) in a.iter().zip(b.iter()).enumerate() {
+        if let Some(divergence) = divergence_at(index, ea, eb) {
+            divergences.push(divergence);
+            break;
+        }
+    }
+    if divergences.is_empty() && a.len() != b.len() {
+        let index = a.len().min(b.len());
+        let end = |events: &[Event]| -> (u64, String) {
+            events.get(index).map_or_else(
+                || (0, "(end of trace)".to_owned()),
+                |e| (e.step, e.name.clone()),
+            )
+        };
+        let (step_a, name_a) = end(a);
+        let (step_b, name_b) = end(b);
+        divergences.push(Divergence {
+            index: index as u64,
+            kind: "length".to_owned(),
+            step_a,
+            step_b,
+            name_a,
+            name_b,
+            deltas: Vec::new(),
+        });
+    }
+    DiffReport {
+        events_a: a.len() as u64,
+        events_b: b.len() as u64,
+        divergences,
+    }
+}
+
+/// Renders the human-readable report `icm-trace diff` prints.
+pub fn render_diff(report: &DiffReport) -> String {
+    let mut out = format!(
+        "trace A: {} events\ntrace B: {} events\n",
+        report.events_a, report.events_b
+    );
+    let Some(d) = report.divergences.first() else {
+        out.push_str("traces are identical\n");
+        return out;
+    };
+    out.push_str(&format!(
+        "first divergence at event index {} ({} mismatch)\n",
+        d.index, d.kind
+    ));
+    out.push_str(&format!("  A: step {:>6}  {}\n", d.step_a, d.name_a));
+    out.push_str(&format!("  B: step {:>6}  {}\n", d.step_b, d.name_b));
+    for delta in &d.deltas {
+        out.push_str(&format!(
+            "  field `{}`: {} != {}\n",
+            delta.field, delta.a, delta.b
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(step: u64, name: &str, fields: &[(&str, Value)]) -> Event {
+        Event {
+            step,
+            sim_s: step as f64 * 0.5,
+            name: name.to_owned(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        }
+    }
+
+    fn sample() -> Vec<Event> {
+        vec![
+            event(1, "run.begin", &[("kind", Value::Str("solo".into()))]),
+            event(2, "probe", &[("residual", Value::F64(0.25))]),
+            event(3, "run.end", &[("simulated_s", Value::F64(10.0))]),
+        ]
+    }
+
+    #[test]
+    fn identical_traces_produce_empty_report() {
+        let a = sample();
+        let report = diff_traces(&a, &a);
+        assert!(report.identical());
+        assert_eq!(report.events_a, 3);
+        assert!(render_diff(&report).contains("identical"));
+    }
+
+    #[test]
+    fn field_mismatch_is_localized_with_deltas() {
+        let a = sample();
+        let mut b = sample();
+        b[1].fields[0].1 = Value::F64(0.75);
+        let report = diff_traces(&a, &b);
+        let d = report.divergences.first().expect("divergence");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.kind, "fields");
+        assert_eq!(d.name_a, "probe");
+        assert_eq!(d.deltas.len(), 1);
+        assert_eq!(d.deltas[0].field, "residual");
+        assert_eq!(d.deltas[0].a, "0.25");
+        assert_eq!(d.deltas[0].b, "0.75");
+        let text = render_diff(&report);
+        assert!(text.contains("event index 1"));
+        assert!(text.contains("`residual`"));
+    }
+
+    #[test]
+    fn name_mismatch_wins_over_field_comparison() {
+        let a = sample();
+        let mut b = sample();
+        b[2].name = "reporter".to_owned();
+        let report = diff_traces(&a, &b);
+        let d = &report.divergences[0];
+        assert_eq!((d.index, d.kind.as_str()), (2, "name"));
+        assert_eq!(d.name_b, "reporter");
+        assert!(d.deltas.is_empty());
+    }
+
+    #[test]
+    fn timing_mismatch_reports_step_delta() {
+        let a = sample();
+        let mut b = sample();
+        b[0].step = 7;
+        let report = diff_traces(&a, &b);
+        let d = &report.divergences[0];
+        assert_eq!(d.kind, "timing");
+        assert_eq!(d.deltas[0].field, "step");
+        assert_eq!((d.deltas[0].a.as_str(), d.deltas[0].b.as_str()), ("1", "7"));
+    }
+
+    #[test]
+    fn truncated_trace_reports_length_divergence() {
+        let a = sample();
+        let b = &a[..2];
+        let report = diff_traces(&a, b);
+        let d = &report.divergences[0];
+        assert_eq!((d.index, d.kind.as_str()), (2, "length"));
+        assert_eq!(d.name_a, "run.end");
+        assert_eq!(d.name_b, "(end of trace)");
+        assert!(render_diff(&report).contains("(end of trace)"));
+    }
+
+    #[test]
+    fn missing_field_shows_as_absent_on_both_sides() {
+        let a = vec![event(1, "x", &[("only_a", Value::U64(1))])];
+        let b = vec![event(1, "x", &[("only_b", Value::U64(2))])];
+        let report = diff_traces(&a, &b);
+        let deltas = &report.divergences[0].deltas;
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(
+            (deltas[0].field.as_str(), deltas[0].b.as_str()),
+            ("only_a", "(absent)")
+        );
+        assert_eq!(
+            (deltas[1].field.as_str(), deltas[1].a.as_str()),
+            ("only_b", "(absent)")
+        );
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let a = sample();
+        let mut b = sample();
+        b[1].fields[0].1 = Value::F64(1.5);
+        let report = diff_traces(&a, &b);
+        let back: DiffReport =
+            icm_json::from_str(&icm_json::to_string(&report)).expect("round-trips");
+        assert_eq!(back, report);
+    }
+}

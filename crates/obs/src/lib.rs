@@ -23,6 +23,12 @@
 //! seed produces a byte-identical JSONL file every time — traces can be
 //! diffed, cached and replayed. See `DESIGN.md` §8.
 //!
+//! Wall-clock timings still exist — as a strictly separate side channel:
+//! [`Tracer::enable_wall_profiling`] makes spans and
+//! [`Tracer::wall_scope`] guards record wall durations into a
+//! [`WallProfile`] (dumped as `profile.json`) without ever touching the
+//! event stream, so profiling a run cannot perturb its trace.
+//!
 //! # Example
 //!
 //! ```
@@ -55,10 +61,12 @@ use icm_json::{FromJson, Json, JsonError, ToJson};
 mod metrics;
 mod reader;
 mod sink;
+mod wall;
 
 pub use metrics::{Histogram, Metrics};
 pub use reader::{parse_events, read_jsonl_file, TraceError};
 pub use sink::{JsonlSink, NullSink, Recorder, SharedBuf, Sink};
+pub use wall::{WallProfile, WallStats, WALL_BOUNDS_NS};
 
 /// A typed field value attached to an [`Event`].
 ///
@@ -320,6 +328,10 @@ struct Inner {
     clock: Clock,
     sink: Box<dyn Sink>,
     next_span: u64,
+    /// Wall-time side channel (`None` until enabled). Lives next to the
+    /// sink but never writes through it, so enabling it cannot change
+    /// the deterministic event stream.
+    wall: Option<WallProfile>,
 }
 
 /// Cloneable handle instrumented code emits through.
@@ -359,6 +371,7 @@ impl Tracer {
                 clock: Clock::new(),
                 sink: Box::new(sink),
                 next_span: 0,
+                wall: None,
             }))),
         }
     }
@@ -368,6 +381,15 @@ impl Tracer {
     pub fn recording(capacity: usize) -> (Self, Recorder) {
         let recorder = Recorder::with_capacity(capacity);
         (Self::with_sink(recorder.clone()), recorder)
+    }
+
+    /// A tracer that discards every event but has wall-time profiling
+    /// enabled — the cheapest way to profile a computation without
+    /// collecting a trace.
+    pub fn wall_only() -> Self {
+        let tracer = Self::with_sink(NullSink);
+        tracer.enable_wall_profiling();
+        tracer
     }
 
     /// A tracer appending JSONL to a freshly created file.
@@ -412,12 +434,13 @@ impl Tracer {
                 name: String::new(),
                 id: 0,
                 ended: true,
+                wall_start: None,
             };
         };
-        let id = {
+        let (id, wall) = {
             let mut borrow = inner.borrow_mut();
             borrow.next_span += 1;
-            borrow.next_span
+            (borrow.next_span, borrow.wall.is_some())
         };
         let mut all = Vec::with_capacity(fields.len() + 1);
         all.push(("span", Value::U64(id)));
@@ -428,6 +451,7 @@ impl Tracer {
             name: name.to_owned(),
             id,
             ended: false,
+            wall_start: wall.then(std::time::Instant::now),
         }
     }
 
@@ -436,6 +460,61 @@ impl Tracer {
         if let Some(inner) = &self.inner {
             inner.borrow_mut().clock.advance_sim(seconds);
         }
+    }
+
+    /// Turns on the wall-time side channel (see [`WallProfile`]): from
+    /// now on every completed [`Span`] and [`wall_scope`](Self::wall_scope)
+    /// records its wall duration, keyed by name, strictly outside the
+    /// event stream. Returns `false` on a disabled tracer (nothing to
+    /// attach the profile to).
+    pub fn enable_wall_profiling(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let mut inner = inner.borrow_mut();
+        if inner.wall.is_none() {
+            inner.wall = Some(WallProfile::new());
+        }
+        true
+    }
+
+    /// Whether the wall-time side channel is collecting.
+    pub fn wall_profiling_enabled(&self) -> bool {
+        match &self.inner {
+            Some(inner) => inner.borrow().wall.is_some(),
+            None => false,
+        }
+    }
+
+    /// Records one wall duration under `name` (no-op unless
+    /// [`enable_wall_profiling`](Self::enable_wall_profiling) was called).
+    pub fn record_wall(&self, name: &str, elapsed: std::time::Duration) {
+        if let Some(inner) = &self.inner {
+            if let Some(wall) = inner.borrow_mut().wall.as_mut() {
+                wall.record(name, elapsed);
+            }
+        }
+    }
+
+    /// Times a scope on the wall clock *without emitting any event*:
+    /// the returned guard records its elapsed wall time under `name`
+    /// when dropped. When profiling is off (the default) the guard does
+    /// nothing and the wall clock is never read — safe to leave in hot
+    /// paths.
+    pub fn wall_scope(&self, name: &'static str) -> WallScope {
+        WallScope {
+            target: self
+                .wall_profiling_enabled()
+                .then(|| (self.clone(), std::time::Instant::now())),
+            name,
+        }
+    }
+
+    /// Snapshot of the wall-time profile (`None` when profiling is off).
+    pub fn wall_profile(&self) -> Option<WallProfile> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.borrow().wall.clone())
     }
 
     /// Current deterministic timestamp (zero when disabled).
@@ -464,6 +543,9 @@ pub struct Span {
     name: String,
     id: u64,
     ended: bool,
+    /// Set only while wall profiling is on; read back at span end. Wall
+    /// time flows exclusively into the side channel, never into events.
+    wall_start: Option<std::time::Instant>,
 }
 
 impl Span {
@@ -491,12 +573,32 @@ impl Span {
         all.push(("span", Value::U64(self.id)));
         all.extend_from_slice(fields);
         self.tracer.event(&format!("{}.end", self.name), &all);
+        if let Some(start) = self.wall_start.take() {
+            self.tracer.record_wall(&self.name, start.elapsed());
+        }
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         self.emit_end(&[]);
+    }
+}
+
+/// Guard returned by [`Tracer::wall_scope`]: records its elapsed wall
+/// time (under the scope name) into the wall-time side channel on drop,
+/// emitting **no** event. Inert when profiling is off.
+#[derive(Debug)]
+pub struct WallScope {
+    target: Option<(Tracer, std::time::Instant)>,
+    name: &'static str,
+}
+
+impl Drop for WallScope {
+    fn drop(&mut self) {
+        if let Some((tracer, start)) = self.target.take() {
+            tracer.record_wall(self.name, start.elapsed());
+        }
     }
 }
 
@@ -622,5 +724,58 @@ mod tests {
         assert_eq!(format!("{:?}", Tracer::disabled()), "Tracer(disabled)");
         let (tracer, _recorder) = Tracer::recording(4);
         assert!(format!("{tracer:?}").contains("step 0"));
+    }
+
+    #[test]
+    fn wall_profiling_is_off_by_default_and_inert_when_disabled() {
+        let (tracer, _recorder) = Tracer::recording(4);
+        assert!(!tracer.wall_profiling_enabled());
+        assert_eq!(tracer.wall_profile(), None);
+        // Scopes and spans are inert without the side channel.
+        drop(tracer.wall_scope("x"));
+        tracer.span("s", &[]).end();
+        assert_eq!(tracer.wall_profile(), None);
+        // A fully disabled tracer cannot enable it at all.
+        assert!(!Tracer::disabled().enable_wall_profiling());
+        assert!(!Tracer::disabled().wall_profiling_enabled());
+        drop(Tracer::disabled().wall_scope("x"));
+    }
+
+    #[test]
+    fn spans_and_scopes_record_wall_durations() {
+        let (tracer, recorder) = Tracer::recording(16);
+        assert!(tracer.enable_wall_profiling());
+        tracer.span("run", &[]).end();
+        {
+            let _scope = tracer.wall_scope("hot_loop");
+        }
+        tracer.record_wall("manual", std::time::Duration::from_micros(3));
+        let profile = tracer.wall_profile().expect("profiling on");
+        assert_eq!(profile.get("run").expect("span recorded").count(), 1);
+        assert_eq!(profile.get("hot_loop").expect("scope recorded").count(), 1);
+        assert_eq!(profile.get("manual").expect("manual recorded").count(), 1);
+        // The side channel added nothing to the event stream: only the
+        // span's begin/end pair is there, and wall scopes emitted nothing.
+        let names: Vec<String> = recorder.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["run.begin", "run.end"]);
+    }
+
+    #[test]
+    fn wall_only_tracer_profiles_without_keeping_events() {
+        let tracer = Tracer::wall_only();
+        assert!(tracer.wall_profiling_enabled());
+        tracer.span("work", &[]).end();
+        let profile = tracer.wall_profile().expect("profiling on");
+        assert_eq!(profile.get("work").expect("recorded").count(), 1);
+    }
+
+    #[test]
+    fn enabling_wall_profiling_twice_keeps_the_profile() {
+        let (tracer, _recorder) = Tracer::recording(4);
+        tracer.enable_wall_profiling();
+        tracer.record_wall("x", std::time::Duration::from_nanos(10));
+        tracer.enable_wall_profiling();
+        let profile = tracer.wall_profile().expect("still on");
+        assert_eq!(profile.get("x").expect("kept").count(), 1);
     }
 }

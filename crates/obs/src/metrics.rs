@@ -251,6 +251,62 @@ mod tests {
     }
 
     #[test]
+    fn overflow_bucket_counts_boundary_and_nonfinite_values() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(2.0); // exactly the top bound: last *bounded* bucket
+        h.observe(2.0 + f64::EPSILON * 4.0); // just above: overflow
+        h.observe(f64::INFINITY); // non-finite: overflow
+        h.observe(f64::NAN); // NaN compares false to every bound: overflow
+        assert_eq!(h.bucket_counts(), &[0, 1, 3]);
+        // Non-finite observations count, but never pollute the moments.
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 2.0 + (2.0 + f64::EPSILON * 4.0));
+        assert_eq!(h.min(), Some(2.0));
+        assert_eq!(h.max(), Some(2.0 + f64::EPSILON * 4.0));
+    }
+
+    #[test]
+    fn only_overflow_observations_leave_extremes_empty() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        // -inf is ≤ every bound, so it lands in the first bucket; NaN
+        // falls through to overflow.
+        assert_eq!(h.bucket_counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn gauge_overwrite_keeps_only_the_latest_value() {
+        let mut m = Metrics::new();
+        for v in [1.0, -3.5, 0.0, 42.25] {
+            m.set_gauge("g", v);
+        }
+        assert_eq!(m.gauge("g"), Some(42.25), "gauges overwrite, not sum");
+        // Overwriting with NaN is stored verbatim (a gauge reports what
+        // it was last told, even if that was garbage).
+        m.set_gauge("g", f64::NAN);
+        assert!(m.gauge("g").expect("still present").is_nan());
+        // Distinct names never alias.
+        m.set_gauge("g2", 7.0);
+        assert!(m.gauge("g").expect("g unchanged").is_nan());
+        assert_eq!(m.gauge("g2"), Some(7.0));
+    }
+
+    #[test]
+    fn registering_a_histogram_replaces_prior_observations() {
+        let mut m = Metrics::new();
+        m.observe("h", 1.2);
+        m.register_histogram("h", Histogram::new(&[10.0]));
+        assert_eq!(m.histogram("h").expect("replaced").count(), 0);
+        m.observe("h", 3.0);
+        assert_eq!(m.histogram("h").expect("present").bucket_counts(), &[1, 0]);
+    }
+
+    #[test]
     fn registry_auto_creates_slowdown_histograms() {
         let mut m = Metrics::new();
         m.observe("slowdowns", 1.3);

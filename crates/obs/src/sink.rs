@@ -241,6 +241,35 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraparound_preserves_emission_order_across_many_wraps() {
+        let mut recorder = Recorder::with_capacity(4);
+        for i in 1..=11 {
+            recorder.record(&event(i, &format!("e{i}")));
+        }
+        // Two full wraps plus three: the window is the newest four, in
+        // exactly the order they were recorded.
+        let steps: Vec<u64> = recorder.events().into_iter().map(|e| e.step).collect();
+        assert_eq!(steps, [8, 9, 10, 11]);
+        assert!(steps.windows(2).all(|w| w[0] < w[1]), "order preserved");
+        assert_eq!(recorder.dropped(), 7);
+    }
+
+    #[test]
+    fn ring_refills_in_order_after_clear() {
+        let mut recorder = Recorder::with_capacity(3);
+        for i in 1..=5 {
+            recorder.record(&event(i, "x"));
+        }
+        recorder.clear();
+        for i in 6..=10 {
+            recorder.record(&event(i, "y"));
+        }
+        let steps: Vec<u64> = recorder.events().into_iter().map(|e| e.step).collect();
+        assert_eq!(steps, [8, 9, 10], "wraparound restarts cleanly after clear");
+        assert_eq!(recorder.dropped(), 2 + 2);
+    }
+
+    #[test]
     fn recorder_clear_keeps_drop_counter() {
         let mut recorder = Recorder::with_capacity(1);
         recorder.record(&event(1, "a"));

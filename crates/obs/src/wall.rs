@@ -1,0 +1,266 @@
+//! Wall-time self-profiling: a side channel **outside** the
+//! deterministic event stream.
+//!
+//! Traces are byte-identical across same-seed runs precisely because no
+//! wall-clock time ever enters them — yet we still need to know where
+//! real time goes (simulated runs, model builds, annealing). The
+//! resolution is a strict split: spans and [`Tracer::wall_scope`]
+//! guards record their *wall* durations into a [`WallProfile`] held
+//! next to the sink, never through it. The profile is dumped as a
+//! separate `profile.json`; the JSONL trace does not change by a single
+//! byte whether profiling is on or off (asserted end-to-end in
+//! `tests/observability.rs`). See `DESIGN.md` §8.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use icm_json::{Json, ToJson};
+
+/// Decade bucket upper bounds in nanoseconds: 1µs, 10µs, … 10s. A
+/// duration lands in the first bucket whose bound it does not exceed;
+/// anything above 10s goes to the overflow bucket.
+pub const WALL_BOUNDS_NS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Wall-duration statistics for one span or scope name: count, total,
+/// extremes and a decade-bucket histogram (see [`WALL_BOUNDS_NS`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WallStats {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    buckets: [u64; WALL_BOUNDS_NS.len() + 1],
+}
+
+impl Default for WallStats {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; WALL_BOUNDS_NS.len() + 1],
+        }
+    }
+}
+
+impl WallStats {
+    /// Records one wall duration.
+    pub fn record(&mut self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let idx = WALL_BOUNDS_NS
+            .iter()
+            .position(|&b| ns <= b)
+            .unwrap_or(WALL_BOUNDS_NS.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total recorded nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Shortest recorded duration in nanoseconds (`None` when empty).
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ns)
+    }
+
+    /// Longest recorded duration in nanoseconds (`None` when empty).
+    pub fn max_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_ns)
+    }
+
+    /// Mean duration in nanoseconds (`None` when empty).
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.total_ns as f64 / self.count as f64)
+    }
+
+    /// Per-bucket counts (`WALL_BOUNDS_NS.len() + 1` entries, the last
+    /// being the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+impl ToJson for WallStats {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("count".to_owned(), self.count.to_json()),
+            ("total_ns".to_owned(), self.total_ns.to_json()),
+            (
+                "min_ns".to_owned(),
+                self.min_ns().unwrap_or_default().to_json(),
+            ),
+            (
+                "max_ns".to_owned(),
+                self.max_ns().unwrap_or_default().to_json(),
+            ),
+            (
+                "mean_ns".to_owned(),
+                self.mean_ns().unwrap_or_default().to_json(),
+            ),
+            (
+                "buckets".to_owned(),
+                Json::Array(self.buckets.iter().map(|c| c.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+/// Per-name wall-duration histograms, keyed by span/scope name.
+///
+/// The registry is a `BTreeMap`, so serialization is deterministically
+/// *ordered* — the recorded durations themselves are wall-clock
+/// measurements and naturally vary run to run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WallProfile {
+    spans: BTreeMap<String, WallStats>,
+}
+
+impl WallProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration under `name`.
+    pub fn record(&mut self, name: &str, elapsed: Duration) {
+        self.spans
+            .entry(name.to_owned())
+            .or_default()
+            .record(elapsed);
+    }
+
+    /// Stats for one name.
+    pub fn get(&self, name: &str) -> Option<&WallStats> {
+        self.spans.get(name)
+    }
+
+    /// All recorded names with their stats, sorted by name.
+    pub fn spans(&self) -> impl Iterator<Item = (&str, &WallStats)> {
+        self.spans.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Renders a compact human-readable table (one line per name).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("wall-time profile (side channel; not part of the trace)\n");
+        for (name, stats) in self.spans() {
+            out.push_str(&format!(
+                "  {:<24}{:>8} calls  total {:>12}  mean {:>12}  max {:>12}\n",
+                name,
+                stats.count(),
+                format_ns(stats.total_ns() as f64),
+                format_ns(stats.mean_ns().unwrap_or_default()),
+                format_ns(stats.max_ns().unwrap_or_default() as f64),
+            ));
+        }
+        out
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl ToJson for WallProfile {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "bounds_ns".to_owned(),
+                Json::Array(WALL_BOUNDS_NS.iter().map(|b| b.to_json()).collect()),
+            ),
+            (
+                "spans".to_owned(),
+                Json::Object(
+                    self.spans
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_and_bucket() {
+        let mut stats = WallStats::default();
+        stats.record(Duration::from_nanos(500)); // bucket 0 (≤ 1µs)
+        stats.record(Duration::from_micros(5)); // bucket 1 (≤ 10µs)
+        stats.record(Duration::from_secs(20)); // overflow bucket
+        assert_eq!(stats.count(), 3);
+        assert_eq!(stats.min_ns(), Some(500));
+        assert_eq!(stats.max_ns(), Some(20_000_000_000));
+        assert_eq!(stats.bucket_counts()[0], 1);
+        assert_eq!(stats.bucket_counts()[1], 1);
+        assert_eq!(*stats.bucket_counts().last().expect("overflow"), 1);
+    }
+
+    #[test]
+    fn empty_stats_have_no_extremes() {
+        let stats = WallStats::default();
+        assert_eq!(stats.min_ns(), None);
+        assert_eq!(stats.max_ns(), None);
+        assert_eq!(stats.mean_ns(), None);
+    }
+
+    #[test]
+    fn profile_serializes_sorted_by_name() {
+        let mut profile = WallProfile::new();
+        profile.record("zebra", Duration::from_micros(2));
+        profile.record("alpha", Duration::from_micros(1));
+        profile.record("zebra", Duration::from_micros(4));
+        let text = icm_json::to_string(&profile);
+        let a = text.find("\"alpha\"").expect("alpha present");
+        let z = text.find("\"zebra\"").expect("zebra present");
+        assert!(a < z, "BTreeMap keys must serialize sorted");
+        assert_eq!(profile.get("zebra").expect("recorded").count(), 2);
+        assert!(text.starts_with(r#"{"bounds_ns":[1000,"#));
+    }
+
+    #[test]
+    fn render_lists_each_name() {
+        let mut profile = WallProfile::new();
+        profile.record("anneal", Duration::from_millis(3));
+        let text = profile.render();
+        assert!(text.contains("anneal"));
+        assert!(text.contains("1 calls"));
+        assert!(text.contains("3.00 ms"));
+    }
+}

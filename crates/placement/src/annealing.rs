@@ -208,6 +208,9 @@ where
     };
 
     for iteration in 1..=config.iterations {
+        // Wall-time side channel only: one histogram sample per
+        // candidate evaluation, no event, no trace perturbation.
+        let _iter_scope = tracer.wall_scope("anneal.iteration");
         let Some(candidate) = current.random_swap(problem, &mut rng, config.swap_attempts) else {
             continue;
         };

@@ -1,0 +1,203 @@
+//! Static HTML rendering: one self-contained page, no scripts, no
+//! external assets — inline CSS and inline SVG only, so the file can be
+//! archived next to the results it visualizes and opened offline years
+//! later.
+//!
+//! Theme colors live in CSS custom properties with a
+//! `prefers-color-scheme: dark` override; the SVG charts reference the
+//! same properties, so both follow the reader's theme.
+
+use std::fmt::Write as _;
+
+use crate::svg::escape;
+use crate::verdict::Status;
+use crate::{Report, Section};
+
+/// Inline stylesheet. The palette is the validated categorical set
+/// (blue/orange/aqua/yellow + status red) with an ordinal blue ramp for
+/// pressure curves; dark mode re-steps every slot rather than
+/// inverting.
+const CSS: &str = "\
+:root{--bg:#fcfcfb;--panel:#ffffff;--ink:#1f1e1d;--ink2:#56524e;--muted:#8a857f;\
+--grid:#eceae6;--axis:#b5b1ab;--border:#e4e2de;\
+--c1:#2a78d6;--c2:#eb6834;--c3:#1baf7a;--c4:#eda100;--bad:#e34948;\
+--r1:#86b6ef;--r2:#6da7ec;--r3:#5598e7;--r4:#3987e5;--r5:#2a78d6;--r6:#256abf;--r7:#1c5cab;\
+--r8:#184f95;\
+--pass-bg:#e2f4ec;--pass-ink:#12704e;--warn-bg:#fbf0d8;--warn-ink:#7a5200;\
+--fail-bg:#fbe3e2;--fail-ink:#9e2b27;--missing-bg:#efedea;--missing-ink:#56524e}\
+@media (prefers-color-scheme:dark){:root{--bg:#1a1a19;--panel:#232221;--ink:#f1efec;\
+--ink2:#b5b1ab;--muted:#817c76;--grid:#32312f;--axis:#56524e;--border:#3a3936;\
+--c1:#3987e5;--c2:#d95926;--c3:#199e70;--c4:#c98500;--bad:#e34948;\
+--pass-bg:#12381f;--pass-ink:#7fd4a2;--warn-bg:#3d2e0a;--warn-ink:#ecc56a;\
+--fail-bg:#44201e;--fail-ink:#f2a09c;--missing-bg:#2c2b29;--missing-ink:#b5b1ab}}\
+*{box-sizing:border-box}\
+body{margin:0;background:var(--bg);color:var(--ink);\
+font:15px/1.5 system-ui,-apple-system,'Segoe UI',sans-serif}\
+main{max-width:1080px;margin:0 auto;padding:24px 20px 60px}\
+header.page{max-width:1080px;margin:0 auto;padding:28px 20px 4px}\
+h1{font-size:24px;margin:0 0 4px}h2{font-size:18px;margin:0}\
+p.meta{color:var(--ink2);margin:0 0 8px}\
+section{background:var(--panel);border:1px solid var(--border);border-radius:10px;\
+padding:18px 20px;margin:18px 0}\
+section>p.claim{color:var(--ink2);margin:8px 0 2px}\
+p.verdict{color:var(--ink2);margin:6px 0 0;font-size:14px}\
+.sec-head{display:flex;align-items:center;gap:10px;flex-wrap:wrap}\
+.badge{font-size:12px;font-weight:600;padding:2px 10px;border-radius:999px;\
+letter-spacing:.03em;text-transform:uppercase}\
+.badge.pass{background:var(--pass-bg);color:var(--pass-ink)}\
+.badge.warn{background:var(--warn-bg);color:var(--warn-ink)}\
+.badge.fail{background:var(--fail-bg);color:var(--fail-ink)}\
+.badge.missing{background:var(--missing-bg);color:var(--missing-ink)}\
+.charts{display:flex;flex-wrap:wrap;gap:18px;margin-top:12px}\
+figure{margin:0}figcaption{font-size:13px;color:var(--ink2);margin:2px 0 4px}\
+svg.chart text{font:11px system-ui,sans-serif}\
+svg.chart text.tick{fill:var(--muted)}svg.chart text.axis-label{fill:var(--ink2)}\
+.legend{display:flex;flex-wrap:wrap;gap:6px 16px;margin:10px 0 0;padding:0;\
+list-style:none;font-size:13px;color:var(--ink2)}\
+.legend .swatch{display:inline-block;width:10px;height:10px;border-radius:3px;\
+margin-right:6px;vertical-align:baseline}\
+details.data{margin-top:10px;font-size:13px}\
+details.data summary{cursor:pointer;color:var(--muted)}\
+table{border-collapse:collapse;margin-top:8px}\
+th,td{border:1px solid var(--border);padding:3px 10px;text-align:right;\
+font-variant-numeric:tabular-nums}\
+th:first-child,td:first-child{text-align:left}\
+th{color:var(--ink2);font-weight:600}\
+ul.notes{color:var(--ink2);font-size:14px;margin:10px 0 0;padding-left:20px}\
+footer{max-width:1080px;margin:0 auto;padding:0 20px 40px;color:var(--muted);font-size:13px}";
+
+fn badge(status: Status) -> String {
+    format!(
+        "<span class=\"badge {}\">{} {}</span>",
+        status.label(),
+        status.symbol(),
+        status.label()
+    )
+}
+
+fn render_section(out: &mut String, section: &Section) {
+    let _ = write!(
+        out,
+        "<section id=\"{}\"><div class=\"sec-head\"><h2>{}</h2>{}</div>",
+        escape(&section.id),
+        escape(&section.title),
+        badge(section.verdict.status)
+    );
+    if !section.claim.is_empty() {
+        let _ = write!(out, "<p class=\"claim\">{}</p>", escape(&section.claim));
+    }
+    let _ = write!(
+        out,
+        "<p class=\"verdict\">{}</p>",
+        escape(&section.verdict.detail)
+    );
+
+    if !section.charts.is_empty() {
+        out.push_str("<div class=\"charts\">");
+        for chart in &section.charts {
+            out.push_str("<figure>");
+            if !chart.caption.is_empty() {
+                let _ = write!(out, "<figcaption>{}</figcaption>", escape(&chart.caption));
+            }
+            out.push_str(&chart.svg);
+            out.push_str("</figure>");
+        }
+        out.push_str("</div>");
+
+        // One deduplicated legend per section (identity is never
+        // encoded by color alone — labels sit right next to swatches).
+        let mut legend: Vec<(String, String)> = Vec::new();
+        for chart in &section.charts {
+            for entry in &chart.legend {
+                if !legend.iter().any(|(label, _)| label == &entry.0) {
+                    legend.push(entry.clone());
+                }
+            }
+        }
+        if legend.len() >= 2 {
+            out.push_str("<ul class=\"legend\">");
+            for (label, color) in &legend {
+                let _ = write!(
+                    out,
+                    "<li><span class=\"swatch\" style=\"background:{}\"></span>{}</li>",
+                    escape(color),
+                    escape(label)
+                );
+            }
+            out.push_str("</ul>");
+        }
+
+        for chart in &section.charts {
+            if chart.table.len() < 2 {
+                continue;
+            }
+            let _ = write!(
+                out,
+                "<details class=\"data\"><summary>data: {}</summary><table>",
+                escape(if chart.caption.is_empty() {
+                    &section.title
+                } else {
+                    &chart.caption
+                })
+            );
+            for (i, row) in chart.table.iter().enumerate() {
+                let tag = if i == 0 { "th" } else { "td" };
+                out.push_str("<tr>");
+                for cell in row {
+                    let _ = write!(out, "<{tag}>{}</{tag}>", escape(cell));
+                }
+                out.push_str("</tr>");
+            }
+            out.push_str("</table></details>");
+        }
+    }
+
+    if !section.notes.is_empty() {
+        out.push_str("<ul class=\"notes\">");
+        for note in &section.notes {
+            let _ = write!(out, "<li>{}</li>", escape(note));
+        }
+        out.push_str("</ul>");
+    }
+    out.push_str("</section>");
+}
+
+/// Renders the whole report as one self-contained HTML page.
+pub fn render_html(report: &Report) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">");
+    out.push_str("<meta name=\"viewport\" content=\"width=device-width,initial-scale=1\">");
+    out.push_str("<title>icm report</title><style>");
+    out.push_str(CSS);
+    out.push_str("</style></head><body>");
+    let _ = write!(
+        out,
+        "<header class=\"page\"><h1>Interference-management reproduction report</h1>\
+         <p class=\"meta\">seed {}, {} grids — paper shapes vs measured results</p></header>",
+        report.seed,
+        if report.fast { "fast" } else { "full" }
+    );
+    out.push_str("<main>");
+
+    // Overview: one row per section, so the pass/fail story is visible
+    // before any scrolling.
+    out.push_str("<section id=\"overview\"><div class=\"sec-head\"><h2>Overview</h2></div><table>");
+    out.push_str("<tr><th>section</th><th>verdict</th><th>detail</th></tr>");
+    for section in &report.sections {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td style=\"text-align:left\">{}</td></tr>",
+            escape(&section.title),
+            badge(section.verdict.status),
+            escape(&section.verdict.detail)
+        );
+    }
+    out.push_str("</table></section>");
+
+    for section in &report.sections {
+        render_section(&mut out, section);
+    }
+    out.push_str("</main><footer>generated by icm-report from results.json; ");
+    out.push_str("fully self-contained — no scripts, no network</footer></body></html>");
+    out
+}

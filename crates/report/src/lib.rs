@@ -1,0 +1,630 @@
+//! `icm-report` — figure-grade reporting on top of `icm-experiments`
+//! results.
+//!
+//! Input is the machine-readable `results.json` written by
+//! `icm-experiments` (see [`icm_experiments::results::ResultsDoc`]);
+//! output is either a static, fully self-contained HTML page with
+//! inline-SVG charts reproducing the shapes of the paper's Figures 2,
+//! 3, 6/7 (Table 3), 10 and 11 — each with a paper-vs-measured
+//! fidelity verdict — or a plain-text summary for CI logs.
+//!
+//! Everything is deterministic: same `results.json` in, byte-identical
+//! HTML out. The page loads nothing from the network — no scripts, no
+//! fonts, no images — so it can be checked into CI artifacts and read
+//! offline indefinitely.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod html;
+pub mod svg;
+pub mod verdict;
+
+use icm_experiments::fig10::Fig10Result;
+use icm_experiments::fig11::Fig11Result;
+use icm_experiments::fig2::Fig2Result;
+use icm_experiments::fig3::Fig3Result;
+use icm_experiments::results::ResultsDoc;
+use icm_experiments::table3::Table3Result;
+use icm_json::{FromJson, Json};
+
+use svg::{BarChart, BarSeries, LegendEntry, LineChart, LineSeries};
+use verdict::{Status, Verdict, PAPER_TABLE3_COST_PCT};
+
+pub use html::render_html;
+
+/// One rendered chart plus its legend and an accessible data table.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Caption shown above the chart (may be empty).
+    pub caption: String,
+    /// The inline `<svg>` markup.
+    pub svg: String,
+    /// Legend entries (label, CSS color).
+    pub legend: Vec<LegendEntry>,
+    /// Tabular view of the plotted data; first row is the header.
+    pub table: Vec<Vec<String>>,
+}
+
+/// One report section: a figure (or the wall profile) with its verdict.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Anchor id (`fig2`, `fig3`, …).
+    pub id: String,
+    /// Display title.
+    pub title: String,
+    /// The paper claim this section checks.
+    pub claim: String,
+    /// Paper-vs-measured verdict.
+    pub verdict: Verdict,
+    /// Charts, in display order.
+    pub charts: Vec<Chart>,
+    /// Free-form remarks rendered under the charts.
+    pub notes: Vec<String>,
+}
+
+/// The whole report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Seed the experiments ran with.
+    pub seed: u64,
+    /// Whether reduced grids were used.
+    pub fast: bool,
+    /// Sections in paper order.
+    pub sections: Vec<Section>,
+}
+
+impl Report {
+    /// The worst verdict across sections (`Missing` counts as worse
+    /// than `Warn` but better than `Fail` for CI purposes — a missing
+    /// figure is an incomplete run, not a refuted claim).
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for section in &self.sections {
+            match section.verdict.status {
+                Status::Pass => counts.0 += 1,
+                Status::Warn => counts.1 += 1,
+                Status::Fail => counts.2 += 1,
+                Status::Missing => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Whether any section failed outright.
+    pub fn has_failures(&self) -> bool {
+        self.sections
+            .iter()
+            .any(|s| s.verdict.status == Status::Fail)
+    }
+}
+
+fn chart_from_bar(caption: &str, chart: &BarChart) -> Chart {
+    let mut table = Vec::with_capacity(chart.group_labels.len() + 1);
+    let mut header = vec![chart.x_label.clone()];
+    header.extend(chart.series.iter().map(|s| s.label.clone()));
+    table.push(header);
+    for (g, group) in chart.group_labels.iter().enumerate() {
+        let mut row = vec![group.clone()];
+        for series in &chart.series {
+            row.push(
+                series
+                    .values
+                    .get(g)
+                    .map(|v| svg::fmt_value(*v))
+                    .unwrap_or_default(),
+            );
+        }
+        table.push(row);
+    }
+    Chart {
+        caption: caption.to_owned(),
+        svg: chart.svg(),
+        legend: chart.legend(),
+        table,
+    }
+}
+
+fn chart_from_line(caption: &str, chart: &LineChart) -> Chart {
+    let mut table = Vec::new();
+    if let Some(first) = chart.series.first() {
+        let mut header = vec![chart.x_label.clone()];
+        header.extend(chart.series.iter().map(|s| s.label.clone()));
+        table.push(header);
+        for (i, &(x, _)) in first.points.iter().enumerate() {
+            let mut row = vec![svg::fmt_value(x)];
+            for series in &chart.series {
+                row.push(
+                    series
+                        .points
+                        .get(i)
+                        .map(|p| svg::fmt_value(p.1))
+                        .unwrap_or_default(),
+                );
+            }
+            table.push(row);
+        }
+    }
+    Chart {
+        caption: caption.to_owned(),
+        svg: chart.svg(),
+        legend: chart.legend(),
+        table,
+    }
+}
+
+type SectionBody = (Verdict, Vec<Chart>, Vec<String>);
+
+fn typed_section<T: FromJson>(
+    doc: &ResultsDoc,
+    id: &str,
+    title: &str,
+    claim: &str,
+    build: impl FnOnce(&T) -> SectionBody,
+) -> Section {
+    let (verdict, charts, notes) = match doc.get(id) {
+        None => (Verdict::missing(id), Vec::new(), Vec::new()),
+        Some(json) => match T::from_json(json) {
+            Ok(result) => build(&result),
+            Err(err) => (
+                Verdict {
+                    status: Status::Fail,
+                    detail: format!("cannot parse `{id}` result: {err}"),
+                },
+                Vec::new(),
+                Vec::new(),
+            ),
+        },
+    };
+    Section {
+        id: id.to_owned(),
+        title: title.to_owned(),
+        claim: claim.to_owned(),
+        verdict,
+        charts,
+        notes,
+    }
+}
+
+fn fig2_section(doc: &ResultsDoc) -> Section {
+    typed_section(
+        doc,
+        "fig2",
+        "Figure 2 — naive vs real interference",
+        "Interference on a distributed app grows far beyond the naive proportional \
+         expectation as more nodes host a co-runner.",
+        |r: &Fig2Result| {
+            let chart = BarChart {
+                width: 460.0,
+                height: 240.0,
+                x_label: "interfering nodes".to_owned(),
+                y_label: "normalized time".to_owned(),
+                group_labels: r
+                    .rows
+                    .iter()
+                    .map(|row| row.interfering_nodes.to_string())
+                    .collect(),
+                series: vec![
+                    BarSeries {
+                        label: "naive expectation".to_owned(),
+                        color: "var(--c2)".to_owned(),
+                        values: r.rows.iter().map(|row| row.naive_expected).collect(),
+                    },
+                    BarSeries {
+                        label: "measured".to_owned(),
+                        color: "var(--c1)".to_owned(),
+                        values: r.rows.iter().map(|row| row.real).collect(),
+                    },
+                ],
+                hline: None,
+            };
+            let caption = format!("{} with {} co-runners", r.app, r.corunner);
+            let notes = vec![format!(
+                "co-runner bubble score: {}",
+                svg::fmt_value(r.corunner_score)
+            )];
+            (
+                verdict::check_fig2(r),
+                vec![chart_from_bar(&caption, &chart)],
+                notes,
+            )
+        },
+    )
+}
+
+fn ramp_color(index: usize, count: usize) -> String {
+    let slot = if count <= 1 {
+        8
+    } else {
+        1 + (index as f64 * 7.0 / (count - 1) as f64).round() as usize
+    };
+    format!("var(--r{slot})")
+}
+
+fn fig3_section(doc: &ResultsDoc) -> Section {
+    typed_section(
+        doc,
+        "fig3",
+        "Figure 3 — interference propagation",
+        "Each distributed app slows down as interfering nodes and bubble pressure \
+         grow; one curve per pressure, one panel per app.",
+        |r: &Fig3Result| {
+            let charts = r
+                .apps
+                .iter()
+                .map(|app| {
+                    let chart = LineChart {
+                        width: 320.0,
+                        height: 210.0,
+                        x_label: "interfering nodes".to_owned(),
+                        y_label: "normalized time".to_owned(),
+                        y_from_zero: false,
+                        series: app
+                            .pressures
+                            .iter()
+                            .enumerate()
+                            .map(|(p, pressure)| LineSeries {
+                                label: format!("pressure {pressure}"),
+                                color: ramp_color(p, app.pressures.len()),
+                                points: app
+                                    .node_counts
+                                    .iter()
+                                    .zip(app.curves.get(p).map_or(&[] as &[f64], Vec::as_slice))
+                                    .map(|(&n, &y)| (n as f64, y))
+                                    .collect(),
+                            })
+                            .collect(),
+                    };
+                    chart_from_line(&app.app, &chart)
+                })
+                .collect();
+            (verdict::check_fig3(r), charts, Vec::new())
+        },
+    )
+}
+
+fn table3_section(doc: &ResultsDoc) -> Section {
+    typed_section(
+        doc,
+        "table3",
+        "Table 3 / Figures 6–7 — profiling cost and accuracy",
+        "Binary-optimized profiling measures under a fifth of the setting space \
+         while staying as accurate as much more expensive strategies.",
+        |r: &Table3Result| {
+            let algorithms: Vec<String> = r.averages.iter().map(|a| a.algorithm.clone()).collect();
+            let cost = BarChart {
+                width: 460.0,
+                height: 240.0,
+                x_label: "algorithm".to_owned(),
+                y_label: "cost (% of settings)".to_owned(),
+                group_labels: algorithms.clone(),
+                series: vec![
+                    BarSeries {
+                        label: "measured".to_owned(),
+                        color: "var(--c1)".to_owned(),
+                        values: r.averages.iter().map(|a| a.cost_pct).collect(),
+                    },
+                    BarSeries {
+                        label: "paper".to_owned(),
+                        color: "var(--c4)".to_owned(),
+                        values: PAPER_TABLE3_COST_PCT.to_vec(),
+                    },
+                ],
+                hline: None,
+            };
+            let error = BarChart {
+                width: 460.0,
+                height: 240.0,
+                x_label: "algorithm".to_owned(),
+                y_label: "mean abs error (%)".to_owned(),
+                group_labels: algorithms,
+                series: vec![BarSeries {
+                    label: "measured error".to_owned(),
+                    color: "var(--c1)".to_owned(),
+                    values: r.averages.iter().map(|a| a.error_pct).collect(),
+                }],
+                hline: None,
+            };
+            let hours: f64 = r.averages.iter().map(|a| a.cluster_hours).sum();
+            (
+                verdict::check_table3(r),
+                vec![
+                    chart_from_bar("profiling cost (Fig. 7)", &cost),
+                    chart_from_bar("profiling error (Fig. 6)", &error),
+                ],
+                vec![format!(
+                    "total simulated profiling time across algorithms: {} cluster-hours",
+                    svg::fmt_value(hours)
+                )],
+            )
+        },
+    )
+}
+
+fn fig10_section(doc: &ResultsDoc) -> Section {
+    typed_section(
+        doc,
+        "fig10",
+        "Figure 10 — QoS-aware placement",
+        "Placements chosen with the proposed model keep the QoS target inside its \
+         bound; the naive model's placements often do not.",
+        |r: &Fig10Result| {
+            let value_of = |mix: &icm_experiments::fig10::QosMixOutcome, model: &str| {
+                mix.outcomes
+                    .iter()
+                    .find(|o| o.model == model)
+                    .map(|o| o.actual_target)
+                    .unwrap_or(f64::NAN)
+            };
+            let chart = BarChart {
+                width: 560.0,
+                height: 240.0,
+                x_label: "mix".to_owned(),
+                y_label: "target normalized time".to_owned(),
+                group_labels: r.mixes.iter().map(|m| m.mix.clone()).collect(),
+                series: vec![
+                    BarSeries {
+                        label: "proposed model".to_owned(),
+                        color: "var(--c1)".to_owned(),
+                        values: r.mixes.iter().map(|m| value_of(m, "proposed")).collect(),
+                    },
+                    BarSeries {
+                        label: "naive model".to_owned(),
+                        color: "var(--c2)".to_owned(),
+                        values: r.mixes.iter().map(|m| value_of(m, "naive")).collect(),
+                    },
+                ],
+                hline: r.mixes.first().map(|m| (m.bound, "QoS bound".to_owned())),
+            };
+            let notes = vec![format!(
+                "QoS fraction: {} (bound = 1/fraction on normalized time)",
+                svg::fmt_value(r.qos_fraction)
+            )];
+            (
+                verdict::check_fig10(r),
+                vec![chart_from_bar("measured QoS-target time per mix", &chart)],
+                notes,
+            )
+        },
+    )
+}
+
+fn fig11_section(doc: &ResultsDoc) -> Section {
+    typed_section(
+        doc,
+        "fig11",
+        "Figure 11 — placement for performance",
+        "Over the Table 5 mixes, the model-guided best placement speeds the mix up \
+         over the worst placement, beating random and naive-model placement.",
+        |r: &Fig11Result| {
+            let chart = BarChart {
+                width: 560.0,
+                height: 240.0,
+                x_label: "mix".to_owned(),
+                y_label: "avg speedup vs worst".to_owned(),
+                group_labels: r.mixes.iter().map(|m| m.mix.clone()).collect(),
+                series: vec![
+                    BarSeries {
+                        label: "model-guided best".to_owned(),
+                        color: "var(--c1)".to_owned(),
+                        values: r.mixes.iter().map(|m| m.best_speedup).collect(),
+                    },
+                    BarSeries {
+                        label: "random".to_owned(),
+                        color: "var(--c3)".to_owned(),
+                        values: r.mixes.iter().map(|m| m.random_speedup).collect(),
+                    },
+                    BarSeries {
+                        label: "naive model".to_owned(),
+                        color: "var(--c2)".to_owned(),
+                        values: r.mixes.iter().map(|m| m.naive_speedup).collect(),
+                    },
+                ],
+                hline: Some((1.0, "no speedup".to_owned())),
+            };
+            (
+                verdict::check_fig11(r),
+                vec![chart_from_bar("speedup per mix", &chart)],
+                Vec::new(),
+            )
+        },
+    )
+}
+
+/// Builds the wall-time self-profiling section from a `profile.json`
+/// document (the `--profile` side channel of `icm-experiments`).
+fn profile_section(profile: &Json) -> Section {
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    if let Some(spans) = profile.get("spans").and_then(Json::as_object) {
+        for (name, stats) in spans {
+            let num = |key: &str| stats.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+            rows.push((name.clone(), num("count"), num("total_ns"), num("mean_ns")));
+        }
+    }
+    // Heaviest spans first; ties break on name so output is stable.
+    rows.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    let total_ms: f64 = rows.iter().map(|r| r.2).sum::<f64>() / 1e6;
+    let chart = BarChart {
+        width: 560.0,
+        height: 240.0,
+        x_label: "span".to_owned(),
+        y_label: "total wall time (ms)".to_owned(),
+        group_labels: rows.iter().take(8).map(|r| r.0.clone()).collect(),
+        series: vec![BarSeries {
+            label: "wall time".to_owned(),
+            color: "var(--c1)".to_owned(),
+            values: rows.iter().take(8).map(|r| r.2 / 1e6).collect(),
+        }],
+        hline: None,
+    };
+    let mut table = vec![vec![
+        "span".to_owned(),
+        "count".to_owned(),
+        "total ms".to_owned(),
+        "mean µs".to_owned(),
+    ]];
+    for (name, count, total_ns, mean_ns) in &rows {
+        table.push(vec![
+            name.clone(),
+            svg::fmt_value(*count),
+            svg::fmt_value(total_ns / 1e6),
+            svg::fmt_value(mean_ns / 1e3),
+        ]);
+    }
+    let mut chart = chart_from_bar("heaviest spans", &chart);
+    chart.table = table;
+    Section {
+        id: "profile".to_owned(),
+        title: "Wall-time self-profiling".to_owned(),
+        claim: "Wall durations are a side channel recorded next to the trace, never \
+                through it — the deterministic event stream is byte-identical with \
+                profiling on or off."
+            .to_owned(),
+        verdict: Verdict {
+            status: Status::Pass,
+            detail: format!(
+                "{} spans profiled, {} ms total wall time",
+                rows.len(),
+                svg::fmt_value(total_ms)
+            ),
+        },
+        charts: vec![chart],
+        notes: Vec::new(),
+    }
+}
+
+/// Builds the full report from a results document (and, optionally, a
+/// `profile.json` wall-time document).
+pub fn build_report(doc: &ResultsDoc, profile: Option<&Json>) -> Report {
+    let mut sections = vec![
+        fig2_section(doc),
+        fig3_section(doc),
+        table3_section(doc),
+        fig10_section(doc),
+        fig11_section(doc),
+    ];
+    if let Some(profile) = profile {
+        sections.push(profile_section(profile));
+    }
+    Report {
+        seed: doc.seed,
+        fast: doc.fast,
+        sections,
+    }
+}
+
+/// Renders the plain-text summary mode (for CI logs).
+pub fn render_text(report: &Report) -> String {
+    let mut out = format!(
+        "icm report — seed {}, {} grids\n\n",
+        report.seed,
+        if report.fast { "fast" } else { "full" }
+    );
+    for section in &report.sections {
+        out.push_str(&format!(
+            "  {} {:<7} {}\n          {}\n",
+            section.verdict.status.symbol(),
+            section.verdict.status.label(),
+            section.title,
+            section.verdict.detail
+        ));
+        for note in &section.notes {
+            out.push_str(&format!("          note: {note}\n"));
+        }
+    }
+    let (pass, warn, fail, missing) = report.counts();
+    out.push_str(&format!(
+        "\noverall: {pass} pass, {warn} warn, {fail} fail, {missing} missing\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icm_experiments::fig2::Fig2Row;
+    use icm_json::ToJson;
+
+    fn doc_with_fig2() -> ResultsDoc {
+        let result = Fig2Result {
+            app: "M.lmps".to_owned(),
+            corunner: "C.libq".to_owned(),
+            corunner_score: 0.42,
+            rows: (0..=4)
+                .map(|n| Fig2Row {
+                    interfering_nodes: n,
+                    naive_expected: 1.0 + n as f64 * 0.05,
+                    real: 1.0 + n as f64 * 0.25,
+                })
+                .collect(),
+        };
+        let mut doc = ResultsDoc::new(7, true);
+        doc.push("fig2", result.to_json());
+        doc
+    }
+
+    #[test]
+    fn report_marks_absent_experiments_missing() {
+        let report = build_report(&doc_with_fig2(), None);
+        assert_eq!(report.sections.len(), 5);
+        assert_eq!(report.sections[0].verdict.status, Status::Pass);
+        assert!(report.sections[1..]
+            .iter()
+            .all(|s| s.verdict.status == Status::Missing));
+        assert!(!report.has_failures());
+        assert_eq!(report.counts(), (1, 0, 0, 4));
+    }
+
+    #[test]
+    fn html_is_self_contained_and_deterministic() {
+        let report = build_report(&doc_with_fig2(), None);
+        let page = render_html(&report);
+        assert_eq!(page, render_html(&report), "byte-identical rendering");
+        assert!(page.contains("Figure 2"));
+        assert!(page.contains("<svg"));
+        assert!(!page.contains("<script"));
+        assert!(!page.contains("http://"));
+        assert!(!page.contains("https://"));
+        assert!(page.contains("prefers-color-scheme"));
+    }
+
+    #[test]
+    fn text_mode_summarizes_verdicts() {
+        let report = build_report(&doc_with_fig2(), None);
+        let text = render_text(&report);
+        assert!(text.contains("pass"));
+        assert!(text.contains("missing"));
+        assert!(text.contains("overall: 1 pass"));
+    }
+
+    #[test]
+    fn corrupt_result_fails_loudly_not_silently() {
+        let mut doc = ResultsDoc::new(1, true);
+        doc.push("fig2", Json::String("not a fig2 result".to_owned()));
+        let report = build_report(&doc, None);
+        assert_eq!(report.sections[0].verdict.status, Status::Fail);
+        assert!(report.has_failures());
+        assert!(report.sections[0].verdict.detail.contains("cannot parse"));
+    }
+
+    #[test]
+    fn profile_section_orders_spans_by_weight() {
+        let profile: Json = icm_json::from_str(
+            r#"{"bounds_ns":[1000],"spans":{
+                "a.light":{"count":2,"total_ns":1000,"min_ns":400,"max_ns":600,"mean_ns":500,"buckets":[2,0]},
+                "b.heavy":{"count":1,"total_ns":9000000,"min_ns":9000000,"max_ns":9000000,"mean_ns":9000000,"buckets":[0,1]}
+            }}"#,
+        )
+        .expect("parses");
+        let section = profile_section(&profile);
+        assert_eq!(section.verdict.status, Status::Pass);
+        assert!(section.verdict.detail.contains("2 spans"));
+        let table = &section.charts[0].table;
+        assert_eq!(table[1][0], "b.heavy", "heaviest span first");
+        assert_eq!(table[2][0], "a.light");
+    }
+}

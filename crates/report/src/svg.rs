@@ -1,0 +1,549 @@
+//! Deterministic inline-SVG chart primitives: line charts and grouped
+//! bar charts.
+//!
+//! The generated markup references CSS custom properties (`var(--c1)`,
+//! `var(--grid)`, …) instead of literal colors, so one SVG follows the
+//! page's light/dark theme for free. All coordinates are formatted with
+//! fixed precision, so identical inputs yield byte-identical markup.
+//! Hover affordance comes from native `<title>` tooltips on every
+//! marker and bar — no scripts.
+
+use std::fmt::Write as _;
+
+/// Escapes text for use inside XML attribute or element content.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// One coordinate, formatted compactly and deterministically.
+fn c(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Tooltip/label value formatting: up to three decimals, trailing
+/// zeros trimmed.
+pub fn fmt_value(v: f64) -> String {
+    let mut text = format!("{v:.3}");
+    while text.contains('.') && (text.ends_with('0') || text.ends_with('.')) {
+        text.pop();
+    }
+    if text.is_empty() || text == "-" {
+        text = "0".to_owned();
+    }
+    text
+}
+
+fn nice_step(raw: f64) -> f64 {
+    if raw <= 0.0 || !raw.is_finite() {
+        return 1.0;
+    }
+    let mag = 10f64.powf(raw.log10().floor());
+    let n = raw / mag;
+    let nice = if n <= 1.0 {
+        1.0
+    } else if n <= 2.0 {
+        2.0
+    } else if n <= 2.5 {
+        2.5
+    } else if n <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * mag
+}
+
+/// Tick positions covering `[min, max]`, roughly `target` of them.
+fn ticks(min: f64, max: f64, target: usize) -> (Vec<f64>, f64) {
+    let span = (max - min).max(1e-9);
+    let step = nice_step(span / target.max(1) as f64);
+    let mut t = (min / step).ceil() * step;
+    let mut out = Vec::new();
+    while t <= max + step * 1e-6 {
+        // Snap -0.0 and accumulated error to the grid.
+        out.push((t / step).round() * step);
+        t += step;
+    }
+    (out, step)
+}
+
+fn fmt_tick(v: f64, step: f64) -> String {
+    if step >= 1.0 {
+        format!("{v:.0}")
+    } else if step >= 0.1 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Chart margins inside the SVG viewport.
+const M_LEFT: f64 = 46.0;
+const M_RIGHT: f64 = 10.0;
+const M_TOP: f64 = 10.0;
+const M_BOTTOM: f64 = 38.0;
+
+/// A legend entry: display label plus the CSS color it is drawn with.
+pub type LegendEntry = (String, String);
+
+/// One line-chart series.
+#[derive(Debug, Clone)]
+pub struct LineSeries {
+    /// Display label (legend + tooltips).
+    pub label: String,
+    /// CSS color, usually a `var(--…)` reference.
+    pub color: String,
+    /// `(x, y)` points in data space, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A single-axis line chart with circle markers and native tooltips.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Viewport width in px.
+    pub width: f64,
+    /// Viewport height in px.
+    pub height: f64,
+    /// x-axis caption.
+    pub x_label: String,
+    /// y-axis caption.
+    pub y_label: String,
+    /// Whether the y scale is anchored at zero.
+    pub y_from_zero: bool,
+    /// The series, drawn in order.
+    pub series: Vec<LineSeries>,
+}
+
+impl LineChart {
+    /// Legend entries for the chart's series.
+    pub fn legend(&self) -> Vec<LegendEntry> {
+        self.series
+            .iter()
+            .map(|s| (s.label.clone(), s.color.clone()))
+            .collect()
+    }
+
+    /// Renders the chart as a self-contained `<svg>` element.
+    pub fn svg(&self) -> String {
+        let points: Vec<(f64, f64)> = self.series.iter().flat_map(|s| s.points.clone()).collect();
+        if points.is_empty() {
+            return String::from("<svg class=\"chart\" role=\"img\"></svg>");
+        }
+        let x_min = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let x_max = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let mut y_min = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let mut y_max = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        if self.y_from_zero {
+            y_min = y_min.min(0.0);
+        }
+        if (y_max - y_min).abs() < 1e-9 {
+            y_max = y_min + 1.0;
+        }
+        let pad = (y_max - y_min) * 0.06;
+        y_max += pad;
+        if !self.y_from_zero {
+            y_min -= pad;
+        }
+
+        let plot_w = self.width - M_LEFT - M_RIGHT;
+        let plot_h = self.height - M_TOP - M_BOTTOM;
+        let sx = |x: f64| M_LEFT + (x - x_min) / (x_max - x_min).max(1e-9) * plot_w;
+        let sy = |y: f64| M_TOP + plot_h - (y - y_min) / (y_max - y_min).max(1e-9) * plot_h;
+
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "<svg class=\"chart\" role=\"img\" viewBox=\"0 0 {} {}\" width=\"{}\" height=\"{}\">",
+            c(self.width),
+            c(self.height),
+            c(self.width),
+            c(self.height)
+        );
+        self.axes(&mut out, (x_min, x_max), (y_min, y_max), &sx, &sy);
+        for series in &self.series {
+            if series.points.is_empty() {
+                continue;
+            }
+            let mut d = String::new();
+            for (i, &(x, y)) in series.points.iter().enumerate() {
+                let _ = write!(
+                    d,
+                    "{}{},{}",
+                    if i == 0 { "M" } else { " L" },
+                    c(sx(x)),
+                    c(sy(y))
+                );
+            }
+            let _ = write!(
+                out,
+                "<path d=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\" \
+                 stroke-linejoin=\"round\" stroke-linecap=\"round\"/>",
+                d, series.color
+            );
+            for &(x, y) in &series.points {
+                let _ = write!(
+                    out,
+                    "<circle cx=\"{}\" cy=\"{}\" r=\"3\" fill=\"{}\" stroke=\"var(--panel)\" \
+                     stroke-width=\"1\"><title>{} — {}: {}, {}: {}</title></circle>",
+                    c(sx(x)),
+                    c(sy(y)),
+                    series.color,
+                    escape(&series.label),
+                    escape(&self.x_label),
+                    fmt_value(x),
+                    escape(&self.y_label),
+                    fmt_value(y)
+                );
+            }
+        }
+        out.push_str("</svg>");
+        out
+    }
+
+    fn axes(
+        &self,
+        out: &mut String,
+        (x_min, x_max): (f64, f64),
+        (y_min, y_max): (f64, f64),
+        sx: &dyn Fn(f64) -> f64,
+        sy: &dyn Fn(f64) -> f64,
+    ) {
+        let (yt, ystep) = ticks(y_min, y_max, 5);
+        for t in &yt {
+            let y = sy(*t);
+            let _ = write!(
+                out,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"var(--grid)\"/>",
+                c(M_LEFT),
+                c(y),
+                c(self.width - M_RIGHT),
+                c(y)
+            );
+            let _ = write!(
+                out,
+                "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+                c(M_LEFT - 6.0),
+                c(y + 3.5),
+                fmt_tick(*t, ystep)
+            );
+        }
+        let (xt, xstep) = ticks(x_min, x_max, 6);
+        let base = self.height - M_BOTTOM;
+        for t in &xt {
+            let x = sx(*t);
+            let _ = write!(
+                out,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"var(--axis)\"/>",
+                c(x),
+                c(base),
+                c(x),
+                c(base + 4.0)
+            );
+            let _ = write!(
+                out,
+                "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+                c(x),
+                c(base + 16.0),
+                fmt_tick(*t, xstep)
+            );
+        }
+        let _ = write!(
+            out,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"var(--axis)\"/>",
+            c(M_LEFT),
+            c(base),
+            c(self.width - M_RIGHT),
+            c(base)
+        );
+        self.captions(out);
+    }
+
+    fn captions(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "<text class=\"axis-label\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            c(M_LEFT + (self.width - M_LEFT - M_RIGHT) / 2.0),
+            c(self.height - 4.0),
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            out,
+            "<text class=\"axis-label\" x=\"12\" y=\"{}\" text-anchor=\"middle\" \
+             transform=\"rotate(-90 12 {})\">{}</text>",
+            c(M_TOP + (self.height - M_TOP - M_BOTTOM) / 2.0),
+            c(M_TOP + (self.height - M_TOP - M_BOTTOM) / 2.0),
+            escape(&self.y_label)
+        );
+    }
+}
+
+/// One bar-chart series: one value per group.
+#[derive(Debug, Clone)]
+pub struct BarSeries {
+    /// Display label (legend + tooltips).
+    pub label: String,
+    /// CSS color, usually a `var(--…)` reference.
+    pub color: String,
+    /// One value per group (`group_labels.len()` entries).
+    pub values: Vec<f64>,
+}
+
+/// A grouped bar chart: `series.len()` bars per group, anchored to the
+/// zero baseline with 4px-rounded tops and 2px surface gaps.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Viewport width in px.
+    pub width: f64,
+    /// Viewport height in px.
+    pub height: f64,
+    /// x-axis caption.
+    pub x_label: String,
+    /// y-axis caption.
+    pub y_label: String,
+    /// One label per bar group.
+    pub group_labels: Vec<String>,
+    /// The series (bars within each group, in order).
+    pub series: Vec<BarSeries>,
+    /// Optional horizontal reference line `(value, label)`, drawn in
+    /// the status color.
+    pub hline: Option<(f64, String)>,
+}
+
+impl BarChart {
+    /// Legend entries for the chart's series (plus the reference line).
+    pub fn legend(&self) -> Vec<LegendEntry> {
+        let mut entries: Vec<LegendEntry> = self
+            .series
+            .iter()
+            .map(|s| (s.label.clone(), s.color.clone()))
+            .collect();
+        if let Some((_, label)) = &self.hline {
+            entries.push((label.clone(), "var(--bad)".to_owned()));
+        }
+        entries
+    }
+
+    /// Renders the chart as a self-contained `<svg>` element.
+    pub fn svg(&self) -> String {
+        if self.group_labels.is_empty() || self.series.is_empty() {
+            return String::from("<svg class=\"chart\" role=\"img\"></svg>");
+        }
+        let mut y_max = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter().copied())
+            .fold(0.0f64, f64::max);
+        if let Some((v, _)) = self.hline {
+            y_max = y_max.max(v);
+        }
+        if y_max <= 0.0 {
+            y_max = 1.0;
+        }
+        y_max *= 1.08;
+
+        let plot_w = self.width - M_LEFT - M_RIGHT;
+        let plot_h = self.height - M_TOP - M_BOTTOM;
+        let base = self.height - M_BOTTOM;
+        let sy = |y: f64| M_TOP + plot_h - (y / y_max) * plot_h;
+
+        let groups = self.group_labels.len() as f64;
+        let group_w = plot_w / groups;
+        let gap = 2.0;
+        let inner_w = (group_w * 0.72).max(4.0);
+        let bars = self.series.len() as f64;
+        let bar_w = ((inner_w - gap * (bars - 1.0)) / bars).max(2.0);
+
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "<svg class=\"chart\" role=\"img\" viewBox=\"0 0 {} {}\" width=\"{}\" height=\"{}\">",
+            c(self.width),
+            c(self.height),
+            c(self.width),
+            c(self.height)
+        );
+
+        let (yt, ystep) = ticks(0.0, y_max, 5);
+        for t in &yt {
+            let y = sy(*t);
+            let _ = write!(
+                out,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"var(--grid)\"/>",
+                c(M_LEFT),
+                c(y),
+                c(self.width - M_RIGHT),
+                c(y)
+            );
+            let _ = write!(
+                out,
+                "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+                c(M_LEFT - 6.0),
+                c(y + 3.5),
+                fmt_tick(*t, ystep)
+            );
+        }
+
+        for (g, group_label) in self.group_labels.iter().enumerate() {
+            let g0 = M_LEFT + g as f64 * group_w + (group_w - inner_w) / 2.0;
+            for (s, series) in self.series.iter().enumerate() {
+                let Some(&value) = series.values.get(g) else {
+                    continue;
+                };
+                let x = g0 + s as f64 * (bar_w + gap);
+                let top = sy(value.max(0.0));
+                let h = (base - top).max(0.0);
+                let r = 4.0f64.min(h).min(bar_w / 2.0);
+                // Rounded top corners only, anchored to the baseline.
+                let d = format!(
+                    "M{x0},{b} L{x0},{yr} Q{x0},{t} {xr},{t} L{xr2},{t} Q{x1},{t} {x1},{yr} \
+                     L{x1},{b} Z",
+                    x0 = c(x),
+                    x1 = c(x + bar_w),
+                    xr = c(x + r),
+                    xr2 = c(x + bar_w - r),
+                    t = c(top),
+                    yr = c(top + r),
+                    b = c(base)
+                );
+                let _ = write!(
+                    out,
+                    "<path d=\"{}\" fill=\"{}\"><title>{} — {}: {}</title></path>",
+                    d,
+                    series.color,
+                    escape(&series.label),
+                    escape(group_label),
+                    fmt_value(value)
+                );
+            }
+            let _ = write!(
+                out,
+                "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+                c(g0 + inner_w / 2.0),
+                c(base + 16.0),
+                escape(group_label)
+            );
+        }
+
+        let _ = write!(
+            out,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"var(--axis)\"/>",
+            c(M_LEFT),
+            c(base),
+            c(self.width - M_RIGHT),
+            c(base)
+        );
+        if let Some((value, label)) = &self.hline {
+            let y = sy(*value);
+            let _ = write!(
+                out,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"var(--bad)\" \
+                 stroke-width=\"2\" stroke-dasharray=\"6 4\"><title>{}: {}</title></line>",
+                c(M_LEFT),
+                c(y),
+                c(self.width - M_RIGHT),
+                c(y),
+                escape(label),
+                fmt_value(*value)
+            );
+        }
+
+        let _ = write!(
+            out,
+            "<text class=\"axis-label\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            c(M_LEFT + plot_w / 2.0),
+            c(self.height - 4.0),
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            out,
+            "<text class=\"axis-label\" x=\"12\" y=\"{}\" text-anchor=\"middle\" \
+             transform=\"rotate(-90 12 {})\">{}</text>",
+            c(M_TOP + plot_h / 2.0),
+            c(M_TOP + plot_h / 2.0),
+            escape(&self.y_label)
+        );
+        out.push_str("</svg>");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> LineChart {
+        LineChart {
+            width: 360.0,
+            height: 230.0,
+            x_label: "nodes".to_owned(),
+            y_label: "normalized time".to_owned(),
+            y_from_zero: true,
+            series: vec![LineSeries {
+                label: "real".to_owned(),
+                color: "var(--c1)".to_owned(),
+                points: vec![(0.0, 1.0), (4.0, 1.4), (8.0, 2.1)],
+            }],
+        }
+    }
+
+    #[test]
+    fn line_chart_is_deterministic_and_tooltipped() {
+        let chart = line();
+        let a = chart.svg();
+        assert_eq!(a, chart.svg());
+        assert!(a.starts_with("<svg"));
+        assert!(a.contains("<title>real — nodes: 4, normalized time: 1.4</title>"));
+        assert!(a.contains("stroke-width=\"2\""));
+    }
+
+    #[test]
+    fn bar_chart_anchors_to_baseline() {
+        let chart = BarChart {
+            width: 420.0,
+            height: 230.0,
+            x_label: "mix".to_owned(),
+            y_label: "speedup".to_owned(),
+            group_labels: vec!["HW1".to_owned(), "HW2".to_owned()],
+            series: vec![BarSeries {
+                label: "best".to_owned(),
+                color: "var(--c1)".to_owned(),
+                values: vec![1.2, 1.1],
+            }],
+            hline: Some((1.0, "no speedup".to_owned())),
+        };
+        let svg = chart.svg();
+        assert!(svg.contains("<path d=\"M"));
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("<title>best — HW1: 1.2</title>"));
+        assert_eq!(
+            chart.legend(),
+            vec![
+                ("best".to_owned(), "var(--c1)".to_owned()),
+                ("no speedup".to_owned(), "var(--bad)".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn escaping_covers_markup_characters() {
+        assert_eq!(escape("a<b & \"c\""), "a&lt;b &amp; &quot;c&quot;");
+    }
+
+    #[test]
+    fn value_formatting_trims_zeros() {
+        assert_eq!(fmt_value(1.0), "1");
+        assert_eq!(fmt_value(1.25), "1.25");
+        assert_eq!(fmt_value(0.5004), "0.5");
+    }
+}

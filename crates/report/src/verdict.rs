@@ -1,0 +1,296 @@
+//! Paper-vs-measured fidelity verdicts.
+//!
+//! Each check compares one experiment's structured result against the
+//! corresponding claim in the ASPLOS'16 paper and produces a
+//! [`Verdict`]: `Pass` when the reproduced shape matches the paper,
+//! `Warn` when it matches directionally but misses the magnitude,
+//! `Fail` when the claim does not reproduce, `Missing` when the
+//! experiment is absent from `results.json`. Thresholds are loose on
+//! purpose — the simulator reproduces shapes, not third-decimal values.
+
+use icm_experiments::fig10::Fig10Result;
+use icm_experiments::fig11::Fig11Result;
+use icm_experiments::fig2::Fig2Result;
+use icm_experiments::fig3::Fig3Result;
+use icm_experiments::table3::Table3Result;
+
+/// Fidelity classification of one section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The paper's claim reproduces.
+    Pass,
+    /// Directionally right, magnitude off.
+    Warn,
+    /// The claim does not reproduce.
+    Fail,
+    /// The experiment is not in the results document.
+    Missing,
+}
+
+impl Status {
+    /// Short human label (also the CSS badge class).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Status::Pass => "pass",
+            Status::Warn => "warn",
+            Status::Fail => "fail",
+            Status::Missing => "missing",
+        }
+    }
+
+    /// Symbol rendered alongside the label (never color alone).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Status::Pass => "\u{2713}",    // ✓
+            Status::Warn => "\u{25B3}",    // △
+            Status::Fail => "\u{2717}",    // ✗
+            Status::Missing => "\u{2013}", // –
+        }
+    }
+}
+
+/// One section's fidelity verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Classification.
+    pub status: Status,
+    /// One-sentence justification with the numbers that decided it.
+    pub detail: String,
+}
+
+impl Verdict {
+    /// The verdict for an experiment absent from the results document.
+    pub fn missing(id: &str) -> Self {
+        Self {
+            status: Status::Missing,
+            detail: format!("`{id}` is not in the results document; rerun with it selected"),
+        }
+    }
+}
+
+/// Table 3 of the paper: average profiling cost (% of the full `n × m`
+/// sweep) per algorithm, in the result order binary-optimized,
+/// binary-brute, random-50%, random-30%.
+pub const PAPER_TABLE3_COST_PCT: [f64; 4] = [18.45, 59.44, 49.23, 29.23];
+
+/// Fig. 2's claim: measured interference far exceeds the naive
+/// proportional expectation somewhere in the range — with few
+/// interfering nodes the slowdown is already near its plateau, while
+/// the naive model only converges at full interference. The check
+/// therefore looks at the row of *maximum* divergence, not the last
+/// one (where both models meet by construction).
+pub fn check_fig2(r: &Fig2Result) -> Verdict {
+    let Some(worst) = r
+        .rows
+        .iter()
+        .filter(|row| row.interfering_nodes >= 1 && row.naive_expected > 0.0)
+        .max_by(|a, b| (a.real / a.naive_expected).total_cmp(&(b.real / b.naive_expected)))
+    else {
+        return Verdict {
+            status: Status::Fail,
+            detail: "no rows with interference measured".to_owned(),
+        };
+    };
+    let detail = format!(
+        "at {} interfering node(s), measured {:.2}x vs naive {:.2}x",
+        worst.interfering_nodes, worst.real, worst.naive_expected
+    );
+    let status = if worst.real > worst.naive_expected * 1.2 {
+        Status::Pass
+    } else if worst.real > worst.naive_expected * 1.05 {
+        Status::Warn
+    } else {
+        Status::Fail
+    };
+    Verdict { status, detail }
+}
+
+/// Fig. 3's claim: interference propagates — most distributed apps slow
+/// down with node count and pressure, monotonically in pressure.
+pub fn check_fig3(r: &Fig3Result) -> Verdict {
+    let mut sensitive = 0usize;
+    let mut monotone = 0usize;
+    for app in &r.apps {
+        let (Some(first), Some(last)) = (app.curves.first(), app.curves.last()) else {
+            continue;
+        };
+        let (Some(&lo), Some(&hi)) = (first.last(), last.last()) else {
+            continue;
+        };
+        if hi > 1.05 {
+            sensitive += 1;
+        }
+        if hi >= lo - 0.02 {
+            monotone += 1;
+        }
+    }
+    let n = r.apps.len().max(1);
+    let detail = format!(
+        "{sensitive}/{n} apps slow down >5% at max pressure; {monotone}/{n} monotone in pressure"
+    );
+    let status = if sensitive * 3 >= n * 2 && monotone * 5 >= n * 4 {
+        Status::Pass
+    } else if sensitive * 3 >= n {
+        Status::Warn
+    } else {
+        Status::Fail
+    };
+    Verdict { status, detail }
+}
+
+/// Table 3 / Figs. 6–7 claim: binary-optimized profiles at ~18% cost
+/// and stays at least as accurate as the random baselines.
+pub fn check_table3(r: &Table3Result) -> Verdict {
+    if r.averages.len() != PAPER_TABLE3_COST_PCT.len() {
+        return Verdict {
+            status: Status::Fail,
+            detail: format!("expected 4 algorithm averages, found {}", r.averages.len()),
+        };
+    }
+    let max_dev = r
+        .averages
+        .iter()
+        .zip(PAPER_TABLE3_COST_PCT)
+        .map(|(a, paper)| (a.cost_pct - paper).abs())
+        .fold(0.0f64, f64::max);
+    let opt_err = r.averages[0].error_pct;
+    let rand30_err = r.averages[3].error_pct;
+    let accurate = opt_err <= rand30_err + 0.5;
+    let detail = format!(
+        "costs deviate from paper by at most {:.1} points; binary-optimized error {:.2}% vs \
+         random-30% {:.2}%",
+        max_dev, opt_err, rand30_err
+    );
+    let status = if max_dev <= 10.0 && accurate {
+        Status::Pass
+    } else if max_dev <= 20.0 && accurate {
+        Status::Warn
+    } else {
+        Status::Fail
+    };
+    Verdict { status, detail }
+}
+
+/// Fig. 10's claim: placements chosen with the proposed model keep the
+/// QoS target within its bound (the naive model often does not).
+pub fn check_fig10(r: &Fig10Result) -> Verdict {
+    let mut proposed_ok = 0usize;
+    let mut naive_violations = 0usize;
+    for mix in &r.mixes {
+        for outcome in &mix.outcomes {
+            match outcome.model.as_str() {
+                "proposed" if outcome.actual_target <= mix.bound * 1.05 => proposed_ok += 1,
+                "naive" if outcome.actual_target > mix.bound => naive_violations += 1,
+                _ => {}
+            }
+        }
+    }
+    let n = r.mixes.len().max(1);
+    let detail = format!(
+        "proposed model meets the QoS bound in {proposed_ok}/{n} mixes; naive violates it in \
+         {naive_violations}"
+    );
+    let status = if proposed_ok == n {
+        Status::Pass
+    } else if proposed_ok * 5 >= n * 4 {
+        Status::Warn
+    } else {
+        Status::Fail
+    };
+    Verdict { status, detail }
+}
+
+/// Fig. 11's claim: the model-guided best placement beats random (and
+/// never loses to the worst placement).
+pub fn check_fig11(r: &Fig11Result) -> Verdict {
+    if r.mixes.is_empty() {
+        return Verdict {
+            status: Status::Fail,
+            detail: "no mixes measured".to_owned(),
+        };
+    }
+    let n = r.mixes.len() as f64;
+    let mean_best = r.mixes.iter().map(|m| m.best_speedup).sum::<f64>() / n;
+    let mean_random = r.mixes.iter().map(|m| m.random_speedup).sum::<f64>() / n;
+    let all_ge_one = r.mixes.iter().all(|m| m.best_speedup >= 0.97);
+    let detail = format!(
+        "mean speedup over the worst placement: best {mean_best:.3}, random {mean_random:.3}"
+    );
+    let status = if mean_best >= mean_random && all_ge_one {
+        Status::Pass
+    } else if mean_best >= mean_random - 0.03 && all_ge_one {
+        Status::Warn
+    } else {
+        Status::Fail
+    };
+    Verdict { status, detail }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icm_experiments::fig2::Fig2Row;
+
+    fn fig2(real_last: f64, naive_last: f64) -> Fig2Result {
+        Fig2Result {
+            app: "M.lmps".to_owned(),
+            corunner: "C.libq".to_owned(),
+            corunner_score: 0.4,
+            rows: vec![
+                Fig2Row {
+                    interfering_nodes: 0,
+                    naive_expected: 1.0,
+                    real: 1.0,
+                },
+                Fig2Row {
+                    interfering_nodes: 8,
+                    naive_expected: naive_last,
+                    real: real_last,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fig2_pass_warn_fail_thresholds() {
+        assert_eq!(check_fig2(&fig2(2.0, 1.2)).status, Status::Pass);
+        assert_eq!(check_fig2(&fig2(1.3, 1.2)).status, Status::Warn);
+        assert_eq!(check_fig2(&fig2(1.1, 1.2)).status, Status::Fail);
+    }
+
+    #[test]
+    fn fig11_prefers_model_guided_best() {
+        use icm_experiments::fig11::{Fig11Mix, Fig11Result};
+        use icm_workloads::MixDifficulty;
+        let mix = |best: f64, random: f64| Fig11Mix {
+            mix: "HW1".to_owned(),
+            difficulty: MixDifficulty::High,
+            workloads: [
+                "a".to_owned(),
+                "b".to_owned(),
+                "c".to_owned(),
+                "d".to_owned(),
+            ],
+            strategies: Vec::new(),
+            best_speedup: best,
+            random_speedup: random,
+            naive_speedup: 1.0,
+        };
+        let good = Fig11Result {
+            mixes: vec![mix(1.2, 1.05)],
+        };
+        assert_eq!(check_fig11(&good).status, Status::Pass);
+        let bad = Fig11Result {
+            mixes: vec![mix(0.9, 1.05)],
+        };
+        assert_eq!(check_fig11(&bad).status, Status::Fail);
+    }
+
+    #[test]
+    fn missing_verdict_names_the_experiment() {
+        let v = Verdict::missing("fig10");
+        assert_eq!(v.status, Status::Missing);
+        assert!(v.detail.contains("fig10"));
+        assert_eq!(Status::Missing.symbol(), "–");
+    }
+}

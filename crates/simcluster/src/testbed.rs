@@ -482,12 +482,17 @@ impl SimTestbed {
             }
         }
 
-        // Solve per-host contention once.
+        // Solve per-host contention once. The wall scope feeds the
+        // self-profiling side channel only — no event is emitted, so the
+        // deterministic trace is unaffected.
+        let contention_scope = self.tracer.wall_scope("sim.contention");
         let host_slowdowns: Vec<Vec<f64>> = (0..hosts)
             .map(|h| solve_contention(&self.cluster.node(h), &host_profiles[h]))
             .collect();
+        drop(contention_scope);
 
-        // Execute each placement.
+        // Execute each placement (wall side channel only; no events).
+        let _execute_scope = self.tracer.wall_scope("sim.execute");
         let mut results = Vec::with_capacity(deployment.placements.len());
         let mut simulated = 0.0;
         for (pi, placement) in deployment.placements.iter().enumerate() {

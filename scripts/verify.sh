@@ -11,3 +11,19 @@ cargo build --workspace --release --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --offline -- -D warnings
 cargo fmt --check
+
+# Report-pipeline smoke: two same-seed traced mini-runs must diff clean,
+# summarize as JSON, and render into a non-empty self-contained report.
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+./target/release/icm-experiments fig2 fig3 --fast --quiet \
+    --trace "$SMOKE/a.jsonl" --results "$SMOKE/results.json" \
+    --profile "$SMOKE/profile.json" > /dev/null
+./target/release/icm-experiments fig2 fig3 --fast --quiet \
+    --trace "$SMOKE/b.jsonl" > /dev/null
+./target/release/icm-trace diff "$SMOKE/a.jsonl" "$SMOKE/b.jsonl"
+./target/release/icm-trace summarize "$SMOKE/a.jsonl" --json > /dev/null
+./target/release/icm-report "$SMOKE/results.json" --profile "$SMOKE/profile.json" \
+    --out "$SMOKE/report.html" --text > /dev/null
+test -s "$SMOKE/report.html"
+echo "verify: report smoke OK"

@@ -12,9 +12,10 @@ use icm_obs::{parse_events, Event, JsonlSink, SharedBuf, Tracer};
 use icm_placement::{anneal_traced, AcceptRule, AnnealConfig, PlacementProblem, PlacementState};
 use icm_simcluster::TestbedStats;
 
-/// Runs the same profiling sweep with a JSONL sink and returns the raw
-/// trace bytes plus the testbed's own accounting.
-fn traced_profiling_sweep(seed: u64) -> (String, TestbedStats) {
+/// Runs the same profiling sweep with a JSONL sink — optionally with the
+/// wall-time side channel enabled — and returns the raw trace bytes, the
+/// testbed's own accounting, and the tracer (for wall-profile access).
+fn traced_profiling_sweep_wall(seed: u64, wall: bool) -> (String, TestbedStats, Tracer) {
     let cfg = ExpConfig {
         fast: true,
         seed,
@@ -23,6 +24,9 @@ fn traced_profiling_sweep(seed: u64) -> (String, TestbedStats) {
     let mut testbed = private_testbed(&cfg);
     let buf = SharedBuf::new();
     let tracer = Tracer::with_sink(JsonlSink::new(buf.clone()));
+    if wall {
+        tracer.enable_wall_profiling();
+    }
     testbed.sim_mut().set_tracer(tracer.clone());
     let mut source = AppSource::new(&mut testbed, "M.zeus", 8, 1).expect("solo runs");
     profile_traced(
@@ -34,7 +38,14 @@ fn traced_profiling_sweep(seed: u64) -> (String, TestbedStats) {
     .expect("profiles");
     let stats = source.testbed_stats();
     tracer.flush();
-    (buf.text(), stats)
+    (buf.text(), stats, tracer)
+}
+
+/// Runs the same profiling sweep with a JSONL sink and returns the raw
+/// trace bytes plus the testbed's own accounting.
+fn traced_profiling_sweep(seed: u64) -> (String, TestbedStats) {
+    let (trace, stats, _) = traced_profiling_sweep_wall(seed, false);
+    (trace, stats)
 }
 
 fn anneal_cost(problem: &PlacementProblem, state: &PlacementState) -> f64 {
@@ -80,6 +91,31 @@ fn profiling_sweep_trace_is_byte_identical_across_runs() {
     let (second, _) = traced_profiling_sweep(2016);
     assert!(!first.is_empty());
     assert_eq!(first, second, "same seed must produce identical traces");
+}
+
+#[test]
+fn wall_profiling_leaves_the_deterministic_trace_byte_identical() {
+    let (plain, _, _) = traced_profiling_sweep_wall(2016, false);
+    let (profiled, _, tracer) = traced_profiling_sweep_wall(2016, true);
+    assert_eq!(
+        plain, profiled,
+        "the wall-time side channel must never perturb the JSONL stream"
+    );
+    let profile = tracer.wall_profile().expect("profiling was enabled");
+    assert!(
+        !profile.is_empty(),
+        "enabled profiling must record at least one span"
+    );
+    for span in ["profile.fit", "sim.contention", "sim.execute"] {
+        let stats = profile
+            .get(span)
+            .unwrap_or_else(|| panic!("wall profile must cover `{span}`"));
+        assert!(stats.count() > 0, "`{span}` must have samples");
+        assert!(stats.total_ns() >= stats.max_ns().unwrap_or(0));
+    }
+    // The disabled run records nothing.
+    let (_, _, off) = traced_profiling_sweep_wall(2016, false);
+    assert!(off.wall_profile().is_none());
 }
 
 #[test]
