@@ -45,4 +45,27 @@ mod tests {
         fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
         assert_error::<ModelError>();
     }
+
+    #[test]
+    fn every_variant_has_a_distinct_display_prefix() {
+        let variants = [
+            ModelError::InvalidData("rows differ".into()),
+            ModelError::Testbed("host down".into()),
+            ModelError::BadPressureVector("length 3, expected 8".into()),
+            ModelError::Profiling("non-positive solo runtime".into()),
+        ];
+        let expected = [
+            "invalid model data: rows differ",
+            "testbed failure: host down",
+            "bad pressure vector: length 3, expected 8",
+            "profiling failure: non-positive solo runtime",
+        ];
+        let rendered: Vec<String> = variants.iter().map(ModelError::to_string).collect();
+        assert_eq!(rendered, expected);
+        // Errors travel by value through the resilient retry loop — the
+        // clone must stay comparable to the original.
+        for v in &variants {
+            assert_eq!(v, &v.clone());
+        }
+    }
 }

@@ -20,6 +20,9 @@
 //! * [`profiling`] — the *binary-brute* / *binary-optimized* profiling
 //!   algorithms (Algorithms 1 & 2) and random baselines that keep the
 //!   profiling cost low.
+//! * [`resilient`] — retry / backoff / outlier-rejection wrapper around
+//!   any profile source, with per-cell [`ModelQuality`] provenance for
+//!   downstream confidence-aware consumers.
 //! * [`model`] — [`ModelBuilder`] drives a
 //!   [`Testbed`] through the whole procedure and assembles an
 //!   [`InterferenceModel`]; the
@@ -60,6 +63,7 @@ pub mod model;
 pub mod online;
 pub mod profiling;
 mod propagation;
+pub mod resilient;
 mod score;
 pub mod stats;
 pub mod store;
@@ -79,6 +83,10 @@ pub use profiling::{
     ProfilingAlgorithm,
 };
 pub use propagation::PropagationMatrix;
+pub use resilient::{
+    profile_resilient, ModelQuality, QualityGrid, ResilienceStats, ResilientOutcome,
+    ResilientSource, RetryPolicy,
+};
 pub use score::combine_scores;
 pub use score::ReporterCurve;
 pub use stats::Summary;

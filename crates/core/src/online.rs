@@ -301,6 +301,79 @@ mod tests {
     }
 
     #[test]
+    fn hostile_observations_rejected_without_state_change() {
+        let mut online = OnlineModel::new(static_model());
+        let pressures = vec![1.0; 8];
+        for bad in [
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -1.0,
+            -0.0,
+            f64::MIN_POSITIVE / 2.0 * 0.0, // exactly 0.0 via arithmetic
+        ] {
+            let err = online.observe(&pressures, bad).expect_err("rejected");
+            assert!(matches!(err, ModelError::InvalidData(_)), "{bad}");
+            let err = online
+                .observe_for("k", &pressures, bad)
+                .expect_err("rejected");
+            assert!(matches!(err, ModelError::InvalidData(_)), "{bad}");
+        }
+        // Rejected observations leave no trace: no global or keyed state.
+        assert_eq!(online.observations(), 0);
+        assert_eq!(online.correction(), 1.0);
+        assert_eq!(online.correction_for("k"), None);
+    }
+
+    #[test]
+    fn sustained_poisoning_is_capped_by_the_band() {
+        // A stream of absurd observations (crashing co-runner reporting
+        // 100× slowdowns) must never push the EWMA past the clamp band,
+        // no matter how long it runs.
+        let mut online = OnlineModel::with_alpha(static_model(), 0.9);
+        let pressures = vec![2.0; 8];
+        let base = online.base().predict(&pressures);
+        for i in 0..200 {
+            let poison = base * if i % 2 == 0 { 100.0 } else { 1e-9 };
+            online.observe(&pressures, poison).expect("positive");
+        }
+        assert!(online.correction() >= DEFAULT_CORRECTION_BAND.0 - 1e-12);
+        assert!(online.correction() <= DEFAULT_CORRECTION_BAND.1 + 1e-12);
+        // And the corrected prediction stays inside the banded envelope.
+        let predicted = online.predict(&pressures).expect("valid");
+        assert!(predicted <= base * DEFAULT_CORRECTION_BAND.1 + 1e-9);
+        assert!(predicted >= 1.0);
+    }
+
+    #[test]
+    fn keyed_poisoning_does_not_leak_into_other_keys() {
+        let mut online = OnlineModel::with_alpha(static_model(), 0.5);
+        let pressures = vec![2.0; 8];
+        let base = online.base().predict(&pressures);
+        // An honest co-runner first, so the honest key has history.
+        for _ in 0..10 {
+            online
+                .observe_for("honest", &pressures, base * 1.05)
+                .expect("valid");
+        }
+        let honest_before = online.correction_for("honest").expect("tracked");
+        // Then a poisoned co-runner floods the model.
+        for _ in 0..50 {
+            online
+                .observe_for("poisoned", &pressures, base * 100.0)
+                .expect("positive");
+        }
+        // The honest key's correction is untouched by the poison.
+        let honest_after = online.correction_for("honest").expect("tracked");
+        assert_eq!(honest_before, honest_after);
+        // The poisoned key saturates at the band edge, not at 100×.
+        let poisoned = online.correction_for("poisoned").expect("tracked");
+        assert!((poisoned - DEFAULT_CORRECTION_BAND.1).abs() < 1e-9);
+        // Keyed prediction for the honest co-runner stays calibrated.
+        let honest_pred = online.predict_for("honest", &pressures).expect("valid");
+        assert!((honest_pred - base * honest_after).abs() < 1e-9);
+    }
+
+    #[test]
     #[should_panic(expected = "alpha")]
     fn bad_alpha_panics() {
         let _ = OnlineModel::with_alpha(static_model(), 0.0);

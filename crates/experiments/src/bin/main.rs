@@ -206,7 +206,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             let path = dir.join(format!("{}.json", exp.id()));
-            let data = results.get(exp.id()).expect("just pushed");
+            let Some(data) = results.get(exp.id()) else {
+                eprintln!("{}: result vanished from the results document", exp.id());
+                return ExitCode::FAILURE;
+            };
             let text = icm_json::to_string_pretty(data);
             match std::fs::write(&path, text) {
                 Ok(()) => reporter.say(

@@ -164,7 +164,9 @@ fn cmd_show(args: &Args) -> Result<(), String> {
         "app", "hosts", "score", "solo (s)", "policy"
     );
     for app in store.apps() {
-        let model = store.get(app).expect("listed app present");
+        let Some(model) = store.get(app) else {
+            return Err(format!("store lists `{app}` but holds no model for it"));
+        };
         println!(
             "{:<10} {:>6} {:>7.2} {:>12.1}  {:<12}",
             app,

@@ -30,6 +30,7 @@
 //! | `ext-transfer` | model transfer across host generations (§6) |
 //! | `ext-scale` | placement at 16 hosts / 8 tenants |
 //! | `ext-iochannel` | the unprofiled network/disk I/O channel (§2.1) |
+//! | `robustness` | resilient profiling under injected faults |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +48,7 @@ pub mod fig8;
 pub mod placement_common;
 pub mod profiling_source;
 pub mod results;
+pub mod robustness;
 pub mod table;
 pub mod table3;
 pub mod table4;
@@ -112,11 +114,13 @@ pub enum Experiment {
     ExtScale,
     /// Extension — the unprofiled network/disk I/O channel.
     ExtIoChannel,
+    /// Robustness — resilient profiling under injected faults.
+    Robustness,
 }
 
 impl Experiment {
     /// All experiments in paper order.
-    pub const ALL: [Experiment; 27] = [
+    pub const ALL: [Experiment; 28] = [
         Experiment::Fig2,
         Experiment::Fig3,
         Experiment::Fig4,
@@ -144,6 +148,7 @@ impl Experiment {
         Experiment::ExtTransfer,
         Experiment::ExtScale,
         Experiment::ExtIoChannel,
+        Experiment::Robustness,
     ];
 
     /// Command-line id.
@@ -176,6 +181,7 @@ impl Experiment {
             Experiment::ExtTransfer => "ext-transfer",
             Experiment::ExtScale => "ext-scale",
             Experiment::ExtIoChannel => "ext-iochannel",
+            Experiment::Robustness => "robustness",
         }
     }
 
@@ -307,6 +313,10 @@ impl Experiment {
             Experiment::ExtIoChannel => {
                 let r = extensions::run_iochannel(cfg)?;
                 both(&r, extensions::render_iochannel(&r))
+            }
+            Experiment::Robustness => {
+                let r = robustness::run(cfg)?;
+                both(&r, robustness::render(&r))
             }
         })
     }

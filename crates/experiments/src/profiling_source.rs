@@ -57,6 +57,15 @@ impl<'a> AppSource<'a> {
     pub fn testbed_stats(&self) -> icm_simcluster::TestbedStats {
         self.testbed.sim().stats()
     }
+
+    /// Installs (or clears) a fault plan on the underlying testbed.
+    ///
+    /// Exposed here because the source holds the testbed borrow for its
+    /// lifetime; the robustness experiments measure the solo baseline on
+    /// a healthy cluster, then turn faults on for the profiling runs.
+    pub fn set_fault_plan(&mut self, plan: Option<icm_simcluster::FaultPlan>) {
+        self.testbed.sim_mut().set_fault_plan(plan);
+    }
 }
 
 impl ProfileSource for AppSource<'_> {

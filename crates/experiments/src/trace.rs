@@ -31,6 +31,18 @@ pub struct ProbeBudget {
     pub reporter: u64,
     /// Total simulated application-seconds.
     pub simulated_seconds: f64,
+    /// Injected transient probe failures (`fault` events).
+    pub probe_failures: u64,
+    /// Injected straggler runs killed at the deadline.
+    pub timeouts: u64,
+    /// Injected stragglers that still completed.
+    pub stragglers: u64,
+    /// Injected corrupted measurements.
+    pub corruptions: u64,
+    /// Deployments rejected inside a host crash window.
+    pub host_down: u64,
+    /// Simulated seconds burned by killed runs.
+    pub wasted_seconds: f64,
 }
 
 icm_json::impl_json!(struct ProbeBudget {
@@ -39,7 +51,13 @@ icm_json::impl_json!(struct ProbeBudget {
     pair,
     deployment,
     reporter,
-    simulated_seconds
+    simulated_seconds,
+    probe_failures = 0,
+    timeouts = 0,
+    stragglers = 0,
+    corruptions = 0,
+    host_down = 0,
+    wasted_seconds = 0.0
 });
 
 impl ProbeBudget {
@@ -59,6 +77,12 @@ impl ProbeBudget {
             pair_runs: self.pair,
             deployment_runs: self.deployment,
             reporter_runs: self.reporter,
+            injected_probe_failures: self.probe_failures,
+            injected_timeouts: self.timeouts,
+            injected_stragglers: self.stragglers,
+            injected_corruptions: self.corruptions,
+            injected_host_down: self.host_down,
+            wasted_seconds: self.wasted_seconds,
         }
     }
 }
@@ -212,6 +236,17 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
                 budget.simulated_seconds += event.num("simulated_s").unwrap_or(0.0);
             }
             "reporter" => budget.reporter += 1,
+            "fault" => match event.str("kind") {
+                Some("probe_failed") => budget.probe_failures += 1,
+                Some("timeout") => {
+                    budget.timeouts += 1;
+                    budget.wasted_seconds += event.num("wasted_s").unwrap_or(0.0);
+                }
+                Some("straggler") => budget.stragglers += 1,
+                Some("corruption") => budget.corruptions += 1,
+                Some("host_down") => budget.host_down += 1,
+                _ => {}
+            },
             "probe" => {
                 probe_residuals.push(event.num("residual").unwrap_or(0.0));
             }
@@ -336,6 +371,27 @@ pub fn render(summary: &TraceSummary) -> String {
         &mut out,
         format!("  {:<12}{:>12.1}s", "cluster time", b.simulated_seconds),
     );
+
+    let injected = b.probe_failures + b.timeouts + b.stragglers + b.corruptions + b.host_down;
+    if injected > 0 {
+        push(&mut out, String::new());
+        push(&mut out, "injected faults".to_owned());
+        for (label, count) in [
+            ("probe fail", b.probe_failures),
+            ("timeout", b.timeouts),
+            ("straggler", b.stragglers),
+            ("corruption", b.corruptions),
+            ("host down", b.host_down),
+        ] {
+            if count > 0 {
+                push(&mut out, format!("  {label:<12}{count:>8}"));
+            }
+        }
+        push(
+            &mut out,
+            format!("  {:<12}{:>12.1}s", "wasted time", b.wasted_seconds),
+        );
+    }
 
     if !summary.phases.is_empty() {
         push(&mut out, String::new());

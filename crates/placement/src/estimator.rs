@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use icm_core::{InterferenceModel, NaiveModel};
+use icm_core::{InterferenceModel, ModelQuality, NaiveModel, QualityGrid};
 
 use crate::error::PlacementError;
 use crate::state::{PlacementProblem, PlacementState};
@@ -21,6 +21,15 @@ pub trait RuntimePredictor {
     fn bubble_score(&self) -> f64;
     /// Interference-free runtime in seconds (for absolute estimates).
     fn solo_seconds(&self) -> f64;
+    /// Provenance of the prediction the given pressures would produce.
+    ///
+    /// Predictors without per-cell provenance report
+    /// [`ModelQuality::Measured`]; wrappers like [`QualityAwareModel`]
+    /// override this so placements can spot predictions resting on
+    /// defaulted matrix cells.
+    fn prediction_quality(&self, _pressures: &[f64]) -> ModelQuality {
+        ModelQuality::Measured
+    }
 }
 
 impl RuntimePredictor for InterferenceModel {
@@ -50,6 +59,49 @@ impl RuntimePredictor for NaiveModel {
 
     fn solo_seconds(&self) -> f64 {
         NaiveModel::solo_seconds(self)
+    }
+}
+
+/// An [`InterferenceModel`] paired with the [`QualityGrid`] its resilient
+/// profiling produced, so placement searches can see which predictions
+/// rest on interpolated or defaulted propagation-matrix cells and price
+/// them accordingly (via
+/// [`with_conservative_margin`](Estimator::with_conservative_margin) or
+/// the QoS policy's `refuse_defaulted`).
+pub struct QualityAwareModel<'a> {
+    model: &'a InterferenceModel,
+    quality: &'a QualityGrid,
+}
+
+impl<'a> QualityAwareModel<'a> {
+    /// Pairs a model with the quality grid of the profiling run that
+    /// built it.
+    pub fn new(model: &'a InterferenceModel, quality: &'a QualityGrid) -> Self {
+        Self { model, quality }
+    }
+}
+
+impl RuntimePredictor for QualityAwareModel<'_> {
+    fn predict_normalized(&self, pressures: &[f64]) -> Result<f64, PlacementError> {
+        self.model.predict_normalized(pressures)
+    }
+
+    fn bubble_score(&self) -> f64 {
+        InterferenceModel::bubble_score(self.model)
+    }
+
+    fn solo_seconds(&self) -> f64 {
+        InterferenceModel::solo_seconds(self.model)
+    }
+
+    fn prediction_quality(&self, pressures: &[f64]) -> ModelQuality {
+        if pressures.len() != self.model.hosts()
+            || pressures.iter().any(|p| !p.is_finite() || *p < 0.0)
+        {
+            return ModelQuality::Defaulted;
+        }
+        let hom = self.model.convert(pressures);
+        self.quality.at_hom(hom.pressure, hom.nodes)
     }
 }
 
@@ -86,6 +138,7 @@ pub struct Estimator<'a> {
     problem: &'a PlacementProblem,
     predictors: Vec<&'a dyn RuntimePredictor>,
     collision: f64,
+    quality_margin: f64,
 }
 
 impl<'a> Estimator<'a> {
@@ -111,6 +164,7 @@ impl<'a> Estimator<'a> {
             problem,
             predictors,
             collision: 0.0,
+            quality_margin: 0.0,
         })
     }
 
@@ -140,6 +194,7 @@ impl<'a> Estimator<'a> {
             problem,
             predictors,
             collision: 0.0,
+            quality_margin: 0.0,
         })
     }
 
@@ -157,6 +212,26 @@ impl<'a> Estimator<'a> {
             "collision pressure must be non-negative, got {collision}"
         );
         self.collision = collision;
+        self
+    }
+
+    /// Sets the conservative pricing margin for low-confidence
+    /// predictions (builder-style): a prediction resting on *defaulted*
+    /// propagation-matrix cells is inflated by `1 + margin` before being
+    /// summed into the placement cost, so the search prefers placements
+    /// the model actually understands. Zero (the default) leaves every
+    /// prediction untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative or non-finite.
+    #[must_use]
+    pub fn with_conservative_margin(mut self, margin: f64) -> Self {
+        assert!(
+            margin.is_finite() && margin >= 0.0,
+            "conservative margin must be non-negative, got {margin}"
+        );
+        self.quality_margin = margin;
         self
     }
 
@@ -201,7 +276,13 @@ impl<'a> Estimator<'a> {
         let mut normalized_times = Vec::with_capacity(self.predictors.len());
         for w in 0..self.predictors.len() {
             let pressures = self.pressures_for(state, w);
-            normalized_times.push(self.predictors[w].predict_normalized(&pressures)?);
+            let mut predicted = self.predictors[w].predict_normalized(&pressures)?;
+            if self.quality_margin > 0.0
+                && self.predictors[w].prediction_quality(&pressures) == ModelQuality::Defaulted
+            {
+                predicted *= 1.0 + self.quality_margin;
+            }
+            normalized_times.push(predicted);
         }
         let weighted_total = normalized_times.iter().sum();
         Ok(PlacementEstimate {
@@ -276,6 +357,108 @@ pub(crate) mod tests {
                 coupled: false,
             },
         ]
+    }
+
+    /// Wraps a [`FakePredictor`] but reports every prediction as
+    /// resting on defaulted cells.
+    pub struct DefaultedPredictor(pub FakePredictor);
+
+    impl RuntimePredictor for DefaultedPredictor {
+        fn predict_normalized(&self, pressures: &[f64]) -> Result<f64, PlacementError> {
+            self.0.predict_normalized(pressures)
+        }
+
+        fn bubble_score(&self) -> f64 {
+            self.0.bubble_score()
+        }
+
+        fn solo_seconds(&self) -> f64 {
+            self.0.solo_seconds()
+        }
+
+        fn prediction_quality(&self, _pressures: &[f64]) -> ModelQuality {
+            ModelQuality::Defaulted
+        }
+    }
+
+    #[test]
+    fn default_prediction_quality_is_measured() {
+        let predictor = fake_predictors().remove(0);
+        assert_eq!(
+            predictor.prediction_quality(&[1.0; 4]),
+            ModelQuality::Measured
+        );
+    }
+
+    #[test]
+    fn conservative_margin_prices_defaulted_predictions() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let wrapped: Vec<DefaultedPredictor> = fake_predictors()
+            .into_iter()
+            .map(DefaultedPredictor)
+            .collect();
+        let state = PlacementState::new(
+            &problem,
+            vec![0, 1, 0, 1, 0, 1, 0, 1, 2, 3, 2, 3, 2, 3, 2, 3],
+        )
+        .expect("valid");
+        let baseline = {
+            let refs: Vec<&dyn RuntimePredictor> = predictors
+                .iter()
+                .map(|p| p as &dyn RuntimePredictor)
+                .collect();
+            Estimator::new(&problem, refs)
+                .expect("valid")
+                .estimate(&state)
+                .expect("estimates")
+        };
+        let refs: Vec<&dyn RuntimePredictor> =
+            wrapped.iter().map(|p| p as &dyn RuntimePredictor).collect();
+        // A zero margin leaves even defaulted predictions untouched.
+        let unpriced = Estimator::new(&problem, refs.clone())
+            .expect("valid")
+            .estimate(&state)
+            .expect("estimates");
+        assert_eq!(unpriced, baseline);
+        // A 50% margin inflates every (defaulted) prediction by 1.5×.
+        let priced = Estimator::new(&problem, refs)
+            .expect("valid")
+            .with_conservative_margin(0.5)
+            .estimate(&state)
+            .expect("estimates");
+        for (p, b) in priced
+            .normalized_times
+            .iter()
+            .zip(&baseline.normalized_times)
+        {
+            assert!((p - b * 1.5).abs() < 1e-12, "got {p}, base {b}");
+        }
+        // Measured-quality predictions are never inflated.
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let measured = Estimator::new(&problem, refs)
+            .expect("valid")
+            .with_conservative_margin(0.5)
+            .estimate(&state)
+            .expect("estimates");
+        assert_eq!(measured, baseline);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn negative_margin_rejected() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let _ = Estimator::new(&problem, refs)
+            .expect("valid")
+            .with_conservative_margin(-0.1);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub use annealing::{
 };
 pub use energy::{estimate_waste, place_min_waste, EnergyEstimate};
 pub use error::PlacementError;
-pub use estimator::{Estimator, PlacementEstimate, RuntimePredictor};
+pub use estimator::{Estimator, PlacementEstimate, QualityAwareModel, RuntimePredictor};
 pub use qos::{place_qos, QosConfig, QosOutcome};
 pub use state::{PlacementProblem, PlacementState};
 pub use throughput::{average_speedup, find_placements, ThroughputConfig, ThroughputPlacements};

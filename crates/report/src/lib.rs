@@ -25,6 +25,7 @@ use icm_experiments::fig11::Fig11Result;
 use icm_experiments::fig2::Fig2Result;
 use icm_experiments::fig3::Fig3Result;
 use icm_experiments::results::ResultsDoc;
+use icm_experiments::robustness::RobustnessResult;
 use icm_experiments::table3::Table3Result;
 use icm_json::{FromJson, Json};
 
@@ -431,6 +432,94 @@ fn fig11_section(doc: &ResultsDoc) -> Section {
     )
 }
 
+fn robustness_section(doc: &ResultsDoc) -> Section {
+    typed_section(
+        doc,
+        "robustness",
+        "Robustness — profiling under injected faults",
+        "With transient probe failures, stragglers and corrupted measurements \
+         injected, the resilient profiling driver still produces a full-coverage \
+         model whose fidelity degrades monotonically with the fault rate, at a \
+         bounded profiling-cost inflation.",
+        |r: &RobustnessResult| {
+            let fidelity = LineChart {
+                width: 460.0,
+                height: 240.0,
+                x_label: "injected fault rate (%)".to_owned(),
+                y_label: "mean model error (%)".to_owned(),
+                y_from_zero: true,
+                series: vec![
+                    LineSeries {
+                        label: "model error".to_owned(),
+                        color: "var(--c1)".to_owned(),
+                        points: r
+                            .points
+                            .iter()
+                            .map(|p| (p.fault_pct, p.mean_error_pct))
+                            .collect(),
+                    },
+                    LineSeries {
+                        label: "defaulted cells".to_owned(),
+                        color: "var(--c3)".to_owned(),
+                        points: r
+                            .points
+                            .iter()
+                            .map(|p| (p.fault_pct, p.mean_defaulted_pct))
+                            .collect(),
+                    },
+                ],
+            };
+            let cost = LineChart {
+                width: 460.0,
+                height: 240.0,
+                x_label: "injected fault rate (%)".to_owned(),
+                y_label: "relative cost / degradation".to_owned(),
+                y_from_zero: true,
+                series: vec![
+                    LineSeries {
+                        label: "profiling-cost inflation (x)".to_owned(),
+                        color: "var(--c2)".to_owned(),
+                        points: r
+                            .points
+                            .iter()
+                            .map(|p| (p.fault_pct, p.cost_inflation))
+                            .collect(),
+                    },
+                    LineSeries {
+                        label: "placement degradation (%)".to_owned(),
+                        color: "var(--c4)".to_owned(),
+                        points: r
+                            .points
+                            .iter()
+                            .map(|p| (p.fault_pct, p.placement_degradation_pct))
+                            .collect(),
+                    },
+                ],
+            };
+            let notes = r
+                .points
+                .last()
+                .map(|worst| {
+                    vec![format!(
+                        "at {}% faults: {} retries, {} injected failures absorbed",
+                        svg::fmt_value(worst.fault_pct),
+                        worst.retries,
+                        worst.injected_failures
+                    )]
+                })
+                .unwrap_or_default();
+            (
+                verdict::check_robustness(r),
+                vec![
+                    chart_from_line("model fidelity vs fault rate", &fidelity),
+                    chart_from_line("cost and placement impact", &cost),
+                ],
+                notes,
+            )
+        },
+    )
+}
+
 /// Builds the wall-time self-profiling section from a `profile.json`
 /// document (the `--profile` side channel of `icm-experiments`).
 fn profile_section(profile: &Json) -> Section {
@@ -506,6 +595,7 @@ pub fn build_report(doc: &ResultsDoc, profile: Option<&Json>) -> Report {
         table3_section(doc),
         fig10_section(doc),
         fig11_section(doc),
+        robustness_section(doc),
     ];
     if let Some(profile) = profile {
         sections.push(profile_section(profile));
@@ -570,13 +660,13 @@ mod tests {
     #[test]
     fn report_marks_absent_experiments_missing() {
         let report = build_report(&doc_with_fig2(), None);
-        assert_eq!(report.sections.len(), 5);
+        assert_eq!(report.sections.len(), 6);
         assert_eq!(report.sections[0].verdict.status, Status::Pass);
         assert!(report.sections[1..]
             .iter()
             .all(|s| s.verdict.status == Status::Missing));
         assert!(!report.has_failures());
-        assert_eq!(report.counts(), (1, 0, 0, 4));
+        assert_eq!(report.counts(), (1, 0, 0, 5));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use icm_experiments::fig10::Fig10Result;
 use icm_experiments::fig11::Fig11Result;
 use icm_experiments::fig2::Fig2Result;
 use icm_experiments::fig3::Fig3Result;
+use icm_experiments::robustness::RobustnessResult;
 use icm_experiments::table3::Table3Result;
 
 /// Fidelity classification of one section.
@@ -226,6 +227,49 @@ pub fn check_fig11(r: &Fig11Result) -> Verdict {
     Verdict { status, detail }
 }
 
+/// The robustness sweep's claim: resilient profiling keeps producing a
+/// full-coverage model as the injected fault rate grows; fidelity
+/// degrades monotonically with the rate and the clean point stays tight.
+pub fn check_robustness(r: &RobustnessResult) -> Verdict {
+    let (Some(clean), Some(worst)) = (r.points.first(), r.points.last()) else {
+        return Verdict {
+            status: Status::Fail,
+            detail: "no sweep points measured".to_owned(),
+        };
+    };
+    if clean.fault_pct != 0.0 {
+        return Verdict {
+            status: Status::Fail,
+            detail: format!("sweep starts at {:.0}% faults, not 0%", clean.fault_pct),
+        };
+    }
+    let full_coverage = r
+        .points
+        .iter()
+        .all(|p| p.apps.iter().all(|a| a.error_pct.is_finite()));
+    let monotone = r
+        .points
+        .windows(2)
+        .all(|pair| pair[1].mean_error_pct >= pair[0].mean_error_pct - 0.5);
+    let degrades = worst.mean_error_pct > clean.mean_error_pct;
+    let detail = format!(
+        "error {:.2}% → {:.2}% and cost ×{:.2} over 0 → {:.0}% faults; {} retries absorbed",
+        clean.mean_error_pct,
+        worst.mean_error_pct,
+        worst.cost_inflation,
+        worst.fault_pct,
+        worst.retries
+    );
+    let status = if !full_coverage || !monotone || clean.mean_error_pct >= 10.0 {
+        Status::Fail
+    } else if degrades && clean.mean_error_pct < 5.0 && worst.cost_inflation >= 1.0 {
+        Status::Pass
+    } else {
+        Status::Warn
+    };
+    Verdict { status, detail }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +328,50 @@ mod tests {
             mixes: vec![mix(0.9, 1.05)],
         };
         assert_eq!(check_fig11(&bad).status, Status::Fail);
+    }
+
+    #[test]
+    fn robustness_thresholds() {
+        use icm_experiments::robustness::{RobustnessPoint, RobustnessResult};
+        let point = |fault_pct: f64, error: f64, inflation: f64| RobustnessPoint {
+            fault_pct,
+            mean_error_pct: error,
+            cost_inflation: inflation,
+            mean_defaulted_pct: 0.0,
+            retries: if fault_pct > 0.0 { 5 } else { 0 },
+            injected_failures: if fault_pct > 0.0 { 5 } else { 0 },
+            placement_degradation_pct: 0.0,
+            apps: Vec::new(),
+        };
+        let good = RobustnessResult {
+            points: vec![
+                point(0.0, 1.0, 1.0),
+                point(10.0, 3.0, 1.1),
+                point(30.0, 8.0, 1.4),
+            ],
+        };
+        assert_eq!(check_robustness(&good).status, Status::Pass);
+        // Flat degradation is only directional.
+        let flat = RobustnessResult {
+            points: vec![point(0.0, 1.0, 1.0), point(30.0, 1.0, 1.2)],
+        };
+        assert_eq!(check_robustness(&flat).status, Status::Warn);
+        // Non-monotone fidelity refutes the claim.
+        let wobbly = RobustnessResult {
+            points: vec![
+                point(0.0, 1.0, 1.0),
+                point(10.0, 9.0, 1.1),
+                point(30.0, 2.0, 1.4),
+            ],
+        };
+        assert_eq!(check_robustness(&wobbly).status, Status::Fail);
+        // A loose clean model refutes it too.
+        let loose = RobustnessResult {
+            points: vec![point(0.0, 12.0, 1.0), point(30.0, 20.0, 1.4)],
+        };
+        assert_eq!(check_robustness(&loose).status, Status::Fail);
+        let empty = RobustnessResult { points: Vec::new() };
+        assert_eq!(check_robustness(&empty).status, Status::Fail);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes the failure behaviour of the simulated
+//! cluster: transient probe failures, straggler runs that blow past a
+//! kill deadline, multiplicative measurement corruption, and per-host
+//! crash windows. The plan carries *no* random state of its own — every
+//! probabilistic decision is an addressed draw from the testbed's
+//! [`Noise`](crate::Noise) source (streams `FAULT_*`), keyed by the run
+//! counter, so two same-seed histories inject byte-identical faults and
+//! a disabled plan leaves the testbed bit-for-bit unchanged.
+
+/// A window of runs during which one host is unreachable.
+///
+/// Windows are explicit (not drawn) so experiments can script correlated
+/// outages; both bounds are inclusive run-counter values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The host that is down.
+    pub host: usize,
+    /// First run (inclusive) of the outage.
+    pub from_run: u64,
+    /// Last run (inclusive) of the outage.
+    pub until_run: u64,
+}
+
+icm_json::impl_json!(struct CrashWindow { host, from_run, until_run });
+
+impl CrashWindow {
+    /// Whether this window covers `host` at `run`.
+    pub fn covers(&self, host: usize, run: u64) -> bool {
+        self.host == host && (self.from_run..=self.until_run).contains(&run)
+    }
+}
+
+/// The failure behaviour injected into a [`SimTestbed`](crate::SimTestbed).
+///
+/// All probabilities are per-deployment-run and compared against uniform
+/// draws in `[0, 1)`, so `0.0` disables a channel and values `>= 1.0`
+/// fire on every run. The default plan injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a deployment run fails outright (transient probe
+    /// failure: the measurement is lost before any cluster time is spent).
+    pub probe_failure_prob: f64,
+    /// Probability that a run straggles (its runtime is inflated).
+    pub straggler_prob: f64,
+    /// Maximum relative inflation of a straggling run: the straggle
+    /// factor is drawn uniformly from `[1, 1 + severity]`.
+    pub straggler_severity: f64,
+    /// Kill deadline as a multiple of the nominal runtime: a straggler
+    /// whose factor reaches this bound is killed at the deadline and the
+    /// run reports [`TestbedError::ProbeTimeout`](crate::TestbedError),
+    /// charging `nominal × deadline_factor` as wasted cluster time.
+    pub deadline_factor: f64,
+    /// Probability that one placement's measurement is corrupted.
+    pub corruption_prob: f64,
+    /// Maximum relative size of a corruption: the measured seconds are
+    /// multiplied by a factor drawn uniformly from `[1, 1 + scale]`.
+    pub corruption_scale: f64,
+    /// Scripted per-host outage windows.
+    pub crash_windows: Vec<CrashWindow>,
+}
+
+icm_json::impl_json!(struct FaultPlan {
+    probe_failure_prob = 0.0,
+    straggler_prob = 0.0,
+    straggler_severity = 0.0,
+    deadline_factor = 2.0,
+    corruption_prob = 0.0,
+    corruption_scale = 0.0,
+    crash_windows = Vec::new()
+});
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            probe_failure_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_severity: 0.0,
+            deadline_factor: 2.0,
+            corruption_prob: 0.0,
+            corruption_scale: 0.0,
+            crash_windows: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that only injects transient probe failures with the given
+    /// per-run probability.
+    pub fn probe_failures(prob: f64) -> Self {
+        Self {
+            probe_failure_prob: prob,
+            ..Self::default()
+        }
+    }
+
+    /// A plan exercising every channel at a common rate: probe failures
+    /// and stragglers at `prob`, corruption at `prob / 2`, stragglers
+    /// inflated up to +80% against a 1.5× kill deadline.
+    pub fn uniform(prob: f64) -> Self {
+        Self {
+            probe_failure_prob: prob,
+            straggler_prob: prob,
+            straggler_severity: 0.8,
+            deadline_factor: 1.5,
+            corruption_prob: prob / 2.0,
+            corruption_scale: 0.6,
+            crash_windows: Vec::new(),
+        }
+    }
+
+    /// Whether any injection channel can fire.
+    pub fn is_active(&self) -> bool {
+        self.probe_failure_prob > 0.0
+            || self.straggler_prob > 0.0
+            || self.corruption_prob > 0.0
+            || !self.crash_windows.is_empty()
+    }
+
+    /// Whether `host` is inside a crash window at `run`.
+    pub fn host_down(&self, host: usize, run: u64) -> bool {
+        self.crash_windows.iter().any(|w| w.covers(host, run))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert!(!plan.host_down(0, 1));
+    }
+
+    #[test]
+    fn crash_windows_are_inclusive_and_per_host() {
+        let plan = FaultPlan {
+            crash_windows: vec![CrashWindow {
+                host: 3,
+                from_run: 10,
+                until_run: 12,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.is_active());
+        assert!(!plan.host_down(3, 9));
+        assert!(plan.host_down(3, 10));
+        assert!(plan.host_down(3, 12));
+        assert!(!plan.host_down(3, 13));
+        assert!(!plan.host_down(2, 11));
+    }
+
+    #[test]
+    fn constructors_activate_expected_channels() {
+        let probes = FaultPlan::probe_failures(0.1);
+        assert_eq!(probes.probe_failure_prob, 0.1);
+        assert_eq!(probes.straggler_prob, 0.0);
+        assert!(probes.is_active());
+        let all = FaultPlan::uniform(0.2);
+        assert_eq!(all.probe_failure_prob, 0.2);
+        assert_eq!(all.corruption_prob, 0.1);
+        assert!(all.straggler_severity > 0.0);
+        assert!(all.deadline_factor > 1.0);
+    }
+
+    #[test]
+    fn plan_round_trips_and_accepts_sparse_json() {
+        let plan = FaultPlan {
+            probe_failure_prob: 0.25,
+            crash_windows: vec![CrashWindow {
+                host: 1,
+                from_run: 2,
+                until_run: 3,
+            }],
+            ..FaultPlan::default()
+        };
+        let back: FaultPlan = icm_json::from_str(&icm_json::to_string(&plan)).expect("round-trips");
+        assert_eq!(back, plan);
+        // Every field is defaulted, so a sparse plan parses.
+        let sparse: FaultPlan =
+            icm_json::from_str(r#"{"probe_failure_prob":0.5}"#).expect("parses");
+        assert_eq!(sparse.probe_failure_prob, 0.5);
+        assert_eq!(sparse.deadline_factor, 2.0);
+        assert!(sparse.crash_windows.is_empty());
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`SimTestbed`] — run applications solo, against per-host bubbles,
 //!   co-located in pairs, or in arbitrary [`Deployment`]s; measure the
 //!   reporter-bubble slowdowns used for bubble scoring.
+//! * [`FaultPlan`] — deterministic fault injection: transient probe
+//!   failures, straggler runs killed at a deadline, corrupted
+//!   measurements, and per-host crash windows, all addressed through the
+//!   same seeded noise so faulty histories stay byte-reproducible.
 //!
 //! Everything is deterministic given a seed; repeated runs differ by
 //! realistic, addressable pseudo-random noise.
@@ -51,12 +55,14 @@
 
 mod app;
 mod cluster;
+mod fault;
 mod noise;
 mod sync;
 mod testbed;
 
 pub use app::{AppSpec, AppSpecBuilder, MasterBehavior};
 pub use cluster::{BackgroundTenants, ClusterSpec};
+pub use fault::{CrashWindow, FaultPlan};
 pub use noise::Noise;
 pub use sync::{execute, execute_phased, PhaseModulation, SyncPattern};
 pub use testbed::{AppRun, Deployment, Placement, RunKind, SimTestbed, TestbedError, TestbedStats};

@@ -36,6 +36,9 @@ pub(crate) mod stream {
     pub const BACKGROUND_PRESSURE: u64 = 4;
     pub const IO_VOLATILITY: u64 = 5;
     pub const PHASE_DRIFT: u64 = 6;
+    pub const FAULT_PROBE: u64 = 7;
+    pub const FAULT_STRAGGLER: u64 = 8;
+    pub const FAULT_CORRUPT: u64 = 9;
 }
 
 impl Noise {

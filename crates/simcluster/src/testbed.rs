@@ -7,6 +7,7 @@ use icm_simnode::{solve_contention, Bubble, MemoryProfile};
 
 use crate::app::AppSpec;
 use crate::cluster::ClusterSpec;
+use crate::fault::FaultPlan;
 use crate::noise::{stream, Noise};
 use crate::sync::execute_phased;
 
@@ -56,6 +57,26 @@ pub enum TestbedError {
     },
     /// A bubble pressure was NaN, infinite or negative.
     BadPressure(String),
+    /// Fault injection: the run failed transiently before any cluster
+    /// time was spent (the probe measurement is simply lost).
+    ProbeFailed {
+        /// Run counter value of the failed attempt.
+        run: u64,
+    },
+    /// Fault injection: the run straggled past its kill deadline and was
+    /// terminated without producing a measurement.
+    ProbeTimeout {
+        /// Run counter value of the killed attempt.
+        run: u64,
+    },
+    /// Fault injection: a host the deployment needs is inside a crash
+    /// window.
+    HostDown {
+        /// The unreachable host.
+        host: usize,
+        /// Run counter value of the rejected attempt.
+        run: u64,
+    },
 }
 
 impl fmt::Display for TestbedError {
@@ -75,6 +96,18 @@ impl fmt::Display for TestbedError {
                 write!(f, "placement of `{app}` has no hosts")
             }
             TestbedError::BadPressure(msg) => write!(f, "invalid bubble pressure: {msg}"),
+            TestbedError::ProbeFailed { run } => {
+                write!(f, "injected transient probe failure on run {run}")
+            }
+            TestbedError::ProbeTimeout { run } => {
+                write!(
+                    f,
+                    "run {run} straggled past its kill deadline and was terminated"
+                )
+            }
+            TestbedError::HostDown { host, run } => {
+                write!(f, "host {host} is down (crash window) on run {run}")
+            }
         }
     }
 }
@@ -209,6 +242,20 @@ pub struct TestbedStats {
     pub deployment_runs: u64,
     /// Completed reporter-bubble measurements.
     pub reporter_runs: u64,
+    /// Injected transient probe failures (runs lost before execution).
+    pub injected_probe_failures: u64,
+    /// Injected straggler runs killed at the deadline.
+    pub injected_timeouts: u64,
+    /// Injected straggler runs that still completed (inflated runtime).
+    pub injected_stragglers: u64,
+    /// Injected corrupted measurements (one per affected placement).
+    pub injected_corruptions: u64,
+    /// Deployments rejected because a host was in a crash window.
+    pub injected_host_down: u64,
+    /// Simulated seconds burned by runs that produced no measurement
+    /// (timeouts killed at the deadline). Tracked separately from
+    /// `simulated_seconds`, which covers completed runs only.
+    pub wasted_seconds: f64,
 }
 
 icm_json::impl_json!(struct TestbedStats {
@@ -218,7 +265,13 @@ icm_json::impl_json!(struct TestbedStats {
     bubble_runs = 0,
     pair_runs = 0,
     deployment_runs = 0,
-    reporter_runs = 0
+    reporter_runs = 0,
+    injected_probe_failures = 0,
+    injected_timeouts = 0,
+    injected_stragglers = 0,
+    injected_corruptions = 0,
+    injected_host_down = 0,
+    wasted_seconds = 0.0
 });
 
 impl TestbedStats {
@@ -231,6 +284,14 @@ impl TestbedStats {
             RunKind::Deployment => self.deployment_runs,
             RunKind::Reporter => self.reporter_runs,
         }
+    }
+
+    /// Total injected failures that cost a run attempt (transient probe
+    /// failures, deadline timeouts, host-down rejections). Corruptions
+    /// and completed stragglers are not counted: those runs produced a
+    /// (contaminated or late) measurement.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected_probe_failures + self.injected_timeouts + self.injected_host_down
     }
 
     fn record(&mut self, kind: RunKind, simulated_seconds: f64) {
@@ -285,6 +346,7 @@ pub struct SimTestbed {
     run_counter: u64,
     stats: TestbedStats,
     tracer: Tracer,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl SimTestbed {
@@ -300,7 +362,23 @@ impl SimTestbed {
             run_counter: 0,
             stats: TestbedStats::default(),
             tracer: Tracer::disabled(),
+            fault_plan: None,
         }
+    }
+
+    /// Installs (or, with `None`, removes) a fault-injection plan.
+    ///
+    /// Faults are addressed noise draws keyed by the run counter, so a
+    /// plan changes *which* runs fail but never perturbs the noise seen
+    /// by runs that complete, and `None` restores byte-identical
+    /// fault-free behaviour.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Attaches a tracer; every subsequent run emits structured events
@@ -416,7 +494,66 @@ impl SimTestbed {
         let hosts = self.cluster.hosts();
         let run = self.next_run();
 
-        let span = if self.tracer.enabled() {
+        // Fault injection. Failed injections advance the run counter (a
+        // retry sees fresh noise, as on real hardware) but never touch
+        // `stats.runs` or the per-kind counters, which keep describing
+        // completed measurements only. With no plan installed this block
+        // is dead and the fault-free path is byte-identical.
+        let mut straggle = 1.0;
+        let mut timed_out = false;
+        if let Some(plan) = &self.fault_plan {
+            for placement in &deployment.placements {
+                for &h in &placement.hosts {
+                    if plan.host_down(h, run) {
+                        self.stats.injected_host_down += 1;
+                        if self.tracer.enabled() {
+                            self.tracer.event(
+                                "fault",
+                                &[
+                                    ("kind", Value::from("host_down")),
+                                    ("run", Value::from(run)),
+                                    ("host", Value::from(h)),
+                                ],
+                            );
+                        }
+                        return Err(TestbedError::HostDown { host: h, run });
+                    }
+                }
+            }
+            if plan.probe_failure_prob > 0.0
+                && self.noise.uniform(stream::FAULT_PROBE, run, 0) < plan.probe_failure_prob
+            {
+                self.stats.injected_probe_failures += 1;
+                if self.tracer.enabled() {
+                    self.tracer.event(
+                        "fault",
+                        &[
+                            ("kind", Value::from("probe_failed")),
+                            ("run", Value::from(run)),
+                        ],
+                    );
+                }
+                return Err(TestbedError::ProbeFailed { run });
+            }
+            if plan.straggler_prob > 0.0
+                && self.noise.uniform(stream::FAULT_STRAGGLER, run, 0) < plan.straggler_prob
+            {
+                straggle = 1.0
+                    + plan.straggler_severity * self.noise.uniform(stream::FAULT_STRAGGLER, run, 1);
+                timed_out = straggle >= plan.deadline_factor;
+            }
+        }
+        let corruption = self
+            .fault_plan
+            .as_ref()
+            .filter(|p| p.corruption_prob > 0.0)
+            .map(|p| (p.corruption_prob, p.corruption_scale));
+        let deadline_factor = self.fault_plan.as_ref().map_or(1.0, |p| p.deadline_factor);
+
+        // A timed-out run is killed at the deadline: it emits no run
+        // span and no measurements, only a `fault` event after the
+        // wasted cluster time has been charged below.
+        let span = if self.tracer.enabled() && !timed_out {
             let apps = deployment
                 .placements
                 .iter()
@@ -444,6 +581,21 @@ impl SimTestbed {
         } else {
             None
         };
+        if straggle > 1.0 && !timed_out {
+            // A straggler that stays under the deadline completes with
+            // an inflated (but real) measurement.
+            self.stats.injected_stragglers += 1;
+            if self.tracer.enabled() {
+                self.tracer.event(
+                    "fault",
+                    &[
+                        ("kind", Value::from("straggler")),
+                        ("run", Value::from(run)),
+                        ("factor", Value::from(straggle)),
+                    ],
+                );
+            }
+        }
 
         // Per-host co-located memory profiles, and for each placement the
         // index of its profile within each host's list.
@@ -559,9 +711,36 @@ impl SimTestbed {
                 run,
                 pi as u64,
             );
-            let seconds = spec.base_runtime_s() * normalized * measurement;
+            let mut seconds = spec.base_runtime_s() * normalized * measurement * straggle;
+            if let Some((prob, scale)) = corruption {
+                if !timed_out
+                    && self
+                        .noise
+                        .uniform(stream::FAULT_CORRUPT, run, (pi as u64) * 2)
+                        < prob
+                {
+                    let factor = 1.0
+                        + scale
+                            * self
+                                .noise
+                                .uniform(stream::FAULT_CORRUPT, run, (pi as u64) * 2 + 1);
+                    seconds *= factor;
+                    self.stats.injected_corruptions += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.event(
+                            "fault",
+                            &[
+                                ("kind", Value::from("corruption")),
+                                ("run", Value::from(run)),
+                                ("app", Value::from(placement.app.as_str())),
+                                ("factor", Value::from(factor)),
+                            ],
+                        );
+                    }
+                }
+            }
             simulated += seconds;
-            if self.tracer.enabled() {
+            if self.tracer.enabled() && !timed_out {
                 // Phase/sync breakdown: `mean_slowdown` is the average
                 // node-local contention, `normalized` what the sync
                 // pattern amplified it into, so `sync_factor` isolates
@@ -583,6 +762,28 @@ impl SimTestbed {
                 app: placement.app.clone(),
                 seconds,
             });
+        }
+        if timed_out {
+            // Killed at the deadline: the cluster burned
+            // `nominal × deadline_factor` seconds and produced nothing.
+            // (`simulated` carries the full straggle inflation, so the
+            // nominal runtime is `simulated / straggle`.)
+            let wasted = simulated / straggle * deadline_factor;
+            self.stats.injected_timeouts += 1;
+            self.stats.wasted_seconds += wasted;
+            self.tracer.advance_sim(wasted);
+            if self.tracer.enabled() {
+                self.tracer.event(
+                    "fault",
+                    &[
+                        ("kind", Value::from("timeout")),
+                        ("run", Value::from(run)),
+                        ("factor", Value::from(straggle)),
+                        ("wasted_s", Value::from(wasted)),
+                    ],
+                );
+            }
+            return Err(TestbedError::ProbeTimeout { run });
         }
         self.stats.record(kind, simulated);
         self.tracer.advance_sim(simulated);
@@ -762,6 +963,7 @@ impl SimTestbed {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::CrashWindow;
     use crate::sync::SyncPattern;
     use crate::MasterBehavior;
 
@@ -1176,6 +1378,172 @@ mod tests {
     }
 
     #[test]
+    fn inactive_fault_plan_changes_nothing() {
+        // Installing a plan whose channels are all off must leave
+        // measurements, stats and traces bit-for-bit identical to a
+        // testbed with no plan at all.
+        let mut plain = testbed();
+        let mut planned = testbed();
+        planned.set_fault_plan(Some(FaultPlan::default()));
+        let (plain_tracer, plain_rec) = Tracer::recording(256);
+        let (planned_tracer, planned_rec) = Tracer::recording(256);
+        plain.set_tracer(plain_tracer);
+        planned.set_tracer(planned_tracer);
+        for _ in 0..3 {
+            assert_eq!(
+                plain.run_with_bubbles("coupled", &[2.0; 8]).expect("runs"),
+                planned
+                    .run_with_bubbles("coupled", &[2.0; 8])
+                    .expect("runs"),
+            );
+        }
+        assert_eq!(plain.stats(), planned.stats());
+        assert_eq!(plain_rec.events(), planned_rec.events());
+    }
+
+    #[test]
+    fn probe_failures_are_deterministic_and_counted() {
+        let run_history = |prob: f64| {
+            let mut tb = testbed();
+            tb.set_fault_plan(Some(FaultPlan::probe_failures(prob)));
+            let outcomes: Vec<Result<f64, TestbedError>> =
+                (0..40).map(|_| tb.run_solo("coupled")).collect();
+            (outcomes, tb.stats())
+        };
+        let (a, stats_a) = run_history(0.3);
+        let (b, stats_b) = run_history(0.3);
+        assert_eq!(a, b, "same seed, same injected failures");
+        assert_eq!(stats_a, stats_b);
+        let failures = a.iter().filter(|r| r.is_err()).count() as u64;
+        assert!(failures > 0, "30% over 40 runs must fail at least once");
+        assert_eq!(stats_a.injected_probe_failures, failures);
+        assert_eq!(
+            stats_a.runs,
+            40 - failures,
+            "failed probes never count as completed runs"
+        );
+        for outcome in a.iter().filter(|r| r.is_err()) {
+            assert!(matches!(outcome, Err(TestbedError::ProbeFailed { .. })));
+        }
+    }
+
+    #[test]
+    fn failed_injections_do_not_perturb_surviving_runs() {
+        // The runs that complete under a fault plan must measure exactly
+        // what the same run-counter values measure fault-free: faults
+        // remove measurements, they never alter them.
+        let mut faulty = testbed();
+        faulty.set_fault_plan(Some(FaultPlan::probe_failures(0.3)));
+        let mut clean = testbed();
+        for _ in 0..20 {
+            let expected = clean.run_solo("coupled").expect("runs");
+            if let Ok(measured) = faulty.run_solo("coupled") {
+                assert_eq!(measured, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_window_rejects_only_covered_runs() {
+        let mut tb = testbed();
+        tb.set_fault_plan(Some(FaultPlan {
+            crash_windows: vec![CrashWindow {
+                host: 0,
+                from_run: 2,
+                until_run: 3,
+            }],
+            ..FaultPlan::default()
+        }));
+        assert!(tb.run_solo("coupled").is_ok()); // run 1
+        let err = tb.run_solo("coupled").unwrap_err(); // run 2
+        assert_eq!(err, TestbedError::HostDown { host: 0, run: 2 });
+        assert!(tb.run_solo("coupled").is_err()); // run 3
+        assert!(tb.run_solo("coupled").is_ok()); // run 4
+        assert_eq!(tb.stats().injected_host_down, 2);
+        assert_eq!(tb.stats().runs, 2);
+    }
+
+    #[test]
+    fn stragglers_inflate_and_timeouts_waste() {
+        let always_straggle = |severity: f64, deadline: f64| {
+            let mut tb = testbed();
+            tb.set_fault_plan(Some(FaultPlan {
+                straggler_prob: 1.0,
+                straggler_severity: severity,
+                deadline_factor: deadline,
+                ..FaultPlan::default()
+            }));
+            (tb.run_solo("coupled"), tb.stats())
+        };
+        // Mild straggling under a generous deadline completes, inflated.
+        let (ok, stats) = always_straggle(0.5, 10.0);
+        let inflated = ok.expect("completes");
+        let mut clean = testbed();
+        let baseline = clean.run_solo("coupled").expect("runs");
+        assert!(inflated > baseline, "straggler must inflate the runtime");
+        assert_eq!(stats.injected_stragglers, 1);
+        assert_eq!(stats.injected_timeouts, 0);
+        assert_eq!(stats.wasted_seconds, 0.0);
+        // A deadline below the inflation kills the run.
+        let (killed, stats) = always_straggle(0.5, 1.0);
+        assert!(matches!(killed, Err(TestbedError::ProbeTimeout { .. })));
+        assert_eq!(stats.injected_timeouts, 1);
+        assert_eq!(stats.runs, 0);
+        assert!(
+            (stats.wasted_seconds - baseline).abs() / baseline < 1e-9,
+            "killed at deadline 1.0 wastes exactly the nominal runtime: {} vs {baseline}",
+            stats.wasted_seconds
+        );
+        assert_eq!(stats.simulated_seconds, 0.0);
+    }
+
+    #[test]
+    fn corruption_contaminates_measurements_visibly() {
+        let mut clean = testbed();
+        let mut dirty = testbed();
+        dirty.set_fault_plan(Some(FaultPlan {
+            corruption_prob: 1.0,
+            corruption_scale: 1.0,
+            ..FaultPlan::default()
+        }));
+        for _ in 0..5 {
+            let truth = clean.run_solo("coupled").expect("runs");
+            let corrupted = dirty.run_solo("coupled").expect("runs");
+            assert!(
+                corrupted > truth,
+                "every measurement is inflated: {corrupted} vs {truth}"
+            );
+        }
+        assert_eq!(dirty.stats().injected_corruptions, 5);
+        assert_eq!(dirty.stats().runs, 5, "corrupted runs still complete");
+    }
+
+    #[test]
+    fn fault_events_are_traced_per_injection() {
+        let mut tb = testbed();
+        tb.set_fault_plan(Some(FaultPlan::probe_failures(1.0)));
+        let (tracer, recorder) = Tracer::recording(64);
+        tb.set_tracer(tracer);
+        assert!(tb.run_solo("coupled").is_err());
+        let events = recorder.events();
+        assert_eq!(events.len(), 1, "a failed probe emits only its fault event");
+        assert_eq!(events[0].name, "fault");
+        assert_eq!(events[0].str("kind"), Some("probe_failed"));
+        assert_eq!(events[0].num("run"), Some(1.0));
+    }
+
+    #[test]
+    fn fault_error_messages_are_informative() {
+        let failed = TestbedError::ProbeFailed { run: 17 };
+        assert!(failed.to_string().contains("17"));
+        let timeout = TestbedError::ProbeTimeout { run: 4 };
+        assert!(timeout.to_string().contains("deadline"));
+        let down = TestbedError::HostDown { host: 3, run: 9 };
+        assert!(down.to_string().contains("host 3"));
+        assert!(down.to_string().contains('9'));
+    }
+
+    #[test]
     fn error_messages_are_informative() {
         let err = TestbedError::UnknownApp("ghost".into());
         assert!(err.to_string().contains("ghost"));
@@ -1184,5 +1552,50 @@ mod tests {
             got: 2,
         };
         assert!(err.to_string().contains('8'));
+    }
+
+    #[test]
+    fn every_error_variant_has_a_distinct_display() {
+        // Exhaustive: one instance of every variant, so a new variant
+        // without a sensible message fails here, not in a user's log.
+        let variants = [
+            TestbedError::UnknownApp("ghost".into()),
+            TestbedError::HostOutOfRange { host: 9, hosts: 8 },
+            TestbedError::BadVectorLength {
+                expected: 8,
+                got: 2,
+            },
+            TestbedError::DuplicateHost {
+                app: "M.milc".into(),
+                host: 3,
+            },
+            TestbedError::EmptyPlacement { app: "H.KM".into() },
+            TestbedError::BadPressure("NaN".into()),
+            TestbedError::ProbeFailed { run: 17 },
+            TestbedError::ProbeTimeout { run: 4 },
+            TestbedError::HostDown { host: 3, run: 9 },
+        ];
+        let expected = [
+            "unknown application `ghost`",
+            "host 9 out of range for a 8-host cluster",
+            "per-host vector must have length 8, got 2",
+            "placement of `M.milc` lists host 3 twice",
+            "placement of `H.KM` has no hosts",
+            "invalid bubble pressure: NaN",
+            "injected transient probe failure on run 17",
+            "run 4 straggled past its kill deadline and was terminated",
+            "host 3 is down (crash window) on run 9",
+        ];
+        let rendered: Vec<String> = variants.iter().map(TestbedError::to_string).collect();
+        assert_eq!(rendered, expected);
+        // Every message is unique, and every variant survives a
+        // clone/compare round trip (errors cross thread and retry-loop
+        // boundaries by value).
+        let unique: std::collections::BTreeSet<&str> =
+            rendered.iter().map(String::as_str).collect();
+        assert_eq!(unique.len(), variants.len());
+        for v in &variants {
+            assert_eq!(v, &v.clone());
+        }
     }
 }

@@ -56,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 iterations: 4000,
                 ..AnnealConfig::default()
             },
+            ..QosConfig::default()
         },
     )?;
     println!();

@@ -27,3 +27,17 @@ trap 'rm -rf "$SMOKE"' EXIT
     --out "$SMOKE/report.html" --text > /dev/null
 test -s "$SMOKE/report.html"
 echo "verify: report smoke OK"
+
+# Fault-injection smoke: the robustness sweep injects probe failures,
+# stragglers and corrupted measurements — two same-seed faulty runs must
+# still write byte-identical traces, and the sweep must render under the
+# strict (fail-on-Fail-verdict) report gate.
+./target/release/icm-experiments robustness --fast --quiet \
+    --trace "$SMOKE/fault-a.jsonl" --results "$SMOKE/robustness.json" > /dev/null
+./target/release/icm-experiments robustness --fast --quiet \
+    --trace "$SMOKE/fault-b.jsonl" > /dev/null
+./target/release/icm-trace diff "$SMOKE/fault-a.jsonl" "$SMOKE/fault-b.jsonl"
+./target/release/icm-report "$SMOKE/robustness.json" --strict \
+    --out "$SMOKE/robustness.html" > /dev/null
+test -s "$SMOKE/robustness.html"
+echo "verify: fault-injection smoke OK"

@@ -70,6 +70,7 @@ fn qos_placement_guarantee_verified_on_simulator() {
                 iterations: 1500,
                 ..AnnealConfig::default()
             },
+            ..QosConfig::default()
         },
     )
     .expect("places");
