@@ -77,7 +77,7 @@ pub use heterogeneity::{
     DEFAULT_TIE_TOLERANCE,
 };
 pub use model::{measure_bubble_score, InterferenceModel, ModelBuilder, NaiveModel};
-pub use online::OnlineModel;
+pub use online::{DriftConfig, DriftDetector, DriftSignal, OnlineModel};
 pub use profiling::{
     profile, profile_full, profile_traced, FnSource, ProfileResult, ProfileSource, ProfilerConfig,
     ProfilingAlgorithm,

@@ -213,6 +213,154 @@ impl OnlineModel {
     }
 }
 
+/// Configuration for a [`DriftDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Relative residual `|actual − predicted| / predicted` at or above
+    /// which one sample counts as drifted.
+    pub threshold: f64,
+    /// Number of *consecutive* drifted samples required before the
+    /// detector trips. With the default of 3, a single noisy outlier can
+    /// at most raise the signal to [`DriftSignal::Elevated`] — it never
+    /// trips a migration on its own.
+    pub trip_after: u32,
+}
+
+icm_json::impl_json!(struct DriftConfig { threshold = 0.25, trip_after = 3 });
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.25,
+            trip_after: 3,
+        }
+    }
+}
+
+/// What one observation did to the drift state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftSignal {
+    /// Residual below threshold; any running streak was reset.
+    Steady,
+    /// Residual at or above threshold, but the streak is still shorter
+    /// than [`DriftConfig::trip_after`].
+    Elevated,
+    /// The streak reached `trip_after` consecutive drifted samples: the
+    /// model has genuinely drifted. The streak resets so re-tripping
+    /// requires a fresh sustained streak (hysteresis).
+    Tripped,
+}
+
+/// Hysteresis-guarded drift detector over model residuals.
+///
+/// Feed it each observed run alongside the prediction it was compared
+/// against (typically from [`OnlineModel::predict_for`]): the detector
+/// counts *consecutive* samples whose relative residual reaches
+/// [`DriftConfig::threshold`] and reports [`DriftSignal::Tripped`] only
+/// once the streak reaches [`DriftConfig::trip_after`]. One outlier in a
+/// steady stream therefore never trips; a sustained bias at or above the
+/// threshold always trips within exactly `trip_after` observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    streak: u32,
+    last_residual: f64,
+    trips: u64,
+}
+
+icm_json::impl_json!(struct DriftDetector {
+    config,
+    streak = 0,
+    last_residual = 0.0,
+    trips = 0,
+});
+
+impl DriftDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threshold` is not finite and positive, or if
+    /// `config.trip_after` is zero (a zero-length streak would trip on
+    /// every sample, defeating the hysteresis this type exists for).
+    pub fn new(config: DriftConfig) -> Self {
+        assert!(
+            config.threshold.is_finite() && config.threshold > 0.0,
+            "drift threshold must be finite and positive, got {}",
+            config.threshold
+        );
+        assert!(
+            config.trip_after >= 1,
+            "trip_after must be at least 1, got 0"
+        );
+        Self {
+            config,
+            streak: 0,
+            last_residual: 0.0,
+            trips: 0,
+        }
+    }
+
+    /// The configuration this detector was built with.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Current consecutive-drifted-sample streak.
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+
+    /// Relative residual of the most recent observation.
+    pub fn last_residual(&self) -> f64 {
+        self.last_residual
+    }
+
+    /// Total number of trips since construction.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Folds one (predicted, actual) pair into the drift state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidData`] — leaving the streak
+    /// untouched — if either value is non-finite or non-positive.
+    pub fn observe(&mut self, predicted: f64, actual: f64) -> Result<DriftSignal, ModelError> {
+        if !predicted.is_finite() || predicted <= 0.0 {
+            return Err(ModelError::InvalidData(format!(
+                "drift prediction must be positive, got {predicted}"
+            )));
+        }
+        if !actual.is_finite() || actual <= 0.0 {
+            return Err(ModelError::InvalidData(format!(
+                "drift observation must be positive, got {actual}"
+            )));
+        }
+        let residual = (actual - predicted).abs() / predicted;
+        self.last_residual = residual;
+        if residual < self.config.threshold {
+            self.streak = 0;
+            return Ok(DriftSignal::Steady);
+        }
+        self.streak += 1;
+        if self.streak >= self.config.trip_after {
+            self.streak = 0;
+            self.trips += 1;
+            Ok(DriftSignal::Tripped)
+        } else {
+            Ok(DriftSignal::Elevated)
+        }
+    }
+
+    /// Clears the streak (e.g. after the manager acted on a trip and the
+    /// placement changed, so old residuals no longer apply).
+    pub fn reset(&mut self) {
+        self.streak = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +525,148 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn bad_alpha_panics() {
         let _ = OnlineModel::with_alpha(static_model(), 0.0);
+    }
+
+    #[test]
+    fn single_outlier_never_trips_the_drift_detector() {
+        let mut detector = DriftDetector::new(DriftConfig::default());
+        // Steady stream, one wild outlier, steady again: the signal may
+        // rise to Elevated for exactly that sample but must never trip.
+        for _ in 0..10 {
+            assert_eq!(
+                detector.observe(1.0, 1.02).expect("valid"),
+                DriftSignal::Steady
+            );
+        }
+        assert_eq!(
+            detector.observe(1.0, 3.0).expect("valid"),
+            DriftSignal::Elevated
+        );
+        assert_eq!(detector.streak(), 1);
+        for _ in 0..10 {
+            assert_eq!(
+                detector.observe(1.0, 1.01).expect("valid"),
+                DriftSignal::Steady
+            );
+        }
+        assert_eq!(detector.trips(), 0, "an isolated outlier tripped");
+    }
+
+    #[test]
+    fn sustained_drift_trips_within_exactly_trip_after_samples() {
+        let config = DriftConfig {
+            threshold: 0.25,
+            trip_after: 3,
+        };
+        let mut detector = DriftDetector::new(config);
+        // A sustained 40% bias: two Elevated samples, trip on the third.
+        assert_eq!(
+            detector.observe(1.0, 1.4).expect("valid"),
+            DriftSignal::Elevated
+        );
+        assert_eq!(
+            detector.observe(1.0, 1.4).expect("valid"),
+            DriftSignal::Elevated
+        );
+        assert_eq!(
+            detector.observe(1.0, 1.4).expect("valid"),
+            DriftSignal::Tripped
+        );
+        assert_eq!(detector.trips(), 1);
+        // The streak reset on trip: re-tripping needs a fresh streak.
+        assert_eq!(detector.streak(), 0);
+        assert_eq!(
+            detector.observe(1.0, 1.4).expect("valid"),
+            DriftSignal::Elevated
+        );
+    }
+
+    #[test]
+    fn drift_detector_under_manager_cadence_is_deterministic_and_seeded() {
+        // The manager's observation cadence: one (predicted, actual)
+        // sample per tick, with realistic multiplicative measurement
+        // noise. Seeded noise below the threshold must never trip;
+        // seeded noise riding on a sustained bias >= threshold must trip
+        // within trip_after ticks of the bias onset — and two same-seed
+        // histories must agree signal-for-signal.
+        let run = |seed: u64| -> (Vec<DriftSignal>, Option<usize>) {
+            let mut rng = icm_rng::Rng::from_seed(seed);
+            let config = DriftConfig {
+                threshold: 0.25,
+                trip_after: 3,
+            };
+            let mut detector = DriftDetector::new(config);
+            let mut signals = Vec::new();
+            let mut tripped_at = None;
+            for tick in 0..40 {
+                // ±5% noise, well under the 25% threshold...
+                let noise = 1.0 + 0.1 * (rng.gen_f64() - 0.5);
+                // ...plus a 40% sustained drift starting at tick 20.
+                let bias = if tick >= 20 { 1.4 } else { 1.0 };
+                let signal = detector.observe(1.0, bias * noise).expect("valid");
+                if signal == DriftSignal::Tripped && tripped_at.is_none() {
+                    tripped_at = Some(tick);
+                }
+                signals.push(signal);
+            }
+            (signals, tripped_at)
+        };
+        let (signals_a, tripped_a) = run(2016);
+        let (signals_b, tripped_b) = run(2016);
+        assert_eq!(signals_a, signals_b, "same-seed drift histories diverged");
+        assert_eq!(tripped_a, tripped_b);
+        // No trip before the bias onset; trip within trip_after of it.
+        let tripped = tripped_a.expect("sustained drift never tripped");
+        assert!(
+            tripped >= 20,
+            "tripped at {tripped}, before the drift began"
+        );
+        assert!(
+            tripped <= 22,
+            "tripped at {tripped}, later than trip_after ticks after onset"
+        );
+        // A different seed still trips in the same bounded window.
+        let (_, tripped_c) = run(7);
+        let tripped_c = tripped_c.expect("sustained drift never tripped");
+        assert!((20..=22).contains(&tripped_c));
+    }
+
+    #[test]
+    fn drift_detector_rejects_hostile_samples_without_state_change() {
+        let mut detector = DriftDetector::new(DriftConfig::default());
+        detector.observe(1.0, 1.4).expect("valid");
+        assert_eq!(detector.streak(), 1);
+        for (p, a) in [
+            (f64::NAN, 1.0),
+            (1.0, f64::NAN),
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (-1.0, 1.0),
+            (1.0, f64::INFINITY),
+        ] {
+            let err = detector.observe(p, a).expect_err("rejected");
+            assert!(matches!(err, ModelError::InvalidData(_)));
+        }
+        assert_eq!(detector.streak(), 1, "rejected samples touched the streak");
+        assert_eq!(detector.trips(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trip_after")]
+    fn zero_trip_after_panics() {
+        let _ = DriftDetector::new(DriftConfig {
+            threshold: 0.25,
+            trip_after: 0,
+        });
+    }
+
+    #[test]
+    fn drift_detector_round_trips_through_json() {
+        let mut detector = DriftDetector::new(DriftConfig::default());
+        detector.observe(1.0, 1.4).expect("valid");
+        let back: DriftDetector =
+            icm_json::from_str(&icm_json::to_string(&detector)).expect("round-trips");
+        assert_eq!(back, detector);
     }
 
     #[test]

@@ -189,7 +189,7 @@ fn main() -> ExitCode {
                 ("fast", cfg.fast.into()),
             ],
         );
-        match exp.run_full(&cfg) {
+        match exp.run_full_traced(&cfg, &tracer) {
             Ok((text, data)) => {
                 span.end_with(&[("id", exp.id().into())]);
                 println!("{text}");

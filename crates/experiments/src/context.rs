@@ -91,6 +91,12 @@ impl From<icm_placement::PlacementError> for ExpError {
     }
 }
 
+impl From<icm_manager::ManagerError> for ExpError {
+    fn from(err: icm_manager::ManagerError) -> Self {
+        Self::new(err)
+    }
+}
+
 /// Builds the paper's private 8-host testbed with the full catalog.
 pub fn private_testbed(cfg: &ExpConfig) -> SimTestbedAdapter {
     TestbedBuilder::new(&Catalog::paper())

@@ -31,6 +31,7 @@
 //! | `ext-scale` | placement at 16 hosts / 8 tenants |
 //! | `ext-iochannel` | the unprofiled network/disk I/O channel (§2.1) |
 //! | `robustness` | resilient profiling under injected faults |
+//! | `recovery` | self-healing runtime vs unmanaged baseline |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +48,7 @@ pub mod fig4;
 pub mod fig8;
 pub mod placement_common;
 pub mod profiling_source;
+pub mod recovery;
 pub mod results;
 pub mod robustness;
 pub mod table;
@@ -116,11 +118,13 @@ pub enum Experiment {
     ExtIoChannel,
     /// Robustness — resilient profiling under injected faults.
     Robustness,
+    /// Recovery — self-healing runtime vs unmanaged baseline.
+    Recovery,
 }
 
 impl Experiment {
     /// All experiments in paper order.
-    pub const ALL: [Experiment; 28] = [
+    pub const ALL: [Experiment; 29] = [
         Experiment::Fig2,
         Experiment::Fig3,
         Experiment::Fig4,
@@ -149,6 +153,7 @@ impl Experiment {
         Experiment::ExtScale,
         Experiment::ExtIoChannel,
         Experiment::Robustness,
+        Experiment::Recovery,
     ];
 
     /// Command-line id.
@@ -182,6 +187,7 @@ impl Experiment {
             Experiment::ExtScale => "ext-scale",
             Experiment::ExtIoChannel => "ext-iochannel",
             Experiment::Robustness => "robustness",
+            Experiment::Recovery => "recovery",
         }
     }
 
@@ -201,6 +207,23 @@ impl Experiment {
     ///
     /// Propagates the experiment's failure.
     pub fn run_full(&self, cfg: &ExpConfig) -> Result<(String, icm_json::Json), ExpError> {
+        self.run_full_traced(cfg, &icm_obs::Tracer::disabled())
+    }
+
+    /// [`run_full`](Self::run_full) with an event sink: experiments that
+    /// emit structured events mid-run (currently `recovery`, whose
+    /// supervisory loop traces detections and actions) write them into
+    /// `tracer`; the rest ignore it. This is what the binary's `--trace`
+    /// flag threads through.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the experiment's failure.
+    pub fn run_full_traced(
+        &self,
+        cfg: &ExpConfig,
+        tracer: &icm_obs::Tracer,
+    ) -> Result<(String, icm_json::Json), ExpError> {
         use icm_json::ToJson;
         fn both<T: ToJson>(result: &T, text: String) -> (String, icm_json::Json) {
             (text, result.to_json())
@@ -317,6 +340,10 @@ impl Experiment {
             Experiment::Robustness => {
                 let r = robustness::run(cfg)?;
                 both(&r, robustness::render(&r))
+            }
+            Experiment::Recovery => {
+                let r = recovery::run_traced(cfg, tracer)?;
+                both(&r, recovery::render(&r))
             }
         })
     }

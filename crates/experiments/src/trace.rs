@@ -43,6 +43,12 @@ pub struct ProbeBudget {
     pub host_down: u64,
     /// Simulated seconds burned by killed runs.
     pub wasted_seconds: f64,
+    /// Application checkpoints (`checkpoint` events).
+    pub checkpoints: u64,
+    /// Application resumes (`resume` events).
+    pub restarts: u64,
+    /// Simulated seconds charged as restart cost across all resumes.
+    pub restart_seconds: f64,
 }
 
 icm_json::impl_json!(struct ProbeBudget {
@@ -57,7 +63,10 @@ icm_json::impl_json!(struct ProbeBudget {
     stragglers = 0,
     corruptions = 0,
     host_down = 0,
-    wasted_seconds = 0.0
+    wasted_seconds = 0.0,
+    checkpoints = 0,
+    restarts = 0,
+    restart_seconds = 0.0
 });
 
 impl ProbeBudget {
@@ -83,6 +92,9 @@ impl ProbeBudget {
             injected_corruptions: self.corruptions,
             injected_host_down: self.host_down,
             wasted_seconds: self.wasted_seconds,
+            checkpoints: self.checkpoints,
+            restarts: self.restarts,
+            restart_seconds: self.restart_seconds,
         }
     }
 }
@@ -174,6 +186,70 @@ icm_json::impl_json!(struct SearchSummary {
     trajectory
 });
 
+/// A label → count pair, used for the manager's by-kind tallies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindCount {
+    /// Stable lowercase label (`migrate`, `host_down`, …).
+    pub kind: String,
+    /// Occurrences in the trace.
+    pub count: u64,
+}
+
+icm_json::impl_json!(struct KindCount { kind, count });
+
+/// Supervisory-loop activity reconstructed from `manager_*` events (see
+/// `icm_obs::manager`). All-zero when the trace contains no manager
+/// activity.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ManagerSummary {
+    /// Eventful supervisory ticks.
+    pub ticks: u64,
+    /// Detections by kind, sorted by kind.
+    pub detections: Vec<KindCount>,
+    /// Actions by kind, sorted by kind.
+    pub actions: Vec<KindCount>,
+    /// Total simulated seconds the actions charged (migration costs).
+    pub action_cost_s: f64,
+    /// Completed recoveries.
+    pub recoveries: u64,
+    /// Mean detection-to-recovery latency, simulated seconds.
+    pub mean_recovery_latency_s: f64,
+    /// Summed QoS-violation-seconds of managed runs (`manager_outcome`).
+    pub managed_violation_s: f64,
+    /// Summed QoS-violation-seconds of unmanaged baselines.
+    pub unmanaged_violation_s: f64,
+    /// Violation time the manager avoided (unmanaged − managed).
+    pub avoided_violation_s: f64,
+}
+
+icm_json::impl_json!(struct ManagerSummary {
+    ticks,
+    detections,
+    actions,
+    action_cost_s,
+    recoveries,
+    mean_recovery_latency_s,
+    managed_violation_s,
+    unmanaged_violation_s,
+    avoided_violation_s
+});
+
+impl ManagerSummary {
+    /// Whether the trace showed any supervisory activity at all.
+    pub fn is_active(&self) -> bool {
+        self.ticks > 0
+            || !self.detections.is_empty()
+            || !self.actions.is_empty()
+            || self.managed_violation_s > 0.0
+            || self.unmanaged_violation_s > 0.0
+    }
+
+    /// Total actions across kinds.
+    pub fn total_actions(&self) -> u64 {
+        self.actions.iter().map(|k| k.count).sum()
+    }
+}
+
 /// Everything `icm-trace` reports about one trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSummary {
@@ -189,6 +265,8 @@ pub struct TraceSummary {
     pub profiles: Vec<ProfileSummary>,
     /// One entry per `anneal` span, in trace order.
     pub searches: Vec<SearchSummary>,
+    /// Supervisory-loop activity (`manager_*` events).
+    pub manager: ManagerSummary,
 }
 
 icm_json::impl_json!(struct TraceSummary {
@@ -197,7 +275,8 @@ icm_json::impl_json!(struct TraceSummary {
     budget,
     phases,
     profiles,
-    searches
+    searches,
+    manager = ManagerSummary::default()
 });
 
 /// Builds the summary of a parsed event stream.
@@ -211,6 +290,11 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
 
     let mut searches: Vec<SearchSummary> = Vec::new();
     let mut open_search: Option<SearchSummary> = None;
+
+    let mut manager = ManagerSummary::default();
+    let mut det_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut act_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut recovery_latency_sum = 0.0;
 
     for event in events {
         if let (Some(base), Some(span)) = (event.name.strip_suffix(".begin"), event.num("span")) {
@@ -236,6 +320,37 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
                 budget.simulated_seconds += event.num("simulated_s").unwrap_or(0.0);
             }
             "reporter" => budget.reporter += 1,
+            "checkpoint" => budget.checkpoints += 1,
+            "resume" => {
+                budget.restarts += 1;
+                budget.restart_seconds += event.num("cost_s").unwrap_or(0.0);
+            }
+            "manager_tick" => manager.ticks += 1,
+            "manager_detection" => {
+                let kind = event.str("kind").unwrap_or("?").to_owned();
+                *det_counts.entry(kind).or_insert(0) += 1;
+            }
+            "manager_action" => {
+                let kind = event.str("kind").unwrap_or("?").to_owned();
+                *act_counts.entry(kind).or_insert(0) += 1;
+                manager.action_cost_s += event.num("cost_s").unwrap_or(0.0);
+            }
+            "manager_recovery" => {
+                manager.recoveries += 1;
+                recovery_latency_sum += event.num("latency_s").unwrap_or(0.0);
+            }
+            "manager_outcome" => {
+                let managed = event
+                    .field("managed")
+                    .and_then(icm_obs::Value::as_bool)
+                    .unwrap_or(false);
+                let violation = event.num("violation_s").unwrap_or(0.0);
+                if managed {
+                    manager.managed_violation_s += violation;
+                } else {
+                    manager.unmanaged_violation_s += violation;
+                }
+            }
             "fault" => match event.str("kind") {
                 Some("probe_failed") => budget.probe_failures += 1,
                 Some("timeout") => {
@@ -321,6 +436,22 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
         }
     }
 
+    manager.detections = det_counts
+        .into_iter()
+        .map(|(kind, count)| KindCount { kind, count })
+        .collect();
+    manager.actions = act_counts
+        .into_iter()
+        .map(|(kind, count)| KindCount { kind, count })
+        .collect();
+    manager.mean_recovery_latency_s = if manager.recoveries == 0 {
+        0.0
+    } else {
+        recovery_latency_sum / manager.recoveries as f64
+    };
+    manager.avoided_violation_s =
+        (manager.unmanaged_violation_s - manager.managed_violation_s).max(0.0);
+
     TraceSummary {
         events: events.len() as u64,
         final_sim_s: events.last().map(|e| e.sim_s).unwrap_or(0.0),
@@ -335,6 +466,7 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
             .collect(),
         profiles,
         searches,
+        manager,
     }
 }
 
@@ -405,6 +537,46 @@ pub fn render(summary: &TraceSummary) -> String {
                 format!(
                     "  {:<16}{:>8}{:>14.1}s",
                     phase.name, phase.count, phase.sim_seconds
+                ),
+            );
+        }
+    }
+
+    let m = &summary.manager;
+    if m.is_active() {
+        push(&mut out, String::new());
+        push(&mut out, "manager (self-healing runtime)".to_owned());
+        push(
+            &mut out,
+            format!("  {:<14}{:>8}", "eventful ticks", m.ticks),
+        );
+        for d in &m.detections {
+            push(&mut out, format!("  detect {:<10}{:>5}", d.kind, d.count));
+        }
+        for a in &m.actions {
+            push(&mut out, format!("  action {:<10}{:>5}", a.kind, a.count));
+        }
+        if m.action_cost_s > 0.0 {
+            push(
+                &mut out,
+                format!("  {:<14}{:>12.1}s", "action cost", m.action_cost_s),
+            );
+        }
+        if m.recoveries > 0 {
+            push(
+                &mut out,
+                format!(
+                    "  {:<14}{:>8} (mean latency {:.1}s)",
+                    "recoveries", m.recoveries, m.mean_recovery_latency_s
+                ),
+            );
+        }
+        if m.managed_violation_s > 0.0 || m.unmanaged_violation_s > 0.0 {
+            push(
+                &mut out,
+                format!(
+                    "  violation time: managed {:.1}s vs unmanaged {:.1}s ({:.1}s avoided)",
+                    m.managed_violation_s, m.unmanaged_violation_s, m.avoided_violation_s
                 ),
             );
         }
@@ -584,7 +756,54 @@ mod tests {
         assert_eq!(summary.events, 0);
         assert_eq!(summary.budget.runs(), 0);
         assert!(summary.phases.is_empty());
+        assert!(!summary.manager.is_active());
         let text = render(&summary);
         assert!(text.contains("0 events"));
+        assert!(!text.contains("manager"));
+    }
+
+    #[test]
+    fn manager_section_reconstructs_supervisory_activity() {
+        let cfg = ExpConfig {
+            fast: true,
+            ..ExpConfig::default()
+        };
+        let (tracer, recorder) = Tracer::recording(1 << 20);
+        let _ = crate::recovery::run_traced(&cfg, &tracer).expect("recovery sweep runs");
+        let summary = summarize(&recorder.events());
+
+        let m = &summary.manager;
+        assert!(m.is_active(), "recovery sweep must show manager activity");
+        assert!(m.ticks > 0, "eventful ticks must be recorded");
+        assert!(m.total_actions() > 0, "actions by kind must be non-empty");
+        assert!(
+            m.actions.iter().any(|k| k.kind == "migrate"),
+            "the crash scenario migrates off the downed host: {:?}",
+            m.actions
+        );
+        assert!(
+            m.detections.iter().any(|k| k.kind == "host_down"),
+            "the crash must be detected: {:?}",
+            m.detections
+        );
+        assert!(m.recoveries > 0, "recoveries must complete");
+        assert!(m.mean_recovery_latency_s > 0.0);
+        assert!(
+            m.avoided_violation_s > 0.0,
+            "managed runs must avoid violation time (managed {} vs unmanaged {})",
+            m.managed_violation_s,
+            m.unmanaged_violation_s
+        );
+
+        // Migration machinery shows up in the probe budget too: every
+        // checkpoint is paired with a costed resume.
+        assert!(summary.budget.checkpoints > 0);
+        assert_eq!(summary.budget.checkpoints, summary.budget.restarts);
+        assert!(summary.budget.restart_seconds > 0.0);
+
+        let text = render(&summary);
+        assert!(text.contains("manager (self-healing runtime)"));
+        assert!(text.contains("action migrate"));
+        assert!(text.contains("violation time: managed"));
     }
 }

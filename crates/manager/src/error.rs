@@ -1,0 +1,82 @@
+//! Typed failures of the supervisory loop.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why the manager could not be constructed or could not continue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManagerError {
+    /// A fleet or configuration parameter is inconsistent (bad span,
+    /// model profiled at the wrong width, non-finite cost, …).
+    Config(String),
+    /// The placement layer failed (shape mismatch, predictor error).
+    Placement(String),
+    /// The interference model rejected an observation or prediction.
+    Model(String),
+    /// The testbed rejected an operation the manager believed valid —
+    /// anything other than an injected fault, which the loop absorbs.
+    Testbed(String),
+}
+
+impl fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerError::Config(msg) => write!(f, "invalid manager configuration: {msg}"),
+            ManagerError::Placement(msg) => write!(f, "placement failure: {msg}"),
+            ManagerError::Model(msg) => write!(f, "model failure: {msg}"),
+            ManagerError::Testbed(msg) => write!(f, "testbed failure: {msg}"),
+        }
+    }
+}
+
+impl Error for ManagerError {}
+
+impl From<icm_placement::PlacementError> for ManagerError {
+    fn from(err: icm_placement::PlacementError) -> Self {
+        ManagerError::Placement(err.to_string())
+    }
+}
+
+impl From<icm_core::ModelError> for ManagerError {
+    fn from(err: icm_core::ModelError) -> Self {
+        ManagerError::Model(err.to_string())
+    }
+}
+
+impl From<icm_simcluster::TestbedError> for ManagerError {
+    fn from(err: icm_simcluster::TestbedError) -> Self {
+        ManagerError::Testbed(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_has_a_distinct_display_prefix() {
+        let variants = [
+            ManagerError::Config("x".into()),
+            ManagerError::Placement("x".into()),
+            ManagerError::Model("x".into()),
+            ManagerError::Testbed("x".into()),
+        ];
+        let rendered: Vec<String> = variants.iter().map(ManagerError::to_string).collect();
+        let unique: std::collections::BTreeSet<&str> =
+            rendered.iter().map(String::as_str).collect();
+        assert_eq!(unique.len(), variants.len());
+        for text in &rendered {
+            assert!(text.contains('x'));
+        }
+    }
+
+    #[test]
+    fn conversions_preserve_the_cause() {
+        let err: ManagerError = icm_placement::PlacementError::Shape("bad".into()).into();
+        assert!(err.to_string().contains("bad"));
+        let err: ManagerError = icm_core::ModelError::InvalidData("nan".into()).into();
+        assert!(err.to_string().contains("nan"));
+        let err: ManagerError = icm_simcluster::TestbedError::UnknownApp("ghost".into()).into();
+        assert!(err.to_string().contains("ghost"));
+    }
+}

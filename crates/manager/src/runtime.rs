@@ -1,0 +1,764 @@
+//! The supervisory control loop.
+//!
+//! [`run_managed`] executes a fleet on an [`SimTestbed`] over a horizon
+//! of supervisory epochs ("ticks"), reacting to failures;
+//! [`run_unmanaged`] drives the *same* tick loop with reactions
+//! disabled, which is the baseline every recovery comparison is made
+//! against. Both paths consume identical testbed randomness, so with
+//! faults disabled their simulated histories are byte-identical — the
+//! manager is invisible until something goes wrong.
+//!
+//! Each tick the manager:
+//!
+//! 1. peeks the fault plan for hosts entering a crash window at the
+//!    next run and migrates affected applications *before* the outage
+//!    rejects the deployment (checkpoint + resume, explicit restart
+//!    cost in simulated seconds);
+//! 2. runs every live application on its current placement and feeds
+//!    the observed slowdowns back through
+//!    [`OnlineModel::observe_for`](icm_core::OnlineModel::observe_for)
+//!    and a per-app [`DriftDetector`](icm_core::DriftDetector);
+//! 3. reacts to drift trips, sustained SLO violations and straggler
+//!    kills with a bounded incremental re-anneal seeded from the
+//!    current placement (never a full restart), sheds the
+//!    lowest-priority application when no feasible placement exists,
+//!    and opens a circuit breaker instead of re-placing when the
+//!    triggering prediction rests on defaulted model cells.
+//!
+//! Every decision is recorded as a typed [`ActionRecord`] /
+//! [`DetectionRecord`]; the serialized action log is byte-identical
+//! across same-seed, same-fault-plan replays.
+
+use std::collections::BTreeSet;
+
+use icm_core::{DriftConfig, DriftDetector, DriftSignal, ModelQuality};
+use icm_obs::manager as events;
+use icm_obs::{Tracer, Value};
+use icm_placement::{
+    anneal, re_anneal, AnnealConfig, PlacementConstraints, PlacementError, PlacementState,
+    QosConfig,
+};
+use icm_simcluster::{Deployment, Placement, SimTestbed, TestbedError, TestbedStats};
+
+use crate::action::{
+    ActionKind, ActionRecord, AppFinal, DetectionKind, DetectionRecord, ManagerOutcome,
+};
+use crate::error::ManagerError;
+use crate::fleet::Fleet;
+
+/// Objective penalty (simulated seconds) per occupied host currently
+/// under drift suspicion: steers re-annealing away from hosts whose
+/// residents mispredicted, without pretending to know the cause.
+const SUSPICION_COST_S: f64 = 50.0;
+
+/// Ambient pressure applied to the cluster from a given tick onward —
+/// the environment drift the recovery experiment sweeps. The manager
+/// never sees this directly; it only sees its consequences in observed
+/// slowdowns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvironmentDrift {
+    /// First tick (1-based) the pressure applies to.
+    pub from_tick: u64,
+    /// Per-host bubble pressure, length = cluster hosts.
+    pub pressures: Vec<f64>,
+}
+
+icm_json::impl_json!(struct EnvironmentDrift { from_tick, pressures });
+
+/// Supervisory-loop configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagerConfig {
+    /// Supervisory epochs to run.
+    pub ticks: u64,
+    /// Seed for every search the manager launches (initial placement
+    /// and re-anneals); reaction seeds are derived from it and the tick.
+    pub seed: u64,
+    /// Restart cost charged per migrated application, simulated seconds.
+    pub migration_cost_s: f64,
+    /// Iterations of the initial (cold) placement search.
+    pub initial_iterations: usize,
+    /// Iterations of each bounded incremental re-anneal.
+    pub reanneal_iterations: usize,
+    /// Drift-detector settings applied per application.
+    pub drift: DriftConfig,
+    /// Ticks of consecutive QoS violation before the manager reacts.
+    pub slo_trip_after: u32,
+    /// The QoS contract every application is held to.
+    pub qos: QosConfig,
+    /// Optional ambient drift injected by the environment.
+    pub environment: Option<EnvironmentDrift>,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        Self {
+            ticks: 12,
+            seed: 2016,
+            migration_cost_s: 30.0,
+            initial_iterations: 1500,
+            reanneal_iterations: 300,
+            drift: DriftConfig::default(),
+            slo_trip_after: 3,
+            qos: QosConfig::default(),
+            environment: None,
+        }
+    }
+}
+
+impl ManagerConfig {
+    fn validate(&self, hosts: usize) -> Result<(), ManagerError> {
+        if self.ticks == 0 {
+            return Err(ManagerError::Config("ticks must be >= 1".into()));
+        }
+        if !self.migration_cost_s.is_finite() || self.migration_cost_s < 0.0 {
+            return Err(ManagerError::Config(format!(
+                "migration cost must be finite and >= 0, got {}",
+                self.migration_cost_s
+            )));
+        }
+        if !(self.drift.threshold.is_finite() && self.drift.threshold > 0.0) {
+            return Err(ManagerError::Config(format!(
+                "drift threshold must be positive, got {}",
+                self.drift.threshold
+            )));
+        }
+        if self.drift.trip_after == 0 || self.slo_trip_after == 0 {
+            return Err(ManagerError::Config(
+                "trip_after windows must be >= 1".into(),
+            ));
+        }
+        if !(self.qos.qos_fraction.is_finite()
+            && self.qos.qos_fraction > 0.0
+            && self.qos.qos_fraction <= 1.0)
+        {
+            return Err(ManagerError::Config(format!(
+                "qos fraction must be in (0, 1], got {}",
+                self.qos.qos_fraction
+            )));
+        }
+        if let Some(env) = &self.environment {
+            if env.pressures.len() != hosts {
+                return Err(ManagerError::Config(format!(
+                    "environment drift has {} pressures for a {hosts}-host cluster",
+                    env.pressures.len()
+                )));
+            }
+            if env.pressures.iter().any(|p| !p.is_finite() || *p < 0.0) {
+                return Err(ManagerError::Config(
+                    "environment drift pressures must be finite and >= 0".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the fleet with the manager's reactions enabled.
+///
+/// # Errors
+///
+/// [`ManagerError::Config`] on inconsistent configuration, or a
+/// propagated placement/model/testbed failure. Injected faults are
+/// *not* errors: the loop absorbs and reacts to them.
+pub fn run_managed(
+    testbed: &mut SimTestbed,
+    fleet: &mut Fleet,
+    config: &ManagerConfig,
+    tracer: &Tracer,
+) -> Result<ManagerOutcome, ManagerError> {
+    run(testbed, fleet, config, tracer, true)
+}
+
+/// Runs the same tick loop with reactions disabled — the baseline.
+///
+/// # Errors
+///
+/// See [`run_managed`].
+pub fn run_unmanaged(
+    testbed: &mut SimTestbed,
+    fleet: &mut Fleet,
+    config: &ManagerConfig,
+    tracer: &Tracer,
+) -> Result<ManagerOutcome, ManagerError> {
+    run(testbed, fleet, config, tracer, false)
+}
+
+/// Per-application supervisory state.
+struct AppState {
+    detector: DriftDetector,
+    slo_streak: u32,
+    breaker_open: bool,
+    last_normalized: f64,
+    last_ok: bool,
+}
+
+fn sim_elapsed(stats: &TestbedStats, start: &TestbedStats) -> f64 {
+    (stats.simulated_seconds - start.simulated_seconds)
+        + (stats.wasted_seconds - start.wasted_seconds)
+        + (stats.restart_seconds - start.restart_seconds)
+}
+
+/// Deterministic per-reaction seed: distinct per tick and purpose.
+fn reaction_seed(base: u64, tick: u64, salt: u64) -> u64 {
+    base ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt
+}
+
+/// Sorted hosts and co-runner context of live workload `i` in `state`:
+/// per-host co-runner pressure (bubble scores of other live residents)
+/// and the co-runner signature key for the online model.
+fn context_of(
+    fleet: &Fleet,
+    state: &PlacementState,
+    live: &[bool],
+    i: usize,
+) -> (Vec<f64>, String) {
+    let problem = fleet.problem();
+    let hosts = fleet.hosts_of(state, i);
+    let mut pressures = Vec::with_capacity(hosts.len());
+    let mut corunners: BTreeSet<&str> = BTreeSet::new();
+    for &h in &hosts {
+        let mut pressure = 0.0;
+        for (j, app) in fleet.apps().iter().enumerate() {
+            if j == i || !live[j] {
+                continue;
+            }
+            if state.hosts_of(problem, j).contains(&h) {
+                pressure += app.online.base().bubble_score();
+                corunners.insert(app.name.as_str());
+            }
+        }
+        pressures.push(pressure);
+    }
+    let key = if corunners.is_empty() {
+        "none".to_owned()
+    } else {
+        corunners.into_iter().collect::<Vec<_>>().join("+")
+    };
+    (pressures, key)
+}
+
+/// Fleet-wide predicted cost of a candidate state: predicted seconds of
+/// every live application under its co-runner pressures, plus the
+/// suspicion penalty for occupying recently drifted hosts.
+fn fleet_cost(
+    fleet: &Fleet,
+    live: &[bool],
+    suspicion: &[f64],
+    state: &PlacementState,
+) -> Result<f64, PlacementError> {
+    let mut total = 0.0;
+    for (i, app) in fleet.apps().iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let (pressures, key) = context_of(fleet, state, live, i);
+        let predicted = app
+            .online
+            .predict_for(&key, &pressures)
+            .map_err(|e| PlacementError::Predictor(e.to_string()))?;
+        total += predicted * app.online.base().solo_seconds();
+        for &h in &fleet.hosts_of(state, i) {
+            total += suspicion[h] * SUSPICION_COST_S;
+        }
+    }
+    Ok(total)
+}
+
+/// Exclusion constraints keeping every live application off `downed`.
+fn outage_constraints(live: &[bool], downed: &[usize]) -> PlacementConstraints {
+    let mut constraints = PlacementConstraints::new();
+    for (i, &alive) in live.iter().enumerate() {
+        if !alive {
+            continue;
+        }
+        for &h in downed {
+            constraints.exclude(i, h);
+        }
+    }
+    constraints
+}
+
+struct Supervisor<'a> {
+    tracer: &'a Tracer,
+    managed: bool,
+    tick: u64,
+    tick_announced: bool,
+    detections: Vec<DetectionRecord>,
+    actions: Vec<ActionRecord>,
+}
+
+impl Supervisor<'_> {
+    fn announce(&mut self) {
+        if self.tick_announced || !self.managed {
+            return;
+        }
+        self.tick_announced = true;
+        if self.tracer.enabled() {
+            self.tracer
+                .event(events::MANAGER_TICK, &[("tick", Value::from(self.tick))]);
+        }
+    }
+
+    fn detect(&mut self, sim_s: f64, kind: DetectionKind, app: Option<&str>, host: Option<u64>) {
+        if !self.managed {
+            return;
+        }
+        self.announce();
+        self.detections.push(DetectionRecord {
+            tick: self.tick,
+            sim_s,
+            kind,
+            app: app.map(str::to_owned),
+            host,
+        });
+        if self.tracer.enabled() {
+            let mut fields = vec![
+                ("tick", Value::from(self.tick)),
+                ("kind", Value::from(kind.as_str())),
+            ];
+            if let Some(app) = app {
+                fields.push(("app", Value::from(app)));
+            }
+            if let Some(host) = host {
+                fields.push(("host", Value::from(host)));
+            }
+            self.tracer.event(events::MANAGER_DETECTION, &fields);
+        }
+    }
+
+    fn act(&mut self, sim_s: f64, kind: ActionKind, app: Option<&str>, cost_s: f64) {
+        if !self.managed {
+            return;
+        }
+        self.announce();
+        self.actions.push(ActionRecord {
+            tick: self.tick,
+            sim_s,
+            kind,
+            app: app.map(str::to_owned),
+            cost_s,
+        });
+        if self.tracer.enabled() {
+            let mut fields = vec![
+                ("tick", Value::from(self.tick)),
+                ("kind", Value::from(kind.as_str())),
+                ("cost_s", Value::from(cost_s)),
+            ];
+            if let Some(app) = app {
+                fields.push(("app", Value::from(app)));
+            }
+            self.tracer.event(events::MANAGER_ACTION, &fields);
+        }
+    }
+
+    fn recovered(&mut self, latency_s: f64) {
+        self.announce();
+        if self.tracer.enabled() {
+            self.tracer.event(
+                events::MANAGER_RECOVERY,
+                &[
+                    ("tick", Value::from(self.tick)),
+                    ("latency_s", Value::from(latency_s)),
+                ],
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(
+    testbed: &mut SimTestbed,
+    fleet: &mut Fleet,
+    config: &ManagerConfig,
+    tracer: &Tracer,
+    managed: bool,
+) -> Result<ManagerOutcome, ManagerError> {
+    let hosts = testbed.cluster().hosts();
+    config.validate(hosts)?;
+    if fleet.problem().hosts() != hosts {
+        return Err(ManagerError::Config(format!(
+            "fleet is shaped for {} hosts, testbed has {hosts}",
+            fleet.problem().hosts()
+        )));
+    }
+    for app in fleet.apps() {
+        if testbed.app(&app.name).is_none() {
+            return Err(ManagerError::Config(format!(
+                "application `{}` is not registered on the testbed",
+                app.name
+            )));
+        }
+    }
+
+    // Initial placement: a cold annealing search, deliberately untraced
+    // and identical in both modes, so the managed and unmanaged
+    // histories only diverge when a reaction fires.
+    let n = fleet.apps().len();
+    let live_all = vec![true; n];
+    let no_suspicion = vec![0.0; hosts];
+    let initial_config = AnnealConfig {
+        iterations: config.initial_iterations,
+        seed: reaction_seed(config.seed, 0, 0x1CF7),
+        ..AnnealConfig::default()
+    };
+    let mut state = anneal(
+        fleet.problem(),
+        |s| fleet_cost(fleet, &live_all, &no_suspicion, s),
+        |_| Ok(0.0),
+        &initial_config,
+    )?
+    .state;
+
+    let start_stats = testbed.stats();
+    let bound = config.qos.max_normalized_time();
+    let mut live = vec![true; n];
+    let mut suspicion = vec![0.0f64; hosts];
+    let mut states: Vec<AppState> = (0..n)
+        .map(|_| AppState {
+            detector: DriftDetector::new(config.drift),
+            slo_streak: 0,
+            breaker_open: false,
+            last_normalized: 0.0,
+            last_ok: false,
+        })
+        .collect();
+    let mut shed_order: Vec<String> = Vec::new();
+    let mut recovery_latencies: Vec<f64> = Vec::new();
+    let mut pending_recovery: Option<f64> = None;
+    let mut violation_seconds = 0.0;
+    let mut all_detections: Vec<DetectionRecord> = Vec::new();
+    let mut all_actions: Vec<ActionRecord> = Vec::new();
+
+    for tick in 1..=config.ticks {
+        let mut sup = Supervisor {
+            tracer,
+            managed,
+            tick,
+            tick_announced: false,
+            detections: Vec::new(),
+            actions: Vec::new(),
+        };
+        for s in suspicion.iter_mut() {
+            *s *= 0.5;
+            if *s < 1e-3 {
+                *s = 0.0;
+            }
+        }
+
+        // Phase 1 (managed only): proactive outage handling. The peek is
+        // read-only, so looking costs nothing when nothing is wrong.
+        if managed {
+            let next_run = testbed.peek_run();
+            let downed = testbed.downed_hosts_at(next_run);
+            let threatened: Vec<usize> = downed
+                .iter()
+                .copied()
+                .filter(|&h| (0..n).any(|i| live[i] && fleet.hosts_of(&state, i).contains(&h)))
+                .collect();
+            if !threatened.is_empty() {
+                let sim = sim_elapsed(&testbed.stats(), &start_stats);
+                for &h in &threatened {
+                    sup.detect(sim, DetectionKind::HostDown, None, Some(h as u64));
+                }
+                pending_recovery.get_or_insert(sim);
+                state = replan(
+                    testbed,
+                    fleet,
+                    config,
+                    &mut sup,
+                    &mut live,
+                    &mut shed_order,
+                    &suspicion,
+                    &state,
+                    &downed,
+                    &start_stats,
+                )?;
+            }
+        }
+
+        // Phase 2: run the tick.
+        let live_idx: Vec<usize> = (0..n).filter(|&i| live[i]).collect();
+        if live_idx.is_empty() {
+            all_detections.append(&mut sup.detections);
+            all_actions.append(&mut sup.actions);
+            continue;
+        }
+        let placements: Vec<Placement> = live_idx
+            .iter()
+            .map(|&i| Placement::new(fleet.apps()[i].name.clone(), fleet.hosts_of(&state, i)))
+            .collect();
+        let bubbles = match &config.environment {
+            Some(env) if tick >= env.from_tick => env.pressures.clone(),
+            _ => Vec::new(),
+        };
+        let deployment = Deployment {
+            placements,
+            bubbles,
+        };
+
+        match testbed.run_deployment(&deployment) {
+            Ok(runs) => {
+                let mut wants_replan: Vec<usize> = Vec::new();
+                let mut all_in_bound = true;
+                for (k, &i) in live_idx.iter().enumerate() {
+                    let seconds = runs[k].seconds;
+                    let (pressures, key) = context_of(fleet, &state, &live, i);
+                    let app = &mut fleet.apps_mut()[i];
+                    let solo = app.online.base().solo_seconds();
+                    let normalized = seconds / solo;
+                    let predicted = app.online.predict_for(&key, &pressures)?;
+                    app.online.observe_for(&key, &pressures, normalized)?;
+                    let signal = states[i].detector.observe(predicted, normalized)?;
+                    states[i].last_normalized = normalized;
+                    states[i].last_ok = true;
+                    violation_seconds += (seconds - solo * bound).max(0.0);
+                    if normalized > bound {
+                        all_in_bound = false;
+                        states[i].slo_streak += 1;
+                    } else {
+                        states[i].slo_streak = 0;
+                    }
+                    if !managed {
+                        continue;
+                    }
+                    let sim = sim_elapsed(&testbed.stats(), &start_stats);
+                    if signal == DriftSignal::Tripped {
+                        sup.detect(sim, DetectionKind::Drift, Some(&fleet.apps()[i].name), None);
+                        for &h in &fleet.hosts_of(&state, i) {
+                            suspicion[h] = 1.0;
+                        }
+                        wants_replan.push(i);
+                    }
+                    if states[i].slo_streak >= config.slo_trip_after {
+                        sup.detect(
+                            sim,
+                            DetectionKind::SloViolation,
+                            Some(&fleet.apps()[i].name),
+                            None,
+                        );
+                        states[i].slo_streak = 0;
+                        for &h in &fleet.hosts_of(&state, i) {
+                            suspicion[h] = suspicion[h].max(0.5);
+                        }
+                        wants_replan.push(i);
+                    }
+                }
+
+                if managed && !wants_replan.is_empty() {
+                    let sim = sim_elapsed(&testbed.stats(), &start_stats);
+                    pending_recovery.get_or_insert(sim);
+                    let mut react = false;
+                    for &i in &wants_replan {
+                        if states[i].breaker_open {
+                            continue;
+                        }
+                        if prediction_is_defaulted(fleet, &state, &live, i) {
+                            // Admission control on the model itself: the
+                            // cells behind this prediction were never
+                            // measured, so re-placing on them would be
+                            // guesswork. Open the breaker instead.
+                            states[i].breaker_open = true;
+                            sup.act(
+                                sim,
+                                ActionKind::CircuitBreak,
+                                Some(&fleet.apps()[i].name),
+                                0.0,
+                            );
+                        } else {
+                            react = true;
+                        }
+                    }
+                    if react {
+                        sup.act(sim, ActionKind::ReAnneal, None, 0.0);
+                        let next_run = testbed.peek_run();
+                        let downed = testbed.downed_hosts_at(next_run);
+                        state = replan(
+                            testbed,
+                            fleet,
+                            config,
+                            &mut sup,
+                            &mut live,
+                            &mut shed_order,
+                            &suspicion,
+                            &state,
+                            &downed,
+                            &start_stats,
+                        )?;
+                    }
+                }
+
+                if managed && all_in_bound {
+                    if let Some(opened) = pending_recovery.take() {
+                        let latency = sim_elapsed(&testbed.stats(), &start_stats) - opened;
+                        recovery_latencies.push(latency);
+                        sup.recovered(latency);
+                    }
+                }
+            }
+            Err(
+                err @ (TestbedError::HostDown { .. }
+                | TestbedError::ProbeFailed { .. }
+                | TestbedError::ProbeTimeout { .. }),
+            ) => {
+                // The tick produced nothing: every live application lost
+                // a full epoch of progress. Charge it as violation time.
+                for &i in &live_idx {
+                    states[i].last_ok = false;
+                    violation_seconds += fleet.apps()[i].online.base().solo_seconds();
+                }
+                if managed && matches!(err, TestbedError::ProbeTimeout { .. }) {
+                    // A straggler blew its kill deadline. Reshuffle: the
+                    // co-location may be what is starving it.
+                    let sim = sim_elapsed(&testbed.stats(), &start_stats);
+                    sup.detect(sim, DetectionKind::Straggler, None, None);
+                    pending_recovery.get_or_insert(sim);
+                    sup.act(sim, ActionKind::ReAnneal, None, 0.0);
+                    let next_run = testbed.peek_run();
+                    let downed = testbed.downed_hosts_at(next_run);
+                    state = replan(
+                        testbed,
+                        fleet,
+                        config,
+                        &mut sup,
+                        &mut live,
+                        &mut shed_order,
+                        &suspicion,
+                        &state,
+                        &downed,
+                        &start_stats,
+                    )?;
+                }
+            }
+            Err(err) => return Err(err.into()),
+        }
+
+        all_detections.append(&mut sup.detections);
+        all_actions.append(&mut sup.actions);
+    }
+
+    let finals: Vec<AppFinal> = fleet
+        .apps()
+        .iter()
+        .enumerate()
+        .map(|(i, app)| AppFinal {
+            app: app.name.clone(),
+            shed: !live[i],
+            last_normalized: states[i].last_normalized,
+            meets_bound: live[i]
+                && states[i].last_ok
+                && states[i].last_normalized > 0.0
+                && states[i].last_normalized <= bound,
+            hosts: if live[i] {
+                fleet
+                    .hosts_of(&state, i)
+                    .iter()
+                    .map(|&h| h as u64)
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        })
+        .collect();
+
+    Ok(ManagerOutcome {
+        managed,
+        ticks: config.ticks,
+        sim_seconds: sim_elapsed(&testbed.stats(), &start_stats),
+        violation_seconds,
+        detections: all_detections,
+        actions: all_actions,
+        shed: shed_order,
+        recovery_latencies,
+        finals,
+    })
+}
+
+/// Whether the prediction that would justify re-placing app `i` rests
+/// on defaulted (never measured) model cells.
+fn prediction_is_defaulted(fleet: &Fleet, state: &PlacementState, live: &[bool], i: usize) -> bool {
+    let Some(grid) = fleet.apps()[i].quality.as_ref() else {
+        return false;
+    };
+    let (pressures, _) = context_of(fleet, state, live, i);
+    let hom = fleet.apps()[i].online.base().convert(&pressures);
+    grid.at_hom(hom.pressure, hom.nodes) == ModelQuality::Defaulted
+}
+
+/// Bounded incremental re-anneal from the current placement, with the
+/// shed loop: when the constraints admit no feasible packing, the
+/// lowest-priority application is taken out of service and the search
+/// retried — never more times than there are applications, so the loop
+/// provably terminates.
+///
+/// Surviving applications whose host sets changed are checkpointed and
+/// resumed at the configured migration cost — placement changes are
+/// never free.
+#[allow(clippy::too_many_arguments)]
+fn replan(
+    testbed: &mut SimTestbed,
+    fleet: &Fleet,
+    config: &ManagerConfig,
+    sup: &mut Supervisor<'_>,
+    live: &mut [bool],
+    shed_order: &mut Vec<String>,
+    suspicion: &[f64],
+    state: &PlacementState,
+    downed: &[usize],
+    start_stats: &TestbedStats,
+) -> Result<PlacementState, ManagerError> {
+    let before: Vec<Vec<usize>> = (0..fleet.apps().len())
+        .map(|i| fleet.hosts_of(state, i))
+        .collect();
+    let mut current = state.clone();
+    let mut attempt: u64 = 0;
+    loop {
+        let constraints = outage_constraints(live, downed);
+        let anneal_config = AnnealConfig {
+            iterations: config.reanneal_iterations,
+            seed: reaction_seed(config.seed, sup.tick, 0xD00D ^ attempt),
+            ..AnnealConfig::default()
+        };
+        let result = re_anneal(
+            fleet.problem(),
+            |s| fleet_cost(fleet, live, suspicion, s),
+            |_| Ok(0.0),
+            &current,
+            &constraints,
+            &anneal_config,
+            sup.tracer,
+        )?;
+        current = result.state;
+        if constraints.breaches(fleet.problem(), &current) == 0 {
+            break;
+        }
+        // No feasible placement: degrade gracefully.
+        let Some(victim) = fleet.shed_candidate(live) else {
+            break; // nothing left to shed; nothing left to place either
+        };
+        live[victim] = false;
+        shed_order.push(fleet.apps()[victim].name.clone());
+        let sim = sim_elapsed(&testbed.stats(), start_stats);
+        sup.act(sim, ActionKind::Shed, Some(&fleet.apps()[victim].name), 0.0);
+        attempt += 1;
+    }
+
+    // Execute the placement diff: surviving applications that moved are
+    // checkpointed and resumed on their new hosts.
+    for (i, app) in fleet.apps().iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        if fleet.hosts_of(&current, i) != before[i] {
+            let sim = sim_elapsed(&testbed.stats(), start_stats);
+            testbed.checkpoint_app(&app.name)?;
+            testbed.resume_app(&app.name, config.migration_cost_s)?;
+            sup.act(
+                sim,
+                ActionKind::Migrate,
+                Some(&app.name),
+                config.migration_cost_s,
+            );
+        }
+    }
+    Ok(current)
+}

@@ -58,6 +58,7 @@ use std::rc::Rc;
 
 use icm_json::{FromJson, Json, JsonError, ToJson};
 
+pub mod manager;
 mod metrics;
 mod reader;
 mod sink;

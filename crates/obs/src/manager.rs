@@ -1,0 +1,57 @@
+//! Event vocabulary of the `icm-manager` supervisory loop.
+//!
+//! The manager narrates its control loop into a trace using four event
+//! kinds. Centralizing the names here keeps the emitter (`icm-manager`)
+//! and every consumer (`icm-trace` summaries, report sections, replay
+//! tests) agreeing on the vocabulary by construction rather than by
+//! string coincidence.
+//!
+//! The manager only emits events on *eventful* ticks — a quiet tick
+//! (no detection, no action) is silent, so a managed run with faults
+//! disabled produces a byte-identical trace to an unmanaged one.
+
+/// One supervisory epoch boundary with at least one observation worth
+/// recording. Fields: `tick`, plus per-app observations.
+pub const MANAGER_TICK: &str = "manager_tick";
+
+/// The manager detected a condition requiring a reaction: a host
+/// entering a crash window, a straggling application, a sustained SLO
+/// violation, or a drift trip. Fields: `tick`, `kind`, `app`/`host`.
+pub const MANAGER_DETECTION: &str = "manager_detection";
+
+/// The manager executed a typed action (migrate, re-anneal, shed,
+/// circuit-break). Fields: `tick`, `kind`, plus action payload.
+pub const MANAGER_ACTION: &str = "manager_action";
+
+/// A previously detected failure has been fully absorbed: the affected
+/// applications are placed on live hosts and back under their bound.
+/// Fields: `tick`, `latency_s` (detection → recovery, simulated).
+pub const MANAGER_RECOVERY: &str = "manager_recovery";
+
+/// End-of-horizon accounting for one supervised run, emitted by the
+/// *caller* (e.g. the recovery experiment) rather than the loop itself,
+/// so the managed/unmanaged trace-equality contract is preserved.
+/// Fields: `managed`, `violation_s`.
+pub const MANAGER_OUTCOME: &str = "manager_outcome";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manager_event_names_are_distinct_and_prefixed() {
+        let names = [
+            MANAGER_TICK,
+            MANAGER_DETECTION,
+            MANAGER_ACTION,
+            MANAGER_RECOVERY,
+            MANAGER_OUTCOME,
+        ];
+        for (i, a) in names.iter().enumerate() {
+            assert!(a.starts_with("manager_"), "{a} must carry the prefix");
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -8,7 +8,7 @@ use icm_obs::{Tracer, Value};
 use icm_rng::Rng;
 
 use crate::error::PlacementError;
-use crate::state::{PlacementProblem, PlacementState};
+use crate::state::{PlacementConstraints, PlacementProblem, PlacementState};
 
 /// Acceptance rule for candidate swaps.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,8 +159,8 @@ where
 /// Propagates objective failures ([`PlacementError`]).
 pub fn anneal_traced<C, V>(
     problem: &PlacementProblem,
-    mut cost: C,
-    mut violation: V,
+    cost: C,
+    violation: V,
     config: &AnnealConfig,
     tracer: &Tracer,
 ) -> Result<AnnealResult, PlacementError>
@@ -169,7 +169,85 @@ where
     V: FnMut(&PlacementState) -> Result<f64, PlacementError>,
 {
     let mut rng = Rng::from_seed(config.seed);
-    let mut current = PlacementState::random(problem, &mut rng);
+    let start = PlacementState::random(problem, &mut rng);
+    let rule = match config.accept {
+        AcceptRule::Greedy => "greedy",
+        AcceptRule::Metropolis { .. } => "metropolis",
+    };
+    anneal_from(
+        problem, cost, violation, config, tracer, rng, start, None, rule,
+    )
+}
+
+/// Incremental re-optimization from a warm start: resumes the search at
+/// `start` (never a random restart) under per-app pin/exclude
+/// [`PlacementConstraints`], drawing fresh swap randomness from
+/// `config.seed`. Exclusion breaches are added to `violation`, giving
+/// the annealer a gradient that vacates excluded `(workload, host)`
+/// pairs; pinned workloads' slots are frozen. With no improvement found
+/// the warm start itself is returned, so a bounded budget (the manager
+/// runs a few hundred iterations, not thousands) can only help.
+///
+/// The returned [`AnnealResult::feasible`] covers caller feasibility
+/// *and* the constraints: it is `true` only when the caller's violation
+/// is zero and no exclusion is breached.
+///
+/// # Errors
+///
+/// Returns [`PlacementError::Shape`] if the constraints reference an
+/// out-of-range workload or host; propagates objective failures.
+#[allow(clippy::too_many_arguments)]
+pub fn re_anneal<C, V>(
+    problem: &PlacementProblem,
+    cost: C,
+    mut violation: V,
+    start: &PlacementState,
+    constraints: &PlacementConstraints,
+    config: &AnnealConfig,
+    tracer: &Tracer,
+) -> Result<AnnealResult, PlacementError>
+where
+    C: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+    V: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+{
+    constraints.check(problem)?;
+    let rng = Rng::from_seed(config.seed);
+    let constrained_violation = move |state: &PlacementState| -> Result<f64, PlacementError> {
+        Ok(violation(state)? + constraints.violation(problem, state))
+    };
+    anneal_from(
+        problem,
+        cost,
+        constrained_violation,
+        config,
+        tracer,
+        rng,
+        start.clone(),
+        Some(constraints),
+        "re-anneal",
+    )
+}
+
+/// The shared search loop: evaluates `current`, then walks
+/// `config.iterations` candidate swaps (constrained when `constraints`
+/// is given) with the byte-exact RNG draw order the plain entry points
+/// always had.
+#[allow(clippy::too_many_arguments)]
+fn anneal_from<C, V>(
+    problem: &PlacementProblem,
+    mut cost: C,
+    mut violation: V,
+    config: &AnnealConfig,
+    tracer: &Tracer,
+    mut rng: Rng,
+    mut current: PlacementState,
+    constraints: Option<&PlacementConstraints>,
+    rule: &str,
+) -> Result<AnnealResult, PlacementError>
+where
+    C: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+    V: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+{
     let mut current_cost = cost(&current)?;
     let mut current_violation = violation(&current)?;
     let mut evaluations = 1usize;
@@ -189,10 +267,6 @@ where
     };
 
     let span = if tracer.enabled() {
-        let rule = match config.accept {
-            AcceptRule::Greedy => "greedy",
-            AcceptRule::Metropolis { .. } => "metropolis",
-        };
         Some(tracer.span(
             "anneal",
             &[
@@ -211,7 +285,11 @@ where
         // Wall-time side channel only: one histogram sample per
         // candidate evaluation, no event, no trace perturbation.
         let _iter_scope = tracer.wall_scope("anneal.iteration");
-        let Some(candidate) = current.random_swap(problem, &mut rng, config.swap_attempts) else {
+        let candidate = match constraints {
+            None => current.random_swap(problem, &mut rng, config.swap_attempts),
+            Some(c) => current.random_swap_constrained(problem, &mut rng, config.swap_attempts, c),
+        };
+        let Some(candidate) = candidate else {
             continue;
         };
         let cand_cost = cost(&candidate)?;
@@ -633,6 +711,171 @@ mod tests {
         let back: AnnealResult =
             icm_json::from_str(&icm_json::to_string(&result)).expect("round-trips");
         assert_eq!(back, result);
+    }
+
+    #[test]
+    fn re_anneal_with_no_improvement_returns_the_warm_start() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        // First find a good state, then re-anneal from it with a tiny
+        // budget: the result must never be worse than the warm start.
+        let good = anneal_unconstrained(
+            &problem,
+            estimator_cost(&estimator),
+            &AnnealConfig {
+                iterations: 1500,
+                ..AnnealConfig::default()
+            },
+        )
+        .expect("runs");
+        let warm = re_anneal(
+            &problem,
+            estimator_cost(&estimator),
+            |_| Ok(0.0),
+            &good.state,
+            &PlacementConstraints::new(),
+            &AnnealConfig {
+                iterations: 50,
+                ..AnnealConfig::default()
+            },
+            &Tracer::disabled(),
+        )
+        .expect("runs");
+        assert!(
+            warm.cost <= good.cost + 1e-12,
+            "re-anneal ({}) lost ground on its warm start ({})",
+            warm.cost,
+            good.cost
+        );
+        // A zero-iteration budget returns the start state verbatim —
+        // incremental, never a restart.
+        let frozen = re_anneal(
+            &problem,
+            estimator_cost(&estimator),
+            |_| Ok(0.0),
+            &good.state,
+            &PlacementConstraints::new(),
+            &AnnealConfig {
+                iterations: 0,
+                ..AnnealConfig::default()
+            },
+            &Tracer::disabled(),
+        )
+        .expect("runs");
+        assert_eq!(frozen.state, good.state);
+        assert_eq!(frozen.evaluations, 1);
+    }
+
+    #[test]
+    fn re_anneal_vacates_an_excluded_host_and_respects_pins() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let mut rng = Rng::from_seed(99);
+        let start = PlacementState::random(&problem, &mut rng);
+        // Bar workload 0 from every host it currently occupies (a crash
+        // took them out from under it) and pin workload 3 in place.
+        let mut constraints = PlacementConstraints::new();
+        let crashed = start.hosts_of(&problem, 0);
+        for &host in &crashed {
+            constraints.exclude(0, host);
+        }
+        constraints.pin(3);
+        let pinned_slots = start.slots_of(3);
+        assert!(constraints.breaches(&problem, &start) > 0);
+        let result = re_anneal(
+            &problem,
+            estimator_cost(&estimator),
+            |_| Ok(0.0),
+            &start,
+            &constraints,
+            &AnnealConfig {
+                iterations: 2000,
+                ..AnnealConfig::default()
+            },
+            &Tracer::disabled(),
+        )
+        .expect("runs");
+        assert!(result.feasible, "excluded host was never vacated");
+        assert_eq!(constraints.breaches(&problem, &result.state), 0);
+        for host in result.state.hosts_of(&problem, 0) {
+            assert!(!crashed.contains(&host), "workload 0 still on host {host}");
+        }
+        assert_eq!(
+            result.state.slots_of(3),
+            pinned_slots,
+            "pinned workload moved"
+        );
+    }
+
+    #[test]
+    fn re_anneal_is_seed_deterministic_and_traced() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let mut rng = Rng::from_seed(5);
+        let start = PlacementState::random(&problem, &mut rng);
+        let mut constraints = PlacementConstraints::new();
+        constraints.exclude(1, 0);
+        let config = AnnealConfig {
+            iterations: 300,
+            ..AnnealConfig::default()
+        };
+        let run = |tracer: &Tracer| {
+            re_anneal(
+                &problem,
+                estimator_cost(&estimator),
+                |_| Ok(0.0),
+                &start,
+                &constraints,
+                &config,
+                tracer,
+            )
+            .expect("runs")
+        };
+        let a = run(&Tracer::disabled());
+        let b = run(&Tracer::disabled());
+        assert_eq!(a, b, "same-seed re-anneals diverged");
+        // Traced: identical result, and the span is tagged re-anneal so
+        // summaries can tell warm restarts from cold searches.
+        let (tracer, recorder) = icm_obs::Tracer::recording(8192);
+        let traced = run(&tracer);
+        assert_eq!(traced, a);
+        let events = recorder.events();
+        assert_eq!(events[0].name, "anneal.begin");
+        assert_eq!(events[0].str("rule"), Some("re-anneal"));
+    }
+
+    #[test]
+    fn re_anneal_rejects_out_of_range_constraints() {
+        let problem = fake_problem();
+        let mut rng = Rng::from_seed(5);
+        let start = PlacementState::random(&problem, &mut rng);
+        let mut constraints = PlacementConstraints::new();
+        constraints.exclude(0, 999);
+        let result = re_anneal(
+            &problem,
+            |_| Ok(0.0),
+            |_| Ok(0.0),
+            &start,
+            &constraints,
+            &AnnealConfig::default(),
+            &Tracer::disabled(),
+        );
+        assert!(matches!(result, Err(PlacementError::Shape(_))));
     }
 
     #[test]

@@ -63,11 +63,11 @@ mod state;
 mod throughput;
 
 pub use annealing::{
-    anneal, anneal_traced, anneal_unconstrained, AcceptRule, AnnealConfig, AnnealResult,
+    anneal, anneal_traced, anneal_unconstrained, re_anneal, AcceptRule, AnnealConfig, AnnealResult,
 };
 pub use energy::{estimate_waste, place_min_waste, EnergyEstimate};
 pub use error::PlacementError;
 pub use estimator::{Estimator, PlacementEstimate, QualityAwareModel, RuntimePredictor};
 pub use qos::{place_qos, QosConfig, QosOutcome};
-pub use state::{PlacementProblem, PlacementState};
+pub use state::{PlacementConstraints, PlacementProblem, PlacementState};
 pub use throughput::{average_speedup, find_placements, ThroughputConfig, ThroughputPlacements};

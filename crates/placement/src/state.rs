@@ -1,3 +1,5 @@
+use std::collections::BTreeSet;
+
 use icm_rng::{Rng, Shuffle};
 
 use crate::error::PlacementError;
@@ -276,6 +278,140 @@ impl PlacementState {
         }
         None
     }
+
+    /// [`random_swap`](Self::random_swap) restricted by per-app
+    /// constraints: swaps touching a pinned workload's slots are treated
+    /// as failed attempts. With empty constraints this draws exactly the
+    /// same sequence as `random_swap`.
+    pub fn random_swap_constrained(
+        &self,
+        problem: &PlacementProblem,
+        rng: &mut Rng,
+        attempts: usize,
+        constraints: &PlacementConstraints,
+    ) -> Option<Self> {
+        for _ in 0..attempts {
+            let a = rng.gen_range(0..problem.slots());
+            let b = rng.gen_range(0..problem.slots());
+            if !constraints.permits_swap(self, a, b) {
+                continue;
+            }
+            if let Some(next) = self.swap(problem, a, b) {
+                return Some(next);
+            }
+        }
+        None
+    }
+}
+
+/// Per-app constraints for incremental re-placement
+/// ([`re_anneal`](crate::re_anneal)):
+///
+/// * **pin** — a pinned workload's slots never participate in swaps, so
+///   its placement is frozen exactly as the warm start left it (e.g.
+///   healthy apps the manager refuses to disturb);
+/// * **exclude** — a `(workload, host)` pair the search must vacate,
+///   expressed as a violation term so the annealer has a gradient toward
+///   constraint-satisfying states (e.g. an app barred from a crashed
+///   host).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementConstraints {
+    pinned: BTreeSet<usize>,
+    excluded: BTreeSet<(usize, usize)>,
+}
+
+impl PlacementConstraints {
+    /// No constraints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freezes a workload's slots: no swap may touch them.
+    pub fn pin(&mut self, workload: usize) -> &mut Self {
+        self.pinned.insert(workload);
+        self
+    }
+
+    /// Bars `workload` from occupying any slot of `host`.
+    pub fn exclude(&mut self, workload: usize, host: usize) -> &mut Self {
+        self.excluded.insert((workload, host));
+        self
+    }
+
+    /// Whether a workload is pinned.
+    pub fn is_pinned(&self, workload: usize) -> bool {
+        self.pinned.contains(&workload)
+    }
+
+    /// Whether `(workload, host)` is an excluded pair.
+    pub fn is_excluded(&self, workload: usize, host: usize) -> bool {
+        self.excluded.contains(&(workload, host))
+    }
+
+    /// Whether no constraint is registered at all.
+    pub fn is_empty(&self) -> bool {
+        self.pinned.is_empty() && self.excluded.is_empty()
+    }
+
+    /// Validates every referenced workload and host index against the
+    /// problem shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::Shape`] on an out-of-range index.
+    pub fn check(&self, problem: &PlacementProblem) -> Result<(), PlacementError> {
+        let workloads = problem.workloads().len();
+        for &w in &self.pinned {
+            if w >= workloads {
+                return Err(PlacementError::Shape(format!(
+                    "pinned workload {w} out of range (have {workloads})"
+                )));
+            }
+        }
+        for &(w, h) in &self.excluded {
+            if w >= workloads {
+                return Err(PlacementError::Shape(format!(
+                    "excluded workload {w} out of range (have {workloads})"
+                )));
+            }
+            if h >= problem.hosts() {
+                return Err(PlacementError::Shape(format!(
+                    "excluded host {h} out of range (have {})",
+                    problem.hosts()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether swapping slots `a` and `b` is permitted (neither slot
+    /// holds a pinned workload). Exclusions are deliberately *not*
+    /// checked here — they are priced by [`violation`](Self::violation)
+    /// so the search can pass through breaching states on its way out of
+    /// one.
+    pub fn permits_swap(&self, state: &PlacementState, a: usize, b: usize) -> bool {
+        !self.is_pinned(state.workload_at(a)) && !self.is_pinned(state.workload_at(b))
+    }
+
+    /// Number of exclusion breaches in a state: slots whose workload
+    /// occupies a host it is barred from.
+    pub fn breaches(&self, problem: &PlacementProblem, state: &PlacementState) -> usize {
+        if self.excluded.is_empty() {
+            return 0;
+        }
+        state
+            .assignment()
+            .iter()
+            .enumerate()
+            .filter(|&(slot, &w)| self.is_excluded(w, problem.host_of_slot(slot)))
+            .count()
+    }
+
+    /// Exclusion breaches as a violation term (1.0 per breaching slot),
+    /// on the same scale as the annealer's feasibility objective.
+    pub fn violation(&self, problem: &PlacementProblem, state: &PlacementState) -> f64 {
+        self.breaches(problem, state) as f64
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +535,79 @@ mod tests {
         let state = PlacementState::random(&p, &mut rng);
         let next = state.random_swap(&p, &mut rng, 64).expect("a swap exists");
         assert_ne!(state, next);
+    }
+
+    #[test]
+    fn constraints_validate_pin_and_exclude_indices() {
+        let p = problem();
+        let mut ok = PlacementConstraints::new();
+        ok.pin(3).exclude(0, 7);
+        assert!(ok.check(&p).is_ok());
+        assert!(ok.is_pinned(3) && !ok.is_pinned(0));
+        assert!(ok.is_excluded(0, 7) && !ok.is_excluded(0, 6));
+        assert!(!ok.is_empty());
+        assert!(PlacementConstraints::new().is_empty());
+        let mut bad_workload = PlacementConstraints::new();
+        bad_workload.pin(4);
+        assert!(bad_workload.check(&p).is_err());
+        let mut bad_host = PlacementConstraints::new();
+        bad_host.exclude(0, 8);
+        assert!(bad_host.check(&p).is_err());
+    }
+
+    #[test]
+    fn constrained_swap_never_touches_pinned_workloads() {
+        let p = problem();
+        let state = PlacementState::new(&p, (0..8).flat_map(|h| [h % 4, (h + 1) % 4]).collect())
+            .expect("valid");
+        let mut constraints = PlacementConstraints::new();
+        constraints.pin(0);
+        let pinned_slots = state.slots_of(0);
+        let mut rng = rng();
+        for _ in 0..50 {
+            let next = state
+                .random_swap_constrained(&p, &mut rng, 64, &constraints)
+                .expect("unpinned swaps exist");
+            assert_eq!(next.slots_of(0), pinned_slots, "pinned workload moved");
+        }
+        // Pinning everything leaves no legal swap.
+        let mut all = PlacementConstraints::new();
+        for w in 0..4 {
+            all.pin(w);
+        }
+        assert!(state
+            .random_swap_constrained(&p, &mut rng, 64, &all)
+            .is_none());
+    }
+
+    #[test]
+    fn empty_constraints_draw_the_same_swaps_as_unconstrained() {
+        let p = problem();
+        let state = PlacementState::random(&p, &mut rng());
+        let none = PlacementConstraints::new();
+        let mut rng_a = Rng::from_seed(42);
+        let mut rng_b = Rng::from_seed(42);
+        for _ in 0..20 {
+            assert_eq!(
+                state.random_swap(&p, &mut rng_a, 8),
+                state.random_swap_constrained(&p, &mut rng_b, 8, &none)
+            );
+        }
+    }
+
+    #[test]
+    fn exclusion_breaches_count_offending_slots() {
+        let p = problem();
+        // Host h holds workloads (h % 4, (h + 1) % 4): host 0 = [0, 1].
+        let state = PlacementState::new(&p, (0..8).flat_map(|h| [h % 4, (h + 1) % 4]).collect())
+            .expect("valid");
+        let mut constraints = PlacementConstraints::new();
+        constraints.exclude(0, 0).exclude(1, 0);
+        assert_eq!(constraints.breaches(&p, &state), 2);
+        assert_eq!(constraints.violation(&p, &state), 2.0);
+        let mut clear = PlacementConstraints::new();
+        clear.exclude(2, 0);
+        assert_eq!(clear.breaches(&p, &state), 0, "host 0 holds no workload 2");
     }
 
     #[test]

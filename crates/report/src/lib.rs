@@ -24,6 +24,7 @@ use icm_experiments::fig10::Fig10Result;
 use icm_experiments::fig11::Fig11Result;
 use icm_experiments::fig2::Fig2Result;
 use icm_experiments::fig3::Fig3Result;
+use icm_experiments::recovery::RecoveryResult;
 use icm_experiments::results::ResultsDoc;
 use icm_experiments::robustness::RobustnessResult;
 use icm_experiments::table3::Table3Result;
@@ -520,6 +521,97 @@ fn robustness_section(doc: &ResultsDoc) -> Section {
     )
 }
 
+fn recovery_section(doc: &ResultsDoc) -> Section {
+    typed_section(
+        doc,
+        "recovery",
+        "Recovery — self-healing runtime vs unmanaged baseline",
+        "Under scripted host crashes and ambient drift, the supervisory control \
+         loop (migration, incremental re-annealing, admission control) never \
+         accumulates more QoS-violation time than an unmanaged run of the same \
+         fleet, and strictly reduces it when failures strike.",
+        |r: &RecoveryResult| {
+            let violations = BarChart {
+                width: 560.0,
+                height: 240.0,
+                x_label: "scenario".to_owned(),
+                y_label: "QoS-violation time (s)".to_owned(),
+                group_labels: r.points.iter().map(|p| p.label.clone()).collect(),
+                series: vec![
+                    BarSeries {
+                        label: "managed".to_owned(),
+                        color: "var(--c1)".to_owned(),
+                        values: r.points.iter().map(|p| p.managed_violation_s).collect(),
+                    },
+                    BarSeries {
+                        label: "unmanaged".to_owned(),
+                        color: "var(--c2)".to_owned(),
+                        values: r.points.iter().map(|p| p.unmanaged_violation_s).collect(),
+                    },
+                ],
+                hline: None,
+            };
+            let actions = BarChart {
+                width: 560.0,
+                height: 240.0,
+                x_label: "scenario".to_owned(),
+                y_label: "manager actions".to_owned(),
+                group_labels: r.points.iter().map(|p| p.label.clone()).collect(),
+                series: vec![
+                    BarSeries {
+                        label: "migrations".to_owned(),
+                        color: "var(--c1)".to_owned(),
+                        values: r.points.iter().map(|p| p.migrations as f64).collect(),
+                    },
+                    BarSeries {
+                        label: "re-anneals".to_owned(),
+                        color: "var(--c3)".to_owned(),
+                        values: r.points.iter().map(|p| p.reanneals as f64).collect(),
+                    },
+                    BarSeries {
+                        label: "sheds".to_owned(),
+                        color: "var(--c2)".to_owned(),
+                        values: r.points.iter().map(|p| p.sheds as f64).collect(),
+                    },
+                    BarSeries {
+                        label: "circuit breaks".to_owned(),
+                        color: "var(--c4)".to_owned(),
+                        values: r.points.iter().map(|p| p.circuit_breaks as f64).collect(),
+                    },
+                ],
+                hline: None,
+            };
+            let mut notes = vec![format!(
+                "{} supervisory ticks over {} applications ({})",
+                r.ticks,
+                r.apps.len(),
+                r.apps.join(", ")
+            )];
+            if let Some(worst) = r
+                .points
+                .iter()
+                .filter(|p| p.mean_recovery_latency_s > 0.0)
+                .max_by(|a, b| a.avoided_violation_s.total_cmp(&b.avoided_violation_s))
+            {
+                notes.push(format!(
+                    "`{}`: {} violation-seconds avoided, mean recovery latency {}s",
+                    worst.label,
+                    svg::fmt_value(worst.avoided_violation_s),
+                    svg::fmt_value(worst.mean_recovery_latency_s)
+                ));
+            }
+            (
+                verdict::check_recovery(r),
+                vec![
+                    chart_from_bar("violation time: managed vs unmanaged", &violations),
+                    chart_from_bar("reaction mix per scenario", &actions),
+                ],
+                notes,
+            )
+        },
+    )
+}
+
 /// Builds the wall-time self-profiling section from a `profile.json`
 /// document (the `--profile` side channel of `icm-experiments`).
 fn profile_section(profile: &Json) -> Section {
@@ -596,6 +688,7 @@ pub fn build_report(doc: &ResultsDoc, profile: Option<&Json>) -> Report {
         fig10_section(doc),
         fig11_section(doc),
         robustness_section(doc),
+        recovery_section(doc),
     ];
     if let Some(profile) = profile {
         sections.push(profile_section(profile));
@@ -660,13 +753,13 @@ mod tests {
     #[test]
     fn report_marks_absent_experiments_missing() {
         let report = build_report(&doc_with_fig2(), None);
-        assert_eq!(report.sections.len(), 6);
+        assert_eq!(report.sections.len(), 7);
         assert_eq!(report.sections[0].verdict.status, Status::Pass);
         assert!(report.sections[1..]
             .iter()
             .all(|s| s.verdict.status == Status::Missing));
         assert!(!report.has_failures());
-        assert_eq!(report.counts(), (1, 0, 0, 5));
+        assert_eq!(report.counts(), (1, 0, 0, 6));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use icm_experiments::fig10::Fig10Result;
 use icm_experiments::fig11::Fig11Result;
 use icm_experiments::fig2::Fig2Result;
 use icm_experiments::fig3::Fig3Result;
+use icm_experiments::recovery::RecoveryResult;
 use icm_experiments::robustness::RobustnessResult;
 use icm_experiments::table3::Table3Result;
 
@@ -270,6 +271,82 @@ pub fn check_robustness(r: &RobustnessResult) -> Verdict {
     Verdict { status, detail }
 }
 
+/// The recovery sweep's claim: across every scenario the supervised run
+/// accumulates no more QoS-violation time than the unmanaged baseline
+/// (`managed ≤ unmanaged`, pointwise), the fault-free baseline is
+/// perfectly quiet, and in at least one faulted scenario the manager
+/// strictly reduces violation time while keeping the survivors in
+/// bound.
+pub fn check_recovery(r: &RecoveryResult) -> Verdict {
+    if r.points.is_empty() {
+        return Verdict {
+            status: Status::Fail,
+            detail: "no scenarios measured".to_owned(),
+        };
+    }
+    const SLACK_S: f64 = 1e-6;
+    if let Some(worse) = r
+        .points
+        .iter()
+        .find(|p| p.managed_violation_s > p.unmanaged_violation_s + SLACK_S)
+    {
+        return Verdict {
+            status: Status::Fail,
+            detail: format!(
+                "scenario `{}`: managed violation {:.1}s exceeds unmanaged {:.1}s",
+                worse.label, worse.managed_violation_s, worse.unmanaged_violation_s
+            ),
+        };
+    }
+    if let Some(noisy) = r
+        .points
+        .iter()
+        .find(|p| p.crash_hosts == 0 && p.drift_pressure == 0.0 && p.detections > 0)
+    {
+        return Verdict {
+            status: Status::Fail,
+            detail: format!(
+                "fault-free scenario `{}` triggered {} detections — the manager must be \
+                 invisible on a quiet cluster",
+                noisy.label, noisy.detections
+            ),
+        };
+    }
+    let faulted: Vec<_> = r
+        .points
+        .iter()
+        .filter(|p| p.crash_hosts > 0 || p.drift_pressure > 0.0)
+        .collect();
+    let strict_wins = faulted
+        .iter()
+        .filter(|p| p.avoided_violation_s > SLACK_S)
+        .count();
+    // In crash-only scenarios every application the manager did not
+    // shed must end inside its QoS bound. Scenarios with ambient drift
+    // are held only to the violation-time claim: pressure on the whole
+    // neighbourhood can make the bound unattainable for any placement.
+    let apps_total = r.apps.len() as u64;
+    let survivors_in_bound = faulted
+        .iter()
+        .filter(|p| p.drift_pressure == 0.0)
+        .all(|p| p.managed_meets_bound + p.sheds >= apps_total);
+    let total_avoided: f64 = r.points.iter().map(|p| p.avoided_violation_s).sum();
+    let detail = format!(
+        "managed ≤ unmanaged violation time in all {} scenarios; {}/{} faulted scenarios \
+         strictly improved, {:.1}s violation avoided in total",
+        r.points.len(),
+        strict_wins,
+        faulted.len(),
+        total_avoided
+    );
+    let status = if !faulted.is_empty() && strict_wins > 0 && survivors_in_bound {
+        Status::Pass
+    } else {
+        Status::Warn
+    };
+    Verdict { status, detail }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +449,60 @@ mod tests {
         assert_eq!(check_robustness(&loose).status, Status::Fail);
         let empty = RobustnessResult { points: Vec::new() };
         assert_eq!(check_robustness(&empty).status, Status::Fail);
+    }
+
+    #[test]
+    fn recovery_thresholds() {
+        use icm_experiments::recovery::{RecoveryPoint, RecoveryResult};
+        let point = |label: &str, crashes: u64, managed: f64, unmanaged: f64| RecoveryPoint {
+            label: label.to_owned(),
+            crash_hosts: crashes,
+            drift_pressure: 0.0,
+            managed_violation_s: managed,
+            unmanaged_violation_s: unmanaged,
+            avoided_violation_s: (unmanaged - managed).max(0.0),
+            mean_recovery_latency_s: if crashes > 0 { 120.0 } else { 0.0 },
+            migrations: crashes,
+            reanneals: crashes,
+            sheds: 0,
+            circuit_breaks: 0,
+            detections: crashes,
+            managed_meets_bound: 2,
+            unmanaged_meets_bound: if crashes > 0 { 1 } else { 2 },
+        };
+        let result = |points: Vec<RecoveryPoint>| RecoveryResult {
+            ticks: 6,
+            apps: vec!["M.milc".to_owned(), "H.KM".to_owned()],
+            points,
+        };
+        let good = result(vec![
+            point("baseline", 0, 0.0, 0.0),
+            point("crash x1", 1, 100.0, 900.0),
+        ]);
+        assert_eq!(check_recovery(&good).status, Status::Pass);
+        // Managed exceeding unmanaged anywhere refutes the claim.
+        let worse = result(vec![point("crash x1", 1, 900.0, 100.0)]);
+        let v = check_recovery(&worse);
+        assert_eq!(v.status, Status::Fail);
+        assert!(v.detail.contains("crash x1"));
+        // A noisy fault-free baseline refutes the invisibility contract.
+        let mut noisy_baseline = point("baseline", 0, 0.0, 0.0);
+        noisy_baseline.detections = 3;
+        let noisy = result(vec![noisy_baseline]);
+        assert_eq!(check_recovery(&noisy).status, Status::Fail);
+        // No strict improvement is only directional.
+        let flat = result(vec![
+            point("baseline", 0, 0.0, 0.0),
+            point("crash x1", 1, 500.0, 500.0),
+        ]);
+        assert_eq!(check_recovery(&flat).status, Status::Warn);
+        // A survivor left out of bound downgrades the pass.
+        let mut struggling = point("crash x1", 1, 100.0, 900.0);
+        struggling.managed_meets_bound = 1;
+        let out_of_bound = result(vec![point("baseline", 0, 0.0, 0.0), struggling]);
+        assert_eq!(check_recovery(&out_of_bound).status, Status::Warn);
+        let empty = result(Vec::new());
+        assert_eq!(check_recovery(&empty).status, Status::Fail);
     }
 
     #[test]

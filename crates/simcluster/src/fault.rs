@@ -9,6 +9,9 @@
 //! counter, so two same-seed histories inject byte-identical faults and
 //! a disabled plan leaves the testbed bit-for-bit unchanged.
 
+use std::error::Error;
+use std::fmt;
+
 /// A window of runs during which one host is unreachable.
 ///
 /// Windows are explicit (not drawn) so experiments can script correlated
@@ -27,8 +30,52 @@ icm_json::impl_json!(struct CrashWindow { host, from_run, until_run });
 
 impl CrashWindow {
     /// Whether this window covers `host` at `run`.
+    ///
+    /// # Contract
+    ///
+    /// * Both bounds are **inclusive**: the window covers exactly the
+    ///   runs `from_run..=until_run`, so a single-run outage is written
+    ///   `from_run == until_run`.
+    /// * An inverted window (`from_run > until_run`) covers nothing.
+    /// * Windows on *different* hosts never interact; overlapping
+    ///   windows on the *same* host behave as their union — a host is
+    ///   down iff any window covers it (see
+    ///   [`FaultPlan::host_down`]).
     pub fn covers(&self, host: usize, run: u64) -> bool {
         self.host == host && (self.from_run..=self.until_run).contains(&run)
+    }
+}
+
+/// Typed rejection of an invalid [`FaultPlan`] parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A probability field is not a finite value in `[0, 1]`.
+    BadProbability {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        got: f64,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::BadProbability { field, got } => write!(
+                f,
+                "invalid fault probability `{field}`: {got} (must be a finite value in [0, 1])"
+            ),
+        }
+    }
+}
+
+impl Error for FaultPlanError {}
+
+fn check_prob(field: &'static str, prob: f64) -> Result<f64, FaultPlanError> {
+    if prob.is_finite() && (0.0..=1.0).contains(&prob) {
+        Ok(prob)
+    } else {
+        Err(FaultPlanError::BadProbability { field, got: prob })
     }
 }
 
@@ -88,26 +135,63 @@ impl Default for FaultPlan {
 impl FaultPlan {
     /// A plan that only injects transient probe failures with the given
     /// per-run probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not a finite value in `[0, 1]` (see
+    /// [`try_probe_failures`](Self::try_probe_failures) for the
+    /// non-panicking form).
     pub fn probe_failures(prob: f64) -> Self {
-        Self {
-            probe_failure_prob: prob,
-            ..Self::default()
+        match Self::try_probe_failures(prob) {
+            Ok(plan) => plan,
+            Err(err) => panic!("{err}"),
         }
+    }
+
+    /// Fallible form of [`probe_failures`](Self::probe_failures).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::BadProbability`] if `prob` is NaN,
+    /// infinite, or outside `[0, 1]`.
+    pub fn try_probe_failures(prob: f64) -> Result<Self, FaultPlanError> {
+        Ok(Self {
+            probe_failure_prob: check_prob("probe_failure_prob", prob)?,
+            ..Self::default()
+        })
     }
 
     /// A plan exercising every channel at a common rate: probe failures
     /// and stragglers at `prob`, corruption at `prob / 2`, stragglers
     /// inflated up to +80% against a 1.5× kill deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not a finite value in `[0, 1]` (see
+    /// [`try_uniform`](Self::try_uniform) for the non-panicking form).
     pub fn uniform(prob: f64) -> Self {
-        Self {
-            probe_failure_prob: prob,
-            straggler_prob: prob,
+        match Self::try_uniform(prob) {
+            Ok(plan) => plan,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible form of [`uniform`](Self::uniform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::BadProbability`] if `prob` is NaN,
+    /// infinite, or outside `[0, 1]`.
+    pub fn try_uniform(prob: f64) -> Result<Self, FaultPlanError> {
+        Ok(Self {
+            probe_failure_prob: check_prob("probe_failure_prob", prob)?,
+            straggler_prob: check_prob("straggler_prob", prob)?,
             straggler_severity: 0.8,
             deadline_factor: 1.5,
-            corruption_prob: prob / 2.0,
+            corruption_prob: check_prob("corruption_prob", prob / 2.0)?,
             corruption_scale: 0.6,
             crash_windows: Vec::new(),
-        }
+        })
     }
 
     /// Whether any injection channel can fire.
@@ -164,6 +248,110 @@ mod tests {
         assert_eq!(all.corruption_prob, 0.1);
         assert!(all.straggler_severity > 0.0);
         assert!(all.deadline_factor > 1.0);
+    }
+
+    #[test]
+    fn constructors_reject_nan_and_out_of_range_probabilities() {
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = FaultPlan::try_probe_failures(bad).expect_err("rejected");
+            match err {
+                FaultPlanError::BadProbability { field, got } => {
+                    assert_eq!(field, "probe_failure_prob");
+                    assert!(got.is_nan() && bad.is_nan() || got == bad);
+                }
+            }
+            assert!(FaultPlan::try_uniform(bad).is_err(), "{bad} accepted");
+        }
+        // The error renders with the offending field and value.
+        let err = FaultPlan::try_uniform(1.5).expect_err("rejected");
+        let text = err.to_string();
+        assert!(text.contains("probe_failure_prob"), "{text}");
+        assert!(text.contains("1.5"), "{text}");
+        // Boundary values are fine: 0 disables, 1 always fires.
+        assert!(FaultPlan::try_probe_failures(0.0).is_ok());
+        assert!(FaultPlan::try_probe_failures(1.0).is_ok());
+        assert!(FaultPlan::try_uniform(1.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault probability `probe_failure_prob`")]
+    fn probe_failures_panics_on_nan() {
+        let _ = FaultPlan::probe_failures(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault probability")]
+    fn uniform_panics_on_out_of_range() {
+        let _ = FaultPlan::uniform(-0.1);
+    }
+
+    #[test]
+    fn fault_plan_error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<FaultPlanError>();
+    }
+
+    #[test]
+    fn crash_window_bounds_are_inclusive_on_both_ends() {
+        let w = CrashWindow {
+            host: 2,
+            from_run: 5,
+            until_run: 7,
+        };
+        assert!(!w.covers(2, 4));
+        assert!(w.covers(2, 5), "from_run is inclusive");
+        assert!(w.covers(2, 6));
+        assert!(w.covers(2, 7), "until_run is inclusive");
+        assert!(!w.covers(2, 8));
+        // Single-run outage: from_run == until_run covers exactly one run.
+        let single = CrashWindow {
+            host: 0,
+            from_run: 3,
+            until_run: 3,
+        };
+        assert!(!single.covers(0, 2));
+        assert!(single.covers(0, 3));
+        assert!(!single.covers(0, 4));
+        // Inverted bounds cover nothing.
+        let inverted = CrashWindow {
+            host: 1,
+            from_run: 9,
+            until_run: 4,
+        };
+        for run in 0..12 {
+            assert!(!inverted.covers(1, run), "inverted window fired at {run}");
+        }
+    }
+
+    #[test]
+    fn overlapping_windows_on_one_host_union() {
+        let plan = FaultPlan {
+            crash_windows: vec![
+                CrashWindow {
+                    host: 4,
+                    from_run: 2,
+                    until_run: 5,
+                },
+                CrashWindow {
+                    host: 4,
+                    from_run: 4,
+                    until_run: 8,
+                },
+                // A different host's window never leaks onto host 4.
+                CrashWindow {
+                    host: 5,
+                    from_run: 0,
+                    until_run: 100,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        // Overlap behaves as the union [2, 8]: no double-counting, no gap.
+        for run in 0..=10 {
+            assert_eq!(plan.host_down(4, run), (2..=8).contains(&run), "run {run}");
+        }
+        assert!(plan.host_down(5, 50));
+        assert!(!plan.host_down(3, 50));
     }
 
     #[test]

@@ -77,6 +77,9 @@ pub enum TestbedError {
         /// Run counter value of the rejected attempt.
         run: u64,
     },
+    /// A checkpoint/resume was given a NaN, infinite or negative restart
+    /// cost. The payload describes the rejected value.
+    InvalidCost(String),
 }
 
 impl fmt::Display for TestbedError {
@@ -108,6 +111,7 @@ impl fmt::Display for TestbedError {
             TestbedError::HostDown { host, run } => {
                 write!(f, "host {host} is down (crash window) on run {run}")
             }
+            TestbedError::InvalidCost(msg) => write!(f, "invalid restart cost: {msg}"),
         }
     }
 }
@@ -256,6 +260,14 @@ pub struct TestbedStats {
     /// (timeouts killed at the deadline). Tracked separately from
     /// `simulated_seconds`, which covers completed runs only.
     pub wasted_seconds: f64,
+    /// Application checkpoints taken (state snapshots before migration).
+    pub checkpoints: u64,
+    /// Application resumes from a checkpoint (migration restarts).
+    pub restarts: u64,
+    /// Simulated seconds charged as restart cost across all resumes.
+    /// Like `wasted_seconds`, this is overhead: it is *not* folded into
+    /// `simulated_seconds` (which covers productive runs only).
+    pub restart_seconds: f64,
 }
 
 icm_json::impl_json!(struct TestbedStats {
@@ -271,7 +283,10 @@ icm_json::impl_json!(struct TestbedStats {
     injected_stragglers = 0,
     injected_corruptions = 0,
     injected_host_down = 0,
-    wasted_seconds = 0.0
+    wasted_seconds = 0.0,
+    checkpoints = 0,
+    restarts = 0,
+    restart_seconds = 0.0
 });
 
 impl TestbedStats {
@@ -890,6 +905,89 @@ impl SimTestbed {
             );
         }
         Ok(slowdown)
+    }
+
+    /// Run-counter value the *next* execution will be stamped with.
+    ///
+    /// Read-only: peeking never advances the counter, so a supervisor can
+    /// poll upcoming fault windows without perturbing the deterministic
+    /// noise history.
+    pub fn peek_run(&self) -> u64 {
+        self.run_counter + 1
+    }
+
+    /// Whether `host` is inside a crash window at run-counter value `run`.
+    ///
+    /// This is the *notification* form of the host-down fault: instead of
+    /// learning about an outage only by deploying onto the dead host and
+    /// receiving [`TestbedError::HostDown`], a control loop can ask ahead
+    /// of time. Returns `false` when no fault plan is installed.
+    pub fn host_down_at(&self, host: usize, run: u64) -> bool {
+        self.fault_plan
+            .as_ref()
+            .is_some_and(|plan| plan.host_down(host, run))
+    }
+
+    /// All hosts that would be down if a run executed at counter value
+    /// `run`, in ascending order. Empty when no fault plan is installed.
+    pub fn downed_hosts_at(&self, run: u64) -> Vec<usize> {
+        (0..self.cluster.hosts())
+            .filter(|&h| self.host_down_at(h, run))
+            .collect()
+    }
+
+    /// Takes a checkpoint of `app`'s state (instantaneous in the model:
+    /// copy-on-write snapshots are cheap next to the restart itself).
+    ///
+    /// Returns the run-counter value the checkpoint is associated with
+    /// (the next run that would execute). Fails with
+    /// [`TestbedError::UnknownApp`] for unregistered applications,
+    /// leaving stats untouched.
+    pub fn checkpoint_app(&mut self, app: &str) -> Result<u64, TestbedError> {
+        if !self.apps.contains_key(app) {
+            return Err(TestbedError::UnknownApp(app.to_owned()));
+        }
+        let run = self.peek_run();
+        self.stats.checkpoints += 1;
+        if self.tracer.enabled() {
+            self.tracer.event(
+                "checkpoint",
+                &[("app", Value::from(app)), ("run", Value::from(run))],
+            );
+        }
+        Ok(run)
+    }
+
+    /// Resumes `app` from its checkpoint on a (presumably new) placement,
+    /// charging `restart_cost_s` simulated seconds of restart overhead.
+    ///
+    /// The cost advances the tracer's simulated clock and accumulates in
+    /// [`TestbedStats::restart_seconds`] — it is pure overhead, never
+    /// counted as productive `simulated_seconds`. Validation failures
+    /// ([`TestbedError::UnknownApp`], [`TestbedError::InvalidCost`])
+    /// leave zero trace: no stats change, no clock advance, no event.
+    pub fn resume_app(&mut self, app: &str, restart_cost_s: f64) -> Result<(), TestbedError> {
+        if !self.apps.contains_key(app) {
+            return Err(TestbedError::UnknownApp(app.to_owned()));
+        }
+        if !restart_cost_s.is_finite() || restart_cost_s < 0.0 {
+            return Err(TestbedError::InvalidCost(format!(
+                "cost must be finite and >= 0, got {restart_cost_s} for `{app}`"
+            )));
+        }
+        self.stats.restarts += 1;
+        self.stats.restart_seconds += restart_cost_s;
+        self.tracer.advance_sim(restart_cost_s);
+        if self.tracer.enabled() {
+            self.tracer.event(
+                "resume",
+                &[
+                    ("app", Value::from(app)),
+                    ("cost_s", Value::from(restart_cost_s)),
+                ],
+            );
+        }
+        Ok(())
     }
 
     fn next_run(&mut self) -> u64 {
@@ -1574,6 +1672,7 @@ mod tests {
             TestbedError::ProbeFailed { run: 17 },
             TestbedError::ProbeTimeout { run: 4 },
             TestbedError::HostDown { host: 3, run: 9 },
+            TestbedError::InvalidCost("NaN".into()),
         ];
         let expected = [
             "unknown application `ghost`",
@@ -1585,6 +1684,7 @@ mod tests {
             "injected transient probe failure on run 17",
             "run 4 straggled past its kill deadline and was terminated",
             "host 3 is down (crash window) on run 9",
+            "invalid restart cost: NaN",
         ];
         let rendered: Vec<String> = variants.iter().map(TestbedError::to_string).collect();
         assert_eq!(rendered, expected);
@@ -1597,5 +1697,88 @@ mod tests {
         for v in &variants {
             assert_eq!(v, &v.clone());
         }
+    }
+
+    #[test]
+    fn host_down_peek_matches_deployment_rejections_without_consuming_runs() {
+        let mut tb = testbed();
+        tb.set_fault_plan(Some(FaultPlan {
+            crash_windows: vec![CrashWindow {
+                host: 2,
+                from_run: 2,
+                until_run: 3,
+            }],
+            ..FaultPlan::default()
+        }));
+        // Peeking is pure: ask as often as you like, nothing moves.
+        assert_eq!(tb.peek_run(), 1);
+        assert!(!tb.host_down_at(2, 1));
+        assert!(tb.host_down_at(2, 2));
+        assert!(tb.downed_hosts_at(1).is_empty());
+        assert_eq!(tb.downed_hosts_at(2), vec![2]);
+        assert_eq!(tb.downed_hosts_at(3), vec![2]);
+        assert_eq!(tb.peek_run(), 1);
+        // The peek predicts exactly what a deployment would hit: run 1 is
+        // fine, run 2 lands in the window and is rejected.
+        assert!(tb.run_solo("coupled").is_ok());
+        assert_eq!(tb.peek_run(), 2);
+        let deployment = Deployment::of_placements(vec![Placement::new("coupled", vec![2, 3])]);
+        let err = tb.run_deployment(&deployment).unwrap_err();
+        assert_eq!(err, TestbedError::HostDown { host: 2, run: 2 });
+    }
+
+    #[test]
+    fn host_down_peek_is_false_without_a_fault_plan() {
+        let tb = testbed();
+        assert!(!tb.host_down_at(0, 1));
+        assert!(tb.downed_hosts_at(999).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_resume_charges_restart_cost_and_traces() {
+        let (tracer, recorder) = Tracer::recording(64);
+        let mut tb = testbed();
+        tb.set_tracer(tracer);
+        let run = tb.checkpoint_app("coupled").expect("registered app");
+        assert_eq!(run, 1);
+        tb.resume_app("coupled", 12.5).expect("valid cost");
+        tb.resume_app("coupled", 0.0).expect("zero cost is legal");
+        let stats = tb.stats();
+        assert_eq!(stats.checkpoints, 1);
+        assert_eq!(stats.restarts, 2);
+        assert!((stats.restart_seconds - 12.5).abs() < 1e-12);
+        // Restart cost is overhead, not productive time, and consumes no
+        // run-counter values.
+        assert_eq!(stats.runs, 0);
+        assert_eq!(stats.simulated_seconds, 0.0);
+        assert_eq!(tb.peek_run(), 1);
+        let events = recorder.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["checkpoint", "resume", "resume"]);
+        assert_eq!(events[0].str("app"), Some("coupled"));
+        assert_eq!(events[0].num("run"), Some(1.0));
+        assert_eq!(events[1].num("cost_s"), Some(12.5));
+        // The simulated clock advanced by exactly the restart cost.
+        assert!((events[2].sim_s - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoint_resume_validation_failures_leave_zero_trace() {
+        let mut tb = testbed();
+        let before = tb.stats();
+        assert_eq!(
+            tb.checkpoint_app("ghost").unwrap_err(),
+            TestbedError::UnknownApp("ghost".into())
+        );
+        assert_eq!(
+            tb.resume_app("ghost", 1.0).unwrap_err(),
+            TestbedError::UnknownApp("ghost".into())
+        );
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            let err = tb.resume_app("coupled", bad).unwrap_err();
+            assert!(matches!(err, TestbedError::InvalidCost { .. }), "{bad}");
+        }
+        assert_eq!(tb.stats(), before);
+        assert_eq!(tb.peek_run(), 1);
     }
 }

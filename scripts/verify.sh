@@ -41,3 +41,20 @@ echo "verify: report smoke OK"
     --out "$SMOKE/robustness.html" > /dev/null
 test -s "$SMOKE/robustness.html"
 echo "verify: fault-injection smoke OK"
+
+# Recovery smoke: the self-healing runtime supervises scripted crash and
+# drift scenarios — two same-seed managed sweeps must write byte-identical
+# traces, the trace summary must show supervisory actions, and the sweep
+# must pass the strict report gate (managed ≤ unmanaged violation time).
+./target/release/icm-experiments recovery --fast --quiet \
+    --trace "$SMOKE/recovery-a.jsonl" --results "$SMOKE/recovery.json" > /dev/null
+./target/release/icm-experiments recovery --fast --quiet \
+    --trace "$SMOKE/recovery-b.jsonl" > /dev/null
+./target/release/icm-trace diff "$SMOKE/recovery-a.jsonl" "$SMOKE/recovery-b.jsonl"
+./target/release/icm-trace summarize "$SMOKE/recovery-a.jsonl" \
+    | grep -q "action migrate" \
+    || { echo "verify: no manager actions in the recovery trace" >&2; exit 1; }
+./target/release/icm-report "$SMOKE/recovery.json" --strict \
+    --out "$SMOKE/recovery.html" > /dev/null
+test -s "$SMOKE/recovery.html"
+echo "verify: recovery smoke OK"
