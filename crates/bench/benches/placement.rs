@@ -3,8 +3,8 @@
 
 use icm_bench::{black_box, Bench};
 use icm_placement::{
-    anneal_unconstrained, AnnealConfig, Estimator, PlacementError, PlacementProblem,
-    PlacementState, RuntimePredictor,
+    anneal_estimator, anneal_unconstrained, AnnealConfig, Estimator, PlacementError,
+    PlacementProblem, PlacementState, RuntimePredictor, SearchGoal,
 };
 use icm_rng::Rng;
 
@@ -66,15 +66,49 @@ fn main() {
         estimator.estimate(black_box(&state)).expect("estimates")
     });
 
+    // Incremental (delta-evaluated) search — the hot path every caller
+    // now runs.
     for iterations in [500usize, 4000] {
         b.bench(&format!("placement/anneal/iterations/{iterations}"), || {
-            anneal_unconstrained(
-                &problem,
-                |s| Ok(estimator.estimate(s)?.weighted_total),
+            anneal_estimator(
+                &estimator,
+                SearchGoal::MinWeightedTotal,
                 &AnnealConfig {
                     iterations,
                     ..AnnealConfig::default()
                 },
+                &icm_obs::Tracer::disabled(),
+            )
+            .expect("search runs")
+        });
+    }
+
+    // The pre-incremental formulation (full estimate per candidate via
+    // the closure API) — kept as the speedup reference.
+    b.bench("placement/anneal/closure/4000", || {
+        anneal_unconstrained(
+            &problem,
+            |s| Ok(estimator.estimate(s)?.weighted_total),
+            &AnnealConfig {
+                iterations: 4000,
+                ..AnnealConfig::default()
+            },
+        )
+        .expect("search runs")
+    });
+
+    // Lane-parallel search: same per-lane budget, K independent lanes.
+    for lanes in [2usize, 4] {
+        b.bench(&format!("placement/anneal/lanes/{lanes}"), || {
+            anneal_estimator(
+                &estimator,
+                SearchGoal::MinWeightedTotal,
+                &AnnealConfig {
+                    iterations: 4000,
+                    lanes,
+                    ..AnnealConfig::default()
+                },
+                &icm_obs::Tracer::disabled(),
             )
             .expect("search runs")
         });

@@ -11,7 +11,7 @@
 use icm_core::model::ModelBuilder;
 use icm_core::profiling::{profile, profile_full, ProfilerConfig, ProfilingAlgorithm};
 use icm_core::{combine_scores, measure_bubble_score, Testbed};
-use icm_placement::{anneal_unconstrained, AcceptRule, AnnealConfig, Estimator};
+use icm_placement::{anneal_estimator, AcceptRule, AnnealConfig, Estimator, SearchGoal};
 
 use crate::context::{private_testbed, ExpConfig, ExpError};
 use crate::placement_common::MixContext;
@@ -162,15 +162,16 @@ pub fn run_sa(cfg: &ExpConfig) -> Result<AblationSa, ExpError> {
     let mut points = Vec::new();
     for (label, rule) in rules {
         for &iterations in budgets {
-            let result = anneal_unconstrained(
-                &ctx.problem,
-                |state| Ok(estimator.estimate(state)?.weighted_total),
+            let result = anneal_estimator(
+                &estimator,
+                SearchGoal::MinWeightedTotal,
                 &AnnealConfig {
                     iterations,
                     seed: cfg.seed ^ 0x5A,
                     accept: rule,
                     ..AnnealConfig::default()
                 },
+                &icm_obs::Tracer::disabled(),
             )?;
             points.push(SearchPoint {
                 rule: label.to_owned(),

@@ -4,7 +4,7 @@
 //! Table 5 mixes.
 
 use icm_placement::{
-    anneal_unconstrained, average_speedup, AnnealConfig, Estimator, ThroughputConfig,
+    anneal_estimator, average_speedup, AnnealConfig, Estimator, SearchGoal, ThroughputConfig,
 };
 use icm_workloads::{table5_mixes, MixDifficulty};
 
@@ -79,10 +79,11 @@ pub fn run(cfg: &ExpConfig) -> Result<Fig11Result, ExpError> {
         let placements = icm_placement::find_placements(&estimator, &throughput_config)?;
         // Naive-model best.
         let naive_estimator = Estimator::new(&ctx.problem, ctx.naive_predictors())?;
-        let naive_best = anneal_unconstrained(
-            &ctx.problem,
-            |state| Ok(naive_estimator.estimate(state)?.weighted_total),
+        let naive_best = anneal_estimator(
+            &naive_estimator,
+            SearchGoal::MinWeightedTotal,
             &throughput_config.anneal,
+            &icm_obs::Tracer::disabled(),
         )?;
 
         // Ground truth for everything.

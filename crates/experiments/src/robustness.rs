@@ -21,8 +21,8 @@ use icm_core::{
 };
 use icm_obs::Tracer;
 use icm_placement::{
-    anneal_unconstrained, AnnealConfig, Estimator, PlacementError, PlacementProblem,
-    RuntimePredictor,
+    anneal_estimator, AnnealConfig, Estimator, PlacementError, PlacementProblem, RuntimePredictor,
+    SearchGoal,
 };
 use icm_simcluster::FaultPlan;
 
@@ -188,10 +188,11 @@ fn placement_cost(
         seed: cfg.seed ^ 0xFA17,
         ..AnnealConfig::default()
     };
-    let result = anneal_unconstrained(
-        problem,
-        |state| Ok(chooser.estimate(state)?.weighted_total),
+    let result = anneal_estimator(
+        &chooser,
+        SearchGoal::MinWeightedTotal,
         &anneal_cfg,
+        &icm_obs::Tracer::disabled(),
     )?;
     Ok(pricer.estimate(&result.state)?.weighted_total)
 }

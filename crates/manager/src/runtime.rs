@@ -35,8 +35,8 @@ use icm_core::{DriftConfig, DriftDetector, DriftSignal, ModelQuality};
 use icm_obs::manager as events;
 use icm_obs::{Tracer, Value};
 use icm_placement::{
-    anneal, re_anneal, AnnealConfig, PlacementConstraints, PlacementError, PlacementState,
-    QosConfig,
+    anneal_with, re_anneal_with, AnnealConfig, Eval, Objective, PlacementConstraints,
+    PlacementError, PlacementState, QosConfig,
 };
 use icm_simcluster::{Deployment, Placement, SimTestbed, TestbedError, TestbedStats};
 
@@ -85,6 +85,10 @@ pub struct ManagerConfig {
     pub slo_trip_after: u32,
     /// The QoS contract every application is held to.
     pub qos: QosConfig,
+    /// Parallel annealing lanes for every search the manager launches
+    /// (initial placement and warm re-anneals); see
+    /// [`AnnealConfig::lanes`]. Deterministic for any value ≥ 1.
+    pub search_lanes: usize,
     /// Optional ambient drift injected by the environment.
     pub environment: Option<EnvironmentDrift>,
 }
@@ -100,6 +104,7 @@ impl Default for ManagerConfig {
             drift: DriftConfig::default(),
             slo_trip_after: 3,
             qos: QosConfig::default(),
+            search_lanes: 2,
             environment: None,
         }
     }
@@ -135,6 +140,9 @@ impl ManagerConfig {
                 "qos fraction must be in (0, 1], got {}",
                 self.qos.qos_fraction
             )));
+        }
+        if self.search_lanes == 0 {
+            return Err(ManagerError::Config("search_lanes must be >= 1".into()));
         }
         if let Some(env) = &self.environment {
             if env.pressures.len() != hosts {
@@ -240,6 +248,10 @@ fn context_of(
 /// Fleet-wide predicted cost of a candidate state: predicted seconds of
 /// every live application under its co-runner pressures, plus the
 /// suspicion penalty for occupying recently drifted hosts.
+///
+/// The reference formulation [`FleetObjective`] is asserted against in
+/// tests — the searches themselves run the pooled objective.
+#[cfg(test)]
 fn fleet_cost(
     fleet: &Fleet,
     live: &[bool],
@@ -262,6 +274,154 @@ fn fleet_cost(
         }
     }
     Ok(total)
+}
+
+/// The fleet-cost evaluation the manager's searches actually run: the
+/// exact arithmetic of [`fleet_cost`] (same terms, same order — asserted
+/// bit-for-bit in tests), but with pooled per-host/per-app scratch and a
+/// co-runner-signature cache instead of fresh `Vec`/`BTreeSet`/`String`
+/// allocations per candidate. One independent instance per annealing
+/// lane (see [`AnnealConfig::lanes`]).
+struct FleetObjective<'a> {
+    fleet: &'a Fleet,
+    live: &'a [bool],
+    suspicion: &'a [f64],
+    /// Live residents of each host, ascending app index.
+    residents: Vec<Vec<usize>>,
+    /// Hosts of each app, ascending (slot order implies host order).
+    app_hosts: Vec<Vec<usize>>,
+    /// Pressure vector scratch for the app under evaluation.
+    pressures: Vec<f64>,
+    /// Co-runner signature strings keyed by the co-runner app-index
+    /// bitmask; only usable for fleets of ≤ 128 applications.
+    key_cache: std::collections::BTreeMap<u128, String>,
+}
+
+impl<'a> FleetObjective<'a> {
+    fn new(fleet: &'a Fleet, live: &'a [bool], suspicion: &'a [f64]) -> Self {
+        let hosts = fleet.problem().hosts();
+        let apps = fleet.apps().len();
+        Self {
+            fleet,
+            live,
+            suspicion,
+            residents: vec![Vec::new(); hosts],
+            app_hosts: vec![Vec::new(); apps],
+            pressures: Vec::new(),
+            key_cache: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The co-runner signature for a co-runner set given as an app-index
+    /// bitmask: distinct names, lexicographically sorted, joined with
+    /// `+` — exactly the key [`context_of`] builds.
+    fn key_for(&mut self, mask: u128) -> &str {
+        let fleet = self.fleet;
+        self.key_cache.entry(mask).or_insert_with(|| {
+            let mut names: BTreeSet<&str> = BTreeSet::new();
+            let mut bits = mask;
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                names.insert(fleet.apps()[j].name.as_str());
+            }
+            if names.is_empty() {
+                "none".to_owned()
+            } else {
+                names.into_iter().collect::<Vec<_>>().join("+")
+            }
+        })
+    }
+
+    fn eval(&mut self, state: &PlacementState) -> Result<f64, PlacementError> {
+        let problem = self.fleet.problem();
+        let per_host = problem.slots_per_host();
+        for list in &mut self.residents {
+            list.clear();
+        }
+        for list in &mut self.app_hosts {
+            list.clear();
+        }
+        // Idle filler workloads (indices past the real applications)
+        // carry no model and no pressure — exactly as in [`context_of`],
+        // which only ever iterates the real fleet.
+        let real = self.fleet.apps().len();
+        for (slot, &w) in state.assignment().iter().enumerate() {
+            let host = slot / per_host;
+            if w < real && self.live[w] {
+                self.residents[host].push(w);
+            }
+            if w < real {
+                self.app_hosts[w].push(host);
+            }
+        }
+        // Slot order puts each host's residents in slot order, not app
+        // order; the pressure sum below must add scores in ascending app
+        // index to stay bit-identical to the reference formulation.
+        for list in &mut self.residents {
+            list.sort_unstable();
+        }
+
+        let cacheable = self.fleet.apps().len() <= 128;
+        let mut total = 0.0;
+        for i in 0..self.fleet.apps().len() {
+            if !self.live[i] {
+                continue;
+            }
+            let mut mask: u128 = 0;
+            self.pressures.clear();
+            for k in 0..self.app_hosts[i].len() {
+                let host = self.app_hosts[i][k];
+                let mut pressure = 0.0;
+                for &j in &self.residents[host] {
+                    if j == i {
+                        continue;
+                    }
+                    pressure += self.fleet.apps()[j].online.base().bubble_score();
+                    if cacheable {
+                        mask |= 1u128 << j;
+                    }
+                }
+                self.pressures.push(pressure);
+            }
+            let app = &self.fleet.apps()[i];
+            let predicted = if cacheable {
+                let mut pressures = std::mem::take(&mut self.pressures);
+                let key = self.key_for(mask);
+                let predicted = app.online.predict_for(key, &pressures);
+                pressures.clear();
+                self.pressures = pressures;
+                predicted
+            } else {
+                let (pressures, key) = context_of(self.fleet, state, self.live, i);
+                app.online.predict_for(&key, &pressures)
+            }
+            .map_err(|e| PlacementError::Predictor(e.to_string()))?;
+            total += predicted * app.online.base().solo_seconds();
+            for &host in &self.app_hosts[i] {
+                total += self.suspicion[host] * SUSPICION_COST_S;
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl Objective for FleetObjective<'_> {
+    fn reset(&mut self, state: &PlacementState) -> Result<Eval, PlacementError> {
+        Ok(Eval {
+            cost: self.eval(state)?,
+            violation: 0.0,
+        })
+    }
+
+    fn probe(
+        &mut self,
+        state: &PlacementState,
+        _a: usize,
+        _b: usize,
+    ) -> Result<Eval, PlacementError> {
+        self.reset(state)
+    }
 }
 
 /// Exclusion constraints keeping every live application off `downed`.
@@ -399,13 +559,14 @@ fn run(
     let initial_config = AnnealConfig {
         iterations: config.initial_iterations,
         seed: reaction_seed(config.seed, 0, 0x1CF7),
+        lanes: config.search_lanes,
         ..AnnealConfig::default()
     };
-    let mut state = anneal(
+    let mut state = anneal_with(
         fleet.problem(),
-        |s| fleet_cost(fleet, &live_all, &no_suspicion, s),
-        |_| Ok(0.0),
+        |_| FleetObjective::new(fleet, &live_all, &no_suspicion),
         &initial_config,
+        &icm_obs::Tracer::disabled(),
     )?
     .state;
 
@@ -716,12 +877,13 @@ fn replan(
         let anneal_config = AnnealConfig {
             iterations: config.reanneal_iterations,
             seed: reaction_seed(config.seed, sup.tick, 0xD00D ^ attempt),
+            lanes: config.search_lanes,
             ..AnnealConfig::default()
         };
-        let result = re_anneal(
+        let live_ref: &[bool] = live;
+        let result = re_anneal_with(
             fleet.problem(),
-            |s| fleet_cost(fleet, live, suspicion, s),
-            |_| Ok(0.0),
+            |_| FleetObjective::new(fleet, live_ref, suspicion),
             &current,
             &constraints,
             &anneal_config,
@@ -761,4 +923,114 @@ fn replan(
         }
     }
     Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icm_core::model::ModelBuilder;
+    use icm_core::OnlineModel;
+    use icm_placement::anneal;
+    use icm_rng::Rng;
+    use icm_workloads::{Catalog, TestbedBuilder};
+
+    use crate::fleet::ManagedApp;
+
+    const SPAN: usize = 4;
+
+    /// Two profiled paper applications on the 8×2 cluster: four
+    /// workload slots, so two of them are idle fillers — the case the
+    /// pooled objective must skip exactly as [`context_of`] does.
+    fn fleet_fixture() -> Fleet {
+        let mut tb = TestbedBuilder::new(&Catalog::paper()).seed(2016).build();
+        let apps = ["M.milc", "H.KM"]
+            .iter()
+            .map(|&name| {
+                let model = ModelBuilder::new(name)
+                    .hosts(SPAN)
+                    .policy_samples(6)
+                    .solo_repeats(1)
+                    .score_repeats(1)
+                    .seed(0xFEED)
+                    .build(&mut tb)
+                    .expect("model builds");
+                ManagedApp::new(name, 1, OnlineModel::new(model))
+            })
+            .collect();
+        Fleet::new(8, 2, SPAN, apps).expect("fleet packs")
+    }
+
+    #[test]
+    fn pooled_objective_matches_the_reference_cost_bit_for_bit() {
+        let fleet = fleet_fixture();
+        let n = fleet.apps().len();
+        let hosts = fleet.problem().hosts();
+        let live_patterns = [vec![true; n], {
+            let mut dead_first = vec![true; n];
+            dead_first[0] = false;
+            dead_first
+        }];
+        let suspicion_patterns = [vec![0.0; hosts], {
+            (0..hosts).map(|h| h as f64 * 0.125).collect()
+        }];
+        let mut rng = Rng::from_seed(0xF1EE7);
+        for live in &live_patterns {
+            for suspicion in &suspicion_patterns {
+                let mut objective = FleetObjective::new(&fleet, live, suspicion);
+                for _ in 0..40 {
+                    let state = PlacementState::random(fleet.problem(), &mut rng);
+                    let reference =
+                        fleet_cost(&fleet, live, suspicion, &state).expect("reference cost");
+                    let eval = objective.reset(&state).expect("pooled cost");
+                    assert_eq!(
+                        eval.cost.to_bits(),
+                        reference.to_bits(),
+                        "pooled {} != reference {reference}",
+                        eval.cost
+                    );
+                    assert_eq!(eval.violation, 0.0);
+                    let probe = objective.probe(&state, 0, 1).expect("probe");
+                    assert_eq!(probe.cost.to_bits(), reference.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_search_matches_the_closure_search() {
+        let fleet = fleet_fixture();
+        let n = fleet.apps().len();
+        let live = vec![true; n];
+        let suspicion = vec![0.0; fleet.problem().hosts()];
+        let config = AnnealConfig {
+            iterations: 400,
+            seed: 77,
+            ..AnnealConfig::default()
+        };
+        let pooled = anneal_with(
+            fleet.problem(),
+            |_| FleetObjective::new(&fleet, &live, &suspicion),
+            &config,
+            &Tracer::disabled(),
+        )
+        .expect("pooled search");
+        let closure = anneal(
+            fleet.problem(),
+            |s| fleet_cost(&fleet, &live, &suspicion, s),
+            |_| Ok(0.0),
+            &config,
+        )
+        .expect("closure search");
+        assert_eq!(pooled, closure);
+    }
+
+    #[test]
+    fn zero_search_lanes_is_a_config_error() {
+        let config = ManagerConfig {
+            search_lanes: 0,
+            ..ManagerConfig::default()
+        };
+        let err = config.validate(8).expect_err("must reject");
+        assert!(matches!(err, ManagerError::Config(msg) if msg.contains("search_lanes")));
+    }
 }

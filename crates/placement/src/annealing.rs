@@ -3,12 +3,25 @@
 //! swap when it helps — with an optional Metropolis acceptance rule for
 //! full simulated annealing (ablation A2 in `DESIGN.md`; the paper's
 //! description accepts only improvements).
+//!
+//! The search engine drives a pluggable [`Objective`] move-by-move
+//! (probe / accept / reject), applies swaps in place with undo instead
+//! of cloning the assignment per candidate, and can run several
+//! independent lanes in parallel on seed-split RNG streams with a
+//! deterministic merge — see [`AnnealConfig::lanes`].
 
 use icm_obs::{Tracer, Value};
 use icm_rng::Rng;
 
 use crate::error::PlacementError;
+use crate::objective::{Constrained, FnObjective, Objective};
 use crate::state::{PlacementConstraints, PlacementProblem, PlacementState};
+
+/// The plateau tolerance shared by move acceptance, best-state tracking
+/// and the lane merge: two violations (or costs, where noted) within
+/// this distance are treated as equal, so a plateau-equal cheaper state
+/// is never missed to f64 noise.
+const PLATEAU_EPS: f64 = 1e-12;
 
 /// Acceptance rule for candidate swaps.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,7 +32,8 @@ pub enum AcceptRule {
     /// Metropolis criterion: always accept improvements; accept a
     /// worsening of Δ with probability `exp(−Δ / t)`, with `t` decaying
     /// geometrically from `initial_temperature` by `cooling` per
-    /// iteration.
+    /// iteration — every iteration, regardless of feasibility or
+    /// acceptance, so the schedule depends only on the iteration count.
     Metropolis {
         /// Starting temperature (objective units).
         initial_temperature: f64,
@@ -69,17 +83,23 @@ impl icm_json::FromJson for AcceptRule {
 /// Search configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnnealConfig {
-    /// Number of candidate swaps to consider.
+    /// Number of candidate swaps to consider (per lane).
     pub iterations: usize,
-    /// RNG seed (initial state + swap choices).
+    /// RNG seed. Lane `k` draws from the stream
+    /// [`icm_rng::split_seed`]`(seed, k)`, so lane 0 reproduces the
+    /// single-lane search byte for byte.
     pub seed: u64,
     /// Acceptance rule.
     pub accept: AcceptRule,
     /// Attempts per iteration to find a valid random swap.
     pub swap_attempts: usize,
+    /// Number of independent search lanes run in parallel (each a full
+    /// search from its own seed stream), merged by deterministic argmin
+    /// with ties going to the lowest lane index. Must be at least 1.
+    pub lanes: usize,
 }
 
-icm_json::impl_json!(struct AnnealConfig { iterations, seed, accept, swap_attempts });
+icm_json::impl_json!(struct AnnealConfig { iterations, seed, accept, swap_attempts, lanes = 1 });
 
 impl Default for AnnealConfig {
     fn default() -> Self {
@@ -88,6 +108,7 @@ impl Default for AnnealConfig {
             seed: 0xA11E,
             accept: AcceptRule::Greedy,
             swap_attempts: 32,
+            lanes: 1,
         }
     }
 }
@@ -95,19 +116,19 @@ impl Default for AnnealConfig {
 /// Search outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnnealResult {
-    /// The best state found.
+    /// The best state found (across all lanes).
     pub state: PlacementState,
     /// Its objective value (lower is better).
     pub cost: f64,
     /// Whether the best state satisfies the feasibility predicate.
     pub feasible: bool,
-    /// Number of objective evaluations performed.
+    /// Number of objective evaluations performed, summed over lanes.
     pub evaluations: usize,
-    /// Number of accepted swaps.
+    /// Number of accepted swaps, summed over lanes.
     pub accepted: usize,
-    /// Iteration (1-based) at which the returned best state was last
-    /// improved; `0` means the random initial state was never beaten.
-    /// The convergence metric of Fig. 10.
+    /// Iteration (1-based, within the winning lane) at which the
+    /// returned best state was last improved; `0` means the lane's
+    /// initial state was never beaten. The convergence metric of Fig. 10.
     pub best_iteration: usize,
 }
 
@@ -119,6 +140,399 @@ icm_json::impl_json!(struct AnnealResult {
     accepted,
     best_iteration = 0
 });
+
+fn rule_name(accept: &AcceptRule) -> &'static str {
+    match accept {
+        AcceptRule::Greedy => "greedy",
+        AcceptRule::Metropolis { .. } => "metropolis",
+    }
+}
+
+fn cool(accept: &AcceptRule, temperature: &mut f64) {
+    if let AcceptRule::Metropolis { cooling, .. } = *accept {
+        *temperature *= cooling;
+    }
+}
+
+/// One `anneal_iter` trace record, buffered inside a lane (lane threads
+/// cannot touch the [`Tracer`]) and replayed deterministically on the
+/// calling thread after the lanes join.
+struct IterTrace {
+    iter: usize,
+    cost: f64,
+    violation: f64,
+    accepted: bool,
+    current: f64,
+    best: f64,
+    temperature: f64,
+}
+
+/// Everything a lane reports back to the merge.
+struct LaneOutcome {
+    start_cost: f64,
+    start_violation: f64,
+    best: PlacementState,
+    cost: f64,
+    violation: f64,
+    evaluations: usize,
+    accepted: usize,
+    best_iteration: usize,
+    final_temperature: f64,
+    trace: Vec<IterTrace>,
+}
+
+/// The per-lane search loop: walks `config.iterations` candidate swaps
+/// applied in place (undo on rejection), evaluating through the
+/// [`Objective`] protocol, with the byte-exact RNG draw order the
+/// clone-per-candidate loop always had. The temperature cools exactly
+/// once per iteration — including iterations that found no valid swap or
+/// rejected on feasibility — so the schedule is a pure function of the
+/// iteration count, never of the acceptance trajectory.
+fn run_lane<O: Objective>(
+    problem: &PlacementProblem,
+    mut objective: O,
+    config: &AnnealConfig,
+    mut rng: Rng,
+    mut current: PlacementState,
+    constraints: Option<&PlacementConstraints>,
+    record: bool,
+) -> Result<LaneOutcome, PlacementError> {
+    let start = objective.reset(&current)?;
+    let mut current_cost = start.cost;
+    let mut current_violation = start.violation;
+    let mut evaluations = 1usize;
+    let mut accepted = 0usize;
+
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+    let mut best_violation = current_violation;
+    let mut best_iteration = 0usize;
+
+    let mut temperature = match config.accept {
+        AcceptRule::Metropolis {
+            initial_temperature,
+            ..
+        } => initial_temperature,
+        AcceptRule::Greedy => 0.0,
+    };
+
+    let mut trace = Vec::new();
+    if record {
+        trace.reserve(config.iterations);
+    }
+
+    // Slot→host table for the pick's validity checks, hoisted out of
+    // the loop so no iteration divides.
+    let slots = problem.slots();
+    let per_host = problem.slots_per_host();
+    let host_of: Vec<usize> = (0..slots).map(|s| problem.host_of_slot(s)).collect();
+
+    for iteration in 1..=config.iterations {
+        let pick = match constraints {
+            None => current.random_swap_indices_hosted(
+                slots,
+                per_host,
+                &host_of,
+                &mut rng,
+                config.swap_attempts,
+            ),
+            Some(c) => {
+                current.random_swap_indices_constrained(problem, &mut rng, config.swap_attempts, c)
+            }
+        };
+        let Some((a, b)) = pick else {
+            cool(&config.accept, &mut temperature);
+            continue;
+        };
+        current.swap_in_place(a, b);
+        let eval = objective.probe(&current, a, b)?;
+        evaluations += 1;
+
+        let improves = eval.cost < current_cost;
+        let accept = if current_violation > 0.0 {
+            // Climb toward feasibility first (§5.2): reduce the
+            // violation; on a violation plateau (common with max-coupled
+            // targets, where only removing the *last* bad co-runner
+            // helps) walk sideways randomly so the search can cross it.
+            eval.violation < current_violation - PLATEAU_EPS
+                || ((eval.violation - current_violation).abs() <= PLATEAU_EPS
+                    && (improves || rng.gen_f64() < 0.5))
+        } else if eval.violation > 0.0 {
+            false
+        } else {
+            match config.accept {
+                AcceptRule::Greedy => improves,
+                AcceptRule::Metropolis { .. } => {
+                    improves
+                        || rng.gen_f64()
+                            < (-(eval.cost - current_cost) / temperature.max(1e-12)).exp()
+                }
+            }
+        };
+
+        if accept {
+            objective.accept();
+            current_cost = eval.cost;
+            current_violation = eval.violation;
+            accepted += 1;
+            // Best tracking uses the same plateau tolerance as
+            // acceptance, so a cheaper state on an equal-violation
+            // plateau is never dropped to sub-epsilon violation noise.
+            let better_feasibility = current_violation < best_violation - PLATEAU_EPS;
+            let plateau_cheaper = (current_violation - best_violation).abs() <= PLATEAU_EPS
+                && current_cost < best_cost;
+            if better_feasibility || plateau_cheaper {
+                best.copy_assignment_from(&current);
+                best_cost = current_cost;
+                best_violation = current_violation;
+                best_iteration = iteration;
+            }
+        } else {
+            current.swap_in_place(a, b);
+            objective.reject();
+        }
+
+        cool(&config.accept, &mut temperature);
+
+        if record {
+            trace.push(IterTrace {
+                iter: iteration,
+                cost: eval.cost,
+                violation: eval.violation,
+                accepted: accept,
+                current: current_cost,
+                best: best_cost,
+                temperature,
+            });
+        }
+    }
+
+    Ok(LaneOutcome {
+        start_cost: start.cost,
+        start_violation: start.violation,
+        best,
+        cost: best_cost,
+        violation: best_violation,
+        evaluations,
+        accepted,
+        best_iteration,
+        final_temperature: temperature,
+        trace,
+    })
+}
+
+/// Runs `config.lanes` independent lanes (in parallel on OS threads when
+/// more than one) and merges them deterministically: the winner is the
+/// lane with the lowest violation, then the lowest cost, ties going to
+/// the lowest lane index. Errors are also reported in lane order.
+#[allow(clippy::too_many_arguments)]
+fn run_lanes<O, F>(
+    problem: &PlacementProblem,
+    objectives: &F,
+    config: &AnnealConfig,
+    tracer: &Tracer,
+    warm: Option<&PlacementState>,
+    constraints: Option<&PlacementConstraints>,
+    rule: &str,
+) -> Result<AnnealResult, PlacementError>
+where
+    O: Objective + Send,
+    F: Fn(usize) -> O + Sync,
+{
+    if config.lanes == 0 {
+        return Err(PlacementError::Shape(
+            "anneal lanes must be at least 1".into(),
+        ));
+    }
+    let record = tracer.enabled();
+    let lane_body = |k: usize| -> Result<LaneOutcome, PlacementError> {
+        let mut rng = Rng::from_seed(icm_rng::split_seed(config.seed, k as u64));
+        let start = match warm {
+            Some(state) => state.clone(),
+            None => PlacementState::random(problem, &mut rng),
+        };
+        match constraints {
+            Some(c) => run_lane(
+                problem,
+                Constrained::new(objectives(k), problem, c),
+                config,
+                rng,
+                start,
+                Some(c),
+                record,
+            ),
+            None => run_lane(problem, objectives(k), config, rng, start, None, record),
+        }
+    };
+
+    let outcomes: Vec<Result<LaneOutcome, PlacementError>> = {
+        // Wall-time side channel only: one histogram sample per search,
+        // no event, no trace perturbation.
+        let _search_scope = tracer.wall_scope("anneal.search");
+        if config.lanes == 1 {
+            vec![lane_body(0)]
+        } else {
+            std::thread::scope(|scope| {
+                let body = &lane_body;
+                let handles: Vec<_> = (1..config.lanes)
+                    .map(|k| scope.spawn(move || body(k)))
+                    .collect();
+                let mut all = Vec::with_capacity(config.lanes);
+                all.push(body(0));
+                for handle in handles {
+                    all.push(handle.join().expect("annealing lane panicked"));
+                }
+                all
+            })
+        }
+    };
+    let mut lanes = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        lanes.push(outcome?);
+    }
+
+    let mut winner = 0usize;
+    for k in 1..lanes.len() {
+        let better_feasibility = lanes[k].violation < lanes[winner].violation - PLATEAU_EPS;
+        let plateau_cheaper = (lanes[k].violation - lanes[winner].violation).abs() <= PLATEAU_EPS
+            && lanes[k].cost < lanes[winner].cost;
+        if better_feasibility || plateau_cheaper {
+            winner = k;
+        }
+    }
+    let evaluations = lanes.iter().map(|lane| lane.evaluations).sum();
+    let accepted = lanes.iter().map(|lane| lane.accepted).sum();
+
+    if record {
+        let span = tracer.span(
+            "anneal",
+            &[
+                ("rule", Value::from(rule)),
+                ("iterations", Value::from(config.iterations)),
+                ("seed", Value::from(config.seed)),
+                ("lanes", Value::from(config.lanes)),
+                ("start_cost", Value::from(lanes[0].start_cost)),
+                ("start_violation", Value::from(lanes[0].start_violation)),
+            ],
+        );
+        for (k, lane) in lanes.iter().enumerate() {
+            for it in &lane.trace {
+                tracer.event(
+                    "anneal_iter",
+                    &[
+                        ("iter", Value::from(it.iter)),
+                        ("cost", Value::from(it.cost)),
+                        ("violation", Value::from(it.violation)),
+                        ("accepted", Value::from(it.accepted)),
+                        ("current", Value::from(it.current)),
+                        ("best", Value::from(it.best)),
+                        ("temperature", Value::from(it.temperature)),
+                        ("lane", Value::from(k)),
+                    ],
+                );
+            }
+        }
+        for (k, lane) in lanes.iter().enumerate() {
+            tracer.event(
+                "anneal_lane",
+                &[
+                    ("lane", Value::from(k)),
+                    ("cost", Value::from(lane.cost)),
+                    ("violation", Value::from(lane.violation)),
+                    ("feasible", Value::from(lane.violation <= 0.0)),
+                    ("evaluations", Value::from(lane.evaluations)),
+                    ("accepted", Value::from(lane.accepted)),
+                    ("best_iteration", Value::from(lane.best_iteration)),
+                ],
+            );
+        }
+        span.end_with(&[
+            ("cost", Value::from(lanes[winner].cost)),
+            ("feasible", Value::from(lanes[winner].violation <= 0.0)),
+            ("evaluations", Value::from(evaluations)),
+            ("accepted", Value::from(accepted)),
+            ("best_iteration", Value::from(lanes[winner].best_iteration)),
+            ("winner_lane", Value::from(winner)),
+            (
+                "final_temperature",
+                Value::from(lanes[winner].final_temperature),
+            ),
+        ]);
+    }
+
+    let win = lanes.swap_remove(winner);
+    Ok(AnnealResult {
+        state: win.best,
+        cost: win.cost,
+        feasible: win.violation <= 0.0,
+        evaluations,
+        accepted,
+        best_iteration: win.best_iteration,
+    })
+}
+
+/// Minimizes an [`Objective`] over valid placements — the engine behind
+/// every closure-based entry point, exposed for objectives that evaluate
+/// incrementally (see [`crate::IncrementalObjective`]).
+///
+/// `objectives` builds one independent objective per lane index (lanes
+/// run on separate threads and may not share mutable caches).
+///
+/// # Errors
+///
+/// Returns [`PlacementError::Shape`] if `config.lanes` is zero;
+/// propagates objective failures.
+pub fn anneal_with<O, F>(
+    problem: &PlacementProblem,
+    objectives: F,
+    config: &AnnealConfig,
+    tracer: &Tracer,
+) -> Result<AnnealResult, PlacementError>
+where
+    O: Objective + Send,
+    F: Fn(usize) -> O + Sync,
+{
+    run_lanes(
+        problem,
+        &objectives,
+        config,
+        tracer,
+        None,
+        None,
+        rule_name(&config.accept),
+    )
+}
+
+/// [`anneal_with`] from a warm start under [`PlacementConstraints`] —
+/// the engine behind [`re_anneal`], exposed for incremental objectives.
+///
+/// # Errors
+///
+/// Returns [`PlacementError::Shape`] for out-of-range constraints or
+/// zero lanes; propagates objective failures.
+pub fn re_anneal_with<O, F>(
+    problem: &PlacementProblem,
+    objectives: F,
+    start: &PlacementState,
+    constraints: &PlacementConstraints,
+    config: &AnnealConfig,
+    tracer: &Tracer,
+) -> Result<AnnealResult, PlacementError>
+where
+    O: Objective + Send,
+    F: Fn(usize) -> O + Sync,
+{
+    constraints.check(problem)?;
+    run_lanes(
+        problem,
+        &objectives,
+        config,
+        tracer,
+        Some(start),
+        Some(constraints),
+        "re-anneal",
+    )
+}
 
 /// Minimizes `cost` over valid placements subject to a constraint.
 ///
@@ -142,17 +556,20 @@ pub fn anneal<C, V>(
     config: &AnnealConfig,
 ) -> Result<AnnealResult, PlacementError>
 where
-    C: FnMut(&PlacementState) -> Result<f64, PlacementError>,
-    V: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+    C: Fn(&PlacementState) -> Result<f64, PlacementError> + Sync,
+    V: Fn(&PlacementState) -> Result<f64, PlacementError> + Sync,
 {
     anneal_traced(problem, cost, violation, config, &Tracer::disabled())
 }
 
 /// [`anneal`] with structured tracing: the search is wrapped in an
 /// `anneal` span, every evaluated candidate emits an `anneal_iter` event
-/// (objective, violation, acceptance decision, temperature), and the
-/// span end carries the convergence summary (best cost,
-/// iterations-to-best, acceptance count).
+/// (objective, violation, acceptance decision, temperature, lane), each
+/// lane emits an `anneal_lane` summary, and the span end carries the
+/// convergence summary (best cost, iterations-to-best, acceptance count,
+/// winning lane, final temperature). Same-seed runs produce
+/// byte-identical traces regardless of lane scheduling: lanes buffer
+/// their events and the caller replays them in lane order.
 ///
 /// # Errors
 ///
@@ -165,17 +582,14 @@ pub fn anneal_traced<C, V>(
     tracer: &Tracer,
 ) -> Result<AnnealResult, PlacementError>
 where
-    C: FnMut(&PlacementState) -> Result<f64, PlacementError>,
-    V: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+    C: Fn(&PlacementState) -> Result<f64, PlacementError> + Sync,
+    V: Fn(&PlacementState) -> Result<f64, PlacementError> + Sync,
 {
-    let mut rng = Rng::from_seed(config.seed);
-    let start = PlacementState::random(problem, &mut rng);
-    let rule = match config.accept {
-        AcceptRule::Greedy => "greedy",
-        AcceptRule::Metropolis { .. } => "metropolis",
-    };
-    anneal_from(
-        problem, cost, violation, config, tracer, rng, start, None, rule,
+    anneal_with(
+        problem,
+        |_| FnObjective::new(&cost, &violation),
+        config,
+        tracer,
     )
 }
 
@@ -200,176 +614,24 @@ where
 pub fn re_anneal<C, V>(
     problem: &PlacementProblem,
     cost: C,
-    mut violation: V,
+    violation: V,
     start: &PlacementState,
     constraints: &PlacementConstraints,
     config: &AnnealConfig,
     tracer: &Tracer,
 ) -> Result<AnnealResult, PlacementError>
 where
-    C: FnMut(&PlacementState) -> Result<f64, PlacementError>,
-    V: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+    C: Fn(&PlacementState) -> Result<f64, PlacementError> + Sync,
+    V: Fn(&PlacementState) -> Result<f64, PlacementError> + Sync,
 {
-    constraints.check(problem)?;
-    let rng = Rng::from_seed(config.seed);
-    let constrained_violation = move |state: &PlacementState| -> Result<f64, PlacementError> {
-        Ok(violation(state)? + constraints.violation(problem, state))
-    };
-    anneal_from(
+    re_anneal_with(
         problem,
-        cost,
-        constrained_violation,
+        |_| FnObjective::new(&cost, &violation),
+        start,
+        constraints,
         config,
         tracer,
-        rng,
-        start.clone(),
-        Some(constraints),
-        "re-anneal",
     )
-}
-
-/// The shared search loop: evaluates `current`, then walks
-/// `config.iterations` candidate swaps (constrained when `constraints`
-/// is given) with the byte-exact RNG draw order the plain entry points
-/// always had.
-#[allow(clippy::too_many_arguments)]
-fn anneal_from<C, V>(
-    problem: &PlacementProblem,
-    mut cost: C,
-    mut violation: V,
-    config: &AnnealConfig,
-    tracer: &Tracer,
-    mut rng: Rng,
-    mut current: PlacementState,
-    constraints: Option<&PlacementConstraints>,
-    rule: &str,
-) -> Result<AnnealResult, PlacementError>
-where
-    C: FnMut(&PlacementState) -> Result<f64, PlacementError>,
-    V: FnMut(&PlacementState) -> Result<f64, PlacementError>,
-{
-    let mut current_cost = cost(&current)?;
-    let mut current_violation = violation(&current)?;
-    let mut evaluations = 1usize;
-    let mut accepted = 0usize;
-
-    let mut best = current.clone();
-    let mut best_cost = current_cost;
-    let mut best_violation = current_violation;
-    let mut best_iteration = 0usize;
-
-    let mut temperature = match config.accept {
-        AcceptRule::Metropolis {
-            initial_temperature,
-            ..
-        } => initial_temperature,
-        AcceptRule::Greedy => 0.0,
-    };
-
-    let span = if tracer.enabled() {
-        Some(tracer.span(
-            "anneal",
-            &[
-                ("rule", Value::from(rule)),
-                ("iterations", Value::from(config.iterations)),
-                ("seed", Value::from(config.seed)),
-                ("start_cost", Value::from(current_cost)),
-                ("start_violation", Value::from(current_violation)),
-            ],
-        ))
-    } else {
-        None
-    };
-
-    for iteration in 1..=config.iterations {
-        // Wall-time side channel only: one histogram sample per
-        // candidate evaluation, no event, no trace perturbation.
-        let _iter_scope = tracer.wall_scope("anneal.iteration");
-        let candidate = match constraints {
-            None => current.random_swap(problem, &mut rng, config.swap_attempts),
-            Some(c) => current.random_swap_constrained(problem, &mut rng, config.swap_attempts, c),
-        };
-        let Some(candidate) = candidate else {
-            continue;
-        };
-        let cand_cost = cost(&candidate)?;
-        let cand_violation = violation(&candidate)?;
-        evaluations += 1;
-
-        let improves = cand_cost < current_cost;
-        let accept = if current_violation > 0.0 {
-            // Climb toward feasibility first (§5.2): reduce the
-            // violation; on a violation plateau (common with max-coupled
-            // targets, where only removing the *last* bad co-runner
-            // helps) walk sideways randomly so the search can cross it.
-            cand_violation < current_violation - 1e-12
-                || ((cand_violation - current_violation).abs() <= 1e-12
-                    && (improves || rng.gen_f64() < 0.5))
-        } else if cand_violation > 0.0 {
-            false
-        } else {
-            match config.accept {
-                AcceptRule::Greedy => improves,
-                AcceptRule::Metropolis { cooling, .. } => {
-                    let take = improves
-                        || rng.gen_f64()
-                            < (-(cand_cost - current_cost) / temperature.max(1e-12)).exp();
-                    temperature *= cooling;
-                    take
-                }
-            }
-        };
-
-        if accept {
-            current = candidate;
-            current_cost = cand_cost;
-            current_violation = cand_violation;
-            accepted += 1;
-            let better_feasibility = current_violation < best_violation;
-            let same_feasibility_cheaper =
-                current_violation == best_violation && current_cost < best_cost;
-            if better_feasibility || same_feasibility_cheaper {
-                best = current.clone();
-                best_cost = current_cost;
-                best_violation = current_violation;
-                best_iteration = iteration;
-            }
-        }
-
-        if tracer.enabled() {
-            tracer.event(
-                "anneal_iter",
-                &[
-                    ("iter", Value::from(iteration)),
-                    ("cost", Value::from(cand_cost)),
-                    ("violation", Value::from(cand_violation)),
-                    ("accepted", Value::from(accept)),
-                    ("current", Value::from(current_cost)),
-                    ("best", Value::from(best_cost)),
-                    ("temperature", Value::from(temperature)),
-                ],
-            );
-        }
-    }
-
-    if let Some(span) = span {
-        span.end_with(&[
-            ("cost", Value::from(best_cost)),
-            ("feasible", Value::from(best_violation <= 0.0)),
-            ("evaluations", Value::from(evaluations)),
-            ("accepted", Value::from(accepted)),
-            ("best_iteration", Value::from(best_iteration)),
-        ]);
-    }
-
-    Ok(AnnealResult {
-        state: best,
-        cost: best_cost,
-        feasible: best_violation <= 0.0,
-        evaluations,
-        accepted,
-        best_iteration,
-    })
 }
 
 /// Minimizes `cost` without any feasibility constraint.
@@ -383,7 +645,7 @@ pub fn anneal_unconstrained<C>(
     config: &AnnealConfig,
 ) -> Result<AnnealResult, PlacementError>
 where
-    C: FnMut(&PlacementState) -> Result<f64, PlacementError>,
+    C: Fn(&PlacementState) -> Result<f64, PlacementError> + Sync,
 {
     anneal(problem, cost, |_| Ok(0.0), config)
 }
@@ -396,7 +658,7 @@ mod tests {
 
     fn estimator_cost<'a>(
         estimator: &'a Estimator<'a>,
-    ) -> impl FnMut(&PlacementState) -> Result<f64, PlacementError> + 'a {
+    ) -> impl Fn(&PlacementState) -> Result<f64, PlacementError> + 'a {
         move |state| Ok(estimator.estimate(state)?.weighted_total)
     }
 
@@ -603,6 +865,119 @@ mod tests {
     }
 
     #[test]
+    fn cooling_advances_once_per_iteration_regardless_of_trajectory() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let initial = 0.7;
+        let cooling = 0.995;
+        let iterations = 120;
+        let expected = (0..iterations).fold(initial, |t, _| t * cooling);
+        let config = AnnealConfig {
+            iterations,
+            accept: AcceptRule::Metropolis {
+                initial_temperature: initial,
+                cooling,
+            },
+            ..AnnealConfig::default()
+        };
+        // Three acceptance regimes that historically each skipped cooling
+        // on some iterations: a feasible search (cooling only happened on
+        // doubly-feasible candidates), a permanently infeasible one
+        // (feasibility climbing skipped it entirely), and one where no
+        // valid swap is ever found (swap_attempts = 0).
+        let final_temperature =
+            |config: &AnnealConfig,
+             violation: fn(&PlacementState) -> Result<f64, PlacementError>| {
+                let (tracer, recorder) = icm_obs::Tracer::recording(8192);
+                anneal_traced(
+                    &problem,
+                    estimator_cost(&estimator),
+                    violation,
+                    config,
+                    &tracer,
+                )
+                .expect("runs");
+                let events = recorder.events();
+                let end = events.last().expect("events");
+                assert_eq!(end.name, "anneal.end");
+                end.num("final_temperature").expect("field")
+            };
+        let feasible = final_temperature(&config, |_| Ok(0.0));
+        let infeasible = final_temperature(&config, |_| Ok(1.0));
+        let swapless = final_temperature(
+            &AnnealConfig {
+                swap_attempts: 0,
+                ..config
+            },
+            |_| Ok(0.0),
+        );
+        assert_eq!(
+            feasible.to_bits(),
+            expected.to_bits(),
+            "feasible run cooled {feasible}, schedule says {expected}"
+        );
+        assert_eq!(
+            infeasible.to_bits(),
+            expected.to_bits(),
+            "infeasible run cooled {infeasible}, schedule says {expected}"
+        );
+        assert_eq!(
+            swapless.to_bits(),
+            expected.to_bits(),
+            "swapless run cooled {swapless}, schedule says {expected}"
+        );
+    }
+
+    #[test]
+    fn plateau_equal_cheaper_states_update_the_best() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        // Violations sit on a sub-epsilon plateau (two levels 5e-13
+        // apart, never *exactly* equal across the levels), so best-state
+        // tracking that demands bitwise-equal violations before comparing
+        // costs would ignore most cheaper states. The best must be the
+        // cheapest state the walk ever accepted (or the start).
+        let (tracer, recorder) = icm_obs::Tracer::recording(16384);
+        let result = anneal_traced(
+            &problem,
+            estimator_cost(&estimator),
+            |s| Ok(1.0 + 5e-13 * ((s.workload_at(0) % 2) as f64)),
+            &AnnealConfig {
+                iterations: 300,
+                ..AnnealConfig::default()
+            },
+            &tracer,
+        )
+        .expect("runs");
+        let events = recorder.events();
+        assert_eq!(events[0].name, "anneal.begin");
+        let mut cheapest = events[0].num("start_cost").expect("field");
+        let mut levels = std::collections::BTreeSet::new();
+        for event in events.iter().filter(|e| e.name == "anneal_iter") {
+            levels.insert(event.num("violation").expect("field").to_bits());
+            if event.field("accepted") == Some(&icm_obs::Value::Bool(true)) {
+                cheapest = cheapest.min(event.num("current").expect("field"));
+            }
+        }
+        assert!(levels.len() > 1, "walk never crossed the plateau levels");
+        assert!(
+            (result.cost - cheapest).abs() <= 1e-12,
+            "best ({}) missed the cheapest accepted plateau state ({cheapest})",
+            result.cost
+        );
+    }
+
+    #[test]
     fn traced_search_records_objective_trajectory() {
         let problem = fake_problem();
         let predictors = fake_predictors();
@@ -631,6 +1006,7 @@ mod tests {
         let events = recorder.events();
         assert_eq!(events[0].name, "anneal.begin");
         assert_eq!(events[0].str("rule"), Some("metropolis"));
+        assert_eq!(events[0].num("lanes"), Some(1.0));
         let iters: Vec<_> = events.iter().filter(|e| e.name == "anneal_iter").collect();
         assert_eq!(iters.len(), result.evaluations - 1);
         let accepted = iters
@@ -654,6 +1030,7 @@ mod tests {
             Some(result.best_iteration as f64)
         );
         assert_eq!(end.num("accepted"), Some(result.accepted as f64));
+        assert_eq!(end.num("winner_lane"), Some(0.0));
     }
 
     #[test]
@@ -685,6 +1062,120 @@ mod tests {
         )
         .expect("runs");
         assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn parallel_lanes_are_deterministic_and_never_worse_than_lane_zero() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let config = AnnealConfig {
+            iterations: 600,
+            lanes: 4,
+            ..AnnealConfig::default()
+        };
+        let run =
+            || anneal_unconstrained(&problem, estimator_cost(&estimator), &config).expect("runs");
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same-seed parallel searches diverged");
+        let single = anneal_unconstrained(
+            &problem,
+            estimator_cost(&estimator),
+            &AnnealConfig { lanes: 1, ..config },
+        )
+        .expect("runs");
+        assert!(
+            a.cost <= single.cost + 1e-12,
+            "lane merge ({}) lost to lane 0 alone ({})",
+            a.cost,
+            single.cost
+        );
+        assert!(
+            a.evaluations > single.evaluations,
+            "evaluations must aggregate across lanes"
+        );
+    }
+
+    #[test]
+    fn lane_traces_are_identical_across_same_seed_runs() {
+        let problem = fake_problem();
+        let predictors = fake_predictors();
+        let refs: Vec<&dyn RuntimePredictor> = predictors
+            .iter()
+            .map(|p| p as &dyn RuntimePredictor)
+            .collect();
+        let estimator = Estimator::new(&problem, refs).expect("valid");
+        let config = AnnealConfig {
+            iterations: 200,
+            lanes: 3,
+            accept: AcceptRule::Metropolis {
+                initial_temperature: 0.5,
+                cooling: 0.999,
+            },
+            ..AnnealConfig::default()
+        };
+        let trace = || {
+            let (tracer, recorder) = icm_obs::Tracer::recording(16384);
+            anneal_traced(
+                &problem,
+                estimator_cost(&estimator),
+                |_| Ok(0.0),
+                &config,
+                &tracer,
+            )
+            .expect("runs");
+            recorder
+                .events()
+                .iter()
+                .map(|e| {
+                    (
+                        e.name.clone(),
+                        e.num("lane").map(f64::to_bits),
+                        e.num("iter").map(f64::to_bits),
+                        e.num("cost").map(f64::to_bits),
+                        e.num("temperature").map(f64::to_bits),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = trace();
+        assert!(
+            first.iter().any(|(name, ..)| name == "anneal_lane"),
+            "per-lane summaries missing"
+        );
+        assert_eq!(first, trace(), "same-seed lane traces diverged");
+    }
+
+    #[test]
+    fn zero_lanes_is_rejected_and_config_json_defaults_to_one() {
+        let problem = fake_problem();
+        let result = anneal_unconstrained(
+            &problem,
+            |_| Ok(0.0),
+            &AnnealConfig {
+                lanes: 0,
+                ..AnnealConfig::default()
+            },
+        );
+        assert!(matches!(result, Err(PlacementError::Shape(_))));
+        // Pre-lanes JSON still parses (lanes defaults to 1)…
+        let legacy: AnnealConfig =
+            icm_json::from_str(r#"{"iterations":10,"seed":1,"accept":"Greedy","swap_attempts":4}"#)
+                .expect("legacy config parses");
+        assert_eq!(legacy.lanes, 1);
+        // …and the field round-trips.
+        let config = AnnealConfig {
+            lanes: 3,
+            ..AnnealConfig::default()
+        };
+        let back: AnnealConfig =
+            icm_json::from_str(&icm_json::to_string(&config)).expect("round-trips");
+        assert_eq!(back, config);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Total, dense, typed-index maps for the placement hot path.
+//!
+//! A placement problem's entity spaces — workload instances, hosts,
+//! slots — are contiguous `0..n` index ranges, so associating data with
+//! them never needs hashing, ordering, or `Option`: a *total* map is a
+//! plain array where every key has a value. The newtype keys keep the
+//! three spaces from being mixed up at compile time (an `AppId` cannot
+//! index a host-keyed map), which matters once the annealer's inner loop
+//! stops going through validated high-level accessors.
+//!
+//! # Example
+//!
+//! ```
+//! use icm_placement::{AppId, DenseMap};
+//!
+//! let mut times: DenseMap<AppId, f64> = DenseMap::new(4, 1.0);
+//! times[AppId(2)] = 1.5;
+//! assert_eq!(times[AppId(2)], 1.5);
+//! assert_eq!(times.len(), 4);
+//! ```
+
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+
+/// A key type usable with [`DenseMap`]: a transparent wrapper over a
+/// contiguous `0..n` index space.
+pub trait DenseKey: Copy {
+    /// The underlying array index.
+    fn index(self) -> usize;
+    /// Builds the key back from an array index.
+    fn from_index(index: usize) -> Self;
+}
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub usize);
+
+        impl DenseKey for $name {
+            fn index(self) -> usize {
+                self.0
+            }
+
+            fn from_index(index: usize) -> Self {
+                Self(index)
+            }
+        }
+    };
+}
+
+dense_id! {
+    /// Index of a workload instance in problem order.
+    AppId
+}
+dense_id! {
+    /// Index of a host in the cluster.
+    HostId
+}
+dense_id! {
+    /// Index of a co-location slot (`host * slots_per_host + offset`).
+    SlotId
+}
+
+/// A total map from a dense typed key space to values: every key in
+/// `0..len` has a value, lookups are array indexing, and there is no
+/// entry-missing state to handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseMap<K, V> {
+    items: Vec<V>,
+    _key: PhantomData<K>,
+}
+
+impl<K: DenseKey, V: Clone> DenseMap<K, V> {
+    /// A map over `len` keys, every value initialized to `fill`.
+    pub fn new(len: usize, fill: V) -> Self {
+        Self {
+            items: vec![fill; len],
+            _key: PhantomData,
+        }
+    }
+}
+
+impl<K: DenseKey, V> DenseMap<K, V> {
+    /// A map over `len` keys with values produced per key.
+    pub fn from_fn(len: usize, mut f: impl FnMut(K) -> V) -> Self {
+        Self {
+            items: (0..len).map(|i| f(K::from_index(i))).collect(),
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of keys (the map is total: also the number of values).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the key space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates the keys in index order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        (0..self.items.len()).map(K::from_index)
+    }
+
+    /// Iterates the values in key order.
+    pub fn values(&self) -> std::slice::Iter<'_, V> {
+        self.items.iter()
+    }
+
+    /// Iterates the values mutably in key order.
+    pub fn values_mut(&mut self) -> std::slice::IterMut<'_, V> {
+        self.items.iter_mut()
+    }
+}
+
+impl<K: DenseKey, V> Index<K> for DenseMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: K) -> &V {
+        &self.items[key.index()]
+    }
+}
+
+impl<K: DenseKey, V> IndexMut<K> for DenseMap<K, V> {
+    fn index_mut(&mut self, key: K) -> &mut V {
+        &mut self.items[key.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_map_semantics() {
+        let mut map: DenseMap<AppId, u32> = DenseMap::new(3, 7);
+        assert_eq!(map.len(), 3);
+        assert!(!map.is_empty());
+        assert!(map.values().all(|&v| v == 7));
+        map[AppId(1)] = 9;
+        assert_eq!(map[AppId(1)], 9);
+        assert_eq!(map[AppId(0)], 7);
+        for v in map.values_mut() {
+            *v += 1;
+        }
+        assert_eq!(map[AppId(1)], 10);
+    }
+
+    #[test]
+    fn from_fn_and_keys_agree_on_order() {
+        let map: DenseMap<HostId, usize> = DenseMap::from_fn(4, |h: HostId| h.0 * 10);
+        let keys: Vec<HostId> = map.keys().collect();
+        assert_eq!(keys, vec![HostId(0), HostId(1), HostId(2), HostId(3)]);
+        assert_eq!(map[HostId(3)], 30);
+    }
+
+    #[test]
+    fn typed_keys_round_trip() {
+        assert_eq!(SlotId::from_index(5), SlotId(5));
+        assert_eq!(SlotId(5).index(), 5);
+        assert_eq!(AppId(2).index(), 2);
+        assert_eq!(HostId::from_index(0), HostId(0));
+    }
+
+    #[test]
+    fn empty_map() {
+        let map: DenseMap<SlotId, f64> = DenseMap::new(0, 0.0);
+        assert!(map.is_empty());
+        assert_eq!(map.keys().count(), 0);
+    }
+}

@@ -10,9 +10,10 @@
 //! Minimizing the cluster-wide waste is a placement objective like any
 //! other, so the same annealer applies.
 
-use crate::annealing::{anneal_unconstrained, AnnealConfig, AnnealResult};
+use crate::annealing::{AnnealConfig, AnnealResult};
 use crate::error::PlacementError;
 use crate::estimator::Estimator;
+use crate::incremental::{anneal_estimator, SearchGoal};
 use crate::state::PlacementState;
 
 /// Energy accounting for one placement.
@@ -62,10 +63,11 @@ pub fn place_min_waste(
     estimator: &Estimator<'_>,
     config: &AnnealConfig,
 ) -> Result<AnnealResult, PlacementError> {
-    anneal_unconstrained(
-        estimator.problem(),
-        |state| Ok(estimate_waste(estimator, state)?.total_wasted),
+    anneal_estimator(
+        estimator,
+        SearchGoal::MinWaste,
         config,
+        &icm_obs::Tracer::disabled(),
     )
 }
 

@@ -13,7 +13,14 @@ use crate::state::{PlacementProblem, PlacementState};
 /// Implemented by the paper's [`InterferenceModel`] and by the
 /// [`NaiveModel`] baseline, so the placement algorithms can be run with
 /// either (Figs. 10 and 11 compare exactly that).
-pub trait RuntimePredictor {
+///
+/// `Sync` is a supertrait because the annealer shares one predictor set
+/// across its parallel search lanes ([`AnnealConfig::lanes`]); every
+/// predictor is a read-only model during a search, so this costs
+/// implementors nothing.
+///
+/// [`AnnealConfig::lanes`]: crate::AnnealConfig::lanes
+pub trait RuntimePredictor: Sync {
     /// Predicted normalized runtime under the given per-unit pressures.
     fn predict_normalized(&self, pressures: &[f64]) -> Result<f64, PlacementError>;
     /// The interference intensity this workload exerts on co-located
@@ -253,18 +260,104 @@ impl<'a> Estimator<'a> {
     /// (combined) bubble score of the co-located workloads on each of its
     /// slots (Fig. 5's "bubble list").
     pub fn pressures_for(&self, state: &PlacementState, w: usize) -> Vec<f64> {
+        let mut scores = Vec::with_capacity(self.problem.slots_per_host() - 1);
         state
             .slots_of(w)
             .into_iter()
-            .map(|slot| {
-                let scores: Vec<f64> = state
-                    .corunners_at(self.problem, slot)
-                    .into_iter()
-                    .map(|other| self.predictors[other].bubble_score())
-                    .collect();
-                icm_core::combine_scores(&scores, self.collision)
-            })
+            .map(|slot| self.combined_pressure_at(state, slot, &mut scores))
             .collect()
+    }
+
+    /// The combined co-runner pressure on one slot — the same §4.4
+    /// combination [`pressures_for`](Self::pressures_for) applies, but
+    /// allocation-free: co-runner scores go through the caller-provided
+    /// scratch buffer. The score order (host-slot order, exactly as
+    /// [`PlacementState::corunners_at`] yields co-runners) is part of the
+    /// bit-exactness contract between the full and incremental
+    /// evaluation paths.
+    pub(crate) fn combined_pressure_at(
+        &self,
+        state: &PlacementState,
+        slot: usize,
+        scores: &mut Vec<f64>,
+    ) -> f64 {
+        scores.clear();
+        let per_host = self.problem.slots_per_host();
+        let base = self.problem.host_of_slot(slot) * per_host;
+        for s in base..base + per_host {
+            if s != slot {
+                scores.push(self.predictors[state.workload_at(s)].bubble_score());
+            }
+        }
+        icm_core::combine_scores(scores, self.collision)
+    }
+
+    /// Every predictor's bubble score, in problem order — cached by the
+    /// incremental objective so pressure recomputation does not pay a
+    /// virtual call per co-runner.
+    pub(crate) fn bubble_scores(&self) -> Vec<f64> {
+        self.predictors.iter().map(|p| p.bubble_score()).collect()
+    }
+
+    /// [`combined_pressure_at`](Self::combined_pressure_at) with the
+    /// per-co-runner `2^score` terms read from a cache (`pow_of[w]` is
+    /// `2^bubble_score(w)` for positive scores, `0.0` otherwise) and the
+    /// slot's host supplied by the caller. Bit-identical to the full
+    /// path: [`icm_core::combine_scores`] sums exactly these `powf`
+    /// values in exactly this slot order before taking `log2`, so
+    /// hoisting the `powf` out of the loop cannot change a single bit.
+    pub(crate) fn combined_pressure_pow(
+        &self,
+        state: &PlacementState,
+        slot: usize,
+        host: usize,
+        pow_of: &[f64],
+        log_of: &[f64],
+    ) -> f64 {
+        debug_assert_eq!(host, self.problem.host_of_slot(slot));
+        let per_host = self.problem.slots_per_host();
+        let base = host * per_host;
+        let mut linear = 0.0;
+        let mut active = 0usize;
+        let mut last = 0usize;
+        for s in base..base + per_host {
+            if s != slot {
+                let w = state.workload_at(s);
+                let pow = pow_of[w];
+                if pow > 0.0 {
+                    linear += pow;
+                    active += 1;
+                    last = w;
+                }
+            }
+        }
+        match active {
+            0 => 0.0,
+            // One active co-runner: `linear` is exactly `pow_of[last]`
+            // (a single addend onto `+0.0`), so its `log2` was already
+            // taken at reset — the common case at two slots per host
+            // never touches a transcendental.
+            1 => log_of[last],
+            _ => linear.log2() + self.collision,
+        }
+    }
+
+    /// One workload's prediction under the given pressures, with the
+    /// conservative low-confidence margin applied — the single code path
+    /// both [`estimate`](Self::estimate) and the incremental objective
+    /// run predictions through, so the two cannot drift apart.
+    pub(crate) fn predict_with_margin(
+        &self,
+        w: usize,
+        pressures: &[f64],
+    ) -> Result<f64, PlacementError> {
+        let mut predicted = self.predictors[w].predict_normalized(pressures)?;
+        if self.quality_margin > 0.0
+            && self.predictors[w].prediction_quality(pressures) == ModelQuality::Defaulted
+        {
+            predicted *= 1.0 + self.quality_margin;
+        }
+        Ok(predicted)
     }
 
     /// Predicts all workloads' normalized runtimes under `state`.
@@ -276,13 +369,7 @@ impl<'a> Estimator<'a> {
         let mut normalized_times = Vec::with_capacity(self.predictors.len());
         for w in 0..self.predictors.len() {
             let pressures = self.pressures_for(state, w);
-            let mut predicted = self.predictors[w].predict_normalized(&pressures)?;
-            if self.quality_margin > 0.0
-                && self.predictors[w].prediction_quality(&pressures) == ModelQuality::Defaulted
-            {
-                predicted *= 1.0 + self.quality_margin;
-            }
-            normalized_times.push(predicted);
+            normalized_times.push(self.predict_with_margin(w, &pressures)?);
         }
         let weighted_total = normalized_times.iter().sum();
         Ok(PlacementEstimate {

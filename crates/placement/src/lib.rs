@@ -54,20 +54,27 @@
 #![warn(missing_docs)]
 
 mod annealing;
+mod dense;
 pub mod energy;
 mod error;
 mod estimator;
 pub mod exhaustive;
+mod incremental;
+mod objective;
 mod qos;
 mod state;
 mod throughput;
 
 pub use annealing::{
-    anneal, anneal_traced, anneal_unconstrained, re_anneal, AcceptRule, AnnealConfig, AnnealResult,
+    anneal, anneal_traced, anneal_unconstrained, anneal_with, re_anneal, re_anneal_with,
+    AcceptRule, AnnealConfig, AnnealResult,
 };
+pub use dense::{AppId, DenseKey, DenseMap, HostId, SlotId};
 pub use energy::{estimate_waste, place_min_waste, EnergyEstimate};
 pub use error::PlacementError;
 pub use estimator::{Estimator, PlacementEstimate, QualityAwareModel, RuntimePredictor};
+pub use incremental::{anneal_estimator, IncrementalObjective, SearchGoal};
+pub use objective::{Eval, FnObjective, Objective};
 pub use qos::{place_qos, QosConfig, QosOutcome};
 pub use state::{PlacementConstraints, PlacementProblem, PlacementState};
 pub use throughput::{average_speedup, find_placements, ThroughputConfig, ThroughputPlacements};

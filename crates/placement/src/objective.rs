@@ -1,0 +1,161 @@
+//! The annealer's pluggable evaluation interface.
+//!
+//! The search loop in [`crate::anneal_with`] does not know what it is
+//! optimizing; it drives an [`Objective`] through a strict protocol that
+//! lets implementations evaluate candidate swaps *incrementally*:
+//!
+//! 1. [`reset`](Objective::reset) — evaluate a full state from scratch
+//!    (lane start, warm start);
+//! 2. [`probe`](Objective::probe) — evaluate a state that differs from
+//!    the last committed state by exactly one slot transposition
+//!    `(a, b)`;
+//! 3. [`accept`](Objective::accept) / [`reject`](Objective::reject) —
+//!    commit or discard the probed move. After `reject` the search has
+//!    already undone the transposition, so the committed state is
+//!    unchanged.
+//!
+//! [`FnObjective`] adapts plain cost/violation closures (full recompute
+//! per probe) so the closure-based entry points keep working;
+//! [`crate::IncrementalObjective`] exploits the protocol to touch only
+//! the two affected hosts per probe.
+
+use crate::error::PlacementError;
+use crate::state::{PlacementConstraints, PlacementProblem, PlacementState};
+
+/// One evaluation of a placement: its objective value and how badly it
+/// breaks the feasibility constraint (`0.0` = feasible).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eval {
+    /// Objective value (lower is better).
+    pub cost: f64,
+    /// Constraint violation magnitude (`0.0` = feasible).
+    pub violation: f64,
+}
+
+/// A placement objective the annealer can drive move-by-move.
+///
+/// See the [module docs](self) for the call protocol. Implementations
+/// may keep caches keyed on the committed state; the annealer guarantees
+/// `probe` is only ever called on a state one transposition away from
+/// the last committed one, and that every `probe` is followed by exactly
+/// one `accept` or `reject` before the next `probe`.
+pub trait Objective {
+    /// Evaluates `state` from scratch and makes it the committed state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures ([`PlacementError`]).
+    fn reset(&mut self, state: &PlacementState) -> Result<Eval, PlacementError>;
+
+    /// Evaluates `state`, which differs from the committed state by
+    /// exactly the transposition of slots `a` and `b` (already applied).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures ([`PlacementError`]).
+    fn probe(&mut self, state: &PlacementState, a: usize, b: usize)
+        -> Result<Eval, PlacementError>;
+
+    /// The probed move was accepted: the probed state is now committed.
+    fn accept(&mut self) {}
+
+    /// The probed move was rejected and undone; the committed state is
+    /// unchanged.
+    fn reject(&mut self) {}
+}
+
+/// Adapts a cost closure and a violation closure into an [`Objective`]
+/// that fully recomputes both on every probe — the semantics the
+/// closure-based entry points ([`crate::anneal`], [`crate::re_anneal`])
+/// always had.
+pub struct FnObjective<C, V> {
+    cost: C,
+    violation: V,
+}
+
+impl<C, V> FnObjective<C, V>
+where
+    C: Fn(&PlacementState) -> Result<f64, PlacementError>,
+    V: Fn(&PlacementState) -> Result<f64, PlacementError>,
+{
+    /// Wraps the two closures.
+    pub fn new(cost: C, violation: V) -> Self {
+        Self { cost, violation }
+    }
+
+    fn eval(&mut self, state: &PlacementState) -> Result<Eval, PlacementError> {
+        Ok(Eval {
+            cost: (self.cost)(state)?,
+            violation: (self.violation)(state)?,
+        })
+    }
+}
+
+impl<C, V> Objective for FnObjective<C, V>
+where
+    C: Fn(&PlacementState) -> Result<f64, PlacementError>,
+    V: Fn(&PlacementState) -> Result<f64, PlacementError>,
+{
+    fn reset(&mut self, state: &PlacementState) -> Result<Eval, PlacementError> {
+        self.eval(state)
+    }
+
+    fn probe(
+        &mut self,
+        state: &PlacementState,
+        _a: usize,
+        _b: usize,
+    ) -> Result<Eval, PlacementError> {
+        self.eval(state)
+    }
+}
+
+/// Adds [`PlacementConstraints`] exclusion breaches to an inner
+/// objective's violation — how [`crate::re_anneal`] prices its
+/// constraints, factored out so every objective composes with them.
+pub(crate) struct Constrained<'a, O> {
+    inner: O,
+    problem: &'a PlacementProblem,
+    constraints: &'a PlacementConstraints,
+}
+
+impl<'a, O: Objective> Constrained<'a, O> {
+    pub(crate) fn new(
+        inner: O,
+        problem: &'a PlacementProblem,
+        constraints: &'a PlacementConstraints,
+    ) -> Self {
+        Self {
+            inner,
+            problem,
+            constraints,
+        }
+    }
+}
+
+impl<O: Objective> Objective for Constrained<'_, O> {
+    fn reset(&mut self, state: &PlacementState) -> Result<Eval, PlacementError> {
+        let mut eval = self.inner.reset(state)?;
+        eval.violation += self.constraints.violation(self.problem, state);
+        Ok(eval)
+    }
+
+    fn probe(
+        &mut self,
+        state: &PlacementState,
+        a: usize,
+        b: usize,
+    ) -> Result<Eval, PlacementError> {
+        let mut eval = self.inner.probe(state, a, b)?;
+        eval.violation += self.constraints.violation(self.problem, state);
+        Ok(eval)
+    }
+
+    fn accept(&mut self) {
+        self.inner.accept();
+    }
+
+    fn reject(&mut self) {
+        self.inner.reject();
+    }
+}

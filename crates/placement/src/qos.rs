@@ -4,9 +4,10 @@
 
 use icm_core::ModelQuality;
 
-use crate::annealing::{anneal, AnnealConfig};
+use crate::annealing::AnnealConfig;
 use crate::error::PlacementError;
 use crate::estimator::Estimator;
+use crate::incremental::{anneal_estimator, SearchGoal};
 use crate::state::PlacementState;
 
 /// QoS placement configuration.
@@ -112,18 +113,15 @@ pub fn place_qos(
         let pressures = estimator.pressures_for(state, target);
         estimator.predictor(target).prediction_quality(&pressures)
     };
-    let result = anneal(
-        estimator.problem(),
-        |state| Ok(estimator.estimate(state)?.weighted_total),
-        |state| {
-            let mut violation =
-                (estimator.estimate(state)?.normalized_times[target] - bound).max(0.0);
-            if config.refuse_defaulted && target_quality(state) == ModelQuality::Defaulted {
-                violation += bound;
-            }
-            Ok(violation)
+    let result = anneal_estimator(
+        estimator,
+        SearchGoal::Qos {
+            target,
+            max_normalized: bound,
+            refuse_defaulted: config.refuse_defaulted,
         },
         &config.anneal,
+        &icm_obs::Tracer::disabled(),
     )?;
     let quality = target_quality(&result.state);
     if config.refuse_defaulted && quality == ModelQuality::Defaulted {

@@ -262,6 +262,147 @@ impl PlacementState {
         Self::new(problem, next).ok()
     }
 
+    /// Whether swapping slots `a` and `b` would produce a valid state,
+    /// decided without allocating or re-validating the whole assignment:
+    /// the workloads must differ and neither may already occupy another
+    /// slot of its destination host. Agrees with
+    /// [`swap`](Self::swap)`.is_some()` for every slot pair.
+    pub fn swap_is_valid(&self, problem: &PlacementProblem, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let wa = self.assignment[a];
+        let wb = self.assignment[b];
+        if wa == wb {
+            return false;
+        }
+        let per_host = problem.slots_per_host();
+        let base_b = problem.host_of_slot(b) * per_host;
+        for s in base_b..base_b + per_host {
+            if s != a && s != b && self.assignment[s] == wa {
+                return false;
+            }
+        }
+        let base_a = problem.host_of_slot(a) * per_host;
+        for s in base_a..base_a + per_host {
+            if s != a && s != b && self.assignment[s] == wb {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Transposes two slots in place, without validity checking — the
+    /// annealer's move/undo primitive (applying the same transposition
+    /// twice restores the state exactly). Callers must have established
+    /// validity via [`swap_is_valid`](Self::swap_is_valid) first.
+    pub(crate) fn swap_in_place(&mut self, a: usize, b: usize) {
+        self.assignment.swap(a, b);
+    }
+
+    /// Copies another state's assignment into this one without
+    /// reallocating — the annealer's best-state snapshot primitive.
+    /// Both states must belong to the same problem.
+    pub(crate) fn copy_assignment_from(&mut self, other: &Self) {
+        self.assignment.copy_from_slice(&other.assignment);
+    }
+
+    /// [`swap_is_valid`](Self::swap_is_valid) with the slot→host map
+    /// supplied as a precomputed table — the annealer's per-iteration
+    /// form, sparing the two divisions. Same decisions, bit for bit.
+    pub(crate) fn swap_is_valid_hosted(
+        &self,
+        per_host: usize,
+        host_of: &[usize],
+        a: usize,
+        b: usize,
+    ) -> bool {
+        if a == b {
+            return false;
+        }
+        let wa = self.assignment[a];
+        let wb = self.assignment[b];
+        if wa == wb {
+            return false;
+        }
+        let base_b = host_of[b] * per_host;
+        for s in base_b..base_b + per_host {
+            if s != a && s != b && self.assignment[s] == wa {
+                return false;
+            }
+        }
+        let base_a = host_of[a] * per_host;
+        for s in base_a..base_a + per_host {
+            if s != a && s != b && self.assignment[s] == wb {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Draws the slot indices of a random valid swap, if one exists
+    /// within `attempts` tries, consuming exactly the same RNG stream as
+    /// [`random_swap`](Self::random_swap).
+    pub(crate) fn random_swap_indices(
+        &self,
+        problem: &PlacementProblem,
+        rng: &mut Rng,
+        attempts: usize,
+    ) -> Option<(usize, usize)> {
+        for _ in 0..attempts {
+            let a = rng.gen_range(0..problem.slots());
+            let b = rng.gen_range(0..problem.slots());
+            if self.swap_is_valid(problem, a, b) {
+                return Some((a, b));
+            }
+        }
+        None
+    }
+
+    /// [`random_swap_indices`](Self::random_swap_indices) with the
+    /// slot→host table precomputed by the caller. Identical RNG
+    /// consumption and identical picks — only the divisions go.
+    pub(crate) fn random_swap_indices_hosted(
+        &self,
+        slots: usize,
+        per_host: usize,
+        host_of: &[usize],
+        rng: &mut Rng,
+        attempts: usize,
+    ) -> Option<(usize, usize)> {
+        for _ in 0..attempts {
+            let a = rng.gen_range(0..slots);
+            let b = rng.gen_range(0..slots);
+            if self.swap_is_valid_hosted(per_host, host_of, a, b) {
+                return Some((a, b));
+            }
+        }
+        None
+    }
+
+    /// [`random_swap_indices`](Self::random_swap_indices) restricted by
+    /// per-app constraints, consuming exactly the same RNG stream as
+    /// [`random_swap_constrained`](Self::random_swap_constrained).
+    pub(crate) fn random_swap_indices_constrained(
+        &self,
+        problem: &PlacementProblem,
+        rng: &mut Rng,
+        attempts: usize,
+        constraints: &PlacementConstraints,
+    ) -> Option<(usize, usize)> {
+        for _ in 0..attempts {
+            let a = rng.gen_range(0..problem.slots());
+            let b = rng.gen_range(0..problem.slots());
+            if !constraints.permits_swap(self, a, b) {
+                continue;
+            }
+            if self.swap_is_valid(problem, a, b) {
+                return Some((a, b));
+            }
+        }
+        None
+    }
+
     /// Draws a random valid swap, if one exists within `attempts` tries.
     pub fn random_swap(
         &self,
@@ -269,14 +410,8 @@ impl PlacementState {
         rng: &mut Rng,
         attempts: usize,
     ) -> Option<Self> {
-        for _ in 0..attempts {
-            let a = rng.gen_range(0..problem.slots());
-            let b = rng.gen_range(0..problem.slots());
-            if let Some(next) = self.swap(problem, a, b) {
-                return Some(next);
-            }
-        }
-        None
+        let (a, b) = self.random_swap_indices(problem, rng, attempts)?;
+        self.swap(problem, a, b)
     }
 
     /// [`random_swap`](Self::random_swap) restricted by per-app
@@ -526,6 +661,89 @@ mod tests {
         assert_eq!(state.workload_at(0), state.workload_at(8));
         assert!(state.swap(&p, 0, 8).is_none());
         assert!(state.swap(&p, 3, 3).is_none());
+    }
+
+    #[test]
+    fn swap_is_valid_agrees_with_swap_everywhere() {
+        // Paper shape plus a 3-slot-per-host shape (same-host swaps and
+        // multi-co-runner doubling checks both exercised).
+        let shapes = vec![
+            problem(),
+            PlacementProblem::new(2, 3, vec!["a".into(), "b".into(), "c".into()]).expect("valid"),
+        ];
+        let mut rng = rng();
+        for p in &shapes {
+            for _ in 0..5 {
+                let state = PlacementState::random(p, &mut rng);
+                for a in 0..p.slots() {
+                    for b in 0..p.slots() {
+                        assert_eq!(
+                            state.swap_is_valid(p, a, b),
+                            state.swap(p, a, b).is_some(),
+                            "swap ({a}, {b}) disagreement on {:?}",
+                            state.assignment()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_in_place_is_its_own_undo() {
+        let p = problem();
+        let mut rng = rng();
+        let original = PlacementState::random(&p, &mut rng);
+        let mut state = original.clone();
+        let (a, b) = original
+            .random_swap_indices(&p, &mut rng, 64)
+            .expect("a swap exists");
+        state.swap_in_place(a, b);
+        assert_ne!(state, original);
+        PlacementState::new(&p, state.assignment().to_vec()).expect("still valid");
+        state.swap_in_place(a, b);
+        assert_eq!(state, original);
+    }
+
+    #[test]
+    fn random_swap_indices_draw_the_same_stream_as_random_swap() {
+        let p = problem();
+        let state = PlacementState::random(&p, &mut rng());
+        let constraints = {
+            let mut c = PlacementConstraints::new();
+            c.pin(2);
+            c
+        };
+        let mut rng_a = Rng::from_seed(77);
+        let mut rng_b = Rng::from_seed(77);
+        for _ in 0..30 {
+            let by_state = state.random_swap(&p, &mut rng_a, 8);
+            let by_index = state.random_swap_indices(&p, &mut rng_b, 8);
+            match (by_state, by_index) {
+                (Some(next), Some((a, b))) => {
+                    let mut applied = state.clone();
+                    applied.swap_in_place(a, b);
+                    assert_eq!(applied, next);
+                }
+                (None, None) => {}
+                (s, i) => panic!("streams diverged: {s:?} vs {i:?}"),
+            }
+            assert_eq!(rng_a, rng_b, "word consumption diverged");
+        }
+        for _ in 0..30 {
+            let by_state = state.random_swap_constrained(&p, &mut rng_a, 8, &constraints);
+            let by_index = state.random_swap_indices_constrained(&p, &mut rng_b, 8, &constraints);
+            match (by_state, by_index) {
+                (Some(next), Some((a, b))) => {
+                    let mut applied = state.clone();
+                    applied.swap_in_place(a, b);
+                    assert_eq!(applied, next);
+                }
+                (None, None) => {}
+                (s, i) => panic!("constrained streams diverged: {s:?} vs {i:?}"),
+            }
+            assert_eq!(rng_a, rng_b, "constrained word consumption diverged");
+        }
     }
 
     #[test]

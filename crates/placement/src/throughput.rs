@@ -3,9 +3,10 @@
 
 use icm_rng::Rng;
 
-use crate::annealing::{anneal_unconstrained, AnnealConfig};
+use crate::annealing::AnnealConfig;
 use crate::error::PlacementError;
 use crate::estimator::Estimator;
+use crate::incremental::{anneal_estimator, SearchGoal};
 use crate::state::PlacementState;
 
 /// Configuration for the throughput-placement study.
@@ -57,17 +58,20 @@ pub fn find_placements(
     estimator: &Estimator<'_>,
     config: &ThroughputConfig,
 ) -> Result<ThroughputPlacements, PlacementError> {
-    let best = anneal_unconstrained(
-        estimator.problem(),
-        |state| Ok(estimator.estimate(state)?.weighted_total),
+    let tracer = icm_obs::Tracer::disabled();
+    let best = anneal_estimator(
+        estimator,
+        SearchGoal::MinWeightedTotal,
         &config.anneal,
+        &tracer,
     )?;
     let mut worst_config = config.anneal;
     worst_config.seed = config.anneal.seed.wrapping_add(1);
-    let worst = anneal_unconstrained(
-        estimator.problem(),
-        |state| Ok(-estimator.estimate(state)?.weighted_total),
+    let worst = anneal_estimator(
+        estimator,
+        SearchGoal::MaxWeightedTotal,
         &worst_config,
+        &tracer,
     )?;
     let mut rng = Rng::from_seed(config.anneal.seed.wrapping_add(2));
     let randoms = (0..config.random_samples)

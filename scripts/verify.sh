@@ -51,6 +51,12 @@ echo "verify: fault-injection smoke OK"
 ./target/release/icm-experiments recovery --fast --quiet \
     --trace "$SMOKE/recovery-b.jsonl" > /dev/null
 ./target/release/icm-trace diff "$SMOKE/recovery-a.jsonl" "$SMOKE/recovery-b.jsonl"
+# Anneal-determinism smoke: every search the manager launches runs the
+# default two parallel lanes, and the same-seed byte-identical diff
+# above proves the lane merge is deterministic — but only if the lanes
+# actually ran. Check the serialized span-start marker.
+grep -q '"lanes":2' "$SMOKE/recovery-a.jsonl" \
+    || { echo "verify: no lane-parallel anneal spans in the recovery trace" >&2; exit 1; }
 ./target/release/icm-trace summarize "$SMOKE/recovery-a.jsonl" \
     | grep -q "action migrate" \
     || { echo "verify: no manager actions in the recovery trace" >&2; exit 1; }
