@@ -7,7 +7,7 @@ use icm_bench::{black_box, Bench};
 use icm_core::model::ModelBuilder;
 use icm_core::{DriftConfig, OnlineModel};
 use icm_manager::{run_managed, run_unmanaged, Fleet, ManagedApp, ManagerConfig};
-use icm_obs::Tracer;
+use icm_obs::{Telemetry, TelemetryConfig, TelemetrySink, Tracer};
 use icm_placement::QosConfig;
 use icm_simcluster::{CrashWindow, FaultPlan};
 use icm_workloads::{Catalog, SimTestbedAdapter, TestbedBuilder};
@@ -75,6 +75,19 @@ fn main() {
         let mut fleet = base_fleet.clone();
         run_managed(tb.sim_mut(), &mut fleet, &cfg, &Tracer::disabled()).expect("runs")
     });
+
+    // Same quiet horizon with streaming telemetry attached: the cost of
+    // the constant-memory aggregation (counter bumps, windowed sketch
+    // observes) on ticks that emit no events at all.
+    let telemetry = Telemetry::new(TelemetryConfig::default());
+    let telemetry_tracer = Tracer::with_telemetry(TelemetrySink::new(telemetry.clone()));
+    b.bench("manager/quiet/managed+telemetry", || {
+        let mut tb = base_tb.clone();
+        let mut fleet = base_fleet.clone();
+        tb.sim_mut().set_tracer(telemetry_tracer.clone());
+        run_managed(tb.sim_mut(), &mut fleet, &cfg, &telemetry_tracer).expect("runs")
+    });
+    black_box(telemetry.events());
 
     // Crash horizon: discover the initial placement once, then script a
     // permanent outage on an occupied host two ticks in.

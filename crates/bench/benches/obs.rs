@@ -4,7 +4,8 @@
 //! benches, which run with the default disabled tracer).
 
 use icm_bench::{black_box, Bench};
-use icm_obs::{NullSink, Tracer, Value};
+use icm_obs::{NullSink, QuantileSketch, Tracer, Value};
+use icm_rng::Rng;
 use icm_workloads::{Catalog, TestbedBuilder};
 
 fn main() {
@@ -38,6 +39,33 @@ fn main() {
         let _scope = profiled.wall_scope("bench.scope");
     });
     black_box(profiled.wall_profile());
+
+    // Streaming quantile sketch: one observe is an IEEE-754 bit shift
+    // plus a BTreeMap bump; one merge is bucket-wise addition across
+    // two sketches of the same stream.
+    let mut rng = Rng::from_seed(0x0B5);
+    let values: Vec<f64> = (0..1024).map(|_| rng.gen_f64() * 900.0 + 0.5).collect();
+    let mut sketch = QuantileSketch::new();
+    let mut cursor = 0usize;
+    b.bench("obs/sketch/observe", || {
+        sketch.observe(values[cursor & 1023]);
+        cursor += 1;
+    });
+    black_box(sketch.quantile(0.99));
+
+    let (mut left, mut right) = (QuantileSketch::new(), QuantileSketch::new());
+    for (index, value) in values.iter().enumerate() {
+        if index % 2 == 0 {
+            left.observe(*value);
+        } else {
+            right.observe(*value);
+        }
+    }
+    b.bench("obs/sketch/merge", || {
+        let mut merged = left.clone();
+        merged.merge(&right);
+        black_box(merged.count())
+    });
 
     // The real question: does an attached-but-null tracer change the
     // cost of a full simulated run?

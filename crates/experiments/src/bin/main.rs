@@ -17,18 +17,24 @@
 //! per-span wall-time histograms — a side channel that never enters the
 //! deterministic trace, so traces stay byte-identical whether or not
 //! profiling is on.
+//!
+//! `--telemetry FILE` folds the event stream into constant-memory
+//! aggregates (windowed rollups, quantile sketches, health snapshots —
+//! see `icm-obs`) and writes them as one JSON document. Alone it
+//! *replaces* raw tracing (no JSONL grows); combined with `--trace` it
+//! tees, and the raw trace stays byte-identical to a telemetry-off run.
 
 use std::process::ExitCode;
 
 use icm_experiments::results::ResultsDoc;
 use icm_experiments::{ExpConfig, Experiment};
-use icm_obs::{Tracer, Value};
+use icm_obs::{JsonlSink, Telemetry, TelemetryConfig, TelemetrySink, Tracer, Value};
 
 fn usage() -> String {
     let ids: Vec<&str> = Experiment::ALL.iter().map(Experiment::id).collect();
     format!(
         "usage: icm-experiments <id>... [--fast] [--seed N] [--json DIR] [--results FILE]\n\
-         \x20                       [--trace FILE] [--profile FILE] [--quiet]\n\
+         \x20                       [--trace FILE] [--telemetry FILE] [--profile FILE] [--quiet]\n\
          \x20      icm-experiments all [--fast]\n\
          \x20      icm-experiments list\n\
          \n\
@@ -63,6 +69,7 @@ fn main() -> ExitCode {
     let mut results_path: Option<std::path::PathBuf> = None;
     let mut trace_path: Option<std::path::PathBuf> = None;
     let mut profile_path: Option<std::path::PathBuf> = None;
+    let mut telemetry_path: Option<std::path::PathBuf> = None;
     let mut quiet = false;
 
     let mut i = 0;
@@ -85,6 +92,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 profile_path = Some(std::path::PathBuf::from(path));
+            }
+            "--telemetry" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--telemetry requires a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                telemetry_path = Some(std::path::PathBuf::from(path));
             }
             "--results" => {
                 i += 1;
@@ -152,16 +167,31 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let tracer = match &trace_path {
-        Some(path) => match Tracer::jsonl_file(path) {
-            Ok(tracer) => tracer,
-            Err(err) => {
-                eprintln!("cannot open trace file {}: {err}", path.display());
-                return ExitCode::FAILURE;
+    let telemetry: Option<Telemetry> = telemetry_path
+        .as_ref()
+        .map(|_| Telemetry::new(TelemetryConfig::default()));
+    let tracer = match (&trace_path, &telemetry) {
+        (Some(path), inner_telemetry) => {
+            let sink = match JsonlSink::create(path) {
+                Ok(sink) => sink,
+                Err(err) => {
+                    eprintln!("cannot open trace file {}: {err}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match inner_telemetry {
+                // Tee: aggregate *and* forward, leaving the raw JSONL
+                // byte-identical to a telemetry-off run.
+                Some(telemetry) => {
+                    Tracer::with_telemetry(TelemetrySink::tee(telemetry.clone(), sink))
+                }
+                None => Tracer::with_sink(sink),
             }
-        },
-        None if profile_path.is_some() => Tracer::wall_only(),
-        None => Tracer::disabled(),
+        }
+        // Replace mode: constant-memory aggregates, no raw lines at all.
+        (None, Some(telemetry)) => Tracer::with_telemetry(TelemetrySink::new(telemetry.clone())),
+        (None, None) if profile_path.is_some() => Tracer::wall_only(),
+        (None, None) => Tracer::disabled(),
     };
     if profile_path.is_some() {
         tracer.enable_wall_profiling();
@@ -238,6 +268,27 @@ fn main() -> ExitCode {
         }
     }
     tracer.flush();
+    if let (Some(path), Some(telemetry)) = (&telemetry_path, &telemetry) {
+        // Stamp one final snapshot so short runs that never crossed the
+        // snapshot cadence still carry their end-state health.
+        let stamp = tracer.now();
+        telemetry.snapshot_now(stamp.step, stamp.sim_s);
+        let text = telemetry.to_text();
+        if text.len() > icm_obs::TELEMETRY_BYTE_BUDGET {
+            eprintln!(
+                "[icm] warning: telemetry artifact is {} bytes, over the {} byte budget",
+                text.len(),
+                icm_obs::TELEMETRY_BYTE_BUDGET
+            );
+        }
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("[icm] wrote {}", path.display());
+        }
+    }
     if let Some(path) = &profile_path {
         let profile = tracer.wall_profile().unwrap_or_default();
         let mut text = icm_json::to_string_pretty(&profile);

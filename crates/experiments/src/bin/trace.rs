@@ -17,17 +17,23 @@
 //! `diff` aligns two traces event-by-event and reports the first
 //! divergence (index, mismatch kind, field deltas); it exits zero only
 //! when the traces are event-identical, so it doubles as a determinism
-//! check in CI. Both subcommands exit non-zero on malformed traces,
+//! check in CI. All subcommands exit non-zero on malformed traces,
 //! naming the offending line.
+//!
+//! `flame` reconstructs the span tree (nesting, per-frame totals,
+//! self-time, critical path) and prints an ASCII flamegraph; `--json`
+//! prints the tree as JSON, `--svg` an SVG flamegraph instead.
 
 use std::process::ExitCode;
 
+use icm_experiments::flame::{build_flame, render_ascii, render_svg};
 use icm_experiments::trace::{render, summarize};
 use icm_experiments::tracediff::{diff_traces, render_diff};
 use icm_obs::Event;
 
 const USAGE: &str = "usage: icm-trace summarize <trace.jsonl> [--json]\n\
                      \x20      icm-trace diff <a.jsonl> <b.jsonl> [--json]\n\
+                     \x20      icm-trace flame <trace.jsonl> [--json|--svg]\n\
                      \x20      icm-trace <trace.jsonl> [--json]";
 
 fn read_events(path: &str) -> Result<Vec<Event>, String> {
@@ -64,12 +70,30 @@ fn run_diff(path_a: &str, path_b: &str, json: bool) -> Result<ExitCode, String> 
     })
 }
 
+fn run_flame(path: &str, json: bool, svg: bool) -> Result<ExitCode, String> {
+    let events = read_events(path)?;
+    let graph = build_flame(&events);
+    if json {
+        println!("{}", icm_json::to_string(&graph));
+    } else if svg {
+        print!("{}", render_svg(&graph));
+    } else {
+        print!("{}", render_ascii(&graph));
+    }
+    if events.is_empty() {
+        return Err(format!("{path}: trace contains zero events"));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let mut json = false;
+    let mut svg = false;
     let mut positional: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--svg" => svg = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -90,6 +114,10 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "diff" => match rest {
             [a, b] => run_diff(a, b, json),
             _ => Err("diff takes exactly two trace paths".to_owned()),
+        },
+        Some((cmd, rest)) if cmd == "flame" => match rest {
+            [path] => run_flame(path, json, svg),
+            _ => Err("flame takes exactly one trace path".to_owned()),
         },
         // Legacy form: a bare path means summarize.
         Some((path, [])) => run_summarize(path, json),

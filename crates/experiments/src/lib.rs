@@ -46,6 +46,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig8;
+pub mod flame;
 pub mod placement_common;
 pub mod profiling_source;
 pub mod recovery;

@@ -591,6 +591,18 @@ fn run(
     let mut all_actions: Vec<ActionRecord> = Vec::new();
 
     for tick in 1..=config.ticks {
+        // Telemetry-only bookkeeping: quiet ticks are contractually
+        // silent in the event stream, so tick counts and per-tick
+        // violation time flow through the non-event telemetry path.
+        tracer.telemetry_count(
+            if managed {
+                "manager.ticks.managed"
+            } else {
+                "manager.ticks.baseline"
+            },
+            1,
+        );
+        let violation_before_tick = violation_seconds;
         let mut sup = Supervisor {
             tracer,
             managed,
@@ -793,6 +805,10 @@ fn run(
             Err(err) => return Err(err.into()),
         }
 
+        tracer.telemetry_observe(
+            "manager.tick.violation_s",
+            violation_seconds - violation_before_tick,
+        );
         all_detections.append(&mut sup.detections);
         all_actions.append(&mut sup.actions);
     }

@@ -58,15 +58,22 @@ use std::rc::Rc;
 
 use icm_json::{FromJson, Json, JsonError, ToJson};
 
+pub mod bucket;
 pub mod manager;
 mod metrics;
 mod reader;
 mod sink;
+mod sketch;
+mod telemetry;
 mod wall;
 
 pub use metrics::{Histogram, Metrics};
 pub use reader::{parse_events, read_jsonl_file, TraceError};
 pub use sink::{JsonlSink, NullSink, Recorder, SharedBuf, Sink};
+pub use sketch::{QuantileSketch, DEFAULT_MAX_BUCKETS};
+pub use telemetry::{
+    HealthSnapshot, Telemetry, TelemetryConfig, TelemetrySink, TELEMETRY_BYTE_BUDGET,
+};
 pub use wall::{WallProfile, WallStats, WALL_BOUNDS_NS};
 
 /// A typed field value attached to an [`Event`].
@@ -308,9 +315,14 @@ impl Clock {
         }
     }
 
-    /// Adds simulated seconds (negative or non-finite deltas are
-    /// ignored so a buggy caller cannot rewind the clock).
+    /// Adds simulated seconds. A negative, NaN or infinite delta is a
+    /// caller bug: debug builds panic on it; release builds saturate to
+    /// a no-op so a buggy caller can never rewind or poison the clock.
     pub fn advance_sim(&mut self, seconds: f64) {
+        debug_assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "Clock::advance_sim: invalid delta {seconds} (release builds ignore it)"
+        );
         if seconds.is_finite() && seconds > 0.0 {
             self.sim_s += seconds;
         }
@@ -333,6 +345,10 @@ struct Inner {
     /// sink but never writes through it, so enabling it cannot change
     /// the deterministic event stream.
     wall: Option<WallProfile>,
+    /// Telemetry aggregation handle (`None` unless constructed via
+    /// [`Tracer::with_telemetry`]). Direct observations through it
+    /// never touch the event stream — see `telemetry.rs`.
+    telemetry: Option<Telemetry>,
 }
 
 /// Cloneable handle instrumented code emits through.
@@ -373,8 +389,24 @@ impl Tracer {
                 sink: Box::new(sink),
                 next_span: 0,
                 wall: None,
+                telemetry: None,
             }))),
         }
+    }
+
+    /// Wraps a [`TelemetrySink`] and keeps a handle onto its shared
+    /// [`Telemetry`] accumulator, enabling the direct
+    /// [`telemetry_count`](Self::telemetry_count) /
+    /// [`telemetry_observe`](Self::telemetry_observe) /
+    /// [`telemetry_merge_sketch`](Self::telemetry_merge_sketch) paths
+    /// in addition to event-stream aggregation.
+    pub fn with_telemetry(sink: TelemetrySink) -> Self {
+        let handle = sink.handle();
+        let tracer = Self::with_sink(sink);
+        if let Some(inner) = &tracer.inner {
+            inner.borrow_mut().telemetry = Some(handle);
+        }
+        tracer
     }
 
     /// A tracer recording into an in-memory ring buffer of `capacity`
@@ -535,6 +567,42 @@ impl Tracer {
             inner.borrow_mut().sink.flush();
         }
     }
+
+    /// The attached telemetry accumulator, if this tracer was built
+    /// with [`with_telemetry`](Self::with_telemetry). Hot paths with
+    /// expensive aggregation (e.g. per-iteration sketches) should check
+    /// this first, mirroring [`enabled`](Self::enabled).
+    pub fn telemetry(&self) -> Option<Telemetry> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.borrow().telemetry.clone())
+    }
+
+    /// Adds `n` to a telemetry health counter. Emits **no** event — the
+    /// raw trace of a telemetry-on run stays byte-identical to a
+    /// telemetry-off run. No-op without attached telemetry.
+    pub fn telemetry_count(&self, name: &str, n: u64) {
+        if let Some(telemetry) = self.telemetry() {
+            telemetry.count(name, n);
+        }
+    }
+
+    /// Observes one value into a telemetry series at the current
+    /// simulated time. Emits **no** event. No-op without telemetry.
+    pub fn telemetry_observe(&self, name: &str, value: f64) {
+        if let Some(telemetry) = self.telemetry() {
+            telemetry.observe(name, self.now().sim_s, value);
+        }
+    }
+
+    /// Merges a pre-built sketch (e.g. built on a worker thread) into a
+    /// telemetry series — the exact-merge path the anneal lanes use.
+    /// Emits **no** event. No-op without telemetry.
+    pub fn telemetry_merge_sketch(&self, name: &str, sketch: &QuantileSketch) {
+        if let Some(telemetry) = self.telemetry() {
+            telemetry.merge_series_sketch(name, self.now().sim_s, sketch);
+        }
+    }
 }
 
 /// Guard for an open span; see [`Tracer::span`].
@@ -640,13 +708,50 @@ mod tests {
     }
 
     #[test]
-    fn clock_ignores_bad_deltas() {
+    fn clock_accepts_zero_and_positive_deltas() {
         let mut clock = Clock::new();
-        clock.advance_sim(-1.0);
-        clock.advance_sim(f64::NAN);
+        clock.advance_sim(0.0);
         assert_eq!(clock.now().sim_s, 0.0);
         clock.advance_sim(3.0);
         assert_eq!(clock.now().sim_s, 3.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "advance_sim")]
+    fn clock_panics_on_negative_delta_in_debug() {
+        Clock::new().advance_sim(-1.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "advance_sim")]
+    fn clock_panics_on_nan_delta_in_debug() {
+        Clock::new().advance_sim(f64::NAN);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn clock_saturates_bad_deltas_in_release() {
+        let mut clock = Clock::new();
+        clock.advance_sim(-1.0);
+        clock.advance_sim(f64::NAN);
+        clock.advance_sim(f64::INFINITY);
+        assert_eq!(clock.now().sim_s, 0.0, "bad deltas must be no-ops");
+        clock.advance_sim(3.0);
+        assert_eq!(clock.now().sim_s, 3.0);
+    }
+
+    #[test]
+    fn telemetry_is_absent_unless_attached() {
+        let (tracer, recorder) = Tracer::recording(4);
+        assert!(tracer.telemetry().is_none());
+        // The direct paths are inert — no telemetry and no events.
+        tracer.telemetry_count("x", 1);
+        tracer.telemetry_observe("y", 1.0);
+        tracer.telemetry_merge_sketch("z", &QuantileSketch::new());
+        assert!(recorder.events().is_empty());
+        assert!(Tracer::disabled().telemetry().is_none());
     }
 
     #[test]

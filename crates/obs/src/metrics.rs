@@ -57,12 +57,7 @@ impl Histogram {
     /// Records one observation (non-finite values are counted in
     /// `count` extremes but placed in the overflow bucket).
     pub fn observe(&mut self, value: f64) {
-        let idx = self
-            .bounds
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(self.bounds.len());
-        self.counts[idx] += 1;
+        self.counts[crate::bucket::fixed_index(&self.bounds, &value)] += 1;
         self.count += 1;
         if value.is_finite() {
             self.sum += value;

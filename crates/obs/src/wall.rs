@@ -57,11 +57,7 @@ impl WallStats {
     /// Records one wall duration.
     pub fn record(&mut self, elapsed: Duration) {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        let idx = WALL_BOUNDS_NS
-            .iter()
-            .position(|&b| ns <= b)
-            .unwrap_or(WALL_BOUNDS_NS.len());
-        self.buckets[idx] += 1;
+        self.buckets[crate::bucket::fixed_index(&WALL_BOUNDS_NS, &ns)] += 1;
         self.count += 1;
         self.total_ns = self.total_ns.saturating_add(ns);
         self.min_ns = self.min_ns.min(ns);

@@ -10,7 +10,7 @@
 //! independent lanes in parallel on seed-split RNG streams with a
 //! deterministic merge — see [`AnnealConfig::lanes`].
 
-use icm_obs::{Tracer, Value};
+use icm_obs::{QuantileSketch, Tracer, Value};
 use icm_rng::Rng;
 
 use crate::error::PlacementError;
@@ -179,6 +179,10 @@ struct LaneOutcome {
     best_iteration: usize,
     final_temperature: f64,
     trace: Vec<IterTrace>,
+    /// Candidate-cost sketch, collected only when telemetry is attached.
+    /// Built lane-locally (the sketch is `Send`, the telemetry handle is
+    /// not) and merged exactly on the main thread.
+    sketch: Option<QuantileSketch>,
 }
 
 /// The per-lane search loop: walks `config.iterations` candidate swaps
@@ -188,6 +192,7 @@ struct LaneOutcome {
 /// once per iteration — including iterations that found no valid swap or
 /// rejected on feasibility — so the schedule is a pure function of the
 /// iteration count, never of the acceptance trajectory.
+#[allow(clippy::too_many_arguments)]
 fn run_lane<O: Objective>(
     problem: &PlacementProblem,
     mut objective: O,
@@ -196,8 +201,13 @@ fn run_lane<O: Objective>(
     mut current: PlacementState,
     constraints: Option<&PlacementConstraints>,
     record: bool,
+    collect_sketch: bool,
 ) -> Result<LaneOutcome, PlacementError> {
     let start = objective.reset(&current)?;
+    let mut sketch = collect_sketch.then(QuantileSketch::new);
+    if let Some(s) = sketch.as_mut() {
+        s.observe(start.cost);
+    }
     let mut current_cost = start.cost;
     let mut current_violation = start.violation;
     let mut evaluations = 1usize;
@@ -247,6 +257,9 @@ fn run_lane<O: Objective>(
         current.swap_in_place(a, b);
         let eval = objective.probe(&current, a, b)?;
         evaluations += 1;
+        if let Some(s) = sketch.as_mut() {
+            s.observe(eval.cost);
+        }
 
         let improves = eval.cost < current_cost;
         let accept = if current_violation > 0.0 {
@@ -318,6 +331,7 @@ fn run_lane<O: Objective>(
         best_iteration,
         final_temperature: temperature,
         trace,
+        sketch,
     })
 }
 
@@ -345,6 +359,7 @@ where
         ));
     }
     let record = tracer.enabled();
+    let collect_sketch = tracer.telemetry().is_some();
     let lane_body = |k: usize| -> Result<LaneOutcome, PlacementError> {
         let mut rng = Rng::from_seed(icm_rng::split_seed(config.seed, k as u64));
         let start = match warm {
@@ -360,8 +375,18 @@ where
                 start,
                 Some(c),
                 record,
+                collect_sketch,
             ),
-            None => run_lane(problem, objectives(k), config, rng, start, None, record),
+            None => run_lane(
+                problem,
+                objectives(k),
+                config,
+                rng,
+                start,
+                None,
+                record,
+                collect_sketch,
+            ),
         }
     };
 
@@ -389,6 +414,19 @@ where
     let mut lanes = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
         lanes.push(outcome?);
+    }
+
+    if collect_sketch {
+        // Exact cross-lane merge: each lane sketched its candidate costs
+        // on its own thread; merging the integer bucket counts here loses
+        // nothing and keeps the telemetry handle on the main thread.
+        let mut merged = QuantileSketch::new();
+        for lane in &lanes {
+            if let Some(sketch) = &lane.sketch {
+                merged.merge(sketch);
+            }
+        }
+        tracer.telemetry_merge_sketch("anneal.cost", &merged);
     }
 
     let mut winner = 0usize;

@@ -2,28 +2,35 @@
 //! summary) from `icm-experiments` results.
 //!
 //! ```text
-//! icm-report <results.json> [--out FILE] [--text] [--profile FILE] [--strict]
+//! icm-report <results.json> [--out FILE] [--text] [--profile FILE]
+//!                           [--telemetry FILE] [--flame TRACE] [--strict]
 //! ```
 //!
 //! By default writes `report.html` next to the working directory. With
 //! `--text` the plain-text summary goes to stdout instead (and no HTML
 //! is written unless `--out` is also given). `--profile FILE` folds a
-//! `profile.json` wall-time document into the page. `--strict` exits
-//! non-zero when any section's verdict is an outright failure — the CI
-//! hook for paper-fidelity regressions.
+//! `profile.json` wall-time document into the page; `--telemetry FILE`
+//! folds a `--telemetry` artifact (its verdict enforces the byte-budget
+//! contract); `--flame TRACE` reconstructs the span tree of a JSONL
+//! trace into an SVG flamegraph section. `--strict` exits non-zero when
+//! any section's verdict is an outright failure — the CI hook for
+//! paper-fidelity regressions.
 
 use std::process::ExitCode;
 
+use icm_experiments::flame::{flame_from_file, FlameGraph};
 use icm_experiments::results::ResultsDoc;
 use icm_report::{build_report, render_html, render_text};
 
-const USAGE: &str =
-    "usage: icm-report <results.json> [--out FILE] [--text] [--profile FILE] [--strict]";
+const USAGE: &str = "usage: icm-report <results.json> [--out FILE] [--text] [--profile FILE]\n\
+                     \x20                            [--telemetry FILE] [--flame TRACE] [--strict]";
 
 fn run() -> Result<ExitCode, String> {
     let mut results_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
+    let mut flame_path: Option<String> = None;
     let mut text_mode = false;
     let mut strict = false;
 
@@ -46,6 +53,22 @@ fn run() -> Result<ExitCode, String> {
                 profile_path = Some(
                     args.get(i)
                         .ok_or_else(|| "--profile requires a file".to_owned())?
+                        .clone(),
+                );
+            }
+            "--telemetry" => {
+                i += 1;
+                telemetry_path = Some(
+                    args.get(i)
+                        .ok_or_else(|| "--telemetry requires a file".to_owned())?
+                        .clone(),
+                );
+            }
+            "--flame" => {
+                i += 1;
+                flame_path = Some(
+                    args.get(i)
+                        .ok_or_else(|| "--flame requires a trace file".to_owned())?
                         .clone(),
                 );
             }
@@ -75,7 +98,19 @@ fn run() -> Result<ExitCode, String> {
         }
     };
 
-    let report = build_report(&doc, profile.as_ref());
+    let telemetry: Option<icm_json::Json> = match &telemetry_path {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(icm_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+    };
+    let flame: Option<FlameGraph> = match &flame_path {
+        None => None,
+        Some(path) => Some(flame_from_file(std::path::Path::new(path))?),
+    };
+
+    let report = build_report(&doc, profile.as_ref(), telemetry.as_ref(), flame.as_ref());
 
     if text_mode {
         print!("{}", render_text(&report));

@@ -24,6 +24,7 @@ use icm_experiments::fig10::Fig10Result;
 use icm_experiments::fig11::Fig11Result;
 use icm_experiments::fig2::Fig2Result;
 use icm_experiments::fig3::Fig3Result;
+use icm_experiments::flame::FlameGraph;
 use icm_experiments::recovery::RecoveryResult;
 use icm_experiments::results::ResultsDoc;
 use icm_experiments::robustness::RobustnessResult;
@@ -678,9 +679,210 @@ fn profile_section(profile: &Json) -> Section {
     }
 }
 
-/// Builds the full report from a results document (and, optionally, a
-/// `profile.json` wall-time document).
-pub fn build_report(doc: &ResultsDoc, profile: Option<&Json>) -> Report {
+/// Builds the streaming-telemetry section from a telemetry artifact
+/// (the `--telemetry` output of `icm-experiments`). The verdict checks
+/// the artifact's own byte-budget contract: the serialized document
+/// must fit under the `budget_bytes` it declares.
+fn telemetry_section(telemetry: &Json) -> Section {
+    let size = telemetry.to_text().len() + 1; // newline-terminated on disk
+    let budget = telemetry
+        .get("budget_bytes")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as usize;
+    let events = telemetry
+        .get("events")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let snapshots = telemetry
+        .get("snapshots")
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len);
+
+    let mut series: Vec<(String, f64, f64, f64, f64, f64)> = Vec::new();
+    if let Some(all) = telemetry.get("series").and_then(Json::as_object) {
+        for (name, s) in all {
+            let num = |key: &str| s.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+            series.push((
+                name.clone(),
+                num("count"),
+                num("p50"),
+                num("p99"),
+                num("min"),
+                num("max"),
+            ));
+        }
+    }
+    // Busiest series first; ties break on name so output is stable.
+    series.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    let chart = BarChart {
+        width: 560.0,
+        height: 240.0,
+        x_label: "series".to_owned(),
+        y_label: "observations".to_owned(),
+        group_labels: series.iter().take(8).map(|s| s.0.clone()).collect(),
+        series: vec![BarSeries {
+            label: "observations".to_owned(),
+            color: "var(--c1)".to_owned(),
+            values: series.iter().take(8).map(|s| s.1).collect(),
+        }],
+        hline: None,
+    };
+    let mut table = vec![vec![
+        "series".to_owned(),
+        "count".to_owned(),
+        "p50".to_owned(),
+        "p99".to_owned(),
+        "min".to_owned(),
+        "max".to_owned(),
+    ]];
+    for (name, count, p50, p99, min, max) in &series {
+        table.push(vec![
+            name.clone(),
+            svg::fmt_value(*count),
+            svg::fmt_value(*p50),
+            svg::fmt_value(*p99),
+            svg::fmt_value(*min),
+            svg::fmt_value(*max),
+        ]);
+    }
+    let mut chart = chart_from_bar("busiest telemetry series", &chart);
+    chart.table = table;
+
+    let mut notes = vec![format!(
+        "{events} events folded, {snapshots} health snapshots retained"
+    )];
+    if let Some(counters) = telemetry
+        .get("health")
+        .and_then(|h| h.get("counters"))
+        .and_then(Json::as_object)
+    {
+        for (name, value) in counters {
+            notes.push(format!(
+                "{name}: {}",
+                svg::fmt_value(value.as_f64().unwrap_or(0.0))
+            ));
+        }
+    }
+
+    let verdict = if budget == 0 {
+        Verdict {
+            status: Status::Fail,
+            detail: "telemetry document declares no byte budget".to_owned(),
+        }
+    } else if size > budget {
+        Verdict {
+            status: Status::Fail,
+            detail: format!("telemetry artifact is {size} bytes, over its {budget} byte budget"),
+        }
+    } else {
+        Verdict {
+            status: Status::Pass,
+            detail: format!(
+                "{} series in {size} bytes (budget {budget}) — constant-memory aggregation holds",
+                series.len()
+            ),
+        }
+    };
+    Section {
+        id: "telemetry".to_owned(),
+        title: "Streaming telemetry".to_owned(),
+        claim: "Windowed rollups, quantile sketches and health snapshots summarize a \
+                run of any length in a bounded artifact — the raw trace can be \
+                replaced (or teed) without losing the p50/p99 story."
+            .to_owned(),
+        verdict,
+        charts: vec![chart],
+        notes,
+    }
+}
+
+/// Builds the span-flamegraph section from a reconstructed span tree
+/// (the `--flame` input, an `icm-experiments --trace` JSONL file).
+fn flame_section(graph: &FlameGraph) -> Section {
+    let svg_markup = icm_experiments::flame::render_svg(graph);
+    let mut table = vec![vec![
+        "frame".to_owned(),
+        "count".to_owned(),
+        "total sim s".to_owned(),
+        "steps".to_owned(),
+    ]];
+    let mut frames: Vec<(String, u64, f64, u64)> = Vec::new();
+    fn walk(
+        prefix: &str,
+        children: &std::collections::BTreeMap<String, icm_experiments::flame::FlameNode>,
+        out: &mut Vec<(String, u64, f64, u64)>,
+    ) {
+        for (name, node) in children {
+            let path = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}/{name}")
+            };
+            out.push((path.clone(), node.count, node.sim_s, node.steps));
+            walk(&path, &node.children, out);
+        }
+    }
+    walk("", &graph.root.children, &mut frames);
+    frames.sort_by(|a, b| {
+        b.2.total_cmp(&a.2)
+            .then_with(|| b.3.cmp(&a.3))
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    for (path, count, sim_s, steps) in frames.iter().take(12) {
+        table.push(vec![
+            path.clone(),
+            count.to_string(),
+            svg::fmt_value(*sim_s),
+            steps.to_string(),
+        ]);
+    }
+    let critical = graph.critical_path();
+    let verdict = if graph.is_empty() {
+        Verdict {
+            status: Status::Missing,
+            detail: "trace contains no completed spans".to_owned(),
+        }
+    } else {
+        Verdict {
+            status: Status::Pass,
+            detail: format!(
+                "{} frames; critical path: {}",
+                frames.len(),
+                critical.join(" → ")
+            ),
+        }
+    };
+    Section {
+        id: "flame".to_owned(),
+        title: "Span flamegraph".to_owned(),
+        claim: "Trace spans nest into a tree whose weights are simulated seconds — \
+                the same trace always renders the same flamegraph, and the critical \
+                path names where the simulated time went."
+            .to_owned(),
+        verdict,
+        charts: vec![Chart {
+            caption: "span tree (hover a frame for totals)".to_owned(),
+            svg: svg_markup,
+            legend: Vec::new(),
+            table,
+        }],
+        notes: Vec::new(),
+    }
+}
+
+/// Builds the full report from a results document and the optional side
+/// documents: a `profile.json` wall-time dump, a `--telemetry` artifact
+/// and a reconstructed span flamegraph.
+pub fn build_report(
+    doc: &ResultsDoc,
+    profile: Option<&Json>,
+    telemetry: Option<&Json>,
+    flame: Option<&FlameGraph>,
+) -> Report {
     let mut sections = vec![
         fig2_section(doc),
         fig3_section(doc),
@@ -692,6 +894,12 @@ pub fn build_report(doc: &ResultsDoc, profile: Option<&Json>) -> Report {
     ];
     if let Some(profile) = profile {
         sections.push(profile_section(profile));
+    }
+    if let Some(telemetry) = telemetry {
+        sections.push(telemetry_section(telemetry));
+    }
+    if let Some(flame) = flame {
+        sections.push(flame_section(flame));
     }
     Report {
         seed: doc.seed,
@@ -752,7 +960,7 @@ mod tests {
 
     #[test]
     fn report_marks_absent_experiments_missing() {
-        let report = build_report(&doc_with_fig2(), None);
+        let report = build_report(&doc_with_fig2(), None, None, None);
         assert_eq!(report.sections.len(), 7);
         assert_eq!(report.sections[0].verdict.status, Status::Pass);
         assert!(report.sections[1..]
@@ -764,7 +972,7 @@ mod tests {
 
     #[test]
     fn html_is_self_contained_and_deterministic() {
-        let report = build_report(&doc_with_fig2(), None);
+        let report = build_report(&doc_with_fig2(), None, None, None);
         let page = render_html(&report);
         assert_eq!(page, render_html(&report), "byte-identical rendering");
         assert!(page.contains("Figure 2"));
@@ -777,7 +985,7 @@ mod tests {
 
     #[test]
     fn text_mode_summarizes_verdicts() {
-        let report = build_report(&doc_with_fig2(), None);
+        let report = build_report(&doc_with_fig2(), None, None, None);
         let text = render_text(&report);
         assert!(text.contains("pass"));
         assert!(text.contains("missing"));
@@ -788,10 +996,74 @@ mod tests {
     fn corrupt_result_fails_loudly_not_silently() {
         let mut doc = ResultsDoc::new(1, true);
         doc.push("fig2", Json::String("not a fig2 result".to_owned()));
-        let report = build_report(&doc, None);
+        let report = build_report(&doc, None, None, None);
         assert_eq!(report.sections[0].verdict.status, Status::Fail);
         assert!(report.has_failures());
         assert!(report.sections[0].verdict.detail.contains("cannot parse"));
+    }
+
+    #[test]
+    fn telemetry_section_enforces_the_byte_budget() {
+        let telemetry: Json = icm_json::from_str(
+            r#"{"budget_bytes":262144,"window_s":600,"snapshot_every_s":3000,"events":12,
+                "dropped":{"series":0,"keys":0,"snapshots":0},
+                "health":{"step":12,"sim_s":100,"events":12,
+                          "counters":{"manager.ticks.managed":4},"sums":{},
+                          "recovery_latency":{"count":0,"low":0,"non_finite":0,"collapsed":0,
+                                              "sum":0,"min":0,"max":0,"error":0.015625,"buckets":[]}},
+                "series":{"testbed.run_s":{"count":12,"sum":120,"min":10,"max":10,
+                                           "p50":10,"p99":10,"dropped_windows":0,
+                                           "sketch":{},"windows":[]}},
+                "snapshots":[]}"#,
+        )
+        .expect("parses");
+        let section = telemetry_section(&telemetry);
+        assert_eq!(section.verdict.status, Status::Pass);
+        assert!(section.verdict.detail.contains("budget 262144"));
+        assert!(section
+            .notes
+            .iter()
+            .any(|n| n.contains("manager.ticks.managed")));
+        assert_eq!(section.charts[0].table[1][0], "testbed.run_s");
+
+        let over: Json = icm_json::from_str(r#"{"budget_bytes":8,"events":1}"#).expect("parses");
+        let section = telemetry_section(&over);
+        assert_eq!(section.verdict.status, Status::Fail, "over budget fails");
+    }
+
+    #[test]
+    fn flame_section_embeds_the_svg_and_critical_path() {
+        let (tracer, recorder) = icm_obs::Tracer::recording(16);
+        let outer = tracer.span("deploy", &[]);
+        let inner = tracer.span("run", &[]);
+        tracer.advance_sim(5.0);
+        inner.end();
+        outer.end();
+        let graph = icm_experiments::flame::build_flame(&recorder.events());
+        let section = flame_section(&graph);
+        assert_eq!(section.verdict.status, Status::Pass);
+        assert!(section.verdict.detail.contains("deploy → run"));
+        assert!(section.charts[0].svg.starts_with("<svg"));
+        assert_eq!(section.charts[0].table[1][0], "deploy");
+        assert_eq!(section.charts[0].table[2][0], "deploy/run");
+
+        let empty = flame_section(&FlameGraph::default());
+        assert_eq!(empty.verdict.status, Status::Missing);
+    }
+
+    #[test]
+    fn optional_sections_append_in_order() {
+        let telemetry: Json =
+            icm_json::from_str(r#"{"budget_bytes":262144,"events":0,"series":{},"snapshots":[]}"#)
+                .expect("parses");
+        let graph = FlameGraph::default();
+        let report = build_report(&doc_with_fig2(), None, Some(&telemetry), Some(&graph));
+        assert_eq!(report.sections.len(), 9);
+        assert_eq!(report.sections[7].id, "telemetry");
+        assert_eq!(report.sections[8].id, "flame");
+        let page = render_html(&report);
+        assert!(page.contains("Streaming telemetry"));
+        assert!(page.contains("Span flamegraph"));
     }
 
     #[test]

@@ -802,6 +802,9 @@ impl SimTestbed {
         }
         self.stats.record(kind, simulated);
         self.tracer.advance_sim(simulated);
+        // Non-event path: run durations flow into the rollup windows even
+        // when raw tracing is off, without adding any event to the stream.
+        self.tracer.telemetry_observe("testbed.run_s", simulated);
         if let Some(span) = span {
             span.end_with(&[("simulated_s", Value::from(simulated))]);
         }
@@ -978,6 +981,8 @@ impl SimTestbed {
         self.stats.restarts += 1;
         self.stats.restart_seconds += restart_cost_s;
         self.tracer.advance_sim(restart_cost_s);
+        self.tracer
+            .telemetry_observe("testbed.restart_s", restart_cost_s);
         if self.tracer.enabled() {
             self.tracer.event(
                 "resume",

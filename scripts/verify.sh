@@ -64,3 +64,27 @@ grep -q '"lanes":2' "$SMOKE/recovery-a.jsonl" \
     --out "$SMOKE/recovery.html" > /dev/null
 test -s "$SMOKE/recovery.html"
 echo "verify: recovery smoke OK"
+
+# Telemetry smoke: the same recovery sweep with streaming telemetry
+# teed alongside the trace must leave the raw trace byte-identical,
+# write a parseable health artifact under the fixed byte budget that a
+# second same-seed run reproduces byte-for-byte, and feed both the
+# flamegraph reconstruction and the strict report gate.
+./target/release/icm-experiments recovery --fast --quiet \
+    --trace "$SMOKE/tel-a.jsonl" --telemetry "$SMOKE/tel-a.json" > /dev/null
+./target/release/icm-experiments recovery --fast --quiet \
+    --telemetry "$SMOKE/tel-b.json" > /dev/null
+./target/release/icm-trace diff "$SMOKE/recovery-a.jsonl" "$SMOKE/tel-a.jsonl"
+cmp "$SMOKE/tel-a.json" "$SMOKE/tel-b.json" \
+    || { echo "verify: same-seed telemetry artifacts diverged" >&2; exit 1; }
+TEL_BYTES=$(wc -c < "$SMOKE/tel-a.json")
+test "$TEL_BYTES" -le 262144 \
+    || { echo "verify: telemetry artifact is $TEL_BYTES bytes, over budget" >&2; exit 1; }
+grep -q '"snapshots"' "$SMOKE/tel-a.json" \
+    || { echo "verify: no health snapshots in the telemetry artifact" >&2; exit 1; }
+./target/release/icm-trace flame "$SMOKE/tel-a.jsonl" > /dev/null
+./target/release/icm-report "$SMOKE/recovery.json" --strict \
+    --telemetry "$SMOKE/tel-a.json" --flame "$SMOKE/tel-a.jsonl" \
+    --out "$SMOKE/telemetry.html" > /dev/null
+test -s "$SMOKE/telemetry.html"
+echo "verify: telemetry smoke OK"

@@ -25,8 +25,8 @@ fn results_doc(seed: u64) -> ResultsDoc {
 
 #[test]
 fn html_report_is_byte_identical_across_same_seed_runs() {
-    let first = render_html(&build_report(&results_doc(2016), None));
-    let second = render_html(&build_report(&results_doc(2016), None));
+    let first = render_html(&build_report(&results_doc(2016), None, None, None));
+    let second = render_html(&build_report(&results_doc(2016), None, None, None));
     assert_eq!(
         first, second,
         "same seed must regenerate a byte-identical report"
@@ -35,7 +35,7 @@ fn html_report_is_byte_identical_across_same_seed_runs() {
 
 #[test]
 fn html_report_covers_the_acceptance_figures_and_is_self_contained() {
-    let html = render_html(&build_report(&results_doc(2016), None));
+    let html = render_html(&build_report(&results_doc(2016), None, None, None));
     for needle in ["Figure 2", "Figure 3", "Figure 11", "<svg"] {
         assert!(html.contains(needle), "report must contain `{needle}`");
     }
@@ -52,7 +52,7 @@ fn html_report_covers_the_acceptance_figures_and_is_self_contained() {
 #[test]
 fn text_report_carries_a_verdict_per_section_and_an_overall_line() {
     let doc = results_doc(2016);
-    let report = build_report(&doc, None);
+    let report = build_report(&doc, None, None, None);
     let text = render_text(&report);
     for needle in ["Figure 2", "Figure 3", "Figure 11", "overall:"] {
         assert!(text.contains(needle), "text report must contain `{needle}`");
