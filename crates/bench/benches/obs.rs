@@ -67,6 +67,26 @@ fn main() {
         black_box(merged.count())
     });
 
+    // Provenance overhead: the cause-linked emission an eventful
+    // manager tick performs, against the same emission without cause
+    // ids. The `causes` array is the only delta, so the pair bounds
+    // what the provenance layer adds to the hot path.
+    let causes = [3u64, 7, 11];
+    let detection_fields = [
+        ("tick", Value::from(4u64)),
+        ("kind", Value::from("drift")),
+        ("score", Value::from(0.31)),
+        ("threshold", Value::from(0.2)),
+        ("streak", Value::from(2u64)),
+        ("app", Value::from("M.milc")),
+    ];
+    b.bench("obs/provenance/baseline", || {
+        black_box(null.event("manager_detection", &detection_fields))
+    });
+    b.bench("obs/provenance/overhead", || {
+        black_box(null.event_caused("manager_detection", &causes, &detection_fields))
+    });
+
     // The real question: does an attached-but-null tracer change the
     // cost of a full simulated run?
     let pressures = vec![4.0; 8];

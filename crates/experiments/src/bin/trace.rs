@@ -23,9 +23,18 @@
 //! `flame` reconstructs the span tree (nesting, per-frame totals,
 //! self-time, critical path) and prints an ASCII flamegraph; `--json`
 //! prints the tree as JSON, `--svg` an SVG flamegraph instead.
+//!
+//! `explain` reconstructs the causal event graph (events carry
+//! deterministic ids and `causes` edges) and answers why the manager
+//! did what it did: `--action N` prints the full chain behind action N
+//! (observations → model update → detection → action → outcome) with
+//! per-hop sim timestamps; `--violations` attributes every
+//! violation-second in the trace to a fault, a mispredict, or manager
+//! latency; with neither flag every action is explained in order.
 
 use std::process::ExitCode;
 
+use icm_experiments::explain::{explain_action, explain_all, explain_violations};
 use icm_experiments::flame::{build_flame, render_ascii, render_svg};
 use icm_experiments::trace::{render, summarize};
 use icm_experiments::tracediff::{diff_traces, render_diff};
@@ -34,6 +43,7 @@ use icm_obs::Event;
 const USAGE: &str = "usage: icm-trace summarize <trace.jsonl> [--json]\n\
                      \x20      icm-trace diff <a.jsonl> <b.jsonl> [--json]\n\
                      \x20      icm-trace flame <trace.jsonl> [--json|--svg]\n\
+                     \x20      icm-trace explain <trace.jsonl> [--action N|--violations]\n\
                      \x20      icm-trace <trace.jsonl> [--json]";
 
 fn read_events(path: &str) -> Result<Vec<Event>, String> {
@@ -86,14 +96,46 @@ fn run_flame(path: &str, json: bool, svg: bool) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn run_explain(path: &str, action: Option<u64>, violations: bool) -> Result<ExitCode, String> {
+    let events = read_events(path)?;
+    let text = if violations {
+        explain_violations(&events)?
+    } else if let Some(n) = action {
+        explain_action(
+            &events,
+            usize::try_from(n).map_err(|_| format!("--action {n} is out of range"))?,
+        )?
+    } else {
+        explain_all(&events)?
+    };
+    print!("{text}");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let mut json = false;
     let mut svg = false;
+    let mut violations = false;
+    let mut action: Option<u64> = None;
+    let mut expect_action_value = false;
     let mut positional: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
+        if expect_action_value {
+            expect_action_value = false;
+            match arg.parse::<u64>() {
+                Ok(n) => action = Some(n),
+                Err(_) => {
+                    eprintln!("icm-trace: --action expects a number, got `{arg}`\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
         match arg.as_str() {
             "--json" => json = true,
             "--svg" => svg = true,
+            "--violations" => violations = true,
+            "--action" => expect_action_value = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -104,6 +146,10 @@ fn main() -> ExitCode {
             }
             other => positional.push(other.to_owned()),
         }
+    }
+    if expect_action_value {
+        eprintln!("icm-trace: --action expects a number\n{USAGE}");
+        return ExitCode::FAILURE;
     }
 
     let outcome = match positional.split_first() {
@@ -118,6 +164,10 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "flame" => match rest {
             [path] => run_flame(path, json, svg),
             _ => Err("flame takes exactly one trace path".to_owned()),
+        },
+        Some((cmd, rest)) if cmd == "explain" => match rest {
+            [path] => run_explain(path, action, violations),
+            _ => Err("explain takes exactly one trace path".to_owned()),
         },
         // Legacy form: a bare path means summarize.
         Some((path, [])) => run_summarize(path, json),

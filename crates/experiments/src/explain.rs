@@ -1,0 +1,378 @@
+//! Causal-graph reconstruction for `icm-trace explain`.
+//!
+//! Events carry deterministic ids (their `step`) and `causes` edges, so
+//! a JSONL trace *is* a causal DAG: observations cause detections,
+//! detections cause actions, actions cause recoveries. This module
+//! rebuilds that graph and renders two operator questions:
+//!
+//! * [`explain_action`] — the full chain behind manager action `N`
+//!   (probes → model update → detection → action → outcome), with
+//!   per-hop simulated timestamps;
+//! * [`explain_violations`] — every violation-second in the trace
+//!   attributed to a fault, a mispredict, or manager latency, with a
+//!   coverage check against the reported run outcomes.
+//!
+//! All output is derived purely from the trace, so same-seed traces
+//! explain byte-identically.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use icm_obs::manager as events;
+use icm_obs::provenance::{CAUSE_FAULT, CAUSE_LATENCY, CAUSE_MISPREDICT, QOS_VIOLATION};
+use icm_obs::{Event, Value};
+
+/// Maximum causal depth rendered — generously past the real chain
+/// (outcome → action → detection → observation), purely a guard against
+/// a malformed trace with cause cycles.
+const MAX_DEPTH: usize = 8;
+
+/// The causal graph of one trace: events indexed by id, plus the
+/// manager's action and recovery events in emission order.
+pub struct CausalGraph<'a> {
+    by_id: BTreeMap<u64, &'a Event>,
+    /// `manager_action` events, in order — `explain --action N` indexes
+    /// this list.
+    pub actions: Vec<&'a Event>,
+    /// `manager_recovery` events, in order.
+    pub recoveries: Vec<&'a Event>,
+}
+
+/// Indexes a trace into a [`CausalGraph`].
+pub fn build_graph(events: &[Event]) -> CausalGraph<'_> {
+    let mut by_id = BTreeMap::new();
+    let mut actions = Vec::new();
+    let mut recoveries = Vec::new();
+    for event in events {
+        by_id.insert(event.step, event);
+        match event.name.as_str() {
+            events::MANAGER_ACTION => actions.push(event),
+            events::MANAGER_RECOVERY => recoveries.push(event),
+            _ => {}
+        }
+    }
+    CausalGraph {
+        by_id,
+        actions,
+        recoveries,
+    }
+}
+
+fn fmt_value(value: &Value) -> String {
+    match value {
+        Value::Bool(b) => b.to_string(),
+        Value::U64(v) => v.to_string(),
+        Value::I64(v) => v.to_string(),
+        Value::F64(v) => format!("{v}"),
+        Value::Str(s) => s.clone(),
+    }
+}
+
+/// One rendered hop: a role label, the salient fields, and the
+/// deterministic timestamps.
+fn hop_line(event: &Event) -> String {
+    let role = match event.name.as_str() {
+        events::MANAGER_ACTION => "action",
+        events::MANAGER_DETECTION => "detection",
+        events::MANAGER_RECOVERY => "outcome",
+        "app_run" => "observation",
+        "fault" => "fault",
+        QOS_VIOLATION => "violation",
+        other => other,
+    };
+    let mut fields = String::new();
+    for (key, value) in &event.fields {
+        let _ = write!(fields, " {key}={}", fmt_value(value));
+    }
+    let extra = if event.name == "app_run" {
+        // The observation hop doubles as the model update: the manager
+        // folds every completed run into its online model.
+        " → model update"
+    } else {
+        ""
+    };
+    format!(
+        "{role}:{fields}{extra} (sim {:.1}s) [event {}]",
+        event.sim_s, event.step
+    )
+}
+
+fn render_chain(graph: &CausalGraph<'_>, event: &Event, depth: usize, out: &mut String) {
+    let _ = writeln!(out, "{}{}", "  ".repeat(depth), hop_line(event));
+    if depth >= MAX_DEPTH {
+        return;
+    }
+    for &cause in &event.causes {
+        match graph.by_id.get(&cause) {
+            Some(parent) => render_chain(graph, parent, depth + 1, out),
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{}(event {cause} not in trace — truncated?)",
+                    "  ".repeat(depth + 1)
+                );
+            }
+        }
+    }
+}
+
+/// Renders the full causal chain behind manager action `n` (0-based
+/// across the trace): the action, every detection that justified it,
+/// each detection's observations, and the eventual recovery outcome.
+///
+/// # Errors
+///
+/// When the trace holds no manager action with that index.
+pub fn explain_action(trace: &[Event], n: usize) -> Result<String, String> {
+    let graph = build_graph(trace);
+    let Some(action) = graph.actions.get(n).copied() else {
+        return Err(format!(
+            "trace has {} manager action(s); --action {n} is out of range",
+            graph.actions.len()
+        ));
+    };
+    let mut out = String::new();
+    let _ = write!(out, "action {n}: ");
+    let header = hop_line(action);
+    let _ = writeln!(out, "{}", header.trim_start_matches("action: "));
+    for &cause in &action.causes {
+        match graph.by_id.get(&cause) {
+            Some(parent) => render_chain(&graph, parent, 1, &mut out),
+            None => {
+                let _ = writeln!(out, "  (event {cause} not in trace — truncated?)");
+            }
+        }
+    }
+    // The outcome points back at the action: a recovery event lists the
+    // ids of every action it closed over.
+    match graph
+        .recoveries
+        .iter()
+        .find(|r| r.causes.contains(&action.step))
+    {
+        Some(recovery) => {
+            let _ = writeln!(out, "{}", hop_line(recovery));
+        }
+        None => {
+            let _ = writeln!(out, "outcome: unresolved at trace end");
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the chains of every manager action in the trace.
+///
+/// # Errors
+///
+/// When the trace holds no manager actions at all.
+pub fn explain_all(trace: &[Event]) -> Result<String, String> {
+    let count = build_graph(trace).actions.len();
+    if count == 0 {
+        return Err("trace holds no manager actions to explain".to_owned());
+    }
+    let mut out = String::new();
+    for n in 0..count {
+        out.push_str(&explain_action(trace, n)?);
+    }
+    Ok(out)
+}
+
+/// Attributes every violation-second in the trace to a cause bucket
+/// (`fault`, `mispredict` or `latency`) and cross-checks the attributed
+/// total against the violation time the run outcomes reported.
+///
+/// # Errors
+///
+/// Never fails on a well-formed trace; a trace whose `qos_violation`
+/// events carry an unknown cause label is reported, not dropped.
+pub fn explain_violations(trace: &[Event]) -> Result<String, String> {
+    let mut buckets: BTreeMap<String, f64> = BTreeMap::new();
+    let mut attributed = 0.0;
+    let mut reported = 0.0;
+    let mut outcomes = 0usize;
+    for event in trace {
+        match event.name.as_str() {
+            QOS_VIOLATION => {
+                let seconds = event.num("violation_s").unwrap_or(0.0);
+                let cause = event.str("cause").unwrap_or("unattributed").to_owned();
+                *buckets.entry(cause).or_insert(0.0) += seconds;
+                attributed += seconds;
+            }
+            events::MANAGER_OUTCOME => {
+                reported += event.num("violation_s").unwrap_or(0.0);
+                outcomes += 1;
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::from("violation attribution\n");
+    // Fixed bucket order (then any stragglers alphabetically) so output
+    // is stable even when a bucket is empty.
+    let known = [CAUSE_FAULT, CAUSE_MISPREDICT, CAUSE_LATENCY];
+    for cause in known {
+        let seconds = buckets.remove(cause).unwrap_or(0.0);
+        let share = if attributed > 0.0 {
+            seconds / attributed * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  {cause:<12} {seconds:>10.1}s  ({share:.1}%)");
+    }
+    for (cause, seconds) in &buckets {
+        let share = if attributed > 0.0 {
+            seconds / attributed * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  {cause:<12} {seconds:>10.1}s  ({share:.1}%)");
+    }
+    if outcomes > 0 {
+        let coverage = if reported > 0.0 {
+            attributed / reported * 100.0
+        } else {
+            100.0
+        };
+        let _ = writeln!(
+            out,
+            "  total        {attributed:>10.1}s attributed of {reported:.1}s reported ({coverage:.1}%)"
+        );
+    } else {
+        let _ = writeln!(out, "  total        {attributed:>10.1}s attributed");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icm_obs::Tracer;
+
+    /// A hand-built managed tick: two observations, a detection citing
+    /// them, an action citing the detection, a recovery citing the
+    /// action, and violation events for the attribution sweep.
+    fn synthetic_trace() -> Vec<Event> {
+        let (tracer, recorder) = Tracer::recording(64);
+        tracer.advance_sim(10.0);
+        let obs_a = tracer.event(
+            "app_run",
+            &[("app", "M.milc".into()), ("normalized", 1.5.into())],
+        );
+        let obs_b = tracer.event(
+            "app_run",
+            &[("app", "M.milc".into()), ("normalized", 1.6.into())],
+        );
+        tracer.event_caused(
+            QOS_VIOLATION,
+            &[obs_b],
+            &[
+                ("tick", 1u64.into()),
+                ("app", "M.milc".into()),
+                ("violation_s", 12.5.into()),
+                ("cause", CAUSE_MISPREDICT.into()),
+            ],
+        );
+        let detection = tracer.event_caused(
+            events::MANAGER_DETECTION,
+            &[obs_a, obs_b],
+            &[
+                ("tick", 1u64.into()),
+                ("kind", "drift".into()),
+                ("score", 0.31.into()),
+                ("threshold", 0.2.into()),
+                ("streak", 2u64.into()),
+                ("app", "M.milc".into()),
+            ],
+        );
+        let action = tracer.event_caused(
+            events::MANAGER_ACTION,
+            &[detection],
+            &[
+                ("tick", 1u64.into()),
+                ("kind", "re_anneal".into()),
+                ("cost_s", 0.0.into()),
+                ("quality", "measured".into()),
+                ("predicted", 1.2.into()),
+            ],
+        );
+        tracer.advance_sim(50.0);
+        tracer.event_caused(
+            events::MANAGER_RECOVERY,
+            &[action],
+            &[("tick", 2u64.into()), ("latency_s", 50.0.into())],
+        );
+        tracer.event(
+            events::MANAGER_OUTCOME,
+            &[
+                ("scenario", "drift".into()),
+                ("managed", true.into()),
+                ("violation_s", 12.5.into()),
+            ],
+        );
+        recorder.events()
+    }
+
+    #[test]
+    fn explain_action_prints_the_full_chain() {
+        let trace = synthetic_trace();
+        let text = explain_action(&trace, 0).expect("action exists");
+        assert!(text.starts_with("action 0: "), "got: {text}");
+        assert!(text.contains("detection:"), "got: {text}");
+        assert!(text.contains("observation:"), "got: {text}");
+        assert!(text.contains("model update"), "got: {text}");
+        assert!(text.contains("outcome:"), "got: {text}");
+        assert!(text.contains("latency_s=50"), "got: {text}");
+        // Per-hop sim timestamps are present.
+        assert!(text.contains("(sim 10.0s)"), "got: {text}");
+        assert!(text.contains("(sim 60.0s)"), "got: {text}");
+        assert_eq!(explain_all(&trace).expect("has actions"), text);
+    }
+
+    #[test]
+    fn explain_action_out_of_range_is_an_error() {
+        let trace = synthetic_trace();
+        let err = explain_action(&trace, 7).expect_err("only one action");
+        assert!(err.contains("1 manager action"), "got: {err}");
+        assert!(explain_all(&[]).is_err());
+    }
+
+    #[test]
+    fn unresolved_actions_say_so() {
+        let mut trace = synthetic_trace();
+        trace.retain(|e| e.name != events::MANAGER_RECOVERY);
+        let text = explain_action(&trace, 0).expect("action exists");
+        assert!(
+            text.contains("outcome: unresolved at trace end"),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn violations_attribute_everything() {
+        let trace = synthetic_trace();
+        let text = explain_violations(&trace).expect("renders");
+        assert!(text.contains("mispredict"), "got: {text}");
+        assert!(text.contains("(100.0%)"), "got: {text}");
+        assert!(
+            text.contains("12.5s attributed of 12.5s reported"),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn violations_render_on_a_quiet_trace() {
+        let text = explain_violations(&[]).expect("renders");
+        assert!(text.contains("0.0s attributed"), "got: {text}");
+    }
+
+    #[test]
+    fn dangling_cause_ids_are_reported_not_fatal() {
+        let (tracer, recorder) = Tracer::recording(8);
+        tracer.event_caused(
+            events::MANAGER_ACTION,
+            &[999],
+            &[("tick", 1u64.into()), ("kind", "migrate".into())],
+        );
+        let text = explain_action(&recorder.events(), 0).expect("renders");
+        assert!(text.contains("not in trace"), "got: {text}");
+    }
+}

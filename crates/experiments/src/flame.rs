@@ -469,6 +469,55 @@ mod tests {
     }
 
     #[test]
+    fn span_never_closed_is_dangling_not_a_frame() {
+        let (tracer, recorder) = Tracer::recording(16);
+        let done = tracer.span("setup", &[]);
+        tracer.advance_sim(1.0);
+        done.end();
+        let open = tracer.span("deploy", &[]);
+        tracer.advance_sim(5.0);
+        std::mem::forget(open); // a run that died mid-span emits no `.end`
+        let graph = build_flame(&recorder.events());
+        assert_eq!(graph.dangling, 1, "open at trace end");
+        assert!(graph.root.children.contains_key("setup"));
+        assert!(
+            !graph.root.children.contains_key("deploy"),
+            "an unclosed span has no measurable duration, so no frame"
+        );
+        assert_eq!(graph.root.sim_s, 1.0, "only completed spans weigh in");
+        assert!(render_ascii(&graph).contains("(1 dangling span events)"));
+    }
+
+    #[test]
+    fn nested_dangling_spans_unwind_under_their_parent() {
+        let (tracer, recorder) = Tracer::recording(32);
+        let outer = tracer.span("deploy", &[]);
+        let mid = tracer.span("run", &[]);
+        let inner = tracer.span("probe", &[]);
+        tracer.advance_sim(4.0);
+        std::mem::forget(mid);
+        std::mem::forget(inner);
+        outer.end();
+        let graph = build_flame(&recorder.events());
+        // `run` and `probe` were still open when `deploy` ended: both
+        // count as dangling, and only `deploy` gets a frame.
+        assert_eq!(graph.dangling, 2);
+        let deploy = graph.root.children.get("deploy").expect("deploy frame");
+        assert_eq!(deploy.sim_s, 4.0);
+        assert!(deploy.children.is_empty(), "unclosed children never land");
+    }
+
+    #[test]
+    fn end_events_without_a_matching_begin_are_dangling() {
+        let (tracer, recorder) = Tracer::recording(16);
+        tracer.event("ghost.end", &[("span", Value::U64(99))]);
+        tracer.event("blank.end", &[]);
+        let graph = build_flame(&recorder.events());
+        assert_eq!(graph.dangling, 2, "unknown id and missing id both count");
+        assert!(graph.is_empty());
+    }
+
+    #[test]
     fn step_weights_kick_in_when_sim_never_advances() {
         let (tracer, recorder) = Tracer::recording(16);
         let span = tracer.span("work", &[]);

@@ -39,6 +39,7 @@
 pub mod ablations;
 pub mod context;
 pub mod ec2;
+pub mod explain;
 pub mod extensions;
 pub mod fig10;
 pub mod fig11;

@@ -65,6 +65,10 @@ pub struct RecoveryPoint {
     pub managed_meets_bound: u64,
     /// Applications meeting their QoS bound at the end, unmanaged.
     pub unmanaged_meets_bound: u64,
+    /// Full decision provenance of the managed run, one record per
+    /// action — the audit section's raw material. Defaults to empty
+    /// when parsing pre-provenance results.
+    pub provenance: Vec<icm_obs::ProvenanceRecord>,
 }
 
 icm_json::impl_json!(struct RecoveryPoint {
@@ -81,7 +85,8 @@ icm_json::impl_json!(struct RecoveryPoint {
     circuit_breaks,
     detections,
     managed_meets_bound,
-    unmanaged_meets_bound
+    unmanaged_meets_bound,
+    provenance = Vec::new()
 });
 
 /// Recovery sweep output.
@@ -262,6 +267,7 @@ pub fn run_traced(cfg: &ExpConfig, tracer: &Tracer) -> Result<RecoveryResult, Ex
             detections: managed.detections.len() as u64,
             managed_meets_bound: meets(&managed),
             unmanaged_meets_bound: meets(&unmanaged),
+            provenance: managed.provenance,
         });
     }
 

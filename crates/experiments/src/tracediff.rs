@@ -227,6 +227,7 @@ mod tests {
             step,
             sim_s: step as f64 * 0.5,
             name: name.to_owned(),
+            causes: Vec::new(),
             fields: fields
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), v.clone()))

@@ -6,6 +6,7 @@
 //! the determinism contract the recovery tests assert.
 
 use icm_json::{FromJson, Json, JsonError, ToJson};
+use icm_obs::ProvenanceRecord;
 
 /// A condition the manager detected and may react to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +175,10 @@ pub struct ManagerOutcome {
     pub recovery_latencies: Vec<f64>,
     /// Per-application end state.
     pub finals: Vec<AppFinal>,
+    /// Full decision provenance, one record per action in order —
+    /// empty on quiet runs and always empty for unmanaged baselines.
+    /// Defaults to empty when parsing pre-provenance outcome JSON.
+    pub provenance: Vec<ProvenanceRecord>,
 }
 
 icm_json::impl_json!(struct ManagerOutcome {
@@ -185,7 +190,8 @@ icm_json::impl_json!(struct ManagerOutcome {
     actions,
     shed,
     recovery_latencies,
-    finals
+    finals,
+    provenance = Vec::new()
 });
 
 impl ManagerOutcome {
@@ -252,6 +258,24 @@ mod tests {
                 meets_bound: true,
                 hosts: vec![0, 2, 5, 6],
             }],
+            provenance: vec![ProvenanceRecord {
+                action_index: 0,
+                event: 12,
+                tick: 2,
+                sim_s: 400.0,
+                kind: "migrate".into(),
+                app: Some("H.KM".into()),
+                cost_s: 12.5,
+                quality: "measured".into(),
+                predicted_slowdown: 1.15,
+                realized_slowdown: 1.1,
+                resolved: true,
+                trigger_violation_s: 0.0,
+                violation_incurred_s: 0.0,
+                placement: vec![],
+                detections: vec![],
+                outcome: None,
+            }],
         }
     }
 
@@ -289,6 +313,18 @@ mod tests {
         assert_eq!(outcome.action_count(ActionKind::Migrate), 1);
         assert_eq!(outcome.action_count(ActionKind::Shed), 0);
         assert_eq!(outcome.mean_recovery_latency(), 210.0);
+    }
+
+    #[test]
+    fn pre_provenance_outcome_json_still_parses() {
+        let text = icm_json::to_string(&sample());
+        let idx = text
+            .rfind(",\"provenance\":")
+            .expect("field serialized last");
+        let old = format!("{}{}", &text[..idx], "}");
+        let back: ManagerOutcome = icm_json::from_str(&old).expect("parses without the field");
+        assert!(back.provenance.is_empty());
+        assert_eq!(back.actions, sample().actions);
     }
 
     #[test]

@@ -33,7 +33,10 @@ use std::collections::BTreeSet;
 
 use icm_core::{DriftConfig, DriftDetector, DriftSignal, ModelQuality};
 use icm_obs::manager as events;
-use icm_obs::{Tracer, Value};
+use icm_obs::provenance::{CAUSE_FAULT, CAUSE_LATENCY, CAUSE_MISPREDICT, QOS_VIOLATION};
+use icm_obs::{
+    DetectionInput, ObservationRef, OutcomeRef, PlacementRef, ProvenanceRecord, Tracer, Value,
+};
 use icm_placement::{
     anneal_with, re_anneal_with, AnnealConfig, Eval, Objective, PlacementConstraints,
     PlacementError, PlacementState, QosConfig,
@@ -198,6 +201,13 @@ struct AppState {
     breaker_open: bool,
     last_normalized: f64,
     last_ok: bool,
+    /// Prediction behind the most recent completed observation.
+    last_predicted: f64,
+    /// Violation-seconds this app accrued on its most recent tick.
+    last_violation_s: f64,
+    /// Recent completed observations (bounded window) — the causal
+    /// ancestry handed to detections that trip on them.
+    recent_obs: Vec<ObservationRef>,
 }
 
 fn sim_elapsed(stats: &TestbedStats, start: &TestbedStats) -> f64 {
@@ -438,6 +448,27 @@ fn outage_constraints(live: &[bool], downed: &[usize]) -> PlacementConstraints {
     constraints
 }
 
+/// Inputs behind one detection: the causal ancestry (observation or
+/// fault event ids) plus the detector's trip-time state.
+#[derive(Default)]
+struct DetectCtx {
+    causes: Vec<u64>,
+    score: f64,
+    threshold: f64,
+    streak: u64,
+    observations: Vec<ObservationRef>,
+}
+
+/// Justification behind one action: the prediction quality grade, the
+/// predicted slowdown, the candidate placements committed to, and the
+/// violation-seconds accrued on the triggering tick.
+struct ActCtx {
+    quality: &'static str,
+    predicted: f64,
+    placement: Vec<PlacementRef>,
+    trigger_violation_s: f64,
+}
+
 struct Supervisor<'a> {
     tracer: &'a Tracer,
     managed: bool,
@@ -445,6 +476,9 @@ struct Supervisor<'a> {
     tick_announced: bool,
     detections: Vec<DetectionRecord>,
     actions: Vec<ActionRecord>,
+    /// Detection inputs collected this tick — the justification pool
+    /// actions draw their provenance from.
+    tick_inputs: Vec<DetectionInput>,
 }
 
 impl Supervisor<'_> {
@@ -459,7 +493,14 @@ impl Supervisor<'_> {
         }
     }
 
-    fn detect(&mut self, sim_s: f64, kind: DetectionKind, app: Option<&str>, host: Option<u64>) {
+    fn detect(
+        &mut self,
+        sim_s: f64,
+        kind: DetectionKind,
+        app: Option<&str>,
+        host: Option<u64>,
+        ctx: DetectCtx,
+    ) {
         if !self.managed {
             return;
         }
@@ -471,10 +512,13 @@ impl Supervisor<'_> {
             app: app.map(str::to_owned),
             host,
         });
-        if self.tracer.enabled() {
+        let event = if self.tracer.enabled() {
             let mut fields = vec![
                 ("tick", Value::from(self.tick)),
                 ("kind", Value::from(kind.as_str())),
+                ("score", Value::from(ctx.score)),
+                ("threshold", Value::from(ctx.threshold)),
+                ("streak", Value::from(ctx.streak)),
             ];
             if let Some(app) = app {
                 fields.push(("app", Value::from(app)));
@@ -482,11 +526,32 @@ impl Supervisor<'_> {
             if let Some(host) = host {
                 fields.push(("host", Value::from(host)));
             }
-            self.tracer.event(events::MANAGER_DETECTION, &fields);
-        }
+            self.tracer
+                .event_caused(events::MANAGER_DETECTION, &ctx.causes, &fields)
+        } else {
+            0
+        };
+        self.tick_inputs.push(DetectionInput {
+            event,
+            kind: kind.as_str().to_owned(),
+            app: app.map(str::to_owned),
+            host,
+            score: ctx.score,
+            threshold: ctx.threshold,
+            streak: ctx.streak,
+            observations: ctx.observations,
+        });
     }
 
-    fn act(&mut self, sim_s: f64, kind: ActionKind, app: Option<&str>, cost_s: f64) {
+    fn act(
+        &mut self,
+        sim_s: f64,
+        kind: ActionKind,
+        app: Option<&str>,
+        cost_s: f64,
+        ctx: ActCtx,
+        prov: &mut Vec<ProvenanceRecord>,
+    ) {
         if !self.managed {
             return;
         }
@@ -498,29 +563,86 @@ impl Supervisor<'_> {
             app: app.map(str::to_owned),
             cost_s,
         });
-        if self.tracer.enabled() {
+        // App-scoped actions are justified by their app's detections
+        // (plus app-less ones like host-down peeks); a collateral action
+        // with no scoped detection — e.g. a migration rippling out of
+        // another app's drift trip — inherits the whole tick's pool.
+        let mut detections: Vec<DetectionInput> = self
+            .tick_inputs
+            .iter()
+            .filter(|d| match (app, &d.app) {
+                (Some(a), Some(da)) => da == a,
+                _ => true,
+            })
+            .cloned()
+            .collect();
+        if detections.is_empty() {
+            detections = self.tick_inputs.clone();
+        }
+        let causes: Vec<u64> = detections.iter().map(|d| d.event).collect();
+        let event = if self.tracer.enabled() {
             let mut fields = vec![
                 ("tick", Value::from(self.tick)),
                 ("kind", Value::from(kind.as_str())),
                 ("cost_s", Value::from(cost_s)),
+                ("quality", Value::from(ctx.quality)),
+                ("predicted", Value::from(ctx.predicted)),
             ];
             if let Some(app) = app {
                 fields.push(("app", Value::from(app)));
             }
-            self.tracer.event(events::MANAGER_ACTION, &fields);
-        }
+            self.tracer
+                .event_caused(events::MANAGER_ACTION, &causes, &fields)
+        } else {
+            0
+        };
+        self.tracer
+            .telemetry_count(&format!("manager.actions.{}", kind.as_str()), 1);
+        prov.push(ProvenanceRecord {
+            action_index: prov.len() as u64,
+            event,
+            tick: self.tick,
+            sim_s,
+            kind: kind.as_str().to_owned(),
+            app: app.map(str::to_owned),
+            cost_s,
+            quality: ctx.quality.to_owned(),
+            predicted_slowdown: ctx.predicted,
+            realized_slowdown: 0.0,
+            resolved: false,
+            trigger_violation_s: ctx.trigger_violation_s,
+            violation_incurred_s: 0.0,
+            placement: ctx.placement,
+            detections,
+            outcome: None,
+        });
     }
 
-    fn recovered(&mut self, latency_s: f64) {
+    fn recovered(&mut self, latency_s: f64, prov: &mut [ProvenanceRecord]) {
         self.announce();
-        if self.tracer.enabled() {
-            self.tracer.event(
+        let causes: Vec<u64> = prov
+            .iter()
+            .filter(|r| r.outcome.is_none())
+            .map(|r| r.event)
+            .collect();
+        let event = if self.tracer.enabled() {
+            self.tracer.event_caused(
                 events::MANAGER_RECOVERY,
+                &causes,
                 &[
                     ("tick", Value::from(self.tick)),
                     ("latency_s", Value::from(latency_s)),
                 ],
-            );
+            )
+        } else {
+            0
+        };
+        for record in prov.iter_mut().filter(|r| r.outcome.is_none()) {
+            record.outcome = Some(OutcomeRef {
+                event,
+                tick: self.tick,
+                latency_s,
+            });
         }
     }
 }
@@ -581,14 +703,21 @@ fn run(
             breaker_open: false,
             last_normalized: 0.0,
             last_ok: false,
+            last_predicted: 0.0,
+            last_violation_s: 0.0,
+            recent_obs: Vec::new(),
         })
         .collect();
+    // Observation window per app: large enough that any detection can
+    // cite every observation in its trip streak.
+    let obs_window = config.drift.trip_after.max(config.slo_trip_after) as usize;
     let mut shed_order: Vec<String> = Vec::new();
     let mut recovery_latencies: Vec<f64> = Vec::new();
     let mut pending_recovery: Option<f64> = None;
     let mut violation_seconds = 0.0;
     let mut all_detections: Vec<DetectionRecord> = Vec::new();
     let mut all_actions: Vec<ActionRecord> = Vec::new();
+    let mut provenance: Vec<ProvenanceRecord> = Vec::new();
 
     for tick in 1..=config.ticks {
         // Telemetry-only bookkeeping: quiet ticks are contractually
@@ -610,6 +739,7 @@ fn run(
             tick_announced: false,
             detections: Vec::new(),
             actions: Vec::new(),
+            tick_inputs: Vec::new(),
         };
         for s in suspicion.iter_mut() {
             *s *= 0.5;
@@ -631,7 +761,15 @@ fn run(
             if !threatened.is_empty() {
                 let sim = sim_elapsed(&testbed.stats(), &start_stats);
                 for &h in &threatened {
-                    sup.detect(sim, DetectionKind::HostDown, None, Some(h as u64));
+                    // A crash-window peek is a causal root: no prior
+                    // event made the fault plan schedule the outage.
+                    sup.detect(
+                        sim,
+                        DetectionKind::HostDown,
+                        None,
+                        Some(h as u64),
+                        DetectCtx::default(),
+                    );
                 }
                 pending_recovery.get_or_insert(sim);
                 state = replan(
@@ -645,6 +783,8 @@ fn run(
                     &state,
                     &downed,
                     &start_stats,
+                    &mut provenance,
+                    violation_seconds - violation_before_tick,
                 )?;
             }
         }
@@ -677,6 +817,7 @@ fn run(
                     let seconds = runs[k].seconds;
                     let (pressures, key) = context_of(fleet, &state, &live, i);
                     let app = &mut fleet.apps_mut()[i];
+                    let app_name = app.name.clone();
                     let solo = app.online.base().solo_seconds();
                     let normalized = seconds / solo;
                     let predicted = app.online.predict_for(&key, &pressures)?;
@@ -684,7 +825,46 @@ fn run(
                     let signal = states[i].detector.observe(predicted, normalized)?;
                     states[i].last_normalized = normalized;
                     states[i].last_ok = true;
-                    violation_seconds += (seconds - solo * bound).max(0.0);
+                    states[i].last_predicted = predicted;
+                    states[i].recent_obs.push(ObservationRef {
+                        event: runs[k].trace_event,
+                        tick,
+                        app: app_name.clone(),
+                        predicted,
+                        observed: normalized,
+                    });
+                    if states[i].recent_obs.len() > obs_window {
+                        states[i].recent_obs.remove(0);
+                    }
+                    let violation = (seconds - solo * bound).max(0.0);
+                    violation_seconds += violation;
+                    states[i].last_violation_s = violation;
+                    if violation > 0.0 && tracer.enabled() {
+                        // Violation attribution, emitted from this shared
+                        // managed/unmanaged path (NOT `manager_`-prefixed):
+                        // a recovery already in flight makes the time
+                        // manager latency; otherwise an in-bound
+                        // prediction that ran over is a mispredict, and a
+                        // prediction that already knew the bound was lost
+                        // is a fault/environment problem.
+                        let cause = if pending_recovery.is_some() {
+                            CAUSE_LATENCY
+                        } else if predicted <= bound {
+                            CAUSE_MISPREDICT
+                        } else {
+                            CAUSE_FAULT
+                        };
+                        tracer.event_caused(
+                            QOS_VIOLATION,
+                            &[runs[k].trace_event],
+                            &[
+                                ("tick", Value::from(tick)),
+                                ("app", Value::from(app_name.as_str())),
+                                ("violation_s", Value::from(violation)),
+                                ("cause", Value::from(cause)),
+                            ],
+                        );
+                    }
                     if normalized > bound {
                         all_in_bound = false;
                         states[i].slo_streak += 1;
@@ -696,18 +876,41 @@ fn run(
                     }
                     let sim = sim_elapsed(&testbed.stats(), &start_stats);
                     if signal == DriftSignal::Tripped {
-                        sup.detect(sim, DetectionKind::Drift, Some(&fleet.apps()[i].name), None);
+                        let observations =
+                            obs_tail(&states[i].recent_obs, config.drift.trip_after as usize);
+                        sup.detect(
+                            sim,
+                            DetectionKind::Drift,
+                            Some(&app_name),
+                            None,
+                            DetectCtx {
+                                causes: observations.iter().map(|o| o.event).collect(),
+                                score: states[i].detector.last_residual(),
+                                threshold: config.drift.threshold,
+                                streak: u64::from(config.drift.trip_after),
+                                observations,
+                            },
+                        );
                         for &h in &fleet.hosts_of(&state, i) {
                             suspicion[h] = 1.0;
                         }
                         wants_replan.push(i);
                     }
                     if states[i].slo_streak >= config.slo_trip_after {
+                        let observations =
+                            obs_tail(&states[i].recent_obs, config.slo_trip_after as usize);
                         sup.detect(
                             sim,
                             DetectionKind::SloViolation,
-                            Some(&fleet.apps()[i].name),
+                            Some(&app_name),
                             None,
+                            DetectCtx {
+                                causes: observations.iter().map(|o| o.event).collect(),
+                                score: normalized,
+                                threshold: bound,
+                                streak: u64::from(config.slo_trip_after),
+                                observations,
+                            },
                         );
                         states[i].slo_streak = 0;
                         for &h in &fleet.hosts_of(&state, i) {
@@ -717,10 +920,45 @@ fn run(
                     }
                 }
 
+                // Predicted-vs-realized resolution: the first completed
+                // tick after an action is its report card. App-scoped
+                // actions grade against their app's fresh observation;
+                // fleet-wide ones against the fleet mean.
+                if managed && provenance.iter().any(|r| !r.resolved && r.tick < tick) {
+                    let tick_violation = violation_seconds - violation_before_tick;
+                    let mean_normalized = live_idx
+                        .iter()
+                        .map(|&i| states[i].last_normalized)
+                        .sum::<f64>()
+                        / live_idx.len() as f64;
+                    for record in provenance
+                        .iter_mut()
+                        .filter(|r| !r.resolved && r.tick < tick)
+                    {
+                        let scoped = record
+                            .app
+                            .as_ref()
+                            .and_then(|name| fleet.apps().iter().position(|a| &a.name == name))
+                            .filter(|&i| live[i] && states[i].last_ok);
+                        let (realized, incurred) = match scoped {
+                            Some(i) => (states[i].last_normalized, states[i].last_violation_s),
+                            None => (mean_normalized, tick_violation),
+                        };
+                        record.realized_slowdown = realized;
+                        record.violation_incurred_s = incurred;
+                        record.resolved = true;
+                        tracer.telemetry_observe(
+                            &format!("manager.action.benefit.{}", record.kind),
+                            record.avoided_violation_s(),
+                        );
+                    }
+                }
+
                 if managed && !wants_replan.is_empty() {
                     let sim = sim_elapsed(&testbed.stats(), &start_stats);
+                    let trigger_violation_s = violation_seconds - violation_before_tick;
                     pending_recovery.get_or_insert(sim);
-                    let mut react = false;
+                    let mut reacting: Vec<usize> = Vec::new();
                     for &i in &wants_replan {
                         if states[i].breaker_open {
                             continue;
@@ -736,13 +974,47 @@ fn run(
                                 ActionKind::CircuitBreak,
                                 Some(&fleet.apps()[i].name),
                                 0.0,
+                                ActCtx {
+                                    quality: ModelQuality::Defaulted.as_str(),
+                                    predicted: states[i].last_predicted,
+                                    placement: Vec::new(),
+                                    trigger_violation_s,
+                                },
+                                &mut provenance,
                             );
                         } else {
-                            react = true;
+                            reacting.push(i);
                         }
                     }
-                    if react {
-                        sup.act(sim, ActionKind::ReAnneal, None, 0.0);
+                    if !reacting.is_empty() {
+                        // The re-anneal is justified by the tripped
+                        // predictions: record their mean and the worst
+                        // quality grade among the reacting apps. The
+                        // post-search placements carry their own grades
+                        // on the Migrate records.
+                        let predicted = reacting
+                            .iter()
+                            .map(|&i| states[i].last_predicted)
+                            .sum::<f64>()
+                            / reacting.len() as f64;
+                        let quality = reacting
+                            .iter()
+                            .map(|&i| prediction_quality(fleet, &state, &live, i))
+                            .max_by_key(|q| quality_rank(q))
+                            .unwrap_or(ModelQuality::Measured.as_str());
+                        sup.act(
+                            sim,
+                            ActionKind::ReAnneal,
+                            None,
+                            0.0,
+                            ActCtx {
+                                quality,
+                                predicted,
+                                placement: Vec::new(),
+                                trigger_violation_s,
+                            },
+                            &mut provenance,
+                        );
                         let next_run = testbed.peek_run();
                         let downed = testbed.downed_hosts_at(next_run);
                         state = replan(
@@ -756,6 +1028,8 @@ fn run(
                             &state,
                             &downed,
                             &start_stats,
+                            &mut provenance,
+                            trigger_violation_s,
                         )?;
                     }
                 }
@@ -764,7 +1038,7 @@ fn run(
                     if let Some(opened) = pending_recovery.take() {
                         let latency = sim_elapsed(&testbed.stats(), &start_stats) - opened;
                         recovery_latencies.push(latency);
-                        sup.recovered(latency);
+                        sup.recovered(latency, &mut provenance);
                     }
                 }
             }
@@ -774,18 +1048,73 @@ fn run(
                 | TestbedError::ProbeTimeout { .. }),
             ) => {
                 // The tick produced nothing: every live application lost
-                // a full epoch of progress. Charge it as violation time.
+                // a full epoch of progress. Charge it as violation time,
+                // attributed to the fault event the testbed just emitted
+                // (the last event on every failed-run path) — or to
+                // manager latency when a recovery was already in flight.
+                let fault_event = tracer.now().step;
+                let in_flight = pending_recovery.is_some();
                 for &i in &live_idx {
                     states[i].last_ok = false;
-                    violation_seconds += fleet.apps()[i].online.base().solo_seconds();
+                    let charge = fleet.apps()[i].online.base().solo_seconds();
+                    violation_seconds += charge;
+                    states[i].last_violation_s = charge;
+                    if tracer.enabled() {
+                        tracer.event_caused(
+                            QOS_VIOLATION,
+                            &[fault_event],
+                            &[
+                                ("tick", Value::from(tick)),
+                                ("app", Value::from(fleet.apps()[i].name.as_str())),
+                                ("violation_s", Value::from(charge)),
+                                (
+                                    "cause",
+                                    Value::from(if in_flight {
+                                        CAUSE_LATENCY
+                                    } else {
+                                        CAUSE_FAULT
+                                    }),
+                                ),
+                            ],
+                        );
+                    }
                 }
                 if managed && matches!(err, TestbedError::ProbeTimeout { .. }) {
                     // A straggler blew its kill deadline. Reshuffle: the
                     // co-location may be what is starving it.
                     let sim = sim_elapsed(&testbed.stats(), &start_stats);
-                    sup.detect(sim, DetectionKind::Straggler, None, None);
+                    let trigger_violation_s = violation_seconds - violation_before_tick;
+                    sup.detect(
+                        sim,
+                        DetectionKind::Straggler,
+                        None,
+                        None,
+                        DetectCtx {
+                            causes: vec![fault_event],
+                            ..DetectCtx::default()
+                        },
+                    );
                     pending_recovery.get_or_insert(sim);
-                    sup.act(sim, ActionKind::ReAnneal, None, 0.0);
+                    let predicted = live_idx
+                        .iter()
+                        .map(|&i| states[i].last_predicted)
+                        .sum::<f64>()
+                        / live_idx.len() as f64;
+                    sup.act(
+                        sim,
+                        ActionKind::ReAnneal,
+                        None,
+                        0.0,
+                        ActCtx {
+                            // Justified by a directly observed fault, not
+                            // by a model prediction.
+                            quality: "observed",
+                            predicted,
+                            placement: Vec::new(),
+                            trigger_violation_s,
+                        },
+                        &mut provenance,
+                    );
                     let next_run = testbed.peek_run();
                     let downed = testbed.downed_hosts_at(next_run);
                     state = replan(
@@ -799,6 +1128,8 @@ fn run(
                         &state,
                         &downed,
                         &start_stats,
+                        &mut provenance,
+                        trigger_violation_s,
                     )?;
                 }
             }
@@ -847,18 +1178,47 @@ fn run(
         shed: shed_order,
         recovery_latencies,
         finals,
+        provenance,
     })
+}
+
+/// Last `n` observations of a bounded per-app window — the streak a
+/// detection cites as its causal ancestry.
+fn obs_tail(obs: &[ObservationRef], n: usize) -> Vec<ObservationRef> {
+    obs[obs.len().saturating_sub(n)..].to_vec()
 }
 
 /// Whether the prediction that would justify re-placing app `i` rests
 /// on defaulted (never measured) model cells.
 fn prediction_is_defaulted(fleet: &Fleet, state: &PlacementState, live: &[bool], i: usize) -> bool {
+    prediction_quality(fleet, state, live, i) == ModelQuality::Defaulted.as_str()
+}
+
+/// Quality grade of the model cells behind app `i`'s prediction in
+/// `state` — `"measured"` when no quality grid is attached (the model
+/// was built entirely from direct measurements).
+fn prediction_quality(
+    fleet: &Fleet,
+    state: &PlacementState,
+    live: &[bool],
+    i: usize,
+) -> &'static str {
     let Some(grid) = fleet.apps()[i].quality.as_ref() else {
-        return false;
+        return ModelQuality::Measured.as_str();
     };
     let (pressures, _) = context_of(fleet, state, live, i);
     let hom = fleet.apps()[i].online.base().convert(&pressures);
-    grid.at_hom(hom.pressure, hom.nodes) == ModelQuality::Defaulted
+    grid.at_hom(hom.pressure, hom.nodes).as_str()
+}
+
+/// Ordering for picking the *worst* quality grade backing a fleet-wide
+/// reaction: defaulted > interpolated > measured/observed.
+fn quality_rank(quality: &str) -> u8 {
+    match quality {
+        "defaulted" => 2,
+        "interpolated" => 1,
+        _ => 0,
+    }
 }
 
 /// Bounded incremental re-anneal from the current placement, with the
@@ -882,6 +1242,8 @@ fn replan(
     state: &PlacementState,
     downed: &[usize],
     start_stats: &TestbedStats,
+    provenance: &mut Vec<ProvenanceRecord>,
+    trigger_violation_s: f64,
 ) -> Result<PlacementState, ManagerError> {
     let before: Vec<Vec<usize>> = (0..fleet.apps().len())
         .map(|i| fleet.hosts_of(state, i))
@@ -916,7 +1278,21 @@ fn replan(
         live[victim] = false;
         shed_order.push(fleet.apps()[victim].name.clone());
         let sim = sim_elapsed(&testbed.stats(), start_stats);
-        sup.act(sim, ActionKind::Shed, Some(&fleet.apps()[victim].name), 0.0);
+        sup.act(
+            sim,
+            ActionKind::Shed,
+            Some(&fleet.apps()[victim].name),
+            0.0,
+            ActCtx {
+                // Sheds are justified by constraint infeasibility, not
+                // by any model prediction.
+                quality: "infeasible",
+                predicted: 0.0,
+                placement: Vec::new(),
+                trigger_violation_s,
+            },
+            provenance,
+        );
         attempt += 1;
     }
 
@@ -930,11 +1306,30 @@ fn replan(
             let sim = sim_elapsed(&testbed.stats(), start_stats);
             testbed.checkpoint_app(&app.name)?;
             testbed.resume_app(&app.name, config.migration_cost_s)?;
+            // The candidate placement this migration commits to, with
+            // the model's post-move prediction and its quality grade.
+            let (pressures, key) = context_of(fleet, &current, live, i);
+            let predicted = app.online.predict_for(&key, &pressures)?;
+            let hosts: Vec<u64> = fleet
+                .hosts_of(&current, i)
+                .iter()
+                .map(|&h| h as u64)
+                .collect();
             sup.act(
                 sim,
                 ActionKind::Migrate,
                 Some(&app.name),
                 config.migration_cost_s,
+                ActCtx {
+                    quality: prediction_quality(fleet, &current, live, i),
+                    predicted,
+                    placement: vec![PlacementRef {
+                        app: app.name.clone(),
+                        hosts,
+                    }],
+                    trigger_violation_s,
+                },
+                provenance,
             );
         }
     }

@@ -61,6 +61,7 @@ use icm_json::{FromJson, Json, JsonError, ToJson};
 pub mod bucket;
 pub mod manager;
 mod metrics;
+pub mod provenance;
 mod reader;
 mod sink;
 mod sketch;
@@ -68,6 +69,9 @@ mod telemetry;
 mod wall;
 
 pub use metrics::{Histogram, Metrics};
+pub use provenance::{
+    DetectionInput, ObservationRef, OutcomeRef, PlacementRef, ProvenanceRecord, QOS_VIOLATION,
+};
 pub use reader::{parse_events, read_jsonl_file, TraceError};
 pub use sink::{JsonlSink, NullSink, Recorder, SharedBuf, Sink};
 pub use sketch::{QuantileSketch, DEFAULT_MAX_BUCKETS};
@@ -199,14 +203,26 @@ impl FromJson for Value {
 /// `{"step":…,"sim_s":…,"name":…,"fields":{…}}` — one per line in a
 /// JSONL trace. Field order is insertion order, so a deterministic
 /// emitter produces byte-identical lines.
+///
+/// The `step` counter doubles as the event's **id**: it is assigned
+/// monotonically per sink and never from wall time, so the same
+/// computation assigns the same ids every run. Events may carry a
+/// `causes` list of earlier event ids — the causal edges
+/// `icm-trace explain` walks. An empty `causes` list is elided from the
+/// JSON so pre-provenance traces and cause-free events serialize
+/// byte-identically to before.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Monotonic event counter (1-based; assigned by the [`Tracer`]).
+    /// Doubles as the deterministic event id `causes` entries refer to.
     pub step: u64,
     /// Cumulative simulated seconds when the event was emitted.
     pub sim_s: f64,
     /// Event name, e.g. `"probe"` or `"run.begin"`.
     pub name: String,
+    /// Ids (`step` values) of earlier events that caused this one.
+    /// Empty for root events; elided from the JSON when empty.
+    pub causes: Vec<u64>,
     /// Typed key–value payload, in emission order.
     pub fields: Vec<(String, Value)>,
 }
@@ -230,35 +246,53 @@ impl Event {
 
 impl ToJson for Event {
     fn to_json(&self) -> Json {
-        Json::Object(vec![
-            ("step".to_owned(), Json::Number(self.step as f64)),
-            ("sim_s".to_owned(), self.sim_s.to_json()),
-            ("name".to_owned(), Json::String(self.name.clone())),
-            (
-                "fields".to_owned(),
-                Json::Object(
-                    self.fields
+        let mut outer = Vec::with_capacity(5);
+        outer.push(("step".to_owned(), Json::Number(self.step as f64)));
+        outer.push(("sim_s".to_owned(), self.sim_s.to_json()));
+        outer.push(("name".to_owned(), Json::String(self.name.clone())));
+        if !self.causes.is_empty() {
+            outer.push((
+                "causes".to_owned(),
+                Json::Array(
+                    self.causes
                         .iter()
-                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .map(|&id| Json::Number(id as f64))
                         .collect(),
                 ),
+            ));
+        }
+        outer.push((
+            "fields".to_owned(),
+            Json::Object(
+                self.fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json()))
+                    .collect(),
             ),
-        ])
+        ));
+        Json::Object(outer)
     }
 }
 
 impl FromJson for Event {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
         let outer = icm_json::expect_object(value, "Event")?;
-        if outer.len() != 4 {
+        let has_causes = icm_json::find_field(outer, "causes").is_some();
+        let expected = if has_causes { 5 } else { 4 };
+        if outer.len() != expected {
             return Err(JsonError::msg(format!(
-                "Event: expected exactly step/sim_s/name/fields, found {} keys",
+                "Event: expected exactly step/sim_s/name/[causes/]fields, found {} keys",
                 outer.len()
             )));
         }
         let step: u64 = icm_json::parse_field(outer, "Event", "step")?;
         let sim_s: f64 = icm_json::parse_field(outer, "Event", "sim_s")?;
         let name: String = icm_json::parse_field(outer, "Event", "name")?;
+        let causes: Vec<u64> = if has_causes {
+            icm_json::parse_field(outer, "Event", "causes")?
+        } else {
+            Vec::new()
+        };
         let fields_json = icm_json::find_field(outer, "fields")
             .ok_or_else(|| JsonError::msg("Event: missing field `fields`"))?;
         let pairs = icm_json::expect_object(fields_json, "Event.fields")?;
@@ -273,6 +307,7 @@ impl FromJson for Event {
             step,
             sim_s,
             name,
+            causes,
             fields,
         })
     }
@@ -440,21 +475,36 @@ impl Tracer {
         self.inner.is_some()
     }
 
-    /// Emits one event with the given fields.
-    pub fn event(&self, name: &str, fields: &[(&str, Value)]) {
-        let Some(inner) = &self.inner else { return };
+    /// Emits one event with the given fields and returns its id (the
+    /// assigned `step`; 0 on a disabled tracer, which never appears as
+    /// a real id — steps are 1-based).
+    pub fn event(&self, name: &str, fields: &[(&str, Value)]) -> u64 {
+        self.emit(name, &[], fields)
+    }
+
+    /// Emits one event carrying causal links to earlier events and
+    /// returns its id. Ids of 0 (from a disabled tracer) are filtered
+    /// out so disabled-path callers can pass captured ids verbatim.
+    pub fn event_caused(&self, name: &str, causes: &[u64], fields: &[(&str, Value)]) -> u64 {
+        self.emit(name, causes, fields)
+    }
+
+    fn emit(&self, name: &str, causes: &[u64], fields: &[(&str, Value)]) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
         let mut inner = inner.borrow_mut();
         let stamp = inner.clock.tick();
         let event = Event {
             step: stamp.step,
             sim_s: stamp.sim_s,
             name: name.to_owned(),
+            causes: causes.iter().copied().filter(|&id| id != 0).collect(),
             fields: fields
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), v.clone()))
                 .collect(),
         };
         inner.sink.record(&event);
+        stamp.step
     }
 
     /// Opens a span: emits `"<name>.begin"` carrying a fresh `span` id
@@ -784,6 +834,7 @@ mod tests {
             step: 7,
             sim_s: 123.25,
             name: "probe".into(),
+            causes: Vec::new(),
             fields: vec![
                 ("pressure".into(), Value::U64(3)),
                 ("ok".into(), Value::Bool(true)),
@@ -808,10 +859,55 @@ mod tests {
             r#"{"step":-1,"sim_s":0,"name":"x","fields":{}}"#,
             r#"{"step":1,"sim_s":0,"name":"x","fields":{"a":[1]}}"#,
             r#"{"step":1,"sim_s":0,"name":7,"fields":{}}"#,
+            r#"{"step":1,"sim_s":0,"name":"x","causes":{},"fields":{}}"#,
+            r#"{"step":1,"sim_s":0,"name":"x","causes":[1],"fields":{},"extra":1}"#,
             r#"[1,2,3]"#,
         ] {
             assert!(icm_json::from_str::<Event>(bad).is_err(), "accepted {bad}");
         }
+    }
+
+    #[test]
+    fn causes_serialize_between_name_and_fields_and_round_trip() {
+        let event = Event {
+            step: 9,
+            sim_s: 4.5,
+            name: "manager_detection".into(),
+            causes: vec![3, 7],
+            fields: vec![("kind".into(), Value::Str("drift".into()))],
+        };
+        let text = icm_json::to_string(&event);
+        assert_eq!(
+            text,
+            r#"{"step":9,"sim_s":4.5,"name":"manager_detection","causes":[3,7],"fields":{"kind":"drift"}}"#
+        );
+        let back: Event = icm_json::from_str(&text).expect("parses");
+        assert_eq!(back.causes, vec![3, 7]);
+        assert_eq!(icm_json::to_string(&back), text);
+    }
+
+    #[test]
+    fn empty_causes_are_elided_from_the_json() {
+        let (tracer, recorder) = Tracer::recording(4);
+        let id = tracer.event("probe", &[("x", Value::U64(1))]);
+        assert_eq!(id, 1);
+        let line = icm_json::to_string(&recorder.events()[0]);
+        assert!(
+            !line.contains("causes"),
+            "cause-free event grew a key: {line}"
+        );
+    }
+
+    #[test]
+    fn event_caused_links_events_and_filters_disabled_ids() {
+        let (tracer, recorder) = Tracer::recording(8);
+        let a = tracer.event("a", &[]);
+        let b = tracer.event_caused("b", &[a, 0], &[]);
+        assert_eq!((a, b), (1, 2));
+        let events = recorder.events();
+        assert_eq!(events[1].causes, vec![1], "0 ids (disabled tracer) dropped");
+        // A disabled tracer returns id 0 and records nothing.
+        assert_eq!(Tracer::disabled().event_caused("c", &[a], &[]), 0);
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Typed decision provenance: why the manager did what it did.
+//!
+//! The event stream records *what* happened; this module gives each
+//! supervisory decision a structured, `icm-json`-serializable paper
+//! trail — the probe observations behind a detection, the detection
+//! inputs (score, threshold, streak) behind an action, the prediction
+//! quality grade and candidate placement the action committed to, and
+//! the eventually realized outcome with the violation-seconds it
+//! incurred while in flight.
+//!
+//! Every `event` field here is an event **id**: the deterministic
+//! `step` counter of the corresponding trace event (see
+//! [`Event`](crate::Event)), or 0 when the run was untraced. The
+//! records themselves are built unconditionally by the manager, so
+//! provenance survives even trace-free runs — ids are simply absent.
+//!
+//! Nothing in this module emits events. Emission stays in the manager's
+//! tick loop, preserving the invisibility contract: a quiet managed run
+//! produces no detections, no actions, and therefore no provenance.
+
+use icm_json::impl_json;
+
+/// Event name for per-tick QoS violation attribution events.
+///
+/// Deliberately *not* prefixed `manager_`: violation events are emitted
+/// from the shared managed/unmanaged accounting path, so they appear in
+/// both traces identically and quiet managed runs stay byte-identical
+/// to unmanaged ones (which assert no `manager_` events at all).
+pub const QOS_VIOLATION: &str = "qos_violation";
+
+/// Violation attributed to an injected or environmental fault the model
+/// had no way to prevent (crash outage, straggler kill, drifted host).
+pub const CAUSE_FAULT: &str = "fault";
+
+/// Violation attributed to a model misprediction: the model predicted
+/// the placement would meet its bound and the observation disagreed.
+pub const CAUSE_MISPREDICT: &str = "mispredict";
+
+/// Violation attributed to manager latency: a recovery was already in
+/// flight, so the violation accrued while the reaction took effect.
+pub const CAUSE_LATENCY: &str = "latency";
+
+/// One probe observation the manager folded into its online model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationRef {
+    /// Trace event id of the `app_run` observation (0 if untraced).
+    pub event: u64,
+    /// Manager tick the observation landed on.
+    pub tick: u64,
+    /// Application observed.
+    pub app: String,
+    /// Slowdown the model predicted for this run.
+    pub predicted: f64,
+    /// Normalized slowdown actually observed.
+    pub observed: f64,
+}
+
+impl_json!(struct ObservationRef {
+    event,
+    tick,
+    app,
+    predicted,
+    observed,
+});
+
+/// The inputs that tripped one detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionInput {
+    /// Trace event id of the `manager_detection` event (0 if untraced).
+    pub event: u64,
+    /// Detection kind (`DetectionKind::as_str` in `icm-manager`).
+    pub kind: String,
+    /// Application the detection concerns, when app-scoped.
+    pub app: Option<String>,
+    /// Host the detection concerns, when host-scoped.
+    pub host: Option<u64>,
+    /// Detector score at trip time (drift residual, SLO-violating
+    /// normalized slowdown, …; 0 for host-down peeks).
+    pub score: f64,
+    /// Threshold the score was compared against.
+    pub threshold: f64,
+    /// Consecutive-signal streak length required to trip.
+    pub streak: u64,
+    /// Observations that fed the detector, most recent last.
+    pub observations: Vec<ObservationRef>,
+}
+
+impl_json!(struct DetectionInput {
+    event,
+    kind,
+    app,
+    host,
+    score,
+    threshold,
+    streak,
+    observations,
+});
+
+/// A candidate placement an action committed an application to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementRef {
+    /// Application placed.
+    pub app: String,
+    /// Host ids the application's processes landed on (sorted, deduped).
+    pub hosts: Vec<u64>,
+}
+
+impl_json!(struct PlacementRef {
+    app,
+    hosts,
+});
+
+/// The realized outcome an action was eventually linked to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeRef {
+    /// Trace event id of the `manager_recovery` event (0 if untraced).
+    pub event: u64,
+    /// Tick the fleet was observed back within its QoS bound.
+    pub tick: u64,
+    /// Simulated seconds between reaction and recovery.
+    pub latency_s: f64,
+}
+
+impl_json!(struct OutcomeRef {
+    event,
+    tick,
+    latency_s,
+});
+
+/// Full provenance for one supervisory action: what the manager saw,
+/// why it reacted, what it predicted, and what actually happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// 0-based index of the action within its run (matches
+    /// `icm-trace explain --action N`).
+    pub action_index: u64,
+    /// Trace event id of the `manager_action` event (0 if untraced).
+    pub event: u64,
+    /// Manager tick the action fired on.
+    pub tick: u64,
+    /// Simulated seconds at action time.
+    pub sim_s: f64,
+    /// Action kind (`ActionKind::as_str` in `icm-manager`).
+    pub kind: String,
+    /// Application acted on, when app-scoped.
+    pub app: Option<String>,
+    /// Simulated-seconds cost charged for the action itself.
+    pub cost_s: f64,
+    /// Prediction quality grade justifying the action: `"measured"`,
+    /// `"interpolated"` or `"defaulted"` from the model quality grid,
+    /// or `"infeasible"` for sheds (justified by constraint breach,
+    /// not by a prediction).
+    pub quality: String,
+    /// Slowdown the model predicted after the action.
+    pub predicted_slowdown: f64,
+    /// Slowdown observed on the next completed tick (0 until resolved).
+    pub realized_slowdown: f64,
+    /// Whether a completed tick has resolved the prediction yet.
+    pub resolved: bool,
+    /// Violation-seconds accrued on the tick that triggered the action.
+    pub trigger_violation_s: f64,
+    /// Violation-seconds still accrued on the resolving tick — the cost
+    /// the action failed to avoid. `trigger_violation_s` minus this is
+    /// the realized benefit.
+    pub violation_incurred_s: f64,
+    /// Candidate placements the action committed to (empty for sheds
+    /// and circuit breaks).
+    pub placement: Vec<PlacementRef>,
+    /// Detections (with their observation chains) justifying the action.
+    pub detections: Vec<DetectionInput>,
+    /// Realized outcome, once the fleet recovered (`None` if the run
+    /// ended first).
+    pub outcome: Option<OutcomeRef>,
+}
+
+impl_json!(struct ProvenanceRecord {
+    action_index,
+    event,
+    tick,
+    sim_s,
+    kind,
+    app,
+    cost_s,
+    quality,
+    predicted_slowdown,
+    realized_slowdown,
+    resolved,
+    trigger_violation_s,
+    violation_incurred_s,
+    placement,
+    detections,
+    outcome,
+});
+
+impl ProvenanceRecord {
+    /// Violation-seconds the action avoided relative to its trigger
+    /// tick (clamped at zero: an action that did not pay off avoided
+    /// nothing, it does not owe time back).
+    pub fn avoided_violation_s(&self) -> f64 {
+        (self.trigger_violation_s - self.violation_incurred_s).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProvenanceRecord {
+        ProvenanceRecord {
+            action_index: 0,
+            event: 42,
+            tick: 3,
+            sim_s: 120.5,
+            kind: "re_anneal".into(),
+            app: Some("M.milc".into()),
+            cost_s: 0.0,
+            quality: "measured".into(),
+            predicted_slowdown: 1.2,
+            realized_slowdown: 1.25,
+            resolved: true,
+            trigger_violation_s: 30.0,
+            violation_incurred_s: 5.0,
+            placement: vec![PlacementRef {
+                app: "M.milc".into(),
+                hosts: vec![0, 2],
+            }],
+            detections: vec![DetectionInput {
+                event: 40,
+                kind: "drift".into(),
+                app: Some("M.milc".into()),
+                host: None,
+                score: 0.31,
+                threshold: 0.2,
+                streak: 2,
+                observations: vec![ObservationRef {
+                    event: 37,
+                    tick: 2,
+                    app: "M.milc".into(),
+                    predicted: 1.1,
+                    observed: 1.5,
+                }],
+            }],
+            outcome: Some(OutcomeRef {
+                event: 50,
+                tick: 4,
+                latency_s: 60.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let record = sample();
+        let text = icm_json::to_string(&record);
+        let back: ProvenanceRecord = icm_json::from_str(&text).expect("parses");
+        assert_eq!(back, record);
+        assert_eq!(icm_json::to_string(&back), text);
+    }
+
+    #[test]
+    fn avoided_violation_clamps_at_zero() {
+        let mut record = sample();
+        assert_eq!(record.avoided_violation_s(), 25.0);
+        record.violation_incurred_s = 50.0;
+        assert_eq!(record.avoided_violation_s(), 0.0);
+    }
+
+    #[test]
+    fn cause_labels_are_distinct_and_unprefixed() {
+        let labels = [CAUSE_FAULT, CAUSE_MISPREDICT, CAUSE_LATENCY];
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // The violation event must never look like a manager event —
+        // quiet managed traces assert the absence of that prefix.
+        assert!(!QOS_VIOLATION.starts_with("manager_"));
+    }
+}

@@ -208,6 +208,7 @@ mod tests {
             step,
             sim_s: 0.0,
             name: name.to_owned(),
+            causes: Vec::new(),
             fields: Vec::new(),
         }
     }

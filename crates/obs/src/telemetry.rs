@@ -703,6 +703,7 @@ mod tests {
             step,
             sim_s,
             name: name.to_owned(),
+            causes: Vec::new(),
             fields: fields
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), v.clone()))

@@ -613,6 +613,122 @@ fn recovery_section(doc: &ResultsDoc) -> Section {
     )
 }
 
+fn audit_body(r: &RecoveryResult) -> SectionBody {
+    let verdict = verdict::check_audit(r);
+    let scenarios = r.points.iter().filter(|p| !p.provenance.is_empty()).count();
+    let actions: usize = r.points.iter().map(|p| p.provenance.len()).sum();
+    if actions == 0 {
+        return (verdict, Vec::new(), Vec::new());
+    }
+
+    // Per-kind realized benefit — the chart — plus the per-action
+    // provenance table that backs it.
+    let mut per_kind: Vec<(String, f64, f64)> = Vec::new();
+    let mut table = vec![vec![
+        "scenario".to_owned(),
+        "action".to_owned(),
+        "tick".to_owned(),
+        "kind".to_owned(),
+        "app".to_owned(),
+        "quality".to_owned(),
+        "predicted".to_owned(),
+        "realized".to_owned(),
+        "detections".to_owned(),
+        "avoided (s)".to_owned(),
+        "outcome".to_owned(),
+    ]];
+    for point in &r.points {
+        for rec in &point.provenance {
+            match per_kind.iter_mut().find(|k| k.0 == rec.kind) {
+                Some(k) => {
+                    k.1 += rec.avoided_violation_s();
+                    k.2 += rec.cost_s;
+                }
+                None => per_kind.push((rec.kind.clone(), rec.avoided_violation_s(), rec.cost_s)),
+            }
+            let outcome = match (&rec.outcome, rec.resolved) {
+                (Some(o), _) => format!("recovered in {}s", svg::fmt_value(o.latency_s)),
+                (None, true) => "resolved".to_owned(),
+                (None, false) => "unresolved".to_owned(),
+            };
+            table.push(vec![
+                point.label.clone(),
+                rec.action_index.to_string(),
+                rec.tick.to_string(),
+                rec.kind.clone(),
+                rec.app.clone().unwrap_or_else(|| "(fleet)".to_owned()),
+                rec.quality.clone(),
+                svg::fmt_value(rec.predicted_slowdown),
+                svg::fmt_value(rec.realized_slowdown),
+                rec.detections.len().to_string(),
+                svg::fmt_value(rec.avoided_violation_s()),
+                outcome,
+            ]);
+        }
+    }
+    per_kind.sort_by(|a, b| a.0.cmp(&b.0));
+    let chart = BarChart {
+        width: 560.0,
+        height: 240.0,
+        x_label: "action kind".to_owned(),
+        y_label: "seconds".to_owned(),
+        group_labels: per_kind.iter().map(|k| k.0.clone()).collect(),
+        series: vec![
+            BarSeries {
+                label: "violation avoided (s)".to_owned(),
+                color: "var(--c1)".to_owned(),
+                values: per_kind.iter().map(|k| k.1).collect(),
+            },
+            BarSeries {
+                label: "action cost (s)".to_owned(),
+                color: "var(--c2)".to_owned(),
+                values: per_kind.iter().map(|k| k.2).collect(),
+            },
+        ],
+        hline: None,
+    };
+    let mut chart = chart_from_bar("realized benefit per action kind", &chart);
+    chart.table = table;
+    let notes = vec![format!(
+        "{actions} action(s) across {scenarios} eventful scenario(s) carry full provenance \
+         (replay any of them with `icm-trace explain --action N`)"
+    )];
+    (verdict, vec![chart], notes)
+}
+
+/// Builds the decision-audit section. It reads the same `recovery`
+/// result as [`recovery_section`] but renders its provenance payload:
+/// one table row per manager action with the detections, prediction
+/// quality and realized benefit behind it. Section id is `audit` so the
+/// two sections anchor independently.
+fn audit_section(doc: &ResultsDoc) -> Section {
+    let (verdict, charts, notes) = match doc.get("recovery") {
+        None => (Verdict::missing("recovery"), Vec::new(), Vec::new()),
+        Some(json) => match RecoveryResult::from_json(json) {
+            Ok(result) => audit_body(&result),
+            Err(err) => (
+                Verdict {
+                    status: Status::Fail,
+                    detail: format!("cannot parse `recovery` result: {err}"),
+                },
+                Vec::new(),
+                Vec::new(),
+            ),
+        },
+    };
+    Section {
+        id: "audit".to_owned(),
+        title: "Decision audit — provenance of every manager action".to_owned(),
+        claim: "Every mitigation action is auditable back to the detections and probe \
+                observations that justified it, and model-driven reactions rest on \
+                measured-quality predictions rather than defaulted model cells."
+            .to_owned(),
+        verdict,
+        charts,
+        notes,
+    }
+}
+
 /// Builds the wall-time self-profiling section from a `profile.json`
 /// document (the `--profile` side channel of `icm-experiments`).
 fn profile_section(profile: &Json) -> Section {
@@ -891,6 +1007,7 @@ pub fn build_report(
         fig11_section(doc),
         robustness_section(doc),
         recovery_section(doc),
+        audit_section(doc),
     ];
     if let Some(profile) = profile {
         sections.push(profile_section(profile));
@@ -961,13 +1078,13 @@ mod tests {
     #[test]
     fn report_marks_absent_experiments_missing() {
         let report = build_report(&doc_with_fig2(), None, None, None);
-        assert_eq!(report.sections.len(), 7);
+        assert_eq!(report.sections.len(), 8);
         assert_eq!(report.sections[0].verdict.status, Status::Pass);
         assert!(report.sections[1..]
             .iter()
             .all(|s| s.verdict.status == Status::Missing));
         assert!(!report.has_failures());
-        assert_eq!(report.counts(), (1, 0, 0, 6));
+        assert_eq!(report.counts(), (1, 0, 0, 7));
     }
 
     #[test]
@@ -1058,12 +1175,89 @@ mod tests {
                 .expect("parses");
         let graph = FlameGraph::default();
         let report = build_report(&doc_with_fig2(), None, Some(&telemetry), Some(&graph));
-        assert_eq!(report.sections.len(), 9);
-        assert_eq!(report.sections[7].id, "telemetry");
-        assert_eq!(report.sections[8].id, "flame");
+        assert_eq!(report.sections.len(), 10);
+        assert_eq!(report.sections[8].id, "telemetry");
+        assert_eq!(report.sections[9].id, "flame");
         let page = render_html(&report);
         assert!(page.contains("Streaming telemetry"));
         assert!(page.contains("Span flamegraph"));
+    }
+
+    #[test]
+    fn audit_section_tables_every_action() {
+        use icm_experiments::recovery::{RecoveryPoint, RecoveryResult};
+        use icm_obs::{DetectionInput, OutcomeRef, ProvenanceRecord};
+        let result = RecoveryResult {
+            ticks: 6,
+            apps: vec!["H.KM".to_owned()],
+            points: vec![RecoveryPoint {
+                label: "crash x1".to_owned(),
+                crash_hosts: 1,
+                drift_pressure: 0.0,
+                managed_violation_s: 10.0,
+                unmanaged_violation_s: 100.0,
+                avoided_violation_s: 90.0,
+                mean_recovery_latency_s: 120.0,
+                migrations: 1,
+                reanneals: 0,
+                sheds: 0,
+                circuit_breaks: 0,
+                detections: 1,
+                managed_meets_bound: 1,
+                unmanaged_meets_bound: 0,
+                provenance: vec![ProvenanceRecord {
+                    action_index: 0,
+                    event: 12,
+                    tick: 2,
+                    sim_s: 400.0,
+                    kind: "migrate".to_owned(),
+                    app: Some("H.KM".to_owned()),
+                    cost_s: 12.5,
+                    quality: "measured".to_owned(),
+                    predicted_slowdown: 1.15,
+                    realized_slowdown: 1.1,
+                    resolved: true,
+                    trigger_violation_s: 30.0,
+                    violation_incurred_s: 5.0,
+                    placement: Vec::new(),
+                    detections: vec![DetectionInput {
+                        event: 9,
+                        kind: "host_down".to_owned(),
+                        app: None,
+                        host: Some(3),
+                        score: 1.0,
+                        threshold: 0.5,
+                        streak: 1,
+                        observations: Vec::new(),
+                    }],
+                    outcome: Some(OutcomeRef {
+                        event: 20,
+                        tick: 3,
+                        latency_s: 120.0,
+                    }),
+                }],
+            }],
+        };
+        let mut doc = ResultsDoc::new(7, true);
+        doc.push("recovery", result.to_json());
+        let report = build_report(&doc, None, None, None);
+        let audit = report
+            .sections
+            .iter()
+            .find(|s| s.id == "audit")
+            .expect("audit section present");
+        assert_eq!(audit.verdict.status, Status::Pass);
+        assert!(audit.verdict.detail.contains("1 actions audited"));
+        let table = &audit.charts[0].table;
+        assert_eq!(table.len(), 2, "header plus one action row");
+        assert_eq!(table[1][0], "crash x1");
+        assert_eq!(table[1][3], "migrate");
+        assert_eq!(table[1][5], "measured");
+        assert!(table[1][10].contains("recovered in 120"));
+        // The recovery section still renders independently beside it.
+        assert!(report.sections.iter().any(|s| s.id == "recovery"));
+        let page = render_html(&report);
+        assert!(page.contains("Decision audit"));
     }
 
     #[test]

@@ -347,6 +347,57 @@ pub fn check_recovery(r: &RecoveryResult) -> Verdict {
     Verdict { status, detail }
 }
 
+/// The audit section's claim: every manager action carries complete
+/// provenance — at least one detection input tying it back to the
+/// measurements that justified it — and model-driven reactions rest on
+/// measured-quality predictions, not defaulted model cells. A circuit
+/// break *reacting to* defaulted cells is correct behavior and does not
+/// count against the claim; a migration or re-anneal *planned from*
+/// them does.
+pub fn check_audit(r: &RecoveryResult) -> Verdict {
+    let records: Vec<_> = r.points.iter().flat_map(|p| p.provenance.iter()).collect();
+    if records.is_empty() {
+        return Verdict {
+            status: Status::Pass,
+            detail: "no actions taken — nothing to audit".to_owned(),
+        };
+    }
+    if let Some(orphan) = records.iter().find(|rec| rec.detections.is_empty()) {
+        return Verdict {
+            status: Status::Fail,
+            detail: format!(
+                "action {} ({}) carries no detection inputs — it cannot be audited",
+                orphan.action_index, orphan.kind
+            ),
+        };
+    }
+    let n = records.len();
+    let mut measured = 0usize;
+    let mut interpolated = 0usize;
+    let mut defaulted_model_driven = 0usize;
+    for rec in &records {
+        match rec.quality.as_str() {
+            "measured" | "observed" => measured += 1,
+            "interpolated" => interpolated += 1,
+            "defaulted" if rec.kind != "circuit_break" => defaulted_model_driven += 1,
+            _ => {}
+        }
+    }
+    let resolved = records.iter().filter(|rec| rec.resolved).count();
+    let avoided: f64 = records.iter().map(|rec| rec.avoided_violation_s()).sum();
+    let detail = format!(
+        "{n} actions audited: {measured} measured/observed, {interpolated} interpolated, \
+         {defaulted_model_driven} model-driven on defaulted cells; {resolved}/{n} resolved, \
+         {avoided:.1}s violation avoided"
+    );
+    let status = if defaulted_model_driven == 0 {
+        Status::Pass
+    } else {
+        Status::Warn
+    };
+    Verdict { status, detail }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +520,7 @@ mod tests {
             detections: crashes,
             managed_meets_bound: 2,
             unmanaged_meets_bound: if crashes > 0 { 1 } else { 2 },
+            provenance: Vec::new(),
         };
         let result = |points: Vec<RecoveryPoint>| RecoveryResult {
             ticks: 6,
@@ -503,6 +555,80 @@ mod tests {
         assert_eq!(check_recovery(&out_of_bound).status, Status::Warn);
         let empty = result(Vec::new());
         assert_eq!(check_recovery(&empty).status, Status::Fail);
+    }
+
+    #[test]
+    fn audit_thresholds() {
+        use icm_experiments::recovery::{RecoveryPoint, RecoveryResult};
+        use icm_obs::{DetectionInput, ProvenanceRecord};
+        let record = |kind: &str, quality: &str, detections: usize| ProvenanceRecord {
+            action_index: 0,
+            event: 10,
+            tick: 2,
+            sim_s: 400.0,
+            kind: kind.to_owned(),
+            app: Some("H.KM".to_owned()),
+            cost_s: 12.5,
+            quality: quality.to_owned(),
+            predicted_slowdown: 1.2,
+            realized_slowdown: 1.1,
+            resolved: true,
+            trigger_violation_s: 30.0,
+            violation_incurred_s: 5.0,
+            placement: Vec::new(),
+            detections: (0..detections)
+                .map(|i| DetectionInput {
+                    event: i as u64,
+                    kind: "host_down".to_owned(),
+                    app: None,
+                    host: Some(3),
+                    score: 1.0,
+                    threshold: 0.5,
+                    streak: 2,
+                    observations: Vec::new(),
+                })
+                .collect(),
+            outcome: None,
+        };
+        let result = |provenance: Vec<ProvenanceRecord>| RecoveryResult {
+            ticks: 6,
+            apps: vec!["H.KM".to_owned()],
+            points: vec![RecoveryPoint {
+                label: "crash x1".to_owned(),
+                crash_hosts: 1,
+                drift_pressure: 0.0,
+                managed_violation_s: 10.0,
+                unmanaged_violation_s: 100.0,
+                avoided_violation_s: 90.0,
+                mean_recovery_latency_s: 120.0,
+                migrations: 1,
+                reanneals: 0,
+                sheds: 0,
+                circuit_breaks: 0,
+                detections: 1,
+                managed_meets_bound: 1,
+                unmanaged_meets_bound: 0,
+                provenance,
+            }],
+        };
+        // All actions grounded in detections and measured cells: pass.
+        let v = check_audit(&result(vec![record("migrate", "measured", 1)]));
+        assert_eq!(v.status, Status::Pass);
+        assert!(v.detail.contains("1 measured"));
+        // A model-driven action planned from defaulted cells: warn.
+        let v = check_audit(&result(vec![record("migrate", "defaulted", 1)]));
+        assert_eq!(v.status, Status::Warn);
+        // A circuit break reacting to defaulted cells is correct: pass.
+        let v = check_audit(&result(vec![record("circuit_break", "defaulted", 1)]));
+        assert_eq!(v.status, Status::Pass);
+        // An action with no detection inputs cannot be audited: fail.
+        let v = check_audit(&result(vec![record("migrate", "measured", 0)]));
+        assert_eq!(v.status, Status::Fail);
+        assert!(v.detail.contains("no detection inputs"));
+        // No actions at all is a quiet cluster, not a violation.
+        let v = check_audit(&result(Vec::new()));
+        assert_eq!(v.status, Status::Pass);
+        assert!(v.detail.contains("nothing to audit"));
     }
 
     #[test]

@@ -170,9 +170,13 @@ pub struct AppRun {
     pub app: String,
     /// Measured wall-clock seconds.
     pub seconds: f64,
+    /// Id of the `app_run` trace event this result was reported by
+    /// (0 when the run was untraced) — the anchor provenance chains
+    /// hang detections off.
+    pub trace_event: u64,
 }
 
-icm_json::impl_json!(struct AppRun { app, seconds });
+icm_json::impl_json!(struct AppRun { app, seconds, trace_event = 0 });
 
 /// What a testbed run was *for* — the unit the paper's Table 3 counts
 /// profiling cost in.
@@ -755,7 +759,7 @@ impl SimTestbed {
                 }
             }
             simulated += seconds;
-            if self.tracer.enabled() && !timed_out {
+            let trace_event = if self.tracer.enabled() && !timed_out {
                 // Phase/sync breakdown: `mean_slowdown` is the average
                 // node-local contention, `normalized` what the sync
                 // pattern amplified it into, so `sync_factor` isolates
@@ -771,11 +775,14 @@ impl SimTestbed {
                         ("sync_factor", Value::from(normalized / mean_slowdown)),
                         ("seconds", Value::from(seconds)),
                     ],
-                );
-            }
+                )
+            } else {
+                0
+            };
             results.push(AppRun {
                 app: placement.app.clone(),
                 seconds,
+                trace_event,
             });
         }
         if timed_out {

@@ -88,3 +88,20 @@ grep -q '"snapshots"' "$SMOKE/tel-a.json" \
     --out "$SMOKE/telemetry.html" > /dev/null
 test -s "$SMOKE/telemetry.html"
 echo "verify: telemetry smoke OK"
+
+# Provenance smoke: every manager action in the recovery trace must
+# explain to a complete causal chain that closes with an outcome line,
+# the explanation must be byte-identical across the two same-seed
+# traces, and the violation attribution must render.
+./target/release/icm-trace explain "$SMOKE/recovery-a.jsonl" --action 0 \
+    > "$SMOKE/explain-a.txt"
+grep -q "outcome" "$SMOKE/explain-a.txt" \
+    || { echo "verify: action 0 chain has no outcome hop" >&2; exit 1; }
+./target/release/icm-trace explain "$SMOKE/recovery-b.jsonl" --action 0 \
+    > "$SMOKE/explain-b.txt"
+cmp "$SMOKE/explain-a.txt" "$SMOKE/explain-b.txt" \
+    || { echo "verify: same-seed explanations diverged" >&2; exit 1; }
+./target/release/icm-trace explain "$SMOKE/recovery-a.jsonl" --violations \
+    | grep -q "attributed" \
+    || { echo "verify: violation attribution did not render" >&2; exit 1; }
+echo "verify: provenance smoke OK"

@@ -203,3 +203,57 @@ fn tee_mode_leaves_the_raw_trace_byte_identical() {
         "the tee forwarded but never aggregated"
     );
 }
+
+/// Tee under compound faults: a crash outage *and* ambient stragglers
+/// drive the manager through its error paths (failed ticks, straggler
+/// kills, re-anneals, provenance-linked violation events), and the raw
+/// trace must still be byte-identical to a telemetry-off run. The
+/// aggregation side channel may never perturb the stream it observes —
+/// least of all on the eventful ticks where provenance is emitted.
+#[test]
+fn tee_under_faults_leaves_the_raw_trace_byte_identical() {
+    let plan = FaultPlan {
+        straggler_prob: 0.2,
+        straggler_severity: 0.8,
+        ..crash_plan()
+    };
+    let run = |telemetry: Option<Telemetry>| -> (String, ManagerOutcome) {
+        let mut tb = testbed(2016);
+        let mut fleet = Fleet::new(
+            8,
+            2,
+            SPAN,
+            managed_apps(&mut tb, &[("M.milc", 2), ("H.KM", 1)]),
+        )
+        .expect("fleet packs");
+        tb.sim_mut().set_fault_plan(Some(plan.clone()));
+        let buf = SharedBuf::new();
+        let sink = JsonlSink::new(buf.clone());
+        let tracer = match telemetry {
+            Some(t) => Tracer::with_telemetry(TelemetrySink::tee(t, sink)),
+            None => Tracer::with_sink(sink),
+        };
+        tb.sim_mut().set_tracer(tracer.clone());
+        let outcome =
+            run_managed(tb.sim_mut(), &mut fleet, &lenient(8), &tracer).expect("managed run");
+        tracer.flush();
+        (buf.text(), outcome)
+    };
+    let (plain, outcome) = run(None);
+    let telemetry = Telemetry::new(small_rings());
+    let (teed, teed_outcome) = run(Some(telemetry.clone()));
+    assert!(
+        !outcome.actions.is_empty(),
+        "the compound fault plan never drove a reaction"
+    );
+    assert_eq!(outcome.action_log(), teed_outcome.action_log());
+    assert_eq!(plain, teed, "tee under faults perturbed the raw trace");
+    assert!(
+        plain.contains("\"causes\""),
+        "the faulted run emitted no cause-linked events"
+    );
+    assert!(
+        telemetry.events() > 0,
+        "the tee forwarded but never aggregated"
+    );
+}
