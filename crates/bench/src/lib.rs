@@ -147,7 +147,7 @@ impl Bench {
             .ok()
             .and_then(|text| icm_json::from_str(&text).ok());
         let text = Self::merge_json(existing.as_ref(), &self.results);
-        if let Err(e) = std::fs::write(&path, text) {
+        if let Err(e) = icm_json::fs::atomic_write(std::path::Path::new(&path), text.as_bytes()) {
             eprintln!("icm-bench: cannot write {path}: {e}");
         } else {
             eprintln!(

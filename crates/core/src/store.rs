@@ -125,7 +125,9 @@ impl ModelStore {
         Ok(store)
     }
 
-    /// Saves to a file path (creating parent directories).
+    /// Saves to a file path (creating parent directories). The write is
+    /// atomic — tmp-file, fsync, rename — so a crash mid-save leaves
+    /// either the previous store or the new one, never a torn file.
     ///
     /// # Errors
     ///
@@ -137,10 +139,8 @@ impl ModelStore {
                 ModelError::InvalidData(format!("cannot create {}: {e}", parent.display()))
             })?;
         }
-        let file = std::fs::File::create(path).map_err(|e| {
-            ModelError::InvalidData(format!("cannot create {}: {e}", path.display()))
-        })?;
-        self.save_to(std::io::BufWriter::new(file))
+        icm_json::fs::atomic_write(path, icm_json::to_string_pretty(self).as_bytes())
+            .map_err(|e| ModelError::InvalidData(format!("cannot write {}: {e}", path.display())))
     }
 
     /// Loads from a file path.

@@ -23,11 +23,21 @@
 //! see `icm-obs`) and writes them as one JSON document. Alone it
 //! *replaces* raw tracing (no JSONL grows); combined with `--trace` it
 //! tees, and the raw trace stays byte-identical to a telemetry-off run.
+//!
+//! The `endurance` experiment additionally supports whole-world
+//! savestates: `--checkpoint-every N --checkpoint-dir D` saves a
+//! checksummed snapshot generation after every `N`-th tick,
+//! `--kill-after K` aborts the process after tick `K` (a SIGKILL
+//! stand-in for crash drills), and `--resume D` continues from the
+//! newest good generation in `D` — truncating the `--trace` file to
+//! the checkpointed offset so the continued trace is the byte-exact
+//! suffix of an uninterrupted run.
 
 use std::process::ExitCode;
 
 use icm_experiments::results::ResultsDoc;
-use icm_experiments::{ExpConfig, Experiment};
+use icm_experiments::{endurance, ExpConfig, Experiment};
+use icm_json::fs::atomic_write;
 use icm_obs::{JsonlSink, Telemetry, TelemetryConfig, TelemetrySink, Tracer, Value};
 
 fn usage() -> String {
@@ -35,6 +45,8 @@ fn usage() -> String {
     format!(
         "usage: icm-experiments <id>... [--fast] [--seed N] [--json DIR] [--results FILE]\n\
          \x20                       [--trace FILE] [--telemetry FILE] [--profile FILE] [--quiet]\n\
+         \x20      icm-experiments endurance [--checkpoint-every N --checkpoint-dir D]\n\
+         \x20                       [--kill-after K] [--resume D]\n\
          \x20      icm-experiments all [--fast]\n\
          \x20      icm-experiments list\n\
          \n\
@@ -70,6 +82,10 @@ fn main() -> ExitCode {
     let mut trace_path: Option<std::path::PathBuf> = None;
     let mut profile_path: Option<std::path::PathBuf> = None;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+    let mut resume_dir: Option<std::path::PathBuf> = None;
+    let mut kill_after: Option<u64> = None;
     let mut quiet = false;
 
     let mut i = 0;
@@ -131,6 +147,53 @@ fn main() -> ExitCode {
                 };
                 json_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--checkpoint-every" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("--checkpoint-every requires a tick count\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match value.parse() {
+                    Ok(n) if n > 0 => checkpoint_every = Some(n),
+                    _ => {
+                        eprintln!("invalid checkpoint cadence `{value}`\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--checkpoint-dir" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--checkpoint-dir requires a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                checkpoint_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--resume" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--resume requires a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                resume_dir = Some(std::path::PathBuf::from(dir));
+                if !args.iter().any(|a| a == "endurance") {
+                    selected.push(Experiment::Endurance);
+                }
+            }
+            "--kill-after" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("--kill-after requires a tick count\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match value.parse() {
+                    Ok(n) => kill_after = Some(n),
+                    Err(_) => {
+                        eprintln!("invalid kill tick `{value}`\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "all" => run_all = true,
             "list" => list_only = true,
             "--help" | "-h" => {
@@ -167,32 +230,111 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let savestate = checkpoint_every.is_some()
+        || checkpoint_dir.is_some()
+        || resume_dir.is_some()
+        || kill_after.is_some();
+    if savestate {
+        if selected != vec![Experiment::Endurance] {
+            eprintln!(
+                "savestate flags only apply to the endurance experiment\n{}",
+                usage()
+            );
+            return ExitCode::FAILURE;
+        }
+        if checkpoint_every.is_some() != checkpoint_dir.is_some() {
+            eprintln!(
+                "--checkpoint-every and --checkpoint-dir go together\n{}",
+                usage()
+            );
+            return ExitCode::FAILURE;
+        }
+        if resume_dir.is_some() && telemetry_path.is_some() {
+            eprintln!("--resume does not combine with --telemetry\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Resume loads the newest snapshot generation that passes both the
+    // store's checksum/length checks and the payload format check —
+    // torn or corrupted generations are skipped, not fatal.
+    let mut resume_snapshot = match &resume_dir {
+        Some(dir) => match endurance::load_resumable(dir) {
+            Ok((generation, snapshot)) => {
+                if !quiet {
+                    eprintln!(
+                        "[icm] resuming from generation {generation} in {}",
+                        dir.display()
+                    );
+                }
+                Some(snapshot)
+            }
+            Err(err) => {
+                eprintln!("cannot resume: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let telemetry: Option<Telemetry> = telemetry_path
         .as_ref()
         .map(|_| Telemetry::new(TelemetryConfig::default()));
-    let tracer = match (&trace_path, &telemetry) {
-        (Some(path), inner_telemetry) => {
-            let sink = match JsonlSink::create(path) {
-                Ok(sink) => sink,
-                Err(err) => {
-                    eprintln!("cannot open trace file {}: {err}", path.display());
-                    return ExitCode::FAILURE;
-                }
-            };
-            match inner_telemetry {
-                // Tee: aggregate *and* forward, leaving the raw JSONL
-                // byte-identical to a telemetry-off run.
-                Some(telemetry) => {
-                    Tracer::with_telemetry(TelemetrySink::tee(telemetry.clone(), sink))
-                }
-                None => Tracer::with_sink(sink),
-            }
+    let tracer = if let (Some(snapshot), Some(path)) = (&resume_snapshot, &trace_path) {
+        // Resumed trace: truncate to the checkpointed offset and append,
+        // so the continued run emits the exact byte suffix of an
+        // uninterrupted run — including events the killed process wrote
+        // after its last checkpoint, which are rolled back here.
+        let truncate = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .and_then(|file| file.set_len(snapshot.trace_bytes));
+        if let Err(err) = truncate {
+            eprintln!("cannot truncate trace {}: {err}", path.display());
+            return ExitCode::FAILURE;
         }
-        // Replace mode: constant-memory aggregates, no raw lines at all.
-        (None, Some(telemetry)) => Tracer::with_telemetry(TelemetrySink::new(telemetry.clone())),
-        (None, None) if profile_path.is_some() => Tracer::wall_only(),
-        (None, None) => Tracer::disabled(),
+        let sink = match JsonlSink::append(path) {
+            Ok(sink) => sink,
+            Err(err) => {
+                eprintln!("cannot reopen trace {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let tracer = Tracer::with_sink(sink);
+        tracer.restore_state(&snapshot.tracer);
+        tracer
+    } else {
+        match (&trace_path, &telemetry) {
+            (Some(path), inner_telemetry) => {
+                let sink = match JsonlSink::create(path) {
+                    Ok(sink) => sink,
+                    Err(err) => {
+                        eprintln!("cannot open trace file {}: {err}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match inner_telemetry {
+                    // Tee: aggregate *and* forward, leaving the raw JSONL
+                    // byte-identical to a telemetry-off run.
+                    Some(telemetry) => {
+                        Tracer::with_telemetry(TelemetrySink::tee(telemetry.clone(), sink))
+                    }
+                    None => Tracer::with_sink(sink),
+                }
+            }
+            // Replace mode: constant-memory aggregates, no raw lines at all.
+            (None, Some(telemetry)) => {
+                Tracer::with_telemetry(TelemetrySink::new(telemetry.clone()))
+            }
+            (None, None) if profile_path.is_some() => Tracer::wall_only(),
+            (None, None) => Tracer::disabled(),
+        }
     };
+    if let (Some(snapshot), None) = (&resume_snapshot, &trace_path) {
+        // Traceless resume still continues the clock, so simulated time
+        // lines up with the saved history.
+        tracer.restore_state(&snapshot.tracer);
+    }
     if profile_path.is_some() {
         tracer.enable_wall_profiling();
     }
@@ -211,23 +353,49 @@ fn main() -> ExitCode {
                 cfg.fast
             );
         }
-        let span = tracer.span(
-            "experiment",
-            &[
-                ("id", exp.id().into()),
-                ("seed", cfg.seed.into()),
-                ("fast", cfg.fast.into()),
-            ],
-        );
-        match exp.run_full_traced(&cfg, &tracer) {
-            Ok((text, data)) => {
-                span.end_with(&[("id", exp.id().into())]);
-                println!("{text}");
-                results.push(exp.id(), data);
+        if savestate {
+            // Savestate mode skips the per-experiment span: a resumed
+            // run cannot close a span the killed process opened, and
+            // the kill/resume trace must be the byte-exact suffix of an
+            // uninterrupted savestate run.
+            let checkpoint = checkpoint_dir.as_deref().zip(checkpoint_every);
+            match endurance::drive(
+                &cfg,
+                &tracer,
+                resume_snapshot.take(),
+                checkpoint,
+                kill_after,
+                trace_path.as_deref(),
+            ) {
+                Ok(result) => {
+                    use icm_json::ToJson;
+                    println!("{}", endurance::render(&result));
+                    results.push(exp.id(), result.to_json());
+                }
+                Err(err) => {
+                    eprintln!("{}: {err}", exp.id());
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(err) => {
-                eprintln!("{}: {err}", exp.id());
-                return ExitCode::FAILURE;
+        } else {
+            let span = tracer.span(
+                "experiment",
+                &[
+                    ("id", exp.id().into()),
+                    ("seed", cfg.seed.into()),
+                    ("fast", cfg.fast.into()),
+                ],
+            );
+            match exp.run_full_traced(&cfg, &tracer) {
+                Ok((text, data)) => {
+                    span.end_with(&[("id", exp.id().into())]);
+                    println!("{text}");
+                    results.push(exp.id(), data);
+                }
+                Err(err) => {
+                    eprintln!("{}: {err}", exp.id());
+                    return ExitCode::FAILURE;
+                }
             }
         }
         if let Some(dir) = &json_dir {
@@ -241,7 +409,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             let text = icm_json::to_string_pretty(data);
-            match std::fs::write(&path, text) {
+            match atomic_write(&path, text.as_bytes()) {
                 Ok(()) => reporter.say(
                     "json_export",
                     &[
@@ -259,7 +427,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &results_path {
-        if let Err(err) = std::fs::write(path, results.to_text()) {
+        if let Err(err) = atomic_write(path, results.to_text().as_bytes()) {
             eprintln!("cannot write {}: {err}", path.display());
             return ExitCode::FAILURE;
         }
@@ -281,7 +449,7 @@ fn main() -> ExitCode {
                 icm_obs::TELEMETRY_BYTE_BUDGET
             );
         }
-        if let Err(err) = std::fs::write(path, text) {
+        if let Err(err) = atomic_write(path, text.as_bytes()) {
             eprintln!("cannot write {}: {err}", path.display());
             return ExitCode::FAILURE;
         }
@@ -293,7 +461,7 @@ fn main() -> ExitCode {
         let profile = tracer.wall_profile().unwrap_or_default();
         let mut text = icm_json::to_string_pretty(&profile);
         text.push('\n');
-        if let Err(err) = std::fs::write(path, text) {
+        if let Err(err) = atomic_write(path, text.as_bytes()) {
             eprintln!("cannot write {}: {err}", path.display());
             return ExitCode::FAILURE;
         }

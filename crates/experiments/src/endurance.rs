@@ -1,0 +1,611 @@
+//! **Endurance** — a long supervised run under randomized crash
+//! injection, built to be checkpointed, killed, and resumed.
+//!
+//! The uninterrupted variant (`endurance`) drives a [`World`] — testbed,
+//! fleet, manager runtime and a *driver* RNG that schedules crash
+//! windows on the fly — to the end of its horizon. The savestate runner
+//! ([`drive`]) is the same loop with three extras wired through the
+//! `icm-experiments` binary: periodic [`WorldSnapshot`] checkpoints into
+//! a crash-safe [`SnapshotStore`], an optional self-kill after a chosen
+//! tick (a stand-in for SIGKILL: no flushes, no destructors), and resume
+//! from the latest good snapshot. The contract: a killed-and-resumed
+//! run's final state, structured result, and event trace are
+//! byte-identical to the uninterrupted run's.
+//!
+//! The driver RNG is what makes snapshotting load-bearing: crash
+//! windows are drawn per tick from its stream, so resuming without its
+//! exact xoshiro state would fork the fault history immediately.
+//!
+//! The `fork` variant branches one world at mid-horizon through a
+//! serialized snapshot and finishes it under different manager policies
+//! — identical futures, different supervisors.
+
+use std::path::Path;
+
+use icm_core::{DriftConfig, OnlineModel};
+use icm_json::fs::SnapshotStore;
+use icm_manager::snapshot::{RngState, WorldSnapshot, WORLD_SNAPSHOT_VERSION};
+use icm_manager::{ActionKind, EnvironmentDrift, Fleet, ManagedApp, ManagedRun, ManagerConfig};
+use icm_obs::Tracer;
+use icm_placement::QosConfig;
+use icm_rng::Rng;
+use icm_simcluster::{CrashWindow, SimTestbed};
+
+use crate::context::{build_models, private_testbed, ExpConfig, ExpError};
+use crate::table::{f2, Table};
+
+/// Hosts every application spans.
+const SPAN: usize = 4;
+/// Placement slots per host.
+const SLOTS_PER_HOST: usize = 2;
+/// Per-tick probability the driver schedules a crash window.
+const CRASH_PROB: f64 = 0.25;
+/// Runs a scheduled crash window stays open for.
+const CRASH_SPAN_RUNS: u64 = 2;
+
+/// Everything the endurance run owns: the simulated testbed, the fleet
+/// with its online models, the resumable manager runtime, and the
+/// driver RNG that schedules chaos.
+pub struct World {
+    /// The simulated cluster, mid-history.
+    pub testbed: SimTestbed,
+    /// The supervised fleet.
+    pub fleet: Fleet,
+    /// The manager configuration.
+    pub config: ManagerConfig,
+    /// The supervisory loop, positioned before its next tick.
+    pub run: ManagedRun,
+    /// Schedules crash windows; its state must survive checkpoints.
+    pub driver: Rng,
+}
+
+fn endurance_apps(cfg: &ExpConfig) -> Vec<(&'static str, u32)> {
+    if cfg.fast {
+        vec![("M.milc", 2), ("H.KM", 1)]
+    } else {
+        vec![("M.milc", 3), ("M.Gems", 2), ("H.KM", 1)]
+    }
+}
+
+fn endurance_config(cfg: &ExpConfig, hosts: usize) -> ManagerConfig {
+    let ticks = if cfg.fast { 8 } else { 16 };
+    // Ambient drift parks bubble pressure on half the cluster for the
+    // back half of the horizon — it lands right after the `fork`
+    // experiment's branch point, so the branches face the onset under
+    // their different policies.
+    let mut pressures = vec![0.0; hosts];
+    for p in pressures.iter_mut().take(hosts / 2) {
+        *p = 6.0;
+    }
+    ManagerConfig {
+        ticks,
+        seed: cfg.seed,
+        migration_cost_s: 30.0,
+        initial_iterations: if cfg.fast { 600 } else { 1500 },
+        reanneal_iterations: if cfg.fast { 250 } else { 400 },
+        drift: DriftConfig {
+            threshold: 0.2,
+            trip_after: 2,
+        },
+        slo_trip_after: 2,
+        qos: QosConfig {
+            qos_fraction: 0.6,
+            ..QosConfig::default()
+        },
+        search_lanes: 2,
+        environment: Some(EnvironmentDrift {
+            from_tick: ticks / 2 + 1,
+            pressures,
+        }),
+    }
+}
+
+impl World {
+    /// Builds a fresh world: profiles the fleet's models, packs the
+    /// placement problem, and runs the cold initial search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model, placement and manager failures.
+    pub fn new(cfg: &ExpConfig, tracer: &Tracer) -> Result<Self, ExpError> {
+        let apps = endurance_apps(cfg);
+        let mut base_tb = private_testbed(cfg);
+        let hosts = base_tb.sim().cluster().hosts();
+        let names: Vec<&str> = apps.iter().map(|&(name, _)| name).collect();
+        let models = build_models(&mut base_tb, &names, Some(SPAN), cfg)?;
+        let managed_apps: Vec<ManagedApp> = apps
+            .iter()
+            .map(|&(name, priority)| {
+                ManagedApp::new(name, priority, OnlineModel::new(models[name].clone()))
+            })
+            .collect();
+        let fleet = Fleet::new(hosts, SLOTS_PER_HOST, SPAN, managed_apps)?;
+        let mut testbed = base_tb.into_sim();
+        testbed.set_tracer(tracer.clone());
+        let config = endurance_config(cfg, hosts);
+        let run = ManagedRun::start(&testbed, &fleet, &config, true)?;
+        Ok(Self {
+            testbed,
+            fleet,
+            config,
+            run,
+            driver: Rng::from_seed(cfg.seed ^ 0x0E2D_0C4E),
+        })
+    }
+
+    /// Rebuilds a world from a savestate. The testbed's tracer does not
+    /// travel in the snapshot; the caller's `tracer` is re-attached.
+    pub fn restore(snapshot: WorldSnapshot, tracer: &Tracer) -> Result<Self, ExpError> {
+        let driver = snapshot
+            .rngs
+            .first()
+            .ok_or_else(|| ExpError::new("snapshot carries no driver RNG state"))?
+            .restore();
+        let mut testbed = SimTestbed::restore(snapshot.testbed);
+        testbed.set_tracer(tracer.clone());
+        Ok(Self {
+            testbed,
+            fleet: snapshot.fleet,
+            config: snapshot.config,
+            run: snapshot.run,
+            driver,
+        })
+    }
+
+    /// Captures the world (plus the tracer clock and trace position)
+    /// into a serializable savestate.
+    pub fn snapshot(
+        &self,
+        tracer: &Tracer,
+        trace_path: Option<&str>,
+        trace_bytes: u64,
+    ) -> WorldSnapshot {
+        WorldSnapshot {
+            version: WORLD_SNAPSHOT_VERSION,
+            testbed: self.testbed.snapshot(),
+            config: self.config.clone(),
+            fleet: self.fleet.clone(),
+            run: self.run.clone(),
+            tracer: tracer.state(),
+            rngs: vec![RngState::capture(&self.driver)],
+            trace_path: trace_path.map(str::to_owned),
+            trace_bytes,
+        }
+    }
+
+    /// Executes one endurance tick: maybe schedules a crash window for
+    /// the epoch ahead (a driver-RNG draw every tick, taken or not),
+    /// then steps the supervisory loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manager failures; injected faults are absorbed.
+    pub fn step(&mut self, tracer: &Tracer) -> Result<(), ExpError> {
+        let hosts = self.testbed.cluster().hosts();
+        if self.driver.gen_bool(CRASH_PROB) {
+            let host = self.driver.gen_range(0..hosts as u64) as usize;
+            let from_run = self.testbed.peek_run();
+            let mut plan = self.testbed.fault_plan().cloned().unwrap_or_default();
+            plan.crash_windows.push(CrashWindow {
+                host,
+                from_run,
+                // Bounded (never `u64::MAX`): snapshot plans must
+                // survive the JSON integer-exactness check.
+                until_run: from_run + CRASH_SPAN_RUNS,
+            });
+            self.testbed.set_fault_plan(Some(plan));
+        }
+        self.run
+            .step(&mut self.testbed, &mut self.fleet, &self.config, tracer)?;
+        Ok(())
+    }
+}
+
+/// Endurance run output. Deliberately free of any resume metadata: a
+/// killed-and-resumed run must produce this document byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnduranceResult {
+    /// Supervisory epochs.
+    pub ticks: u64,
+    /// Supervised applications.
+    pub apps: Vec<String>,
+    /// Crash windows the driver scheduled over the whole run.
+    pub crashes_injected: u64,
+    /// QoS-violation-seconds accumulated.
+    pub violation_s: f64,
+    /// Conditions detected.
+    pub detections: u64,
+    /// Migration actions.
+    pub migrations: u64,
+    /// Incremental re-anneal actions.
+    pub reanneals: u64,
+    /// Applications shed.
+    pub sheds: u64,
+    /// Circuit breakers opened.
+    pub circuit_breaks: u64,
+    /// Applications meeting their bound at the end.
+    pub meets_bound: u64,
+    /// Total simulated seconds.
+    pub sim_seconds: f64,
+}
+
+icm_json::impl_json!(struct EnduranceResult {
+    ticks,
+    apps,
+    crashes_injected,
+    violation_s,
+    detections,
+    migrations,
+    reanneals,
+    sheds,
+    circuit_breaks,
+    meets_bound,
+    sim_seconds,
+});
+
+fn summarize(world: World) -> EnduranceResult {
+    let crashes_injected = world
+        .testbed
+        .fault_plan()
+        .map_or(0, |p| p.crash_windows.len() as u64);
+    let apps: Vec<String> = world.fleet.apps().iter().map(|a| a.name.clone()).collect();
+    let outcome = world
+        .run
+        .into_outcome(&world.testbed, &world.fleet, &world.config);
+    EnduranceResult {
+        ticks: outcome.ticks,
+        apps,
+        crashes_injected,
+        violation_s: outcome.violation_seconds,
+        detections: outcome.detections.len() as u64,
+        migrations: outcome.action_count(ActionKind::Migrate),
+        reanneals: outcome.action_count(ActionKind::ReAnneal),
+        sheds: outcome.action_count(ActionKind::Shed),
+        circuit_breaks: outcome.action_count(ActionKind::CircuitBreak),
+        meets_bound: outcome.finals.iter().filter(|f| f.meets_bound).count() as u64,
+        sim_seconds: outcome.sim_seconds,
+    }
+}
+
+/// Runs the endurance scenario uninterrupted, emitting testbed and
+/// manager events into `tracer`.
+///
+/// # Errors
+///
+/// Propagates model, placement and manager failures.
+pub fn run_traced(cfg: &ExpConfig, tracer: &Tracer) -> Result<EnduranceResult, ExpError> {
+    drive(cfg, tracer, None, None, None, None)
+}
+
+/// Runs the endurance scenario without tracing.
+///
+/// # Errors
+///
+/// See [`run_traced`].
+pub fn run(cfg: &ExpConfig) -> Result<EnduranceResult, ExpError> {
+    run_traced(cfg, &Tracer::disabled())
+}
+
+/// The savestate-aware endurance runner behind the binary's
+/// `--checkpoint-every/--checkpoint-dir`, `--kill-after` and `--resume`
+/// flags.
+///
+/// * `resume` — continue a previously saved world instead of building a
+///   fresh one. The caller is responsible for having truncated the
+///   trace file to the snapshot's byte offset and restored the tracer
+///   clock, so emitted events continue the stamp sequence.
+/// * `checkpoint` — `(dir, every)`: after every `every`-th completed
+///   tick, flush the tracer and save a [`WorldSnapshot`] as a new
+///   generation in `dir` (checksummed, atomically written). Cadence is
+///   counted in world ticks, so a resumed run keeps the rhythm.
+/// * `kill_after` — abort the process (no flushes, no destructors — the
+///   moral equivalent of SIGKILL) once that world tick has completed.
+///
+/// # Errors
+///
+/// Propagates experiment failures and checkpoint I/O errors.
+pub fn drive(
+    cfg: &ExpConfig,
+    tracer: &Tracer,
+    resume: Option<WorldSnapshot>,
+    checkpoint: Option<(&Path, u64)>,
+    kill_after: Option<u64>,
+    trace_path: Option<&Path>,
+) -> Result<EnduranceResult, ExpError> {
+    let mut world = match resume {
+        Some(snapshot) => World::restore(snapshot, tracer)?,
+        None => World::new(cfg, tracer)?,
+    };
+    let store = match checkpoint {
+        Some((dir, every)) => {
+            if every == 0 {
+                return Err(ExpError::new("--checkpoint-every must be at least 1"));
+            }
+            Some((SnapshotStore::open(dir).map_err(ExpError::new)?, every))
+        }
+        None => None,
+    };
+    while !world.run.is_done(&world.config) {
+        world.step(tracer)?;
+        let completed = world.run.next_tick() - 1;
+        if let Some((store, every)) = &store {
+            if completed.is_multiple_of(*every) && !world.run.is_done(&world.config) {
+                tracer.flush();
+                let trace_bytes = match trace_path {
+                    Some(path) => std::fs::metadata(path).map_err(ExpError::new)?.len(),
+                    None => 0,
+                };
+                let snapshot =
+                    world.snapshot(tracer, trace_path.and_then(Path::to_str), trace_bytes);
+                store
+                    .save(snapshot.to_text().as_bytes())
+                    .map_err(ExpError::new)?;
+            }
+        }
+        if kill_after == Some(completed) {
+            // Simulated SIGKILL: nothing buffered gets flushed, no
+            // destructor runs. Resume must cope with whatever the
+            // checkpoint cadence left behind.
+            std::process::abort();
+        }
+    }
+    Ok(summarize(world))
+}
+
+/// Loads the newest resumable snapshot from a checkpoint directory,
+/// walking generations newest-first: a generation that fails the
+/// store's integrity checks (torn write, flipped bit, truncation) *or*
+/// the payload format check (unknown version, missing field) is skipped
+/// in favor of the previous good one, never a panic.
+///
+/// # Errors
+///
+/// When the directory is unreadable, empty, or no generation survives
+/// both checks; the error lists every per-generation failure.
+pub fn load_resumable(dir: &Path) -> Result<(u64, WorldSnapshot), ExpError> {
+    let store = SnapshotStore::open(dir).map_err(ExpError::new)?;
+    let mut generations = store.generations().map_err(ExpError::new)?;
+    if generations.is_empty() {
+        return Err(ExpError::new(format!("no snapshots in {}", dir.display())));
+    }
+    generations.reverse();
+    let mut failures: Vec<String> = Vec::new();
+    for generation in generations {
+        let outcome = store
+            .load(generation)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| String::from_utf8(bytes).map_err(|e| e.to_string()))
+            .and_then(|text| WorldSnapshot::parse(&text).map_err(|e| e.to_string()));
+        match outcome {
+            Ok(snapshot) => return Ok((generation, snapshot)),
+            Err(err) => failures.push(format!("generation {generation}: {err}")),
+        }
+    }
+    Err(ExpError::new(format!(
+        "no usable snapshot in {}: {}",
+        dir.display(),
+        failures.join("; ")
+    )))
+}
+
+/// Renders the endurance summary table.
+pub fn render(result: &EnduranceResult) -> String {
+    let mut table = Table::new(format!(
+        "Endurance: {} supervised ticks under randomized crash injection ({})",
+        result.ticks,
+        result.apps.join(", ")
+    ));
+    table.headers([
+        "ticks",
+        "crashes",
+        "violation (s)",
+        "detections",
+        "mig/ann/shed/brk",
+        "in-bound",
+        "sim (s)",
+    ]);
+    table.row([
+        result.ticks.to_string(),
+        result.crashes_injected.to_string(),
+        f2(result.violation_s),
+        result.detections.to_string(),
+        format!(
+            "{}/{}/{}/{}",
+            result.migrations, result.reanneals, result.sheds, result.circuit_breaks
+        ),
+        format!("{}/{}", result.meets_bound, result.apps.len()),
+        f2(result.sim_seconds),
+    ]);
+    table.render()
+}
+
+/// One policy branch of a forked world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForkBranch {
+    /// Branch label.
+    pub label: String,
+    /// The SLO hysteresis (violating ticks before reacting) this branch
+    /// ran with.
+    pub slo_trip_after: u64,
+    /// QoS-violation-seconds at the end of the branch.
+    pub violation_s: f64,
+    /// Migration actions over the whole run (shared prefix included).
+    pub migrations: u64,
+    /// Re-anneal actions over the whole run.
+    pub reanneals: u64,
+    /// Conditions detected over the whole run.
+    pub detections: u64,
+    /// Applications meeting their bound at the end.
+    pub meets_bound: u64,
+}
+
+icm_json::impl_json!(struct ForkBranch {
+    label,
+    slo_trip_after,
+    violation_s,
+    migrations,
+    reanneals,
+    detections,
+    meets_bound,
+});
+
+/// Fork experiment output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForkResult {
+    /// Tick the world was branched at.
+    pub fork_tick: u64,
+    /// Total supervisory ticks per branch.
+    pub total_ticks: u64,
+    /// The policy branches, identical up to `fork_tick`.
+    pub branches: Vec<ForkBranch>,
+}
+
+icm_json::impl_json!(struct ForkResult { fork_tick, total_ticks, branches });
+
+/// Branches one world at mid-horizon — through a full serialize/parse
+/// round-trip of its savestate, the same path `--resume` takes — and
+/// finishes it under different SLO hysteresis settings. Every branch sees the
+/// identical future: same noise stream, same scheduled crash windows,
+/// same model state at the fork point — so any difference in outcome
+/// is attributable to the policy alone.
+///
+/// # Errors
+///
+/// Propagates model, placement and manager failures.
+pub fn run_fork(cfg: &ExpConfig) -> Result<ForkResult, ExpError> {
+    let tracer = Tracer::disabled();
+    let mut world = World::new(cfg, &tracer)?;
+    let fork_tick = world.config.ticks / 2;
+    while world.run.next_tick() <= fork_tick {
+        world.step(&tracer)?;
+    }
+    let savestate = world.snapshot(&tracer, None, 0).to_text();
+
+    // The baseline branch must keep the unforked policy so it can be
+    // checked against the plain endurance run (the identical-futures
+    // proof); the others trade reaction latency for stability.
+    let baseline_trip = world.config.slo_trip_after;
+    let mut branches = Vec::new();
+    for (label, slo_trip_after) in [
+        ("baseline", baseline_trip),
+        ("hair-trigger", 1),
+        ("patient", baseline_trip * 2),
+    ] {
+        let snapshot = WorldSnapshot::parse(&savestate).map_err(ExpError::new)?;
+        let mut branch = World::restore(snapshot, &tracer)?;
+        branch.config.slo_trip_after = slo_trip_after;
+        while !branch.run.is_done(&branch.config) {
+            branch.step(&tracer)?;
+        }
+        let summary = summarize(branch);
+        branches.push(ForkBranch {
+            label: label.to_owned(),
+            slo_trip_after: u64::from(slo_trip_after),
+            violation_s: summary.violation_s,
+            migrations: summary.migrations,
+            reanneals: summary.reanneals,
+            detections: summary.detections,
+            meets_bound: summary.meets_bound,
+        });
+    }
+    Ok(ForkResult {
+        fork_tick,
+        total_ticks: world.config.ticks,
+        branches,
+    })
+}
+
+/// Renders the fork comparison table.
+pub fn render_fork(result: &ForkResult) -> String {
+    let mut table = Table::new(format!(
+        "Fork: identical futures branched at tick {} of {}, three SLO hysteresis policies",
+        result.fork_tick, result.total_ticks
+    ));
+    table.headers([
+        "branch",
+        "slo trip",
+        "violation (s)",
+        "mig",
+        "anneal",
+        "detections",
+        "in-bound",
+    ]);
+    for branch in &result.branches {
+        table.row([
+            branch.label.clone(),
+            branch.slo_trip_after.to_string(),
+            f2(branch.violation_s),
+            branch.migrations.to_string(),
+            branch.reanneals.to_string(),
+            branch.detections.to_string(),
+            branch.meets_bound.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> ExpConfig {
+        ExpConfig {
+            fast: true,
+            ..ExpConfig::default()
+        }
+    }
+
+    #[test]
+    fn endurance_is_deterministic_and_eventful() {
+        let a = run(&fast_cfg()).expect("runs");
+        let b = run(&fast_cfg()).expect("runs");
+        assert_eq!(a, b);
+        assert!(
+            a.crashes_injected > 0,
+            "the driver must inject chaos: {a:?}"
+        );
+        assert!(a.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn a_world_resumed_from_its_savestate_finishes_identically() {
+        let cfg = fast_cfg();
+        let tracer = Tracer::disabled();
+
+        let mut full = World::new(&cfg, &tracer).expect("builds");
+        while !full.run.is_done(&full.config) {
+            full.step(&tracer).expect("steps");
+        }
+        let reference = summarize(full);
+
+        let mut prefix = World::new(&cfg, &tracer).expect("builds");
+        for _ in 0..3 {
+            prefix.step(&tracer).expect("steps");
+        }
+        let text = prefix.snapshot(&tracer, None, 0).to_text();
+        let snapshot = WorldSnapshot::parse(&text).expect("parses");
+        let mut resumed = World::restore(snapshot, &tracer).expect("restores");
+        while !resumed.run.is_done(&resumed.config) {
+            resumed.step(&tracer).expect("steps");
+        }
+        assert_eq!(reference, summarize(resumed));
+    }
+
+    #[test]
+    fn fork_branches_share_their_prefix_and_render() {
+        let result = run_fork(&fast_cfg()).expect("forks");
+        assert_eq!(result.branches.len(), 3);
+        // The baseline branch reruns the unmodified policy, so it must
+        // equal the plain endurance run — the identical-futures check.
+        let baseline = &result.branches[0];
+        let endurance = run(&fast_cfg()).expect("runs");
+        assert_eq!(baseline.violation_s, endurance.violation_s);
+        assert_eq!(baseline.migrations, endurance.migrations);
+        assert_eq!(baseline.detections, endurance.detections);
+        let text = render_fork(&result);
+        for branch in &result.branches {
+            assert!(text.contains(&branch.label));
+        }
+        assert!(render(&endurance).contains("Endurance"));
+    }
+}

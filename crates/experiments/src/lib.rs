@@ -32,6 +32,8 @@
 //! | `ext-iochannel` | the unprofiled network/disk I/O channel (§2.1) |
 //! | `robustness` | resilient profiling under injected faults |
 //! | `recovery` | self-healing runtime vs unmanaged baseline |
+//! | `endurance` | checkpointable long run under randomized crashes |
+//! | `fork` | one world branched mid-run under different policies |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +41,7 @@
 pub mod ablations;
 pub mod context;
 pub mod ec2;
+pub mod endurance;
 pub mod explain;
 pub mod extensions;
 pub mod fig10;
@@ -122,11 +125,15 @@ pub enum Experiment {
     Robustness,
     /// Recovery — self-healing runtime vs unmanaged baseline.
     Recovery,
+    /// Endurance — checkpointable long run under randomized crashes.
+    Endurance,
+    /// Fork — one world branched mid-run under different policies.
+    Fork,
 }
 
 impl Experiment {
     /// All experiments in paper order.
-    pub const ALL: [Experiment; 29] = [
+    pub const ALL: [Experiment; 31] = [
         Experiment::Fig2,
         Experiment::Fig3,
         Experiment::Fig4,
@@ -156,6 +163,8 @@ impl Experiment {
         Experiment::ExtIoChannel,
         Experiment::Robustness,
         Experiment::Recovery,
+        Experiment::Endurance,
+        Experiment::Fork,
     ];
 
     /// Command-line id.
@@ -190,6 +199,8 @@ impl Experiment {
             Experiment::ExtIoChannel => "ext-iochannel",
             Experiment::Robustness => "robustness",
             Experiment::Recovery => "recovery",
+            Experiment::Endurance => "endurance",
+            Experiment::Fork => "fork",
         }
     }
 
@@ -346,6 +357,14 @@ impl Experiment {
             Experiment::Recovery => {
                 let r = recovery::run_traced(cfg, tracer)?;
                 both(&r, recovery::render(&r))
+            }
+            Experiment::Endurance => {
+                let r = endurance::run_traced(cfg, tracer)?;
+                both(&r, endurance::render(&r))
+            }
+            Experiment::Fork => {
+                let r = endurance::run_fork(cfg)?;
+                both(&r, endurance::render_fork(&r))
             }
         })
     }

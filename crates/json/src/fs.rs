@@ -1,0 +1,434 @@
+//! Crash-safe file persistence: atomic writes and a generational,
+//! checksummed snapshot store.
+//!
+//! Two layers:
+//!
+//! * [`atomic_write`] — the tmp-write + fsync + rename idiom every
+//!   durable writer in the workspace shares (model stores, results
+//!   documents, world snapshots). A reader never observes a torn file:
+//!   it sees either the old bytes or the new bytes.
+//! * [`SnapshotStore`] — a directory of numbered snapshot generations
+//!   (`gen-000042.icmsnap`), each framed with a header carrying a
+//!   format version, an FNV-1a 64 checksum, and the payload length.
+//!   Loading walks generations newest-first and falls back to the
+//!   previous good generation when the newest is torn or corrupt, so a
+//!   crash mid-checkpoint (or a flipped bit on disk) costs at most one
+//!   checkpoint interval — never the whole run.
+//!
+//! The framing is deliberately independent of the payload format: the
+//! store checksums opaque bytes, and callers layer their own versioned
+//! JSON payload (e.g. `icm-manager`'s `WorldSnapshot`) on top.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes `bytes` to `path` atomically: write a sibling temp file,
+/// fsync it, then rename over the destination.
+///
+/// On POSIX filesystems the rename is atomic, so a concurrent reader
+/// (or a reader after a crash) sees either the complete old contents or
+/// the complete new contents, never a prefix. The containing directory
+/// is fsynced best-effort afterwards so the rename itself is durable.
+///
+/// The temp file lives next to the destination (same directory, suffix
+/// `.tmp`) so the rename cannot cross a filesystem boundary.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp: PathBuf = {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".tmp");
+        match dir {
+            Some(d) => d.join(name),
+            None => PathBuf::from(name),
+        }
+    };
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    // Durability of the rename needs a directory fsync; not all
+    // platforms allow opening a directory for sync, so best-effort.
+    if let Some(d) = dir {
+        if let Ok(dirf) = File::open(d) {
+            let _ = dirf.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// FNV-1a 64-bit checksum of `bytes`.
+///
+/// Not cryptographic — it guards against torn writes and bit rot, not
+/// adversaries. Chosen because it is tiny, dependency-free, and has no
+/// degenerate all-zero fixed point for non-empty input.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Store framing version (the header's `v1`). Independent of any
+/// payload version the caller embeds.
+pub const STORE_VERSION: u64 = 1;
+
+const SNAP_EXT: &str = "icmsnap";
+const HEADER_MAGIC: &str = "icmsnap";
+
+/// Why a single snapshot generation failed to load.
+///
+/// `SnapshotStore::load_latest` treats every variant except plain I/O
+/// trouble as "this generation is damaged, try the previous one".
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadError {
+    /// The file could not be read at all.
+    Io(String),
+    /// The first line is not a valid `icmsnap` header.
+    BadHeader(String),
+    /// The store framing version is newer than this build understands.
+    UnknownVersion(u64),
+    /// The payload is shorter or longer than the header promised
+    /// (classic torn write).
+    LengthMismatch {
+        /// Byte count the header promised.
+        expected: usize,
+        /// Byte count actually present.
+        got: usize,
+    },
+    /// The payload bytes do not hash to the header's checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes on disk.
+        got: u64,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "snapshot io error: {e}"),
+            LoadError::BadHeader(e) => write!(f, "bad snapshot header: {e}"),
+            LoadError::UnknownVersion(v) => {
+                write!(f, "unknown snapshot store version {v}")
+            }
+            LoadError::LengthMismatch { expected, got } => write!(
+                f,
+                "torn snapshot: header promised {expected} payload bytes, found {got}"
+            ),
+            LoadError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "corrupt snapshot: checksum {got:016x} != recorded {expected:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Why `SnapshotStore::load_latest` could not produce any payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The store directory could not be read.
+    Io(String),
+    /// Generations exist but every single one failed to load. Carries
+    /// the per-generation failures, newest first.
+    NoneValid(Vec<(u64, LoadError)>),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot store io error: {e}"),
+            StoreError::NoneValid(tried) => {
+                write!(f, "no valid snapshot generation (tried {}):", tried.len())?;
+                for (generation, err) in tried {
+                    write!(f, " gen {generation}: {err};")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A directory of numbered, checksummed snapshot generations.
+///
+/// Writes are atomic ([`atomic_write`]); reads verify the checksum and
+/// fall back to older generations on damage. Generation numbers only
+/// grow, so "latest" is simply the highest number present.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a snapshot store rooted at `dir`.
+    pub fn open(dir: &Path) -> io::Result<SnapshotStore> {
+        fs::create_dir_all(dir)?;
+        Ok(SnapshotStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation:06}.{SNAP_EXT}"))
+    }
+
+    /// Generation numbers currently on disk, ascending.
+    pub fn generations(&self) -> io::Result<Vec<u64>> {
+        let mut generations = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name
+                .strip_prefix("gen-")
+                .and_then(|rest| rest.strip_suffix(&format!(".{SNAP_EXT}")))
+            else {
+                continue;
+            };
+            if let Ok(generation) = stem.parse::<u64>() {
+                generations.push(generation);
+            }
+        }
+        generations.sort_unstable();
+        Ok(generations)
+    }
+
+    /// Persists `payload` as a new generation and returns its number.
+    pub fn save(&self, payload: &[u8]) -> io::Result<u64> {
+        let generation = self.generations()?.last().copied().unwrap_or(0) + 1;
+        let mut framed = format!(
+            "{HEADER_MAGIC} v{STORE_VERSION} {checksum:016x} {len}\n",
+            checksum = fnv1a64(payload),
+            len = payload.len()
+        )
+        .into_bytes();
+        framed.extend_from_slice(payload);
+        atomic_write(&self.path_of(generation), &framed)?;
+        Ok(generation)
+    }
+
+    /// Loads one specific generation, verifying framing and checksum.
+    pub fn load(&self, generation: u64) -> Result<Vec<u8>, LoadError> {
+        let mut bytes = Vec::new();
+        File::open(self.path_of(generation))
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| LoadError::Io(e.to_string()))?;
+        let newline = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| LoadError::BadHeader("missing header line".into()))?;
+        let header = std::str::from_utf8(&bytes[..newline])
+            .map_err(|_| LoadError::BadHeader("header is not utf-8".into()))?;
+        let fields: Vec<&str> = header.split(' ').collect();
+        if fields.len() != 4 || fields[0] != HEADER_MAGIC {
+            return Err(LoadError::BadHeader(format!("malformed header {header:?}")));
+        }
+        let version: u64 = fields[1]
+            .strip_prefix('v')
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| LoadError::BadHeader(format!("bad version field {:?}", fields[1])))?;
+        if version != STORE_VERSION {
+            return Err(LoadError::UnknownVersion(version));
+        }
+        let expected_checksum = u64::from_str_radix(fields[2], 16)
+            .map_err(|_| LoadError::BadHeader(format!("bad checksum field {:?}", fields[2])))?;
+        let expected_len: usize = fields[3]
+            .parse()
+            .map_err(|_| LoadError::BadHeader(format!("bad length field {:?}", fields[3])))?;
+        let payload = &bytes[newline + 1..];
+        if payload.len() != expected_len {
+            return Err(LoadError::LengthMismatch {
+                expected: expected_len,
+                got: payload.len(),
+            });
+        }
+        let got_checksum = fnv1a64(payload);
+        if got_checksum != expected_checksum {
+            return Err(LoadError::ChecksumMismatch {
+                expected: expected_checksum,
+                got: got_checksum,
+            });
+        }
+        Ok(payload.to_vec())
+    }
+
+    /// Loads the newest generation that verifies, falling back through
+    /// older ones when the newest is torn or corrupt.
+    ///
+    /// Returns `Ok(None)` for an empty store, and `Err(NoneValid)` —
+    /// with every per-generation failure — only when generations exist
+    /// but none load.
+    pub fn load_latest(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        let generations = self
+            .generations()
+            .map_err(|e| StoreError::Io(e.to_string()))?;
+        let mut failures = Vec::new();
+        for &generation in generations.iter().rev() {
+            match self.load(generation) {
+                Ok(payload) => return Ok(Some((generation, payload))),
+                Err(err) => failures.push((generation, err)),
+            }
+        }
+        if failures.is_empty() {
+            Ok(None)
+        } else {
+            Err(StoreError::NoneValid(failures))
+        }
+    }
+}
+
+/// Appends `bytes` to `path`, creating it if absent. The counterpart to
+/// [`atomic_write`] for growing logs (JSONL traces on resume).
+pub fn append(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(bytes)?;
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("icm-json-fs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = tmpdir("aw");
+        let path = dir.join("doc.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer");
+        assert!(
+            !dir.join("doc.json.tmp").exists(),
+            "temp file must not linger after rename"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn save_load_round_trips_and_generations_grow() {
+        let dir = tmpdir("gen");
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert_eq!(store.load_latest().unwrap(), None);
+        assert_eq!(store.save(b"one").unwrap(), 1);
+        assert_eq!(store.save(b"two").unwrap(), 2);
+        assert_eq!(store.generations().unwrap(), vec![1, 2]);
+        assert_eq!(store.load(1).unwrap(), b"one");
+        let (generation, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!((generation, payload.as_slice()), (2, b"two".as_slice()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_newest_falls_back_to_previous_generation() {
+        let dir = tmpdir("torn");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.save(b"good payload").unwrap();
+        store.save(b"newer payload").unwrap();
+        // Simulate a torn write: chop the newest file mid-payload.
+        let newest = dir.join("gen-000002.icmsnap");
+        let full = fs::read(&newest).unwrap();
+        fs::write(&newest, &full[..full.len() - 4]).unwrap();
+        assert!(matches!(
+            store.load(2),
+            Err(LoadError::LengthMismatch { .. })
+        ));
+        let (generation, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!(
+            (generation, payload.as_slice()),
+            (1, b"good payload".as_slice())
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_fails_checksum_and_falls_back() {
+        let dir = tmpdir("flip");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.save(b"generation one").unwrap();
+        store.save(b"generation two").unwrap();
+        let newest = dir.join("gen-000002.icmsnap");
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40; // flip one bit inside the payload
+        fs::write(&newest, &bytes).unwrap();
+        assert!(matches!(
+            store.load(2),
+            Err(LoadError::ChecksumMismatch { .. })
+        ));
+        let (generation, _) = store.load_latest().unwrap().unwrap();
+        assert_eq!(generation, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_store_version_is_rejected() {
+        let dir = tmpdir("ver");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.save(b"payload").unwrap();
+        let path = dir.join("gen-000001.icmsnap");
+        let text = String::from_utf8(fs::read(&path).unwrap()).unwrap();
+        fs::write(&path, text.replacen("icmsnap v1 ", "icmsnap v9 ", 1)).unwrap();
+        assert_eq!(store.load(1), Err(LoadError::UnknownVersion(9)));
+        assert!(matches!(store.load_latest(), Err(StoreError::NoneValid(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_generation_corrupt_reports_all_failures() {
+        let dir = tmpdir("all-bad");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.save(b"alpha").unwrap();
+        store.save(b"beta").unwrap();
+        for generation in [1u64, 2] {
+            fs::write(dir.join(format!("gen-{generation:06}.icmsnap")), b"garbage").unwrap();
+        }
+        match store.load_latest() {
+            Err(StoreError::NoneValid(tried)) => {
+                assert_eq!(tried.len(), 2);
+                assert_eq!(tried[0].0, 2, "failures reported newest first");
+            }
+            other => panic!("expected NoneValid, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_grows_a_log() {
+        let dir = tmpdir("append");
+        let path = dir.join("trace.jsonl");
+        append(&path, b"line 1\n").unwrap();
+        append(&path, b"line 2\n").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"line 1\nline 2\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

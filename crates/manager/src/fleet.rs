@@ -34,6 +34,8 @@ pub struct ManagedApp {
     pub quality: Option<QualityGrid>,
 }
 
+icm_json::impl_json!(struct ManagedApp { name, priority, online, quality });
+
 impl ManagedApp {
     /// Convenience constructor without a quality grid.
     pub fn new(name: impl Into<String>, priority: u32, online: OnlineModel) -> Self {
@@ -52,6 +54,12 @@ pub struct Fleet {
     problem: PlacementProblem,
     apps: Vec<ManagedApp>,
 }
+
+// Serialization support for whole-world savestates. Deserializing
+// bypasses [`Fleet::new`]'s validation deliberately: a snapshot records
+// a fleet that already validated when it was first built, and the
+// snapshot store's checksum guards the bytes in between.
+icm_json::impl_json!(struct Fleet { problem, apps });
 
 impl Fleet {
     /// Builds a fleet over a `hosts × slots_per_host` cluster where every

@@ -34,10 +34,11 @@ mod action;
 mod error;
 mod fleet;
 mod runtime;
+pub mod snapshot;
 
 pub use action::{
     ActionKind, ActionRecord, AppFinal, DetectionKind, DetectionRecord, ManagerOutcome,
 };
 pub use error::ManagerError;
 pub use fleet::{Fleet, ManagedApp, IDLE_PREFIX};
-pub use runtime::{run_managed, run_unmanaged, EnvironmentDrift, ManagerConfig};
+pub use runtime::{run_managed, run_unmanaged, EnvironmentDrift, ManagedRun, ManagerConfig};

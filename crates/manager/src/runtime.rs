@@ -113,6 +113,19 @@ impl Default for ManagerConfig {
     }
 }
 
+icm_json::impl_json!(struct ManagerConfig {
+    ticks,
+    seed,
+    migration_cost_s,
+    initial_iterations,
+    reanneal_iterations,
+    drift,
+    slo_trip_after,
+    qos,
+    search_lanes,
+    environment,
+});
+
 impl ManagerConfig {
     fn validate(&self, hosts: usize) -> Result<(), ManagerError> {
         if self.ticks == 0 {
@@ -194,7 +207,9 @@ pub fn run_unmanaged(
     run(testbed, fleet, config, tracer, false)
 }
 
-/// Per-application supervisory state.
+/// Per-application supervisory state. Serializable as part of
+/// [`ManagedRun`] so a savestate carries every streak and breaker flag.
+#[derive(Debug, Clone, PartialEq)]
 struct AppState {
     detector: DriftDetector,
     slo_streak: u32,
@@ -209,6 +224,17 @@ struct AppState {
     /// ancestry handed to detections that trip on them.
     recent_obs: Vec<ObservationRef>,
 }
+
+icm_json::impl_json!(struct AppState {
+    detector,
+    slo_streak,
+    breaker_open,
+    last_normalized,
+    last_ok,
+    last_predicted,
+    last_violation_s,
+    recent_obs,
+});
 
 fn sim_elapsed(stats: &TestbedStats, start: &TestbedStats) -> f64 {
     (stats.simulated_seconds - start.simulated_seconds)
@@ -647,7 +673,6 @@ impl Supervisor<'_> {
     }
 }
 
-#[allow(clippy::too_many_lines)]
 fn run(
     testbed: &mut SimTestbed,
     fleet: &mut Fleet,
@@ -655,71 +680,191 @@ fn run(
     tracer: &Tracer,
     managed: bool,
 ) -> Result<ManagerOutcome, ManagerError> {
-    let hosts = testbed.cluster().hosts();
-    config.validate(hosts)?;
-    if fleet.problem().hosts() != hosts {
-        return Err(ManagerError::Config(format!(
-            "fleet is shaped for {} hosts, testbed has {hosts}",
-            fleet.problem().hosts()
-        )));
+    let mut run = ManagedRun::start(testbed, fleet, config, managed)?;
+    while !run.is_done(config) {
+        run.step(testbed, fleet, config, tracer)?;
     }
-    for app in fleet.apps() {
-        if testbed.app(&app.name).is_none() {
+    Ok(run.into_outcome(testbed, fleet, config))
+}
+
+/// Resumable supervisory-loop state: everything the tick loop carries
+/// between epochs, extracted into a serializable struct so a run can be
+/// checkpointed mid-horizon and continued — byte-identically — in a
+/// different process (see `crate::snapshot::WorldSnapshot`).
+///
+/// [`run_managed`]/[`run_unmanaged`] are exactly this loop:
+///
+/// ```text
+/// let mut run = ManagedRun::start(&testbed, &fleet, &config, true)?;
+/// while !run.is_done(&config) {
+///     run.step(&mut testbed, &mut fleet, &config, &tracer)?;
+/// }
+/// let outcome = run.into_outcome(&testbed, &fleet, &config);
+/// ```
+///
+/// Serialization keeps private fields private: the JSON form exists for
+/// savestates, whose integrity the snapshot store checksums — it is not
+/// a mutation API.
+#[derive(Debug, Clone)]
+pub struct ManagedRun {
+    managed: bool,
+    /// Next tick (1-based) [`ManagedRun::step`] will execute.
+    next_tick: u64,
+    state: PlacementState,
+    live: Vec<bool>,
+    suspicion: Vec<f64>,
+    states: Vec<AppState>,
+    shed_order: Vec<String>,
+    recovery_latencies: Vec<f64>,
+    pending_recovery: Option<f64>,
+    violation_seconds: f64,
+    detections: Vec<DetectionRecord>,
+    actions: Vec<ActionRecord>,
+    provenance: Vec<ProvenanceRecord>,
+    start_stats: TestbedStats,
+}
+
+icm_json::impl_json!(struct ManagedRun {
+    managed,
+    next_tick,
+    state,
+    live,
+    suspicion,
+    states,
+    shed_order,
+    recovery_latencies,
+    pending_recovery,
+    violation_seconds,
+    detections,
+    actions,
+    provenance,
+    start_stats,
+});
+
+impl ManagedRun {
+    /// Validates the configuration and runs the initial (cold)
+    /// placement search, returning a runner positioned before tick 1.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::Config`] on inconsistent configuration, or a
+    /// propagated placement failure from the cold search.
+    pub fn start(
+        testbed: &SimTestbed,
+        fleet: &Fleet,
+        config: &ManagerConfig,
+        managed: bool,
+    ) -> Result<Self, ManagerError> {
+        let hosts = testbed.cluster().hosts();
+        config.validate(hosts)?;
+        if fleet.problem().hosts() != hosts {
             return Err(ManagerError::Config(format!(
-                "application `{}` is not registered on the testbed",
-                app.name
+                "fleet is shaped for {} hosts, testbed has {hosts}",
+                fleet.problem().hosts()
             )));
         }
+        for app in fleet.apps() {
+            if testbed.app(&app.name).is_none() {
+                return Err(ManagerError::Config(format!(
+                    "application `{}` is not registered on the testbed",
+                    app.name
+                )));
+            }
+        }
+
+        // Initial placement: a cold annealing search, deliberately
+        // untraced and identical in both modes, so the managed and
+        // unmanaged histories only diverge when a reaction fires.
+        let n = fleet.apps().len();
+        let live_all = vec![true; n];
+        let no_suspicion = vec![0.0; hosts];
+        let initial_config = AnnealConfig {
+            iterations: config.initial_iterations,
+            seed: reaction_seed(config.seed, 0, 0x1CF7),
+            lanes: config.search_lanes,
+            ..AnnealConfig::default()
+        };
+        let state = anneal_with(
+            fleet.problem(),
+            |_| FleetObjective::new(fleet, &live_all, &no_suspicion),
+            &initial_config,
+            &icm_obs::Tracer::disabled(),
+        )?
+        .state;
+
+        Ok(Self {
+            managed,
+            next_tick: 1,
+            state,
+            live: vec![true; n],
+            suspicion: vec![0.0f64; hosts],
+            states: (0..n)
+                .map(|_| AppState {
+                    detector: DriftDetector::new(config.drift),
+                    slo_streak: 0,
+                    breaker_open: false,
+                    last_normalized: 0.0,
+                    last_ok: false,
+                    last_predicted: 0.0,
+                    last_violation_s: 0.0,
+                    recent_obs: Vec::new(),
+                })
+                .collect(),
+            shed_order: Vec::new(),
+            recovery_latencies: Vec::new(),
+            pending_recovery: None,
+            violation_seconds: 0.0,
+            detections: Vec::new(),
+            actions: Vec::new(),
+            provenance: Vec::new(),
+            start_stats: testbed.stats(),
+        })
     }
 
-    // Initial placement: a cold annealing search, deliberately untraced
-    // and identical in both modes, so the managed and unmanaged
-    // histories only diverge when a reaction fires.
-    let n = fleet.apps().len();
-    let live_all = vec![true; n];
-    let no_suspicion = vec![0.0; hosts];
-    let initial_config = AnnealConfig {
-        iterations: config.initial_iterations,
-        seed: reaction_seed(config.seed, 0, 0x1CF7),
-        lanes: config.search_lanes,
-        ..AnnealConfig::default()
-    };
-    let mut state = anneal_with(
-        fleet.problem(),
-        |_| FleetObjective::new(fleet, &live_all, &no_suspicion),
-        &initial_config,
-        &icm_obs::Tracer::disabled(),
-    )?
-    .state;
+    /// Whether the supervisory horizon is complete.
+    pub fn is_done(&self, config: &ManagerConfig) -> bool {
+        self.next_tick > config.ticks
+    }
 
-    let start_stats = testbed.stats();
-    let bound = config.qos.max_normalized_time();
-    let mut live = vec![true; n];
-    let mut suspicion = vec![0.0f64; hosts];
-    let mut states: Vec<AppState> = (0..n)
-        .map(|_| AppState {
-            detector: DriftDetector::new(config.drift),
-            slo_streak: 0,
-            breaker_open: false,
-            last_normalized: 0.0,
-            last_ok: false,
-            last_predicted: 0.0,
-            last_violation_s: 0.0,
-            recent_obs: Vec::new(),
-        })
-        .collect();
-    // Observation window per app: large enough that any detection can
-    // cite every observation in its trip streak.
-    let obs_window = config.drift.trip_after.max(config.slo_trip_after) as usize;
-    let mut shed_order: Vec<String> = Vec::new();
-    let mut recovery_latencies: Vec<f64> = Vec::new();
-    let mut pending_recovery: Option<f64> = None;
-    let mut violation_seconds = 0.0;
-    let mut all_detections: Vec<DetectionRecord> = Vec::new();
-    let mut all_actions: Vec<ActionRecord> = Vec::new();
-    let mut provenance: Vec<ProvenanceRecord> = Vec::new();
+    /// The next tick (1-based) [`ManagedRun::step`] would execute.
+    pub fn next_tick(&self) -> u64 {
+        self.next_tick
+    }
 
-    for tick in 1..=config.ticks {
+    /// Violation-seconds accumulated so far.
+    pub fn violation_seconds(&self) -> f64 {
+        self.violation_seconds
+    }
+
+    /// Executes one supervisory tick.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::Config`] when the horizon is already complete,
+    /// or a propagated placement/model/testbed failure. Injected faults
+    /// are *not* errors: the loop absorbs and reacts to them.
+    #[allow(clippy::too_many_lines)]
+    pub fn step(
+        &mut self,
+        testbed: &mut SimTestbed,
+        fleet: &mut Fleet,
+        config: &ManagerConfig,
+        tracer: &Tracer,
+    ) -> Result<(), ManagerError> {
+        if self.is_done(config) {
+            return Err(ManagerError::Config(format!(
+                "supervisory horizon of {} ticks already complete",
+                config.ticks
+            )));
+        }
+        let tick = self.next_tick;
+        let managed = self.managed;
+        let n = fleet.apps().len();
+        let bound = config.qos.max_normalized_time();
+        // Observation window per app: large enough that any detection
+        // can cite every observation in its trip streak.
+        let obs_window = config.drift.trip_after.max(config.slo_trip_after) as usize;
+
         // Telemetry-only bookkeeping: quiet ticks are contractually
         // silent in the event stream, so tick counts and per-tick
         // violation time flow through the non-event telemetry path.
@@ -731,7 +876,7 @@ fn run(
             },
             1,
         );
-        let violation_before_tick = violation_seconds;
+        let violation_before_tick = self.violation_seconds;
         let mut sup = Supervisor {
             tracer,
             managed,
@@ -741,7 +886,7 @@ fn run(
             actions: Vec::new(),
             tick_inputs: Vec::new(),
         };
-        for s in suspicion.iter_mut() {
+        for s in self.suspicion.iter_mut() {
             *s *= 0.5;
             if *s < 1e-3 {
                 *s = 0.0;
@@ -756,10 +901,12 @@ fn run(
             let threatened: Vec<usize> = downed
                 .iter()
                 .copied()
-                .filter(|&h| (0..n).any(|i| live[i] && fleet.hosts_of(&state, i).contains(&h)))
+                .filter(|&h| {
+                    (0..n).any(|i| self.live[i] && fleet.hosts_of(&self.state, i).contains(&h))
+                })
                 .collect();
             if !threatened.is_empty() {
-                let sim = sim_elapsed(&testbed.stats(), &start_stats);
+                let sim = sim_elapsed(&testbed.stats(), &self.start_stats);
                 for &h in &threatened {
                     // A crash-window peek is a causal root: no prior
                     // event made the fault plan schedule the outage.
@@ -771,34 +918,35 @@ fn run(
                         DetectCtx::default(),
                     );
                 }
-                pending_recovery.get_or_insert(sim);
-                state = replan(
+                self.pending_recovery.get_or_insert(sim);
+                self.state = replan(
                     testbed,
                     fleet,
                     config,
                     &mut sup,
-                    &mut live,
-                    &mut shed_order,
-                    &suspicion,
-                    &state,
+                    &mut self.live,
+                    &mut self.shed_order,
+                    &self.suspicion,
+                    &self.state,
                     &downed,
-                    &start_stats,
-                    &mut provenance,
-                    violation_seconds - violation_before_tick,
+                    &self.start_stats,
+                    &mut self.provenance,
+                    self.violation_seconds - violation_before_tick,
                 )?;
             }
         }
 
         // Phase 2: run the tick.
-        let live_idx: Vec<usize> = (0..n).filter(|&i| live[i]).collect();
+        let live_idx: Vec<usize> = (0..n).filter(|&i| self.live[i]).collect();
         if live_idx.is_empty() {
-            all_detections.append(&mut sup.detections);
-            all_actions.append(&mut sup.actions);
-            continue;
+            self.detections.append(&mut sup.detections);
+            self.actions.append(&mut sup.actions);
+            self.next_tick += 1;
+            return Ok(());
         }
         let placements: Vec<Placement> = live_idx
             .iter()
-            .map(|&i| Placement::new(fleet.apps()[i].name.clone(), fleet.hosts_of(&state, i)))
+            .map(|&i| Placement::new(fleet.apps()[i].name.clone(), fleet.hosts_of(&self.state, i)))
             .collect();
         let bubbles = match &config.environment {
             Some(env) if tick >= env.from_tick => env.pressures.clone(),
@@ -815,30 +963,30 @@ fn run(
                 let mut all_in_bound = true;
                 for (k, &i) in live_idx.iter().enumerate() {
                     let seconds = runs[k].seconds;
-                    let (pressures, key) = context_of(fleet, &state, &live, i);
+                    let (pressures, key) = context_of(fleet, &self.state, &self.live, i);
                     let app = &mut fleet.apps_mut()[i];
                     let app_name = app.name.clone();
                     let solo = app.online.base().solo_seconds();
                     let normalized = seconds / solo;
                     let predicted = app.online.predict_for(&key, &pressures)?;
                     app.online.observe_for(&key, &pressures, normalized)?;
-                    let signal = states[i].detector.observe(predicted, normalized)?;
-                    states[i].last_normalized = normalized;
-                    states[i].last_ok = true;
-                    states[i].last_predicted = predicted;
-                    states[i].recent_obs.push(ObservationRef {
+                    let signal = self.states[i].detector.observe(predicted, normalized)?;
+                    self.states[i].last_normalized = normalized;
+                    self.states[i].last_ok = true;
+                    self.states[i].last_predicted = predicted;
+                    self.states[i].recent_obs.push(ObservationRef {
                         event: runs[k].trace_event,
                         tick,
                         app: app_name.clone(),
                         predicted,
                         observed: normalized,
                     });
-                    if states[i].recent_obs.len() > obs_window {
-                        states[i].recent_obs.remove(0);
+                    if self.states[i].recent_obs.len() > obs_window {
+                        self.states[i].recent_obs.remove(0);
                     }
                     let violation = (seconds - solo * bound).max(0.0);
-                    violation_seconds += violation;
-                    states[i].last_violation_s = violation;
+                    self.violation_seconds += violation;
+                    self.states[i].last_violation_s = violation;
                     if violation > 0.0 && tracer.enabled() {
                         // Violation attribution, emitted from this shared
                         // managed/unmanaged path (NOT `manager_`-prefixed):
@@ -847,7 +995,7 @@ fn run(
                         // prediction that ran over is a mispredict, and a
                         // prediction that already knew the bound was lost
                         // is a fault/environment problem.
-                        let cause = if pending_recovery.is_some() {
+                        let cause = if self.pending_recovery.is_some() {
                             CAUSE_LATENCY
                         } else if predicted <= bound {
                             CAUSE_MISPREDICT
@@ -867,17 +1015,17 @@ fn run(
                     }
                     if normalized > bound {
                         all_in_bound = false;
-                        states[i].slo_streak += 1;
+                        self.states[i].slo_streak += 1;
                     } else {
-                        states[i].slo_streak = 0;
+                        self.states[i].slo_streak = 0;
                     }
                     if !managed {
                         continue;
                     }
-                    let sim = sim_elapsed(&testbed.stats(), &start_stats);
+                    let sim = sim_elapsed(&testbed.stats(), &self.start_stats);
                     if signal == DriftSignal::Tripped {
                         let observations =
-                            obs_tail(&states[i].recent_obs, config.drift.trip_after as usize);
+                            obs_tail(&self.states[i].recent_obs, config.drift.trip_after as usize);
                         sup.detect(
                             sim,
                             DetectionKind::Drift,
@@ -885,20 +1033,20 @@ fn run(
                             None,
                             DetectCtx {
                                 causes: observations.iter().map(|o| o.event).collect(),
-                                score: states[i].detector.last_residual(),
+                                score: self.states[i].detector.last_residual(),
                                 threshold: config.drift.threshold,
                                 streak: u64::from(config.drift.trip_after),
                                 observations,
                             },
                         );
-                        for &h in &fleet.hosts_of(&state, i) {
-                            suspicion[h] = 1.0;
+                        for &h in &fleet.hosts_of(&self.state, i) {
+                            self.suspicion[h] = 1.0;
                         }
                         wants_replan.push(i);
                     }
-                    if states[i].slo_streak >= config.slo_trip_after {
+                    if self.states[i].slo_streak >= config.slo_trip_after {
                         let observations =
-                            obs_tail(&states[i].recent_obs, config.slo_trip_after as usize);
+                            obs_tail(&self.states[i].recent_obs, config.slo_trip_after as usize);
                         sup.detect(
                             sim,
                             DetectionKind::SloViolation,
@@ -912,9 +1060,9 @@ fn run(
                                 observations,
                             },
                         );
-                        states[i].slo_streak = 0;
-                        for &h in &fleet.hosts_of(&state, i) {
-                            suspicion[h] = suspicion[h].max(0.5);
+                        self.states[i].slo_streak = 0;
+                        for &h in &fleet.hosts_of(&self.state, i) {
+                            self.suspicion[h] = self.suspicion[h].max(0.5);
                         }
                         wants_replan.push(i);
                     }
@@ -924,14 +1072,15 @@ fn run(
                 // tick after an action is its report card. App-scoped
                 // actions grade against their app's fresh observation;
                 // fleet-wide ones against the fleet mean.
-                if managed && provenance.iter().any(|r| !r.resolved && r.tick < tick) {
-                    let tick_violation = violation_seconds - violation_before_tick;
+                if managed && self.provenance.iter().any(|r| !r.resolved && r.tick < tick) {
+                    let tick_violation = self.violation_seconds - violation_before_tick;
                     let mean_normalized = live_idx
                         .iter()
-                        .map(|&i| states[i].last_normalized)
+                        .map(|&i| self.states[i].last_normalized)
                         .sum::<f64>()
                         / live_idx.len() as f64;
-                    for record in provenance
+                    for record in self
+                        .provenance
                         .iter_mut()
                         .filter(|r| !r.resolved && r.tick < tick)
                     {
@@ -939,9 +1088,12 @@ fn run(
                             .app
                             .as_ref()
                             .and_then(|name| fleet.apps().iter().position(|a| &a.name == name))
-                            .filter(|&i| live[i] && states[i].last_ok);
+                            .filter(|&i| self.live[i] && self.states[i].last_ok);
                         let (realized, incurred) = match scoped {
-                            Some(i) => (states[i].last_normalized, states[i].last_violation_s),
+                            Some(i) => (
+                                self.states[i].last_normalized,
+                                self.states[i].last_violation_s,
+                            ),
                             None => (mean_normalized, tick_violation),
                         };
                         record.realized_slowdown = realized;
@@ -955,20 +1107,20 @@ fn run(
                 }
 
                 if managed && !wants_replan.is_empty() {
-                    let sim = sim_elapsed(&testbed.stats(), &start_stats);
-                    let trigger_violation_s = violation_seconds - violation_before_tick;
-                    pending_recovery.get_or_insert(sim);
+                    let sim = sim_elapsed(&testbed.stats(), &self.start_stats);
+                    let trigger_violation_s = self.violation_seconds - violation_before_tick;
+                    self.pending_recovery.get_or_insert(sim);
                     let mut reacting: Vec<usize> = Vec::new();
                     for &i in &wants_replan {
-                        if states[i].breaker_open {
+                        if self.states[i].breaker_open {
                             continue;
                         }
-                        if prediction_is_defaulted(fleet, &state, &live, i) {
+                        if prediction_is_defaulted(fleet, &self.state, &self.live, i) {
                             // Admission control on the model itself: the
                             // cells behind this prediction were never
                             // measured, so re-placing on them would be
                             // guesswork. Open the breaker instead.
-                            states[i].breaker_open = true;
+                            self.states[i].breaker_open = true;
                             sup.act(
                                 sim,
                                 ActionKind::CircuitBreak,
@@ -976,11 +1128,11 @@ fn run(
                                 0.0,
                                 ActCtx {
                                     quality: ModelQuality::Defaulted.as_str(),
-                                    predicted: states[i].last_predicted,
+                                    predicted: self.states[i].last_predicted,
                                     placement: Vec::new(),
                                     trigger_violation_s,
                                 },
-                                &mut provenance,
+                                &mut self.provenance,
                             );
                         } else {
                             reacting.push(i);
@@ -994,12 +1146,12 @@ fn run(
                         // on the Migrate records.
                         let predicted = reacting
                             .iter()
-                            .map(|&i| states[i].last_predicted)
+                            .map(|&i| self.states[i].last_predicted)
                             .sum::<f64>()
                             / reacting.len() as f64;
                         let quality = reacting
                             .iter()
-                            .map(|&i| prediction_quality(fleet, &state, &live, i))
+                            .map(|&i| prediction_quality(fleet, &self.state, &self.live, i))
                             .max_by_key(|q| quality_rank(q))
                             .unwrap_or(ModelQuality::Measured.as_str());
                         sup.act(
@@ -1013,32 +1165,32 @@ fn run(
                                 placement: Vec::new(),
                                 trigger_violation_s,
                             },
-                            &mut provenance,
+                            &mut self.provenance,
                         );
                         let next_run = testbed.peek_run();
                         let downed = testbed.downed_hosts_at(next_run);
-                        state = replan(
+                        self.state = replan(
                             testbed,
                             fleet,
                             config,
                             &mut sup,
-                            &mut live,
-                            &mut shed_order,
-                            &suspicion,
-                            &state,
+                            &mut self.live,
+                            &mut self.shed_order,
+                            &self.suspicion,
+                            &self.state,
                             &downed,
-                            &start_stats,
-                            &mut provenance,
+                            &self.start_stats,
+                            &mut self.provenance,
                             trigger_violation_s,
                         )?;
                     }
                 }
 
                 if managed && all_in_bound {
-                    if let Some(opened) = pending_recovery.take() {
-                        let latency = sim_elapsed(&testbed.stats(), &start_stats) - opened;
-                        recovery_latencies.push(latency);
-                        sup.recovered(latency, &mut provenance);
+                    if let Some(opened) = self.pending_recovery.take() {
+                        let latency = sim_elapsed(&testbed.stats(), &self.start_stats) - opened;
+                        self.recovery_latencies.push(latency);
+                        sup.recovered(latency, &mut self.provenance);
                     }
                 }
             }
@@ -1053,12 +1205,12 @@ fn run(
                 // (the last event on every failed-run path) — or to
                 // manager latency when a recovery was already in flight.
                 let fault_event = tracer.now().step;
-                let in_flight = pending_recovery.is_some();
+                let in_flight = self.pending_recovery.is_some();
                 for &i in &live_idx {
-                    states[i].last_ok = false;
+                    self.states[i].last_ok = false;
                     let charge = fleet.apps()[i].online.base().solo_seconds();
-                    violation_seconds += charge;
-                    states[i].last_violation_s = charge;
+                    self.violation_seconds += charge;
+                    self.states[i].last_violation_s = charge;
                     if tracer.enabled() {
                         tracer.event_caused(
                             QOS_VIOLATION,
@@ -1082,8 +1234,8 @@ fn run(
                 if managed && matches!(err, TestbedError::ProbeTimeout { .. }) {
                     // A straggler blew its kill deadline. Reshuffle: the
                     // co-location may be what is starving it.
-                    let sim = sim_elapsed(&testbed.stats(), &start_stats);
-                    let trigger_violation_s = violation_seconds - violation_before_tick;
+                    let sim = sim_elapsed(&testbed.stats(), &self.start_stats);
+                    let trigger_violation_s = self.violation_seconds - violation_before_tick;
                     sup.detect(
                         sim,
                         DetectionKind::Straggler,
@@ -1094,10 +1246,10 @@ fn run(
                             ..DetectCtx::default()
                         },
                     );
-                    pending_recovery.get_or_insert(sim);
+                    self.pending_recovery.get_or_insert(sim);
                     let predicted = live_idx
                         .iter()
-                        .map(|&i| states[i].last_predicted)
+                        .map(|&i| self.states[i].last_predicted)
                         .sum::<f64>()
                         / live_idx.len() as f64;
                     sup.act(
@@ -1113,22 +1265,22 @@ fn run(
                             placement: Vec::new(),
                             trigger_violation_s,
                         },
-                        &mut provenance,
+                        &mut self.provenance,
                     );
                     let next_run = testbed.peek_run();
                     let downed = testbed.downed_hosts_at(next_run);
-                    state = replan(
+                    self.state = replan(
                         testbed,
                         fleet,
                         config,
                         &mut sup,
-                        &mut live,
-                        &mut shed_order,
-                        &suspicion,
-                        &state,
+                        &mut self.live,
+                        &mut self.shed_order,
+                        &self.suspicion,
+                        &self.state,
                         &downed,
-                        &start_stats,
-                        &mut provenance,
+                        &self.start_stats,
+                        &mut self.provenance,
                         trigger_violation_s,
                     )?;
                 }
@@ -1138,48 +1290,59 @@ fn run(
 
         tracer.telemetry_observe(
             "manager.tick.violation_s",
-            violation_seconds - violation_before_tick,
+            self.violation_seconds - violation_before_tick,
         );
-        all_detections.append(&mut sup.detections);
-        all_actions.append(&mut sup.actions);
+        self.detections.append(&mut sup.detections);
+        self.actions.append(&mut sup.actions);
+        self.next_tick += 1;
+        Ok(())
     }
 
-    let finals: Vec<AppFinal> = fleet
-        .apps()
-        .iter()
-        .enumerate()
-        .map(|(i, app)| AppFinal {
-            app: app.name.clone(),
-            shed: !live[i],
-            last_normalized: states[i].last_normalized,
-            meets_bound: live[i]
-                && states[i].last_ok
-                && states[i].last_normalized > 0.0
-                && states[i].last_normalized <= bound,
-            hosts: if live[i] {
-                fleet
-                    .hosts_of(&state, i)
-                    .iter()
-                    .map(|&h| h as u64)
-                    .collect()
-            } else {
-                Vec::new()
-            },
-        })
-        .collect();
+    /// Consumes the runner and assembles the final [`ManagerOutcome`].
+    pub fn into_outcome(
+        self,
+        testbed: &SimTestbed,
+        fleet: &Fleet,
+        config: &ManagerConfig,
+    ) -> ManagerOutcome {
+        let bound = config.qos.max_normalized_time();
+        let finals: Vec<AppFinal> = fleet
+            .apps()
+            .iter()
+            .enumerate()
+            .map(|(i, app)| AppFinal {
+                app: app.name.clone(),
+                shed: !self.live[i],
+                last_normalized: self.states[i].last_normalized,
+                meets_bound: self.live[i]
+                    && self.states[i].last_ok
+                    && self.states[i].last_normalized > 0.0
+                    && self.states[i].last_normalized <= bound,
+                hosts: if self.live[i] {
+                    fleet
+                        .hosts_of(&self.state, i)
+                        .iter()
+                        .map(|&h| h as u64)
+                        .collect()
+                } else {
+                    Vec::new()
+                },
+            })
+            .collect();
 
-    Ok(ManagerOutcome {
-        managed,
-        ticks: config.ticks,
-        sim_seconds: sim_elapsed(&testbed.stats(), &start_stats),
-        violation_seconds,
-        detections: all_detections,
-        actions: all_actions,
-        shed: shed_order,
-        recovery_latencies,
-        finals,
-        provenance,
-    })
+        ManagerOutcome {
+            managed: self.managed,
+            ticks: config.ticks,
+            sim_seconds: sim_elapsed(&testbed.stats(), &self.start_stats),
+            violation_seconds: self.violation_seconds,
+            detections: self.detections,
+            actions: self.actions,
+            shed: self.shed_order,
+            recovery_latencies: self.recovery_latencies,
+            finals,
+            provenance: self.provenance,
+        }
+    }
 }
 
 /// Last `n` observations of a bounded per-app window — the streak a
@@ -1230,6 +1393,13 @@ fn quality_rank(quality: &str) -> u8 {
 /// Surviving applications whose host sets changed are checkpointed and
 /// resumed at the configured migration cost — placement changes are
 /// never free.
+///
+/// The diff execution validates every migration target against the
+/// fault plan *before* committing it ([`SimTestbed::resume_app_on`]): a
+/// host that went down between the decision and the move surfaces as a
+/// typed [`TestbedError::HostDown`], which records a fresh detection and
+/// re-plans around the newly-known outage instead of aborting the tick.
+/// Each retry adds a host to the exclusion set, so the loop terminates.
 #[allow(clippy::too_many_arguments)]
 fn replan(
     testbed: &mut SimTestbed,
@@ -1245,76 +1415,106 @@ fn replan(
     provenance: &mut Vec<ProvenanceRecord>,
     trigger_violation_s: f64,
 ) -> Result<PlacementState, ManagerError> {
-    let before: Vec<Vec<usize>> = (0..fleet.apps().len())
+    let mut before: Vec<Vec<usize>> = (0..fleet.apps().len())
         .map(|i| fleet.hosts_of(state, i))
         .collect();
+    let mut downed: Vec<usize> = downed.to_vec();
     let mut current = state.clone();
     let mut attempt: u64 = 0;
-    loop {
-        let constraints = outage_constraints(live, downed);
-        let anneal_config = AnnealConfig {
-            iterations: config.reanneal_iterations,
-            seed: reaction_seed(config.seed, sup.tick, 0xD00D ^ attempt),
-            lanes: config.search_lanes,
-            ..AnnealConfig::default()
-        };
-        let live_ref: &[bool] = live;
-        let result = re_anneal_with(
-            fleet.problem(),
-            |_| FleetObjective::new(fleet, live_ref, suspicion),
-            &current,
-            &constraints,
-            &anneal_config,
-            sup.tracer,
-        )?;
-        current = result.state;
-        if constraints.breaches(fleet.problem(), &current) == 0 {
-            break;
+    'replan: loop {
+        loop {
+            let constraints = outage_constraints(live, &downed);
+            let anneal_config = AnnealConfig {
+                iterations: config.reanneal_iterations,
+                seed: reaction_seed(config.seed, sup.tick, 0xD00D ^ attempt),
+                lanes: config.search_lanes,
+                ..AnnealConfig::default()
+            };
+            let live_ref: &[bool] = live;
+            let result = re_anneal_with(
+                fleet.problem(),
+                |_| FleetObjective::new(fleet, live_ref, suspicion),
+                &current,
+                &constraints,
+                &anneal_config,
+                sup.tracer,
+            )?;
+            current = result.state;
+            if constraints.breaches(fleet.problem(), &current) == 0 {
+                break;
+            }
+            // No feasible placement: degrade gracefully.
+            let Some(victim) = fleet.shed_candidate(live) else {
+                break; // nothing left to shed; nothing left to place either
+            };
+            live[victim] = false;
+            shed_order.push(fleet.apps()[victim].name.clone());
+            let sim = sim_elapsed(&testbed.stats(), start_stats);
+            sup.act(
+                sim,
+                ActionKind::Shed,
+                Some(&fleet.apps()[victim].name),
+                0.0,
+                ActCtx {
+                    // Sheds are justified by constraint infeasibility, not
+                    // by any model prediction.
+                    quality: "infeasible",
+                    predicted: 0.0,
+                    placement: Vec::new(),
+                    trigger_violation_s,
+                },
+                provenance,
+            );
+            attempt += 1;
         }
-        // No feasible placement: degrade gracefully.
-        let Some(victim) = fleet.shed_candidate(live) else {
-            break; // nothing left to shed; nothing left to place either
-        };
-        live[victim] = false;
-        shed_order.push(fleet.apps()[victim].name.clone());
-        let sim = sim_elapsed(&testbed.stats(), start_stats);
-        sup.act(
-            sim,
-            ActionKind::Shed,
-            Some(&fleet.apps()[victim].name),
-            0.0,
-            ActCtx {
-                // Sheds are justified by constraint infeasibility, not
-                // by any model prediction.
-                quality: "infeasible",
-                predicted: 0.0,
-                placement: Vec::new(),
-                trigger_violation_s,
-            },
-            provenance,
-        );
-        attempt += 1;
-    }
 
-    // Execute the placement diff: surviving applications that moved are
-    // checkpointed and resumed on their new hosts.
-    for (i, app) in fleet.apps().iter().enumerate() {
-        if !live[i] {
-            continue;
-        }
-        if fleet.hosts_of(&current, i) != before[i] {
+        // Execute the placement diff: surviving applications that moved
+        // are checkpointed and resumed on their new hosts.
+        for (i, app) in fleet.apps().iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let target = fleet.hosts_of(&current, i);
+            if target == before[i] {
+                continue;
+            }
             let sim = sim_elapsed(&testbed.stats(), start_stats);
             testbed.checkpoint_app(&app.name)?;
-            testbed.resume_app(&app.name, config.migration_cost_s)?;
+            match testbed.resume_app_on(&app.name, &target, config.migration_cost_s) {
+                Ok(()) => {}
+                Err(TestbedError::HostDown { host, .. }) if !downed.contains(&host) => {
+                    // The target host crashed between the placement
+                    // decision and its execution. The failed resume had
+                    // no side effects; record what we just learned and
+                    // re-plan with the outage excluded.
+                    sup.detect(
+                        sim,
+                        DetectionKind::HostDown,
+                        Some(&app.name),
+                        Some(host as u64),
+                        DetectCtx::default(),
+                    );
+                    downed.push(host);
+                    downed.sort_unstable();
+                    attempt += 1;
+                    continue 'replan;
+                }
+                Err(TestbedError::HostDown { .. }) => {
+                    // The host was already in the exclusion set, yet the
+                    // search could not avoid it (shed loop gave up with
+                    // breaches left). Commit the move anyway — the next
+                    // deployment surfaces the outage through the tick
+                    // loop's fault path, as it always has.
+                    testbed.resume_app(&app.name, config.migration_cost_s)?;
+                }
+                Err(err) => return Err(err.into()),
+            }
+            before[i] = target.clone();
             // The candidate placement this migration commits to, with
             // the model's post-move prediction and its quality grade.
             let (pressures, key) = context_of(fleet, &current, live, i);
             let predicted = app.online.predict_for(&key, &pressures)?;
-            let hosts: Vec<u64> = fleet
-                .hosts_of(&current, i)
-                .iter()
-                .map(|&h| h as u64)
-                .collect();
+            let hosts: Vec<u64> = target.iter().map(|&h| h as u64).collect();
             sup.act(
                 sim,
                 ActionKind::Migrate,
@@ -1332,8 +1532,8 @@ fn replan(
                 provenance,
             );
         }
+        return Ok(current);
     }
-    Ok(current)
 }
 
 #[cfg(test)]
@@ -1443,5 +1643,194 @@ mod tests {
         };
         let err = config.validate(8).expect_err("must reject");
         assert!(matches!(err, ManagerError::Config(msg) if msg.contains("search_lanes")));
+    }
+
+    /// Like [`fleet_fixture`], but keeps the testbed the models were
+    /// profiled against, so tests can run the supervisory loop on it.
+    fn fleet_and_testbed() -> (SimTestbed, Fleet) {
+        let mut tb = TestbedBuilder::new(&Catalog::paper()).seed(2016).build();
+        let apps = ["M.milc", "H.KM"]
+            .iter()
+            .map(|&name| {
+                let model = ModelBuilder::new(name)
+                    .hosts(SPAN)
+                    .policy_samples(6)
+                    .solo_repeats(1)
+                    .score_repeats(1)
+                    .seed(0xFEED)
+                    .build(&mut tb)
+                    .expect("model builds");
+                ManagedApp::new(name, 1, OnlineModel::new(model))
+            })
+            .collect();
+        let fleet = Fleet::new(8, 2, SPAN, apps).expect("fleet packs");
+        (tb.into_sim(), fleet)
+    }
+
+    fn test_supervisor(tracer: &Tracer) -> Supervisor<'_> {
+        Supervisor {
+            tracer,
+            managed: true,
+            tick: 1,
+            tick_announced: false,
+            detections: Vec::new(),
+            actions: Vec::new(),
+            tick_inputs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn replan_reroutes_when_a_migration_target_crashes_before_the_move() {
+        use icm_simcluster::{CrashWindow, FaultPlan};
+
+        let (tb, fleet) = fleet_and_testbed();
+        let config = ManagerConfig::default();
+        let n = fleet.apps().len();
+        let hosts = fleet.problem().hosts();
+        let suspicion = vec![0.0; hosts];
+        // A deliberately scrambled starting placement forces migrations.
+        let mut rng = Rng::from_seed(0xBAD_5EED);
+        let state = PlacementState::random(fleet.problem(), &mut rng);
+        let tracer = Tracer::disabled();
+
+        // Dry run against a fault-free clone to learn, deterministically,
+        // which host an application is about to be moved onto.
+        let crashed = {
+            let mut dry = tb.clone();
+            let mut live = vec![true; n];
+            let mut shed = Vec::new();
+            let mut prov = Vec::new();
+            let mut sup = test_supervisor(&tracer);
+            let start = dry.stats();
+            let planned = replan(
+                &mut dry,
+                &fleet,
+                &config,
+                &mut sup,
+                &mut live,
+                &mut shed,
+                &suspicion,
+                &state,
+                &[],
+                &start,
+                &mut prov,
+                0.0,
+            )
+            .expect("fault-free replan");
+            (0..n)
+                .find_map(|i| {
+                    let before = fleet.hosts_of(&state, i);
+                    fleet
+                        .hosts_of(&planned, i)
+                        .into_iter()
+                        .find(|h| !before.contains(h))
+                })
+                .expect("fixture must force a migration onto a new host")
+        };
+
+        // Same replan, but the chosen target crashed between the
+        // decision and the move, and the caller's outage list is stale.
+        let mut tb = tb;
+        tb.set_fault_plan(Some(FaultPlan {
+            crash_windows: vec![CrashWindow {
+                host: crashed,
+                from_run: 0,
+                until_run: 1_000_000,
+            }],
+            ..FaultPlan::default()
+        }));
+        let mut live = vec![true; n];
+        let mut shed = Vec::new();
+        let mut prov = Vec::new();
+        let mut sup = test_supervisor(&tracer);
+        let start = tb.stats();
+        let planned = replan(
+            &mut tb,
+            &fleet,
+            &config,
+            &mut sup,
+            &mut live,
+            &mut shed,
+            &suspicion,
+            &state,
+            &[],
+            &start,
+            &mut prov,
+            0.0,
+        )
+        .expect("a crashed target must trigger a re-plan, not abort the tick");
+
+        assert!(
+            sup.detections
+                .iter()
+                .any(|d| d.kind == DetectionKind::HostDown && d.host == Some(crashed as u64)),
+            "the surprise outage must be recorded as a typed detection"
+        );
+        for i in 0..n {
+            if live[i] {
+                assert!(
+                    !fleet.hosts_of(&planned, i).contains(&crashed),
+                    "no surviving application may be routed through the dead host"
+                );
+            }
+        }
+        assert!(
+            sup.actions.iter().any(|a| a.kind == ActionKind::Migrate),
+            "the re-plan must still commit migrations"
+        );
+    }
+
+    #[test]
+    fn a_managed_run_resumes_from_its_serialized_state() {
+        let (tb, fleet) = fleet_and_testbed();
+        let config = ManagerConfig {
+            ticks: 6,
+            initial_iterations: 200,
+            reanneal_iterations: 120,
+            search_lanes: 2,
+            ..ManagerConfig::default()
+        };
+        let tracer = Tracer::disabled();
+
+        // Reference: one uninterrupted supervised run.
+        let mut full_tb = tb.clone();
+        let mut full_fleet = fleet.clone();
+        let mut full = ManagedRun::start(&full_tb, &full_fleet, &config, true).expect("starts");
+        while !full.is_done(&config) {
+            full.step(&mut full_tb, &mut full_fleet, &config, &tracer)
+                .expect("steps");
+        }
+        let reference = full.into_outcome(&full_tb, &full_fleet, &config);
+
+        // Same prefix, then every live object through JSON, then the
+        // suffix on the restored copies.
+        let mut prefix_tb = tb;
+        let mut prefix_fleet = fleet;
+        let mut prefix =
+            ManagedRun::start(&prefix_tb, &prefix_fleet, &config, true).expect("starts");
+        for _ in 0..3 {
+            prefix
+                .step(&mut prefix_tb, &mut prefix_fleet, &config, &tracer)
+                .expect("steps");
+        }
+        let mut resumed_tb = SimTestbed::restore(
+            icm_json::from_str(&icm_json::to_string(&prefix_tb.snapshot()))
+                .expect("testbed round-trips"),
+        );
+        let mut resumed_fleet: Fleet =
+            icm_json::from_str(&icm_json::to_string(&prefix_fleet)).expect("fleet round-trips");
+        let mut resumed: ManagedRun =
+            icm_json::from_str(&icm_json::to_string(&prefix)).expect("run round-trips");
+        assert_eq!(resumed.next_tick(), 4);
+        while !resumed.is_done(&config) {
+            resumed
+                .step(&mut resumed_tb, &mut resumed_fleet, &config, &tracer)
+                .expect("steps");
+        }
+        let outcome = resumed.into_outcome(&resumed_tb, &resumed_fleet, &config);
+        assert_eq!(
+            reference, outcome,
+            "a run resumed from its savestate must finish identically"
+        );
     }
 }

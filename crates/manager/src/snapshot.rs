@@ -1,0 +1,227 @@
+//! Whole-world savestates: everything a supervised run needs to stop in
+//! one process and continue — byte-identically — in another.
+//!
+//! A [`WorldSnapshot`] bundles the testbed (hosts, apps, fault plan,
+//! noise position), the manager runtime ([`ManagedRun`]: placement,
+//! drift/hysteresis streaks, provenance, breaker flags), the fleet with
+//! its online models, the tracer clock, and every live RNG. The payload
+//! is plain `icm-json`; crash-safe persistence (checksums, atomic
+//! writes, generation fallback) lives one layer down in
+//! [`icm_json::fs::SnapshotStore`], which treats the snapshot as opaque
+//! bytes.
+//!
+//! What is deliberately *not* snapshotted: telemetry accumulators.
+//! They are derived data — a resumed run restarts them empty, and the
+//! byte-identity contract covers the event trace, results, and final
+//! state, not mid-run telemetry rollups.
+
+use std::fmt;
+
+use icm_json::{FromJson, Json, JsonError, ToJson};
+use icm_obs::TracerState;
+use icm_rng::Rng;
+use icm_simcluster::TestbedSnapshot;
+
+use crate::fleet::Fleet;
+use crate::runtime::{ManagedRun, ManagerConfig};
+
+/// Current snapshot payload format version. Bump on any change to the
+/// field layout of [`WorldSnapshot`] or its components.
+pub const WORLD_SNAPSHOT_VERSION: u64 = 1;
+
+/// Serializable xoshiro256++ generator state.
+///
+/// The four state words are full-range `u64`s, which do not survive the
+/// workspace's 2^53 JSON-number exactness check — so they are encoded
+/// as an array of four decimal strings instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngState(pub [u64; 4]);
+
+impl RngState {
+    /// Captures a generator's current state.
+    pub fn capture(rng: &Rng) -> Self {
+        Self(rng.state())
+    }
+
+    /// Rebuilds a generator that continues the captured stream.
+    pub fn restore(&self) -> Rng {
+        Rng::from_state(self.0)
+    }
+}
+
+impl ToJson for RngState {
+    fn to_json(&self) -> Json {
+        Json::Array(self.0.iter().map(|w| Json::String(w.to_string())).collect())
+    }
+}
+
+impl FromJson for RngState {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let items = value.as_array().ok_or_else(|| {
+            JsonError::msg(format!("RngState: expected array, got {}", value.kind()))
+        })?;
+        if items.len() != 4 {
+            return Err(JsonError::msg(format!(
+                "RngState: expected 4 state words, got {}",
+                items.len()
+            )));
+        }
+        let mut words = [0u64; 4];
+        for (i, item) in items.iter().enumerate() {
+            let text = item.as_str().ok_or_else(|| {
+                JsonError::msg(format!(
+                    "RngState[{i}]: expected string, got {}",
+                    item.kind()
+                ))
+            })?;
+            words[i] = text
+                .parse::<u64>()
+                .map_err(|e| JsonError::msg(format!("RngState[{i}]: {e}")))?;
+        }
+        Ok(Self(words))
+    }
+}
+
+/// The complete state of a checkpointed supervised run.
+///
+/// `version` is always serialized first so [`WorldSnapshot::parse`] can
+/// reject payloads from a different format generation with a typed
+/// error before attempting a full decode.
+#[derive(Debug, Clone)]
+pub struct WorldSnapshot {
+    /// Payload format version ([`WORLD_SNAPSHOT_VERSION`]).
+    pub version: u64,
+    /// The simulated testbed: cluster, apps, noise position, fault plan.
+    pub testbed: TestbedSnapshot,
+    /// The manager configuration the run was started with.
+    pub config: ManagerConfig,
+    /// The fleet, including every online model's learned corrections.
+    pub fleet: Fleet,
+    /// The supervisory loop state, positioned before its next tick.
+    pub run: ManagedRun,
+    /// The tracer clock and span counter, so resumed stamps continue
+    /// the sequence.
+    pub tracer: TracerState,
+    /// Every live driver-level generator, in a caller-defined order.
+    pub rngs: Vec<RngState>,
+    /// Path of the event trace the run was appending to, if any.
+    pub trace_path: Option<String>,
+    /// Size of the trace at checkpoint time: a resumed run truncates to
+    /// this offset so its output is the exact byte suffix.
+    pub trace_bytes: u64,
+}
+
+icm_json::impl_json!(struct WorldSnapshot {
+    version,
+    testbed,
+    config,
+    fleet,
+    run,
+    tracer,
+    rngs,
+    trace_path = None,
+    trace_bytes,
+});
+
+/// Why a snapshot payload was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotFormatError {
+    /// The payload declares a format version this build does not read.
+    UnknownVersion(u64),
+    /// The payload is not valid JSON, or a field is missing or
+    /// mis-typed.
+    Payload(JsonError),
+}
+
+impl fmt::Display for SnapshotFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownVersion(v) => write!(
+                f,
+                "snapshot format version {v} (this build reads {WORLD_SNAPSHOT_VERSION})"
+            ),
+            Self::Payload(e) => write!(f, "snapshot payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotFormatError {}
+
+impl WorldSnapshot {
+    /// Serializes the snapshot to its canonical compact JSON text.
+    pub fn to_text(&self) -> String {
+        icm_json::to_string(self)
+    }
+
+    /// Parses snapshot text, rejecting unknown format versions with a
+    /// typed error before decoding the rest of the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotFormatError::UnknownVersion`] when the payload's
+    /// `version` differs from [`WORLD_SNAPSHOT_VERSION`];
+    /// [`SnapshotFormatError::Payload`] for malformed JSON or a missing
+    /// or mis-typed field.
+    pub fn parse(text: &str) -> Result<Self, SnapshotFormatError> {
+        let value = icm_json::parse(text).map_err(SnapshotFormatError::Payload)?;
+        let version = value
+            .get("version")
+            .ok_or_else(|| {
+                SnapshotFormatError::Payload(JsonError::msg("WorldSnapshot: missing `version`"))
+            })?
+            .as_f64()
+            .ok_or_else(|| {
+                SnapshotFormatError::Payload(JsonError::msg(
+                    "WorldSnapshot: `version` not a number",
+                ))
+            })?;
+        if version != WORLD_SNAPSHOT_VERSION as f64 {
+            // Truncation is safe: the exactness check in the number
+            // parser guarantees an integral value up to 2^53.
+            return Err(SnapshotFormatError::UnknownVersion(version as u64));
+        }
+        Self::from_json(&value).map_err(SnapshotFormatError::Payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_state_round_trips_full_range_words() {
+        let mut rng = Rng::from_seed(0xDEAD_BEEF_CAFE_F00D);
+        for _ in 0..13 {
+            rng.next_u64();
+        }
+        let state = RngState::capture(&rng);
+        let text = icm_json::to_string(&state);
+        let back: RngState = icm_json::from_str(&text).expect("round-trips");
+        assert_eq!(state, back);
+        let mut resumed = back.restore();
+        let mut original = rng;
+        for _ in 0..32 {
+            assert_eq!(original.next_u64(), resumed.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_state_rejects_malformed_payloads() {
+        let bad: Result<RngState, _> = icm_json::from_str("[\"1\",\"2\",\"3\"]");
+        assert!(bad.is_err(), "three words must be rejected");
+        let bad: Result<RngState, _> = icm_json::from_str("[1,2,3,4]");
+        assert!(bad.is_err(), "bare numbers must be rejected");
+        let bad: Result<RngState, _> = icm_json::from_str("[\"1\",\"2\",\"3\",\"x\"]");
+        assert!(bad.is_err(), "non-numeric words must be rejected");
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_before_decoding() {
+        let err = WorldSnapshot::parse("{\"version\":9}").expect_err("must reject");
+        assert_eq!(err, SnapshotFormatError::UnknownVersion(9));
+        let err = WorldSnapshot::parse("{}").expect_err("must reject");
+        assert!(matches!(err, SnapshotFormatError::Payload(_)));
+        let err = WorldSnapshot::parse("not json").expect_err("must reject");
+        assert!(matches!(err, SnapshotFormatError::Payload(_)));
+    }
+}

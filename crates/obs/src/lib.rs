@@ -370,7 +370,38 @@ impl Clock {
             sim_s: self.sim_s,
         }
     }
+
+    /// A clock positioned at an arbitrary point, for resuming a trace
+    /// from a savestate. A non-finite or negative `sim_s` is clamped to
+    /// zero (mirroring [`Clock::advance_sim`]'s refusal to poison the
+    /// clock).
+    pub fn at(step: u64, sim_s: f64) -> Self {
+        Self {
+            step,
+            sim_s: if sim_s.is_finite() && sim_s > 0.0 {
+                sim_s
+            } else {
+                0.0
+            },
+        }
+    }
 }
+
+/// Portable position of a [`Tracer`]: everything needed to make a
+/// resumed run stamp events exactly where an uninterrupted run would
+/// have. Captured with [`Tracer::state`], reapplied with
+/// [`Tracer::restore_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TracerState {
+    /// Monotonic event counter (the `step` of the last emitted event).
+    pub step: u64,
+    /// Cumulative simulated seconds.
+    pub sim_s: f64,
+    /// Next span id to assign.
+    pub next_span: u64,
+}
+
+icm_json::impl_json!(struct TracerState { step, sim_s, next_span });
 
 struct Inner {
     clock: Clock,
@@ -467,6 +498,46 @@ impl Tracer {
     /// Propagates file-creation failures.
     pub fn jsonl_file(path: &std::path::Path) -> std::io::Result<Self> {
         Ok(Self::with_sink(JsonlSink::create(path)?))
+    }
+
+    /// A tracer appending JSONL to an existing file without truncating
+    /// it — the resume-path counterpart of [`Tracer::jsonl_file`].
+    /// Combine with [`Tracer::restore_state`] so appended events
+    /// continue the prior stamp sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open failures.
+    pub fn jsonl_file_append(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self::with_sink(JsonlSink::append(path)?))
+    }
+
+    /// Captures the tracer's position (clock + span counter) for a
+    /// savestate. A disabled tracer reports the zero state.
+    pub fn state(&self) -> TracerState {
+        match &self.inner {
+            None => TracerState::default(),
+            Some(inner) => {
+                let borrow = inner.borrow();
+                let stamp = borrow.clock.now();
+                TracerState {
+                    step: stamp.step,
+                    sim_s: stamp.sim_s,
+                    next_span: borrow.next_span,
+                }
+            }
+        }
+    }
+
+    /// Repositions the clock and span counter from a captured
+    /// [`TracerState`], so events emitted next continue the saved
+    /// run's stamp sequence exactly. A no-op on a disabled tracer.
+    pub fn restore_state(&self, state: &TracerState) {
+        if let Some(inner) = &self.inner {
+            let mut borrow = inner.borrow_mut();
+            borrow.clock = Clock::at(state.step, state.sim_s);
+            borrow.next_span = state.next_span;
+        }
     }
 
     /// Whether events are being recorded. Instrumentation with
@@ -764,6 +835,48 @@ mod tests {
         assert_eq!(clock.now().sim_s, 0.0);
         clock.advance_sim(3.0);
         assert_eq!(clock.now().sim_s, 3.0);
+    }
+
+    #[test]
+    fn restored_tracer_continues_the_stamp_sequence() {
+        // Run A: uninterrupted.
+        let (full, full_rec) = Tracer::recording(16);
+        full.event("a", &[]);
+        full.advance_sim(1.5);
+        let _span = full.span("work", &[]); // consumes a span id
+        full.event("b", &[]);
+
+        // Run B: same prefix, then save/restore into a fresh tracer.
+        let (prefix, _prefix_rec) = Tracer::recording(16);
+        prefix.event("a", &[]);
+        prefix.advance_sim(1.5);
+        let _span2 = prefix.span("work", &[]);
+        let saved = prefix.state();
+        let restored: TracerState =
+            icm_json::from_str(&icm_json::to_string(&saved)).expect("state round-trips");
+        assert_eq!(saved, restored);
+
+        let (resumed, resumed_rec) = Tracer::recording(16);
+        resumed.restore_state(&restored);
+        resumed.event("b", &[]);
+
+        let full_events = full_rec.events();
+        let tail = resumed_rec.events();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(full_events.last().unwrap(), &tail[0]);
+        assert_eq!(resumed.now().step, full.now().step);
+    }
+
+    #[test]
+    fn disabled_tracer_state_is_zero_and_restore_is_a_noop() {
+        let tracer = Tracer::disabled();
+        assert_eq!(tracer.state(), TracerState::default());
+        tracer.restore_state(&TracerState {
+            step: 9,
+            sim_s: 1.0,
+            next_span: 2,
+        });
+        assert_eq!(tracer.now().step, 0);
     }
 
     #[cfg(debug_assertions)]

@@ -126,6 +126,20 @@ impl JsonlSink<BufWriter<File>> {
     pub fn create(path: &Path) -> io::Result<Self> {
         Ok(Self::new(BufWriter::new(File::create(path)?)))
     }
+
+    /// Opens (creating if absent) a JSONL trace file for appending —
+    /// the resume path, where earlier events must be preserved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open failures.
+    pub fn append(path: &Path) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self::new(BufWriter::new(file)))
+    }
 }
 
 impl<W: Write> JsonlSink<W> {

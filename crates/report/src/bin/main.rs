@@ -117,7 +117,8 @@ fn run() -> Result<ExitCode, String> {
     }
     if !text_mode || out_path.is_some() {
         let out = out_path.unwrap_or_else(|| "report.html".to_owned());
-        std::fs::write(&out, render_html(&report)).map_err(|e| format!("{out}: {e}"))?;
+        icm_json::fs::atomic_write(std::path::Path::new(&out), render_html(&report).as_bytes())
+            .map_err(|e| format!("{out}: {e}"))?;
         eprintln!("wrote {out}");
     }
 

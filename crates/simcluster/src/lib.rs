@@ -65,4 +65,6 @@ pub use cluster::{BackgroundTenants, ClusterSpec};
 pub use fault::{CrashWindow, FaultPlan, FaultPlanError};
 pub use noise::Noise;
 pub use sync::{execute, execute_phased, PhaseModulation, SyncPattern};
-pub use testbed::{AppRun, Deployment, Placement, RunKind, SimTestbed, TestbedError, TestbedStats};
+pub use testbed::{
+    AppRun, Deployment, Placement, RunKind, SimTestbed, TestbedError, TestbedSnapshot, TestbedStats,
+};

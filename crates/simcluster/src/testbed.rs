@@ -368,6 +368,43 @@ pub struct SimTestbed {
     fault_plan: Option<FaultPlan>,
 }
 
+/// Serializable image of a [`SimTestbed`], captured with
+/// [`SimTestbed::snapshot`] and rebuilt with [`SimTestbed::restore`].
+///
+/// Restoring and re-running yields byte-identical behaviour to never
+/// having stopped: noise draws are addressed by `(stream, run, lane)`,
+/// so carrying the seed and the run counter is sufficient to resume the
+/// exact noise history mid-stream.
+///
+/// Fault plans snapshot verbatim, with one JSON caveat: window bounds
+/// above 2⁵³ (e.g. `until_run: u64::MAX` as an "open" window) do not
+/// survive the integer-exactness check in `icm-json` — persistent plans
+/// should use bounded windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestbedSnapshot {
+    /// Cluster geometry and background-tenant model.
+    pub cluster: ClusterSpec,
+    /// Registered applications, by name.
+    pub apps: BTreeMap<String, AppSpec>,
+    /// The addressed noise source (seed only; draws are stateless).
+    pub noise: Noise,
+    /// Run counter — the position in the noise history.
+    pub run_counter: u64,
+    /// Cumulative run accounting.
+    pub stats: TestbedStats,
+    /// Installed fault-injection plan, if any.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+icm_json::impl_json!(struct TestbedSnapshot {
+    cluster,
+    apps,
+    noise,
+    run_counter,
+    stats,
+    fault_plan,
+});
+
 impl SimTestbed {
     /// Creates a testbed over `cluster`, with all stochastic behaviour
     /// derived from `seed`.
@@ -1000,6 +1037,84 @@ impl SimTestbed {
             );
         }
         Ok(())
+    }
+
+    /// Like [`SimTestbed::resume_app`], but validates an explicit target
+    /// placement first: every target host must be inside the cluster
+    /// *and alive* at the next run-counter value.
+    ///
+    /// This closes the decide/execute race a supervisor is exposed to —
+    /// a host can enter a crash window between the moment a migration is
+    /// planned and the moment it executes. Plain `resume_app` would
+    /// happily charge the restart cost and let the next deployment
+    /// explode; this form fails up front with
+    /// [`TestbedError::HostDown`] (or [`TestbedError::HostOutOfRange`] /
+    /// [`TestbedError::EmptyPlacement`]) and, like all validation
+    /// failures, leaves zero trace: no stats change, no clock advance,
+    /// no event.
+    pub fn resume_app_on(
+        &mut self,
+        app: &str,
+        hosts: &[usize],
+        restart_cost_s: f64,
+    ) -> Result<(), TestbedError> {
+        if !self.apps.contains_key(app) {
+            return Err(TestbedError::UnknownApp(app.to_owned()));
+        }
+        if hosts.is_empty() {
+            return Err(TestbedError::EmptyPlacement {
+                app: app.to_owned(),
+            });
+        }
+        let total = self.cluster.hosts();
+        let run = self.peek_run();
+        for &host in hosts {
+            if host >= total {
+                return Err(TestbedError::HostOutOfRange { host, hosts: total });
+            }
+            if self.host_down_at(host, run) {
+                return Err(TestbedError::HostDown { host, run });
+            }
+        }
+        self.resume_app(app, restart_cost_s)
+    }
+
+    /// Captures the complete persistent state of this testbed for a
+    /// whole-world savestate.
+    ///
+    /// Everything that determines future behaviour is included: cluster
+    /// geometry, registered applications, the run counter (which keys
+    /// every noise draw), accounting stats and the fault plan. The
+    /// attached [`Tracer`] is *not* part of the snapshot — it is
+    /// process-local plumbing the resuming caller reattaches (its clock
+    /// position travels separately as `icm_obs::TracerState`). The
+    /// bubble generator is derived from the cluster and rebuilt on
+    /// restore.
+    pub fn snapshot(&self) -> TestbedSnapshot {
+        TestbedSnapshot {
+            cluster: self.cluster.clone(),
+            apps: self.apps.clone(),
+            noise: self.noise,
+            run_counter: self.run_counter,
+            stats: self.stats,
+            fault_plan: self.fault_plan.clone(),
+        }
+    }
+
+    /// Rebuilds a testbed from a snapshot. The tracer starts disabled;
+    /// reattach one with [`SimTestbed::set_tracer`].
+    pub fn restore(snapshot: TestbedSnapshot) -> Self {
+        let bubble = Bubble::new(snapshot.cluster.node(0));
+        Self {
+            cluster: snapshot.cluster,
+            apps: snapshot.apps,
+            bubble,
+            noise: snapshot.noise,
+            run_counter: snapshot.run_counter,
+            stats: snapshot.stats,
+            tracer: Tracer::disabled(),
+            fault_plan: snapshot.fault_plan,
+        }
     }
 
     fn next_run(&mut self) -> u64 {
@@ -1792,5 +1907,90 @@ mod tests {
         }
         assert_eq!(tb.stats(), before);
         assert_eq!(tb.peek_run(), 1);
+    }
+
+    #[test]
+    fn resume_app_on_rejects_a_downed_target_without_side_effects() {
+        let mut tb = testbed();
+        tb.set_fault_plan(Some(FaultPlan {
+            crash_windows: vec![CrashWindow {
+                host: 3,
+                from_run: 1,
+                until_run: 10,
+            }],
+            ..FaultPlan::default()
+        }));
+        let before = tb.stats();
+        // The planned target includes host 3, which is inside a crash
+        // window at the next run: typed error, zero side effects.
+        let err = tb.resume_app_on("coupled", &[2, 3], 5.0).unwrap_err();
+        assert_eq!(err, TestbedError::HostDown { host: 3, run: 1 });
+        assert_eq!(tb.stats(), before);
+        // A live target behaves exactly like resume_app.
+        tb.resume_app_on("coupled", &[0, 1], 5.0)
+            .expect("live hosts");
+        assert_eq!(tb.stats().restarts, 1);
+        // And the other validation failures are typed too.
+        assert_eq!(
+            tb.resume_app_on("ghost", &[0], 1.0).unwrap_err(),
+            TestbedError::UnknownApp("ghost".into())
+        );
+        assert_eq!(
+            tb.resume_app_on("coupled", &[], 1.0).unwrap_err(),
+            TestbedError::EmptyPlacement {
+                app: "coupled".into()
+            }
+        );
+        assert_eq!(
+            tb.resume_app_on("coupled", &[99], 1.0).unwrap_err(),
+            TestbedError::HostOutOfRange { host: 99, hosts: 8 }
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_exact_noise_history() {
+        // Reference: one uninterrupted testbed.
+        let mut full = testbed();
+        for _ in 0..3 {
+            full.run_solo("coupled").expect("runs");
+        }
+        let reference: Vec<f64> = (0..4)
+            .map(|_| full.run_solo("coupled").expect("runs"))
+            .collect();
+
+        // Same prefix, then snapshot → JSON → restore, then the suffix.
+        let mut prefix = testbed();
+        for _ in 0..3 {
+            prefix.run_solo("coupled").expect("runs");
+        }
+        let text = icm_json::to_string(&prefix.snapshot());
+        let snap: TestbedSnapshot = icm_json::from_str(&text).expect("snapshot round-trips");
+        assert_eq!(snap, prefix.snapshot());
+        let mut resumed = SimTestbed::restore(snap);
+        let suffix: Vec<f64> = (0..4)
+            .map(|_| resumed.run_solo("coupled").expect("runs"))
+            .collect();
+        assert_eq!(
+            reference, suffix,
+            "restored run must continue the noise stream"
+        );
+        assert_eq!(resumed.stats(), full.stats());
+        assert_eq!(resumed.peek_run(), full.peek_run());
+    }
+
+    #[test]
+    fn snapshot_carries_the_fault_plan() {
+        let mut tb = testbed();
+        tb.set_fault_plan(Some(FaultPlan {
+            crash_windows: vec![CrashWindow {
+                host: 1,
+                from_run: 4,
+                until_run: 6,
+            }],
+            ..FaultPlan::default()
+        }));
+        let restored = SimTestbed::restore(tb.snapshot());
+        assert!(restored.host_down_at(1, 5));
+        assert!(!restored.host_down_at(1, 7));
     }
 }

@@ -105,3 +105,27 @@ cmp "$SMOKE/explain-a.txt" "$SMOKE/explain-b.txt" \
     | grep -q "attributed" \
     || { echo "verify: violation attribution did not render" >&2; exit 1; }
 echo "verify: provenance smoke OK"
+
+# Kill-and-resume smoke: a checkpointed endurance run is aborted
+# mid-flight (--kill-after: no flushes, no destructors — a SIGKILL
+# stand-in), then resumed from the newest good snapshot generation.
+# The resumed run's event trace and results document must be
+# byte-identical to an uninterrupted same-seed checkpointed run's.
+./target/release/icm-experiments endurance --fast --quiet \
+    --checkpoint-every 2 --checkpoint-dir "$SMOKE/ref-ckpt" \
+    --trace "$SMOKE/endure-ref.jsonl" --results "$SMOKE/endure-ref.json" > /dev/null
+if ./target/release/icm-experiments endurance --fast --quiet \
+    --checkpoint-every 2 --checkpoint-dir "$SMOKE/kill-ckpt" \
+    --kill-after 5 --trace "$SMOKE/endure-kill.jsonl" > /dev/null 2>&1; then
+    echo "verify: --kill-after did not kill the run" >&2; exit 1
+fi
+test -s "$SMOKE/kill-ckpt/gen-000002.icmsnap" \
+    || { echo "verify: the killed run left no second checkpoint generation" >&2; exit 1; }
+./target/release/icm-experiments --resume "$SMOKE/kill-ckpt" --fast --quiet \
+    --checkpoint-every 2 --checkpoint-dir "$SMOKE/kill-ckpt" \
+    --trace "$SMOKE/endure-kill.jsonl" --results "$SMOKE/endure-kill.json" > /dev/null
+cmp "$SMOKE/endure-ref.jsonl" "$SMOKE/endure-kill.jsonl" \
+    || { echo "verify: resumed trace diverged from the uninterrupted run" >&2; exit 1; }
+cmp "$SMOKE/endure-ref.json" "$SMOKE/endure-kill.json" \
+    || { echo "verify: resumed results diverged from the uninterrupted run" >&2; exit 1; }
+echo "verify: kill-and-resume smoke OK"

@@ -1,0 +1,223 @@
+//! Savestate contract, end to end: a checkpointed endurance run that is
+//! killed mid-flight (a real `abort()` in a child process — no flushes,
+//! no destructors) and resumed from its newest good snapshot must
+//! produce the same final world, the same structured result, and a
+//! byte-identical event trace as the uninterrupted same-seed run.
+//!
+//! Also: damaged snapshot generations — torn writes, flipped bytes,
+//! unknown format versions, missing fields — must fall back to the
+//! previous good generation with a typed error trail, never a panic.
+
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use icm::experiments::endurance;
+use icm::experiments::ExpConfig;
+use icm::json::fs::SnapshotStore;
+use icm_manager::snapshot::WorldSnapshot;
+use icm_obs::{JsonlSink, Tracer};
+
+fn fast_cfg() -> ExpConfig {
+    ExpConfig {
+        seed: 2016,
+        fast: true,
+    }
+}
+
+/// A scratch directory unique to this test process, cleaned on a best-
+/// effort basis (a re-run with the same pid overwrites it anyway).
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icm-savestate-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Loads one specific generation from a checkpoint directory.
+fn read_generation(dir: &Path, generation: u64) -> WorldSnapshot {
+    let store = SnapshotStore::open(dir).expect("store opens");
+    let bytes = store.load(generation).expect("generation loads");
+    let text = String::from_utf8(bytes).expect("utf-8 payload");
+    WorldSnapshot::parse(&text).expect("payload parses")
+}
+
+/// Serializes a snapshot with its trace position cleared, so snapshots
+/// from runs tracing into different files can be compared for world
+/// equality.
+fn world_text(mut snapshot: WorldSnapshot) -> String {
+    snapshot.trace_path = None;
+    snapshot.trace_bytes = 0;
+    snapshot.to_text()
+}
+
+/// Not a test of its own: the crash half of the kill-and-resume drill.
+/// When spawned by [`a_killed_run_resumes_byte_identically`] (signalled
+/// via environment), it checkpoints every 2 ticks and `abort()`s after
+/// tick 5 — the closest `#![forbid(unsafe_code)]` gets to SIGKILL. When
+/// run as part of the normal suite it is a no-op.
+#[test]
+fn savestate_child_runs_and_aborts() {
+    let Ok(dir) = std::env::var("ICM_SAVESTATE_DIR") else {
+        return;
+    };
+    let trace = std::env::var("ICM_SAVESTATE_TRACE").expect("trace path env");
+    let tracer = Tracer::jsonl_file(Path::new(&trace)).expect("trace file");
+    let outcome = endurance::drive(
+        &fast_cfg(),
+        &tracer,
+        None,
+        Some((Path::new(&dir), 2)),
+        Some(5),
+        Some(Path::new(&trace)),
+    );
+    unreachable!("drive must abort at tick 5, yet returned {outcome:?}");
+}
+
+#[test]
+fn a_killed_run_resumes_byte_identically() {
+    let base = scratch("kill-resume");
+    let kill_dir = base.join("ckpt");
+    let kill_trace = base.join("killed-trace.jsonl");
+
+    // Crash drill: run the checkpointing child in its own process and
+    // let it abort mid-run, taking whatever it had buffered with it.
+    let exe = std::env::current_exe().expect("test binary path");
+    let status = Command::new(exe)
+        .args(["savestate_child_runs_and_aborts", "--exact"])
+        .env("ICM_SAVESTATE_DIR", &kill_dir)
+        .env("ICM_SAVESTATE_TRACE", &kill_trace)
+        .status()
+        .expect("child spawns");
+    assert!(!status.success(), "the child must die mid-run");
+
+    // Resume from the newest good generation: checkpoints landed after
+    // ticks 2 and 4, the kill hit after tick 5.
+    let (generation, snapshot) = endurance::load_resumable(&kill_dir).expect("resumable");
+    assert_eq!(generation, 2, "two checkpoints before the kill");
+    assert_eq!(snapshot.run.next_tick(), 5);
+
+    // The dead process may have flushed events past the checkpoint;
+    // rewind the trace to the checkpointed offset and continue it.
+    let file = OpenOptions::new()
+        .write(true)
+        .open(&kill_trace)
+        .expect("trace reopens");
+    file.set_len(snapshot.trace_bytes).expect("trace truncates");
+    drop(file);
+    let tracer = Tracer::with_sink(JsonlSink::append(&kill_trace).expect("append sink"));
+    tracer.restore_state(&snapshot.tracer);
+    let resumed = endurance::drive(
+        &fast_cfg(),
+        &tracer,
+        Some(snapshot),
+        Some((&kill_dir, 2)),
+        None,
+        Some(&kill_trace),
+    )
+    .expect("resumed run finishes");
+    tracer.flush();
+
+    // The uninterrupted reference, same seed, same checkpoint cadence.
+    let ref_dir = base.join("ref-ckpt");
+    let ref_trace = base.join("ref-trace.jsonl");
+    let tracer = Tracer::jsonl_file(&ref_trace).expect("trace file");
+    let reference = endurance::drive(
+        &fast_cfg(),
+        &tracer,
+        None,
+        Some((&ref_dir, 2)),
+        None,
+        Some(&ref_trace),
+    )
+    .expect("reference run finishes");
+    tracer.flush();
+
+    // Structured results: identical, byte for byte.
+    assert_eq!(resumed, reference);
+    assert_eq!(
+        icm::json::to_string(&resumed),
+        icm::json::to_string(&reference)
+    );
+
+    // Event traces: the resumed file is the byte-identical whole.
+    let killed_bytes = std::fs::read(&kill_trace).expect("killed trace");
+    let ref_bytes = std::fs::read(&ref_trace).expect("reference trace");
+    assert!(!ref_bytes.is_empty(), "the trace must carry events");
+    assert_eq!(
+        killed_bytes, ref_bytes,
+        "resumed trace must be the byte-identical suffix-completed trace"
+    );
+
+    // Final world: the tick-6 checkpoint both runs wrote is the same
+    // world (trace position aside — the files differ by name only).
+    assert_eq!(
+        world_text(read_generation(&kill_dir, 3)),
+        world_text(read_generation(&ref_dir, 3)),
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn damaged_generations_fall_back_to_the_previous_good_snapshot() {
+    let base = scratch("corruption");
+    let dir = base.join("ckpt");
+
+    // An untraced checkpointed run: generations 1, 2, 3 land after
+    // ticks 2, 4, 6 of the 8-tick fast horizon.
+    endurance::drive(
+        &fast_cfg(),
+        &Tracer::disabled(),
+        None,
+        Some((&dir, 2)),
+        None,
+        None,
+    )
+    .expect("checkpointed run finishes");
+    let (generation, newest) = endurance::load_resumable(&dir).expect("loads");
+    assert_eq!(generation, 3);
+    assert_eq!(newest.run.next_tick(), 7);
+
+    let store = SnapshotStore::open(&dir).expect("store opens");
+
+    // Unknown format version in a perfectly intact store frame: the
+    // payload check rejects it, the previous generation wins.
+    store.save(b"{\"version\":9}").expect("saves gen 4");
+    assert_eq!(endurance::load_resumable(&dir).expect("falls back").0, 3);
+
+    // Right version, missing fields: same fallback.
+    store.save(b"{\"version\":1}").expect("saves gen 5");
+    assert_eq!(endurance::load_resumable(&dir).expect("falls back").0, 3);
+
+    // One flipped byte mid-payload: the checksum rejects generation 3.
+    let gen3 = dir.join("gen-000003.icmsnap");
+    let mut bytes = std::fs::read(&gen3).expect("reads");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&gen3, &bytes).expect("writes damage");
+    let (generation, fallback) = endurance::load_resumable(&dir).expect("falls back");
+    assert_eq!(generation, 2);
+    assert_eq!(fallback.run.next_tick(), 5);
+
+    // A torn (truncated) generation 2: fall through to generation 1.
+    let gen2 = dir.join("gen-000002.icmsnap");
+    let len = std::fs::metadata(&gen2).expect("meta").len();
+    let file = OpenOptions::new().write(true).open(&gen2).expect("opens");
+    file.set_len(len / 2).expect("truncates");
+    drop(file);
+    assert_eq!(endurance::load_resumable(&dir).expect("falls back").0, 1);
+
+    // Nothing left: a typed error that lists every failed generation.
+    std::fs::write(dir.join("gen-000001.icmsnap"), b"garbage").expect("writes");
+    let err = endurance::load_resumable(&dir).expect_err("nothing usable");
+    let message = err.to_string();
+    for generation in 1..=5 {
+        assert!(
+            message.contains(&format!("generation {generation}")),
+            "error must list generation {generation}: {message}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}
