@@ -31,10 +31,15 @@
 //! per-hop sim timestamps; `--violations` attributes every
 //! violation-second in the trace to a fault, a mispredict, or manager
 //! latency; with neither flag every action is explained in order.
+//! `--action N --checkpoint-dir DIR` additionally names the newest
+//! snapshot generation in `DIR` that precedes the action's tick — the
+//! checkpoint to restore so a replay re-executes the action.
 
 use std::process::ExitCode;
 
-use icm_experiments::explain::{explain_action, explain_all, explain_violations};
+use icm_experiments::explain::{
+    checkpoint_for_action, explain_action, explain_all, explain_violations,
+};
 use icm_experiments::flame::{build_flame, render_ascii, render_svg};
 use icm_experiments::trace::{render, summarize};
 use icm_experiments::tracediff::{diff_traces, render_diff};
@@ -43,7 +48,7 @@ use icm_obs::Event;
 const USAGE: &str = "usage: icm-trace summarize <trace.jsonl> [--json]\n\
                      \x20      icm-trace diff <a.jsonl> <b.jsonl> [--json]\n\
                      \x20      icm-trace flame <trace.jsonl> [--json|--svg]\n\
-                     \x20      icm-trace explain <trace.jsonl> [--action N|--violations]\n\
+                     \x20      icm-trace explain <trace.jsonl> [--action N [--checkpoint-dir DIR]|--violations]\n\
                      \x20      icm-trace <trace.jsonl> [--json]";
 
 fn read_events(path: &str) -> Result<Vec<Event>, String> {
@@ -96,15 +101,26 @@ fn run_flame(path: &str, json: bool, svg: bool) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn run_explain(path: &str, action: Option<u64>, violations: bool) -> Result<ExitCode, String> {
+fn run_explain(
+    path: &str,
+    action: Option<u64>,
+    violations: bool,
+    checkpoint_dir: Option<&str>,
+) -> Result<ExitCode, String> {
     let events = read_events(path)?;
     let text = if violations {
         explain_violations(&events)?
     } else if let Some(n) = action {
-        explain_action(
-            &events,
-            usize::try_from(n).map_err(|_| format!("--action {n} is out of range"))?,
-        )?
+        let n = usize::try_from(n).map_err(|_| format!("--action {n} is out of range"))?;
+        let mut text = explain_action(&events, n)?;
+        if let Some(dir) = checkpoint_dir {
+            text.push_str(&checkpoint_for_action(
+                &events,
+                n,
+                std::path::Path::new(dir),
+            )?);
+        }
+        text
     } else {
         explain_all(&events)?
     };
@@ -118,6 +134,8 @@ fn main() -> ExitCode {
     let mut violations = false;
     let mut action: Option<u64> = None;
     let mut expect_action_value = false;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut expect_checkpoint_dir = false;
     let mut positional: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if expect_action_value {
@@ -131,11 +149,17 @@ fn main() -> ExitCode {
             }
             continue;
         }
+        if expect_checkpoint_dir {
+            expect_checkpoint_dir = false;
+            checkpoint_dir = Some(arg);
+            continue;
+        }
         match arg.as_str() {
             "--json" => json = true,
             "--svg" => svg = true,
             "--violations" => violations = true,
             "--action" => expect_action_value = true,
+            "--checkpoint-dir" => expect_checkpoint_dir = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -149,6 +173,14 @@ fn main() -> ExitCode {
     }
     if expect_action_value {
         eprintln!("icm-trace: --action expects a number\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if expect_checkpoint_dir {
+        eprintln!("icm-trace: --checkpoint-dir expects a path\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if checkpoint_dir.is_some() && action.is_none() {
+        eprintln!("icm-trace: --checkpoint-dir requires --action N\n{USAGE}");
         return ExitCode::FAILURE;
     }
 
@@ -166,7 +198,7 @@ fn main() -> ExitCode {
             _ => Err("flame takes exactly one trace path".to_owned()),
         },
         Some((cmd, rest)) if cmd == "explain" => match rest {
-            [path] => run_explain(path, action, violations),
+            [path] => run_explain(path, action, violations, checkpoint_dir.as_deref()),
             _ => Err("explain takes exactly one trace path".to_owned()),
         },
         // Legacy form: a bare path means summarize.

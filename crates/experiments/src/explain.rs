@@ -17,7 +17,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::path::Path;
 
+use icm_json::fs::SnapshotStore;
 use icm_obs::manager as events;
 use icm_obs::provenance::{CAUSE_FAULT, CAUSE_LATENCY, CAUSE_MISPREDICT, QOS_VIOLATION};
 use icm_obs::{Event, Value};
@@ -242,6 +244,102 @@ pub fn explain_violations(trace: &[Event]) -> Result<String, String> {
     Ok(out)
 }
 
+/// The tick a persisted snapshot generation would resume at.
+///
+/// Both snapshot shapes in the workspace are understood: a bare
+/// `WorldSnapshot` (`{"run":{"next_tick":…}}`, written by the savestate
+/// machinery) and an `icm-server` `ServerSnapshot`, which nests the
+/// world under `"world"`. Parsing is deliberately structural — only the
+/// tick is extracted — so a checkpoint from a newer payload version
+/// still names correctly as long as that path survives.
+fn snapshot_tick(payload: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let json = icm_json::parse(text).ok()?;
+    let world = json.get("world").unwrap_or(&json);
+    match world.get("run")?.get("next_tick")? {
+        icm_json::Json::Number(n) if *n >= 0.0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Names the newest checkpoint generation in `dir` that precedes
+/// manager action `n` — i.e. the snapshot to restore so a replay
+/// re-executes the action instead of skipping past it.
+///
+/// A generation precedes the action when its resume tick (`next_tick`)
+/// is at or before the action's tick: the snapshot was taken before
+/// that tick ran, so the action is still in its future. Damaged or
+/// unreadable generations are skipped (and reported), matching how
+/// recovery itself falls back.
+///
+/// # Errors
+///
+/// When the action index is out of range, the action event carries no
+/// tick, the store cannot be read, or no usable generation precedes the
+/// action's tick.
+pub fn checkpoint_for_action(trace: &[Event], n: usize, dir: &Path) -> Result<String, String> {
+    let graph = build_graph(trace);
+    let Some(action) = graph.actions.get(n).copied() else {
+        return Err(format!(
+            "trace has {} manager action(s); --action {n} is out of range",
+            graph.actions.len()
+        ));
+    };
+    let Some(tick) = action.num("tick").map(|t| t as u64) else {
+        return Err(format!("action {n} carries no tick field"));
+    };
+    let store = SnapshotStore::open(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let generations = store
+        .generations()
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    if generations.is_empty() {
+        return Err(format!(
+            "{}: no checkpoint generations found",
+            dir.display()
+        ));
+    }
+    let mut skipped = Vec::new();
+    let mut best: Option<(u64, u64)> = None;
+    for &generation in &generations {
+        let payload = match store.load(generation) {
+            Ok(payload) => payload,
+            Err(err) => {
+                skipped.push(format!("gen {generation}: {err}"));
+                continue;
+            }
+        };
+        let Some(snap_tick) = snapshot_tick(&payload) else {
+            skipped.push(format!("gen {generation}: no run.next_tick in payload"));
+            continue;
+        };
+        if snap_tick <= tick {
+            // Generations ascend, so later qualifying ones are newer.
+            best = Some((generation, snap_tick));
+        }
+    }
+    let mut out = String::new();
+    match best {
+        Some((generation, snap_tick)) => {
+            let _ = writeln!(
+                out,
+                "checkpoint: gen-{generation:06}.icmsnap (resumes at tick {snap_tick}, \
+                 action {n} runs at tick {tick}) in {}",
+                dir.display()
+            );
+        }
+        None => {
+            return Err(format!(
+                "{}: no usable checkpoint precedes tick {tick} (action {n})",
+                dir.display()
+            ));
+        }
+    }
+    for line in &skipped {
+        let _ = writeln!(out, "  skipped {line}");
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +460,74 @@ mod tests {
     fn violations_render_on_a_quiet_trace() {
         let text = explain_violations(&[]).expect("renders");
         assert!(text.contains("0.0s attributed"), "got: {text}");
+    }
+
+    fn checkpoint_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("icm-explain-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn world_payload(next_tick: u64) -> Vec<u8> {
+        format!("{{\"version\":1,\"run\":{{\"next_tick\":{next_tick}}}}}").into_bytes()
+    }
+
+    #[test]
+    fn checkpoint_for_action_names_the_newest_preceding_generation() {
+        let trace = synthetic_trace(); // action 0 runs at tick 1
+        let dir = checkpoint_dir("name");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.save(&world_payload(0)).unwrap(); // gen 1: before the action
+        store.save(&world_payload(1)).unwrap(); // gen 2: action still ahead
+        store.save(&world_payload(2)).unwrap(); // gen 3: too late
+        let text = checkpoint_for_action(&trace, 0, &dir).expect("names a generation");
+        assert!(
+            text.contains("gen-000002.icmsnap (resumes at tick 1, action 0 runs at tick 1)"),
+            "got: {text}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_for_action_understands_server_snapshots_and_skips_damage() {
+        let trace = synthetic_trace();
+        let dir = checkpoint_dir("server");
+        let store = SnapshotStore::open(&dir).unwrap();
+        // A server-shaped snapshot nests the world one level down.
+        store
+            .save(b"{\"version\":1,\"world\":{\"run\":{\"next_tick\":0}}}")
+            .unwrap();
+        let gen2 = store.save(&world_payload(1)).unwrap();
+        // Corrupt the newest qualifying generation: naming falls back.
+        std::fs::write(dir.join(format!("gen-{gen2:06}.icmsnap")), b"junk").unwrap();
+        let text = checkpoint_for_action(&trace, 0, &dir).expect("falls back");
+        assert!(text.contains("gen-000001.icmsnap"), "got: {text}");
+        assert!(text.contains("skipped gen 2"), "got: {text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_for_action_errors_when_nothing_precedes_the_tick() {
+        let trace = synthetic_trace();
+        let dir = checkpoint_dir("late");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.save(&world_payload(5)).unwrap();
+        let err = checkpoint_for_action(&trace, 0, &dir).expect_err("all too late");
+        assert!(
+            err.contains("no usable checkpoint precedes tick 1"),
+            "got: {err}"
+        );
+
+        let empty = checkpoint_dir("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = checkpoint_for_action(&trace, 0, &empty).expect_err("empty store");
+        assert!(err.contains("no checkpoint generations"), "got: {err}");
+
+        let err = checkpoint_for_action(&trace, 9, &dir).expect_err("bad index");
+        assert!(err.contains("out of range"), "got: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&empty).unwrap();
     }
 
     #[test]

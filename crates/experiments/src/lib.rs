@@ -56,6 +56,7 @@ pub mod profiling_source;
 pub mod recovery;
 pub mod results;
 pub mod robustness;
+pub mod serve;
 pub mod table;
 pub mod table3;
 pub mod table4;
@@ -129,11 +130,14 @@ pub enum Experiment {
     Endurance,
     /// Fork — one world branched mid-run under different policies.
     Fork,
+    /// Serve — the placement daemon under scripted load with a
+    /// mid-stream kill.
+    Serve,
 }
 
 impl Experiment {
     /// All experiments in paper order.
-    pub const ALL: [Experiment; 31] = [
+    pub const ALL: [Experiment; 32] = [
         Experiment::Fig2,
         Experiment::Fig3,
         Experiment::Fig4,
@@ -165,6 +169,7 @@ impl Experiment {
         Experiment::Recovery,
         Experiment::Endurance,
         Experiment::Fork,
+        Experiment::Serve,
     ];
 
     /// Command-line id.
@@ -201,6 +206,7 @@ impl Experiment {
             Experiment::Recovery => "recovery",
             Experiment::Endurance => "endurance",
             Experiment::Fork => "fork",
+            Experiment::Serve => "serve",
         }
     }
 
@@ -365,6 +371,10 @@ impl Experiment {
             Experiment::Fork => {
                 let r = endurance::run_fork(cfg)?;
                 both(&r, endurance::render_fork(&r))
+            }
+            Experiment::Serve => {
+                let r = serve::run(cfg)?;
+                both(&r, serve::render(&r))
             }
         })
     }

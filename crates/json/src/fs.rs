@@ -267,6 +267,41 @@ impl SnapshotStore {
         Ok(payload.to_vec())
     }
 
+    /// Deletes old generations, keeping the newest `keep_last` plus —
+    /// always — the newest generation that actually loads.
+    ///
+    /// Periodic checkpointing would otherwise grow the store without
+    /// bound. The extra guarantee matters when the newest files are torn
+    /// or corrupt: a prune that only counted filenames could delete the
+    /// one generation [`SnapshotStore::load_latest`] would have fallen
+    /// back to. Unparseable (non-`gen-*`) files are never touched.
+    ///
+    /// Returns the generation numbers removed, ascending. A
+    /// `keep_last` of zero behaves like one: the store never prunes
+    /// itself empty while a loadable generation exists.
+    pub fn prune(&self, keep_last: usize) -> io::Result<Vec<u64>> {
+        let generations = self.generations()?;
+        let keep_last = keep_last.max(1);
+        if generations.len() <= keep_last {
+            return Ok(Vec::new());
+        }
+        let newest_loadable = generations
+            .iter()
+            .rev()
+            .copied()
+            .find(|&generation| self.load(generation).is_ok());
+        let cutoff = generations[generations.len() - keep_last];
+        let mut removed = Vec::new();
+        for &generation in &generations {
+            if generation >= cutoff || Some(generation) == newest_loadable {
+                continue;
+            }
+            fs::remove_file(self.path_of(generation))?;
+            removed.push(generation);
+        }
+        Ok(removed)
+    }
+
     /// Loads the newest generation that verifies, falling back through
     /// older ones when the newest is torn or corrupt.
     ///
@@ -419,6 +454,50 @@ mod tests {
             }
             other => panic!("expected NoneValid, got {other:?}"),
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_bounds_the_store_and_keeps_the_newest() {
+        let dir = tmpdir("prune");
+        let store = SnapshotStore::open(&dir).unwrap();
+        for payload in [b"g1", b"g2", b"g3", b"g4", b"g5"] {
+            store.save(payload).unwrap();
+        }
+        let removed = store.prune(2).unwrap();
+        assert_eq!(removed, vec![1, 2, 3]);
+        assert_eq!(store.generations().unwrap(), vec![4, 5]);
+        let (generation, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!((generation, payload.as_slice()), (5, b"g5".as_slice()));
+        // Pruning again is a no-op.
+        assert!(store.prune(2).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_never_deletes_the_newest_loadable_generation() {
+        let dir = tmpdir("prune-loadable");
+        let store = SnapshotStore::open(&dir).unwrap();
+        for payload in [b"g1", b"g2", b"g3", b"g4"] {
+            store.save(payload).unwrap();
+        }
+        // Corrupt the two newest generations: the newest *loadable* one
+        // is now gen 2, which a filename-count prune would delete.
+        for generation in [3u64, 4] {
+            fs::write(dir.join(format!("gen-{generation:06}.icmsnap")), b"junk").unwrap();
+        }
+        let removed = store.prune(1).unwrap();
+        assert_eq!(
+            removed,
+            vec![1, 3],
+            "gen 2 must survive, it is the fallback"
+        );
+        assert_eq!(store.generations().unwrap(), vec![2, 4]);
+        let (generation, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!((generation, payload.as_slice()), (2, b"g2".as_slice()));
+        // keep_last = 0 is clamped: the store never prunes itself empty.
+        assert!(store.prune(0).unwrap().is_empty());
+        assert!(store.load_latest().unwrap().is_some());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -28,6 +28,7 @@ use icm_experiments::flame::FlameGraph;
 use icm_experiments::recovery::RecoveryResult;
 use icm_experiments::results::ResultsDoc;
 use icm_experiments::robustness::RobustnessResult;
+use icm_experiments::serve::ServeResult;
 use icm_experiments::table3::Table3Result;
 use icm_json::{FromJson, Json};
 
@@ -429,6 +430,80 @@ fn fig11_section(doc: &ResultsDoc) -> Section {
                 verdict::check_fig11(r),
                 vec![chart_from_bar("speedup per mix", &chart)],
                 Vec::new(),
+            )
+        },
+    )
+}
+
+fn serve_section(doc: &ResultsDoc) -> Section {
+    typed_section(
+        doc,
+        "serve",
+        "Serve — the placement daemon under load, killed and recovered",
+        "A persistent placement daemon under scripted load answers inside declared \
+         deadline budgets, sheds typed overload replies only when the queue bound is \
+         exceeded, degrades gracefully to bounded-staleness cached predictions, and \
+         loses no acknowledged reply across a mid-stream kill — its recovered \
+         committed-reply journal is byte-identical to an uninterrupted run's.",
+        |r: &ServeResult| {
+            let outcomes = BarChart {
+                width: 460.0,
+                height: 240.0,
+                x_label: "reply outcome".to_owned(),
+                y_label: "replies".to_owned(),
+                group_labels: vec![
+                    "served".to_owned(),
+                    "degraded".to_owned(),
+                    "shed".to_owned(),
+                    "deadline".to_owned(),
+                    "errors".to_owned(),
+                ],
+                series: vec![BarSeries {
+                    label: "replies".to_owned(),
+                    color: "var(--c1)".to_owned(),
+                    values: vec![
+                        r.served as f64,
+                        r.degraded as f64,
+                        r.shed as f64,
+                        r.deadline_exceeded as f64,
+                        r.errors as f64,
+                    ],
+                }],
+                hline: None,
+            };
+            let latency = BarChart {
+                width: 380.0,
+                height: 240.0,
+                x_label: "virtual latency".to_owned(),
+                y_label: "microseconds".to_owned(),
+                group_labels: vec!["p50".to_owned(), "p99".to_owned()],
+                series: vec![BarSeries {
+                    label: "served requests".to_owned(),
+                    color: "var(--c3)".to_owned(),
+                    values: vec![r.p50_us, r.p99_us],
+                }],
+                hline: Some((r.deadline_budget_us as f64, "deadline budget".to_owned())),
+            };
+            let notes = vec![
+                format!(
+                    "{} frames ({} requests) served across a mid-stream kill; \
+                     {} replies committed, {} lost",
+                    r.frames, r.requests, r.committed, r.lost_committed
+                ),
+                format!(
+                    "sustained {} served requests per virtual second; degraded \
+                     fraction {:.3}",
+                    svg::fmt_value(r.served_per_vs),
+                    r.degraded_fraction
+                ),
+            ];
+            (
+                verdict::check_serve(r),
+                vec![
+                    chart_from_bar("reply outcomes under the scripted load", &outcomes),
+                    chart_from_bar("virtual latency of served requests", &latency),
+                ],
+                notes,
             )
         },
     )
@@ -1008,6 +1083,7 @@ pub fn build_report(
         robustness_section(doc),
         recovery_section(doc),
         audit_section(doc),
+        serve_section(doc),
     ];
     if let Some(profile) = profile {
         sections.push(profile_section(profile));
@@ -1078,13 +1154,13 @@ mod tests {
     #[test]
     fn report_marks_absent_experiments_missing() {
         let report = build_report(&doc_with_fig2(), None, None, None);
-        assert_eq!(report.sections.len(), 8);
+        assert_eq!(report.sections.len(), 9);
         assert_eq!(report.sections[0].verdict.status, Status::Pass);
         assert!(report.sections[1..]
             .iter()
             .all(|s| s.verdict.status == Status::Missing));
         assert!(!report.has_failures());
-        assert_eq!(report.counts(), (1, 0, 0, 7));
+        assert_eq!(report.counts(), (1, 0, 0, 8));
     }
 
     #[test]
@@ -1175,9 +1251,9 @@ mod tests {
                 .expect("parses");
         let graph = FlameGraph::default();
         let report = build_report(&doc_with_fig2(), None, Some(&telemetry), Some(&graph));
-        assert_eq!(report.sections.len(), 10);
-        assert_eq!(report.sections[8].id, "telemetry");
-        assert_eq!(report.sections[9].id, "flame");
+        assert_eq!(report.sections.len(), 11);
+        assert_eq!(report.sections[9].id, "telemetry");
+        assert_eq!(report.sections[10].id, "flame");
         let page = render_html(&report);
         assert!(page.contains("Streaming telemetry"));
         assert!(page.contains("Span flamegraph"));

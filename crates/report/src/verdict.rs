@@ -14,6 +14,7 @@ use icm_experiments::fig2::Fig2Result;
 use icm_experiments::fig3::Fig3Result;
 use icm_experiments::recovery::RecoveryResult;
 use icm_experiments::robustness::RobustnessResult;
+use icm_experiments::serve::ServeResult;
 use icm_experiments::table3::Table3Result;
 
 /// Fidelity classification of one section.
@@ -396,6 +397,69 @@ pub fn check_audit(r: &RecoveryResult) -> Verdict {
         Status::Warn
     };
     Verdict { status, detail }
+}
+
+/// The serve verdict is strict — these are robustness contracts, not
+/// paper shapes: no committed reply may be lost across the kill, sheds
+/// may only happen under the script's declared overload bursts, the
+/// recovered journal must match a same-seed uninterrupted run byte for
+/// byte, and the virtual p99 of served requests must stay inside the
+/// declared deadline budget.
+pub fn check_serve(r: &ServeResult) -> Verdict {
+    if r.served == 0 {
+        return Verdict {
+            status: Status::Fail,
+            detail: "the daemon served nothing".to_owned(),
+        };
+    }
+    if r.lost_committed > 0 {
+        return Verdict {
+            status: Status::Fail,
+            detail: format!(
+                "{} committed replies lost or altered across the mid-stream kill",
+                r.lost_committed
+            ),
+        };
+    }
+    if !r.journal_identical {
+        return Verdict {
+            status: Status::Fail,
+            detail: "the recovered journal diverges from a same-seed uninterrupted run".to_owned(),
+        };
+    }
+    if r.shed_outside_overload > 0 {
+        return Verdict {
+            status: Status::Fail,
+            detail: format!(
+                "{} requests shed outside the declared overload bursts",
+                r.shed_outside_overload
+            ),
+        };
+    }
+    if r.p99_us > r.deadline_budget_us as f64 {
+        return Verdict {
+            status: Status::Fail,
+            detail: format!(
+                "p99 virtual latency {:.0}µs exceeds the {}µs deadline budget",
+                r.p99_us, r.deadline_budget_us
+            ),
+        };
+    }
+    if r.shed == 0 {
+        return Verdict {
+            status: Status::Warn,
+            detail: "the overload bursts never forced a shed — backpressure untested".to_owned(),
+        };
+    }
+    Verdict {
+        status: Status::Pass,
+        detail: format!(
+            "{} served (p50 {:.0}µs, p99 {:.0}µs ≤ {}µs budget), {} shed all under \
+             declared overload, {} degraded, 0 committed replies lost, journal \
+             byte-identical across kill",
+            r.served, r.p50_us, r.p99_us, r.deadline_budget_us, r.shed, r.degraded
+        ),
+    }
 }
 
 #[cfg(test)]

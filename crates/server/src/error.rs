@@ -1,0 +1,68 @@
+//! The server's single error type — everything that can stop the
+//! daemon itself, as opposed to refusing one request with a typed
+//! reply.
+
+use std::error::Error;
+use std::fmt;
+
+/// A failure that prevents the server from continuing: world
+/// construction, persistence I/O, or a snapshot/journal integrity
+/// break. Per-request trouble never takes this shape — it becomes a
+/// typed reply instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    message: String,
+}
+
+impl ServerError {
+    /// Creates an error from any displayable cause.
+    pub fn new(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server error: {}", self.message)
+    }
+}
+
+impl Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        Self::new(e)
+    }
+}
+
+impl From<icm_core::ModelError> for ServerError {
+    fn from(e: icm_core::ModelError) -> Self {
+        Self::new(e)
+    }
+}
+
+impl From<icm_manager::ManagerError> for ServerError {
+    fn from(e: icm_manager::ManagerError) -> Self {
+        Self::new(e)
+    }
+}
+
+impl From<icm_placement::PlacementError> for ServerError {
+    fn from(e: icm_placement::PlacementError) -> Self {
+        Self::new(e)
+    }
+}
+
+impl From<icm_simcluster::TestbedError> for ServerError {
+    fn from(e: icm_simcluster::TestbedError) -> Self {
+        Self::new(e)
+    }
+}
+
+impl From<crate::journal::JournalError> for ServerError {
+    fn from(e: crate::journal::JournalError) -> Self {
+        Self::new(e)
+    }
+}

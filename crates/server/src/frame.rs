@@ -1,0 +1,189 @@
+//! Line framing with hard bounds: the reader that stands between
+//! arbitrary client bytes and the request parser.
+//!
+//! Damage is confined to the frame it arrives on. An oversized line is
+//! consumed to its newline (in bounded chunks, never buffered whole)
+//! and surfaced as [`Frame::Oversized`]; invalid UTF-8 surfaces as
+//! [`Frame::InvalidUtf8`]; a stream that ends without a final newline
+//! surfaces as [`Frame::Truncated`]. The next call picks up cleanly at
+//! the next line — no desync, no unbounded memory, no panic.
+
+use std::io::{self, BufRead};
+
+/// Hard bound on a single frame, header and payload included.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// One framing outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete, UTF-8, in-bounds line (newline stripped).
+    Line(String),
+    /// The line outgrew [`MAX_FRAME_BYTES`]; it was drained to its
+    /// newline and discarded. Carries the byte count consumed.
+    Oversized(usize),
+    /// The line is not valid UTF-8; it was consumed whole.
+    InvalidUtf8,
+    /// The stream ended mid-line (no trailing newline); the partial
+    /// bytes were discarded.
+    Truncated,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// A bounded line reader over any [`BufRead`].
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    limit: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps `inner` with the default [`MAX_FRAME_BYTES`] bound.
+    pub fn new(inner: R) -> Self {
+        Self::with_limit(inner, MAX_FRAME_BYTES)
+    }
+
+    /// Wraps `inner` with an explicit frame bound (min 1).
+    pub fn with_limit(inner: R, limit: usize) -> Self {
+        Self {
+            inner,
+            limit: limit.max(1),
+        }
+    }
+
+    /// Reads the next frame.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine I/O failure from the underlying reader; malformed
+    /// *content* is always a typed [`Frame`], never `Err`.
+    pub fn next_frame(&mut self) -> io::Result<Frame> {
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            let chunk = self.inner.fill_buf()?;
+            if chunk.is_empty() {
+                // EOF. Whatever is buffered has no newline.
+                return Ok(if buf.is_empty() {
+                    Frame::Eof
+                } else {
+                    Frame::Truncated
+                });
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let overflow = buf.len() + pos > self.limit;
+                    if !overflow {
+                        buf.extend_from_slice(&chunk[..pos]);
+                    }
+                    let consumed = buf.len() + pos + 1; // best-effort count
+                    self.inner.consume(pos + 1);
+                    if overflow {
+                        return Ok(Frame::Oversized(consumed));
+                    }
+                    return Ok(match String::from_utf8(buf) {
+                        Ok(line) => Frame::Line(line),
+                        Err(_) => Frame::InvalidUtf8,
+                    });
+                }
+                None => {
+                    let len = chunk.len();
+                    if buf.len() + len > self.limit {
+                        // Too big already: stop buffering, drain to the
+                        // newline in bounded chunks.
+                        let mut consumed = buf.len();
+                        buf.clear();
+                        buf.shrink_to_fit();
+                        loop {
+                            let chunk = self.inner.fill_buf()?;
+                            if chunk.is_empty() {
+                                return Ok(Frame::Truncated);
+                            }
+                            match chunk.iter().position(|&b| b == b'\n') {
+                                Some(pos) => {
+                                    consumed += pos + 1;
+                                    self.inner.consume(pos + 1);
+                                    return Ok(Frame::Oversized(consumed));
+                                }
+                                None => {
+                                    consumed += chunk.len();
+                                    let n = chunk.len();
+                                    self.inner.consume(n);
+                                }
+                            }
+                        }
+                    }
+                    buf.extend_from_slice(chunk);
+                    self.inner.consume(len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frames(bytes: &[u8], limit: usize) -> Vec<Frame> {
+        let mut reader = FrameReader::with_limit(Cursor::new(bytes.to_vec()), limit);
+        let mut out = Vec::new();
+        loop {
+            let frame = reader.next_frame().expect("in-memory reads cannot fail");
+            let eof = frame == Frame::Eof;
+            out.push(frame);
+            if eof {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn clean_lines_stream_through() {
+        let got = frames(b"one\ntwo\n", 1024);
+        assert_eq!(
+            got,
+            vec![
+                Frame::Line("one".into()),
+                Frame::Line("two".into()),
+                Frame::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn an_oversized_line_is_drained_and_the_next_line_survives() {
+        let mut bytes = vec![b'x'; 100];
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"after\n");
+        let got = frames(&bytes, 16);
+        assert_eq!(got.len(), 3);
+        assert!(matches!(got[0], Frame::Oversized(n) if n >= 100));
+        assert_eq!(got[1], Frame::Line("after".into()));
+    }
+
+    #[test]
+    fn invalid_utf8_is_typed_and_does_not_desync() {
+        let got = frames(b"\xff\xfe\xfd\nok\n", 1024);
+        assert_eq!(
+            got,
+            vec![Frame::InvalidUtf8, Frame::Line("ok".into()), Frame::Eof]
+        );
+    }
+
+    #[test]
+    fn a_truncated_tail_is_typed() {
+        let got = frames(b"complete\npartial", 1024);
+        assert_eq!(
+            got,
+            vec![Frame::Line("complete".into()), Frame::Truncated, Frame::Eof]
+        );
+    }
+
+    #[test]
+    fn an_unterminated_oversized_stream_is_truncated_not_buffered() {
+        let bytes = vec![b'y'; 4096];
+        let got = frames(&bytes, 64);
+        assert_eq!(got, vec![Frame::Truncated, Frame::Eof]);
+    }
+}

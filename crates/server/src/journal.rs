@@ -1,0 +1,281 @@
+//! Write-ahead journal of committed replies.
+//!
+//! Every reply the server acknowledges is appended here — checksummed,
+//! flushed, and (when `sync` is on) fsynced — *before* the bytes go to
+//! the client. An acknowledged reply is therefore durable by
+//! construction: `kill -9` can lose work in flight, never work the
+//! client saw.
+//!
+//! Line format, one entry per line:
+//!
+//! ```text
+//! <fnv1a64-hex16> <seq> <reply-line>\n
+//! ```
+//!
+//! The checksum covers `"<seq> <reply-line>"`. Recovery reads entries
+//! in order and stops at the first damaged line (torn tail after a
+//! crash), truncating the file there so the resumed server appends
+//! exactly where the uninterrupted run would have — journals stay
+//! byte-identical across kills.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use icm_json::fs::fnv1a64;
+
+/// One recovered journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Commit sequence number, 1-based and contiguous.
+    pub seq: u64,
+    /// The reply line exactly as it was acknowledged (no newline).
+    pub reply_line: String,
+}
+
+/// Journal I/O or integrity failure.
+#[derive(Debug)]
+pub struct JournalError(String);
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reply journal: {}", self.0)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        Self(e.to_string())
+    }
+}
+
+/// The append-only committed-reply journal.
+#[derive(Debug)]
+pub struct LineJournal {
+    path: PathBuf,
+    file: File,
+    next_seq: u64,
+    sync: bool,
+}
+
+impl LineJournal {
+    /// Opens (or creates) the journal at `path`, recovering every
+    /// intact entry and truncating a torn tail.
+    ///
+    /// `sync` controls fsync-per-commit: on for real daemons, off for
+    /// in-process load drivers and benches where the filesystem is
+    /// scratch.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a *mid-file* integrity break (damage that is not
+    /// a torn tail means the file was edited or rotted — refusing is
+    /// safer than silently dropping committed history).
+    pub fn open(path: &Path, sync: bool) -> Result<(Self, Vec<JournalEntry>), JournalError> {
+        let mut text = String::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                // Committed entries are always valid UTF-8; raw bytes
+                // are read so a torn multi-byte sequence in the tail
+                // cannot fail the whole recovery.
+                let mut bytes = Vec::new();
+                f.read_to_end(&mut bytes)?;
+                text = String::from_utf8_lossy(&bytes).into_owned();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let mut entries = Vec::new();
+        let mut good_bytes: u64 = 0;
+        let mut damaged = false;
+        for line in text.split_inclusive('\n') {
+            let Some(entry) = parse_entry(line.trim_end_matches('\n'), entries.len() as u64 + 1)
+            else {
+                damaged = true;
+                break;
+            };
+            if !line.ends_with('\n') {
+                // A checksummed but unterminated final line is still a
+                // torn write (the newline never hit the disk).
+                damaged = true;
+                break;
+            }
+            good_bytes += line.len() as u64;
+            entries.push(entry);
+        }
+        if damaged {
+            // Only a *tail* (one final damaged line) may be truncated;
+            // content after the damaged line would be committed history
+            // beyond a hole, and dropping it silently loses ACKed
+            // replies.
+            let remainder = &text[good_bytes as usize..];
+            if let Some(pos) = remainder.find('\n') {
+                if pos + 1 < remainder.len() {
+                    return Err(JournalError(format!(
+                        "mid-file damage at byte {good_bytes}: intact entries follow the \
+                         damaged line"
+                    )));
+                }
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        file.set_len(good_bytes)?;
+        file.seek(SeekFrom::End(0))?;
+        if sync {
+            file.sync_all()?;
+        }
+        let next_seq = entries.len() as u64 + 1;
+        Ok((
+            Self {
+                path: path.to_path_buf(),
+                file,
+                next_seq,
+                sync,
+            },
+            entries,
+        ))
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The sequence number the next commit will take.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Durably appends `reply_line` as the next committed reply and
+    /// returns its sequence number. The caller must only release the
+    /// reply to the client *after* this returns.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure; the entry must then be treated as not committed.
+    pub fn commit(&mut self, reply_line: &str) -> Result<u64, JournalError> {
+        let seq = self.next_seq;
+        let body = format!("{seq} {reply_line}");
+        let line = format!("{:016x} {body}\n", fnv1a64(body.as_bytes()));
+        self.file.write_all(line.as_bytes())?;
+        if self.sync {
+            self.file.sync_data()?;
+        } else {
+            self.file.flush()?;
+        }
+        self.next_seq += 1;
+        Ok(seq)
+    }
+}
+
+fn parse_entry(line: &str, expected_seq: u64) -> Option<JournalEntry> {
+    let (checksum_hex, body) = line.split_once(' ')?;
+    if checksum_hex.len() != 16 {
+        return None;
+    }
+    let checksum = u64::from_str_radix(checksum_hex, 16).ok()?;
+    if fnv1a64(body.as_bytes()) != checksum {
+        return None;
+    }
+    let (seq_text, reply_line) = body.split_once(' ')?;
+    let seq: u64 = seq_text.parse().ok()?;
+    if seq != expected_seq {
+        return None;
+    }
+    Some(JournalEntry {
+        seq,
+        reply_line: reply_line.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("icm-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.log")
+    }
+
+    #[test]
+    fn commits_are_recovered_in_order() {
+        let path = scratch("order");
+        {
+            let (mut journal, entries) = LineJournal::open(&path, false).unwrap();
+            assert!(entries.is_empty());
+            assert_eq!(journal.commit(r#"{"id":"a"}"#).unwrap(), 1);
+            assert_eq!(journal.commit(r#"{"id":"b"}"#).unwrap(), 2);
+        }
+        let (journal, entries) = LineJournal::open(&path, false).unwrap();
+        assert_eq!(journal.next_seq(), 3);
+        assert_eq!(
+            entries,
+            vec![
+                JournalEntry {
+                    seq: 1,
+                    reply_line: r#"{"id":"a"}"#.into()
+                },
+                JournalEntry {
+                    seq: 2,
+                    reply_line: r#"{"id":"b"}"#.into()
+                },
+            ]
+        );
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn a_torn_tail_is_truncated_and_appending_continues_cleanly() {
+        let path = scratch("torn");
+        {
+            let (mut journal, _) = LineJournal::open(&path, false).unwrap();
+            journal.commit("alpha").unwrap();
+            journal.commit("beta").unwrap();
+        }
+        // Tear the tail mid-entry.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (mut journal, entries) = LineJournal::open(&path, false).unwrap();
+        assert_eq!(entries.len(), 1, "torn second entry is dropped");
+        assert_eq!(journal.next_seq(), 2);
+        journal.commit("beta").unwrap();
+        drop(journal);
+        // The recovered-and-reappended journal is byte-identical to an
+        // uninterrupted one.
+        let reference = scratch("torn-ref");
+        let (mut journal, _) = LineJournal::open(&reference, false).unwrap();
+        journal.commit("alpha").unwrap();
+        journal.commit("beta").unwrap();
+        drop(journal);
+        assert_eq!(fs::read(&path).unwrap(), fs::read(&reference).unwrap());
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+        fs::remove_dir_all(reference.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn mid_file_damage_is_refused_not_skipped() {
+        let path = scratch("midfile");
+        {
+            let (mut journal, _) = LineJournal::open(&path, false).unwrap();
+            journal.commit("alpha").unwrap();
+            journal.commit("beta").unwrap();
+        }
+        let mut text = fs::read_to_string(&path).unwrap();
+        // Corrupt the FIRST entry while the second stays intact.
+        text.replace_range(0..1, "z");
+        fs::write(&path, &text).unwrap();
+        let err = LineJournal::open(&path, false).unwrap_err();
+        assert!(err.to_string().contains("mid-file damage"), "{err}");
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,181 @@
+//! Bounded admission queue with priority-aware shedding.
+//!
+//! The queue holds at most `capacity` pending requests. When a request
+//! arrives at a full queue, the *shed candidate* — lowest priority,
+//! ties broken toward the newest admission — is refused with a typed
+//! `Overloaded` reply instead of growing memory. This is the manager's
+//! shed ordering ([`icm_manager::Fleet::shed_candidate`]: lowest
+//! priority first, ties toward the lexicographically larger name)
+//! applied to traffic, with admission order standing in for the name.
+//!
+//! Service order is the mirror image: highest priority first, FIFO
+//! within a priority. All ordering is on explicit integer stamps, so a
+//! replayed arrival trace makes identical decisions every time.
+
+use crate::protocol::Request;
+
+/// One admitted request waiting for service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pending {
+    /// Admission stamp: unique, monotone across the server's life.
+    pub admitted: u64,
+    /// Virtual arrival time in microseconds.
+    pub arrival_us: u64,
+    /// The validated request.
+    pub request: Request,
+    /// Predicted service cost in virtual microseconds.
+    pub cost_us: u64,
+}
+
+/// Outcome of an admission attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// The request was queued.
+    Admitted,
+    /// The queue was full and the *incoming* request lost the priority
+    /// comparison.
+    RejectedIncoming,
+    /// The queue was full; a previously queued request was evicted to
+    /// make room (the caller owes it an `Overloaded` reply).
+    Evicted(Pending),
+}
+
+/// The bounded queue.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    items: Vec<Pending>,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// An empty queue bounded at `capacity` (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            items: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Pending request count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total predicted service cost of everything pending, in virtual
+    /// microseconds — the estimated drain time quoted in `Overloaded`
+    /// replies.
+    pub fn backlog_us(&self) -> u64 {
+        self.items.iter().map(|p| p.cost_us).sum()
+    }
+
+    /// Admits `pending`, shedding the lowest-priority request (ties
+    /// toward the newest admission) when full.
+    pub fn admit(&mut self, pending: Pending) -> Admission {
+        if self.items.len() < self.capacity {
+            self.items.push(pending);
+            return Admission::Admitted;
+        }
+        // Shed candidate over queued ∪ {incoming}: lowest priority,
+        // ties toward the newest admission stamp.
+        let mut victim: Option<usize> = None; // None = the incoming one
+        let mut victim_key = (pending.request.priority, pending.admitted);
+        for (i, item) in self.items.iter().enumerate() {
+            let key = (item.request.priority, item.admitted);
+            if key.0 < victim_key.0 || (key.0 == victim_key.0 && key.1 > victim_key.1) {
+                victim = Some(i);
+                victim_key = key;
+            }
+        }
+        match victim {
+            None => Admission::RejectedIncoming,
+            Some(i) => {
+                let evicted = self.items.remove(i);
+                self.items.push(pending);
+                Admission::Evicted(evicted)
+            }
+        }
+    }
+
+    /// Removes and returns the next request to serve: highest priority,
+    /// FIFO (oldest admission) within a priority.
+    pub fn pop_next(&mut self) -> Option<Pending> {
+        let mut best: Option<usize> = None;
+        for (i, item) in self.items.iter().enumerate() {
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    let cur = &self.items[b];
+                    let better = item.request.priority > cur.request.priority
+                        || (item.request.priority == cur.request.priority
+                            && item.admitted < cur.admitted);
+                    if better {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        best.map(|i| self.items.remove(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::RequestKind;
+
+    fn pending(admitted: u64, priority: u32, cost_us: u64) -> Pending {
+        Pending {
+            admitted,
+            arrival_us: 0,
+            request: Request {
+                id: format!("r{admitted}"),
+                kind: RequestKind::Status,
+                priority,
+                deadline_ms: 10,
+                at_ms: None,
+            },
+            cost_us,
+        }
+    }
+
+    #[test]
+    fn service_order_is_priority_then_fifo() {
+        let mut q = AdmissionQueue::new(8);
+        for p in [pending(1, 1, 10), pending(2, 3, 10), pending(3, 3, 10)] {
+            assert_eq!(q.admit(p), Admission::Admitted);
+        }
+        assert_eq!(q.backlog_us(), 30);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_next().map(|p| p.admitted)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn overload_sheds_the_lowest_priority_newest_first() {
+        let mut q = AdmissionQueue::new(2);
+        q.admit(pending(1, 2, 10));
+        q.admit(pending(2, 1, 10));
+        // Incoming higher priority evicts the queued priority-1 item.
+        match q.admit(pending(3, 3, 10)) {
+            Admission::Evicted(victim) => assert_eq!(victim.admitted, 2),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        // Incoming lowest priority is itself refused.
+        assert_eq!(q.admit(pending(4, 0, 10)), Admission::RejectedIncoming);
+        // Priority tie: the newest admission is the victim — the
+        // incoming request.
+        assert_eq!(q.admit(pending(5, 2, 10)), Admission::RejectedIncoming);
+        assert_eq!(q.len(), 2);
+    }
+}

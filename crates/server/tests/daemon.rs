@@ -1,0 +1,472 @@
+//! End-to-end daemon tests: the robustness envelope exercised through
+//! the same engine the binary runs, plus a *process-level* crash drill
+//! that really aborts a child process mid-stream and proves recovery.
+
+use std::path::{Path, PathBuf};
+
+use icm_json::Json;
+use icm_server::frame::Frame;
+use icm_server::server::Server;
+use icm_server::world::ServerConfig;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icm-daemon-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn feed(server: &mut Server, line: &str) -> Vec<Json> {
+    server
+        .handle_frame(&Frame::Line(line.to_owned()))
+        .expect("frame handled")
+        .iter()
+        .map(|l| icm_json::parse(l).expect("reply parses"))
+        .collect()
+}
+
+fn status_of(reply: &Json) -> &str {
+    reply.get("status").and_then(Json::as_str).expect("status")
+}
+
+fn fast_config() -> ServerConfig {
+    let mut config = ServerConfig::new(2016, true);
+    config.sync = false;
+    config
+}
+
+#[test]
+fn interactive_requests_round_trip_without_persistence() {
+    let mut server = Server::start(fast_config(), None).expect("starts");
+    // Interactive (no at_ms) requests are served before the next frame.
+    let replies = feed(
+        &mut server,
+        r#"{"id":"p1","kind":"predict","app":"M.milc","corunners":["H.KM"]}"#,
+    );
+    assert_eq!(replies.len(), 1);
+    assert_eq!(status_of(&replies[0]), "ok");
+    assert_eq!(
+        replies[0].get("degraded").and_then(Json::as_bool),
+        Some(false)
+    );
+    let predicted = replies[0]
+        .get("payload")
+        .and_then(|p| p.get("predicted"))
+        .and_then(Json::as_f64)
+        .expect("prediction");
+    assert!(predicted >= 1.0, "co-located runtime dilates: {predicted}");
+
+    let replies = feed(
+        &mut server,
+        r#"{"id":"o1","kind":"observe","app":"M.milc","corunners":["H.KM"],"normalized":1.31}"#,
+    );
+    assert_eq!(status_of(&replies[0]), "ok");
+
+    let replies = feed(
+        &mut server,
+        r#"{"id":"pl1","kind":"place","iterations":120,"deadline_ms":500}"#,
+    );
+    assert_eq!(status_of(&replies[0]), "ok");
+    assert!(
+        replies[0]
+            .get("payload")
+            .and_then(|p| p.get("cost"))
+            .and_then(Json::as_f64)
+            .expect("cost")
+            > 0.0
+    );
+
+    let replies = feed(&mut server, r#"{"id":"t1","kind":"tick"}"#);
+    assert_eq!(status_of(&replies[0]), "ok");
+
+    let replies = feed(&mut server, r#"{"id":"s1","kind":"status"}"#);
+    assert_eq!(status_of(&replies[0]), "ok");
+    let completed = replies[0]
+        .get("payload")
+        .and_then(|p| p.get("completed"))
+        .and_then(Json::as_f64)
+        .expect("completed");
+    assert_eq!(completed, 5.0);
+
+    // Malformed frames get typed errors and never poison the loop.
+    let replies = feed(&mut server, "this is not json");
+    assert_eq!(status_of(&replies[0]), "error");
+    assert_eq!(
+        replies[0].get("code").and_then(Json::as_str),
+        Some("malformed_json")
+    );
+    let replies = feed(
+        &mut server,
+        r#"{"id":"u1","kind":"predict","app":"nope","corunners":[]}"#,
+    );
+    assert_eq!(
+        replies[0].get("code").and_then(Json::as_str),
+        Some("unknown_app")
+    );
+
+    // Shutdown drains, then refuses.
+    let replies = feed(&mut server, r#"{"id":"x1","kind":"shutdown"}"#);
+    assert_eq!(status_of(&replies[0]), "ok");
+    assert!(server.shutting_down());
+    let replies = feed(&mut server, r#"{"id":"late","kind":"status"}"#);
+    assert_eq!(
+        replies[0].get("code").and_then(Json::as_str),
+        Some("shutting_down")
+    );
+}
+
+#[test]
+fn bursts_shed_typed_overloads_and_admitted_requests_meet_deadlines() {
+    let mut server = Server::start(fast_config(), None).expect("starts");
+    let capacity = server.config().queue_capacity;
+    let burst = capacity + 6;
+    let mut statuses: Vec<Json> = Vec::new();
+    for i in 0..burst {
+        statuses.extend(feed(
+            &mut server,
+            &format!(
+                r#"{{"id":"b{i}","kind":"predict","app":"M.milc","corunners":[],"deadline_ms":50,"at_ms":1000}}"#
+            ),
+        ));
+    }
+    // Everything so far queued or shed — drain with a later arrival.
+    statuses.extend(feed(
+        &mut server,
+        r#"{"id":"drain","kind":"status","at_ms":5000}"#,
+    ));
+    statuses.extend(
+        server
+            .finish()
+            .expect("drains")
+            .iter()
+            .map(|l| icm_json::parse(l).unwrap()),
+    );
+    let shed: Vec<&Json> = statuses
+        .iter()
+        .filter(|r| status_of(r) == "overloaded")
+        .collect();
+    let ok: Vec<&Json> = statuses.iter().filter(|r| status_of(r) == "ok").collect();
+    assert_eq!(shed.len(), burst - capacity, "typed sheds beyond capacity");
+    for reply in &shed {
+        assert!(
+            reply
+                .get("retry_after_us")
+                .and_then(Json::as_f64)
+                .expect("retry horizon")
+                > 0.0
+        );
+    }
+    // Every admitted request completed inside its declared budget.
+    assert_eq!(ok.len(), capacity + 1, "admitted burst + drain status");
+    for reply in &ok {
+        if reply.get("id").and_then(Json::as_str) == Some("drain") {
+            continue;
+        }
+        let latency = reply
+            .get("latency_us")
+            .and_then(Json::as_f64)
+            .expect("latency");
+        assert!(latency <= 50_000.0, "within the 50ms budget: {latency}");
+    }
+    assert_eq!(server.counters().shed, (burst - capacity) as u64);
+}
+
+#[test]
+fn saturation_serves_degraded_answers_and_deadlines_refuse_late_work() {
+    let mut server = Server::start(fast_config(), None).expect("starts");
+    // Warm the cache with a fresh interactive prediction.
+    let replies = feed(
+        &mut server,
+        r#"{"id":"warm","kind":"predict","app":"M.milc","corunners":["H.KM"]}"#,
+    );
+    assert_eq!(status_of(&replies[0]), "ok");
+    // Saturate the backlog with placement work, then ask again: the
+    // high-priority predict is served first, sees the saturated queue,
+    // and answers from the cache, marked degraded.
+    let mut replies = Vec::new();
+    for i in 0..4 {
+        replies.extend(feed(
+            &mut server,
+            &format!(
+                r#"{{"id":"w{i}","kind":"place","iterations":500,"priority":1,"deadline_ms":900,"at_ms":1000}}"#
+            ),
+        ));
+    }
+    replies.extend(feed(
+        &mut server,
+        r#"{"id":"hot","kind":"predict","app":"M.milc","corunners":["H.KM"],"priority":5,"deadline_ms":50,"at_ms":1000}"#,
+    ));
+    replies.extend(
+        server
+            .finish()
+            .expect("drains")
+            .iter()
+            .map(|l| icm_json::parse(l).unwrap()),
+    );
+    let hot = replies
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("hot"))
+        .expect("hot reply");
+    assert_eq!(status_of(hot), "ok");
+    assert_eq!(hot.get("degraded").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        hot.get("payload")
+            .and_then(|p| p.get("cached"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    assert!(server.counters().degraded >= 1);
+
+    // A tight deadline that cannot cover queue wait + service is
+    // refused before any work is burned.
+    let mut replies = Vec::new();
+    for i in 0..4 {
+        replies.extend(feed(
+            &mut server,
+            &format!(
+                r#"{{"id":"z{i}","kind":"place","iterations":500,"deadline_ms":900,"at_ms":20000}}"#
+            ),
+        ));
+    }
+    replies.extend(feed(
+        &mut server,
+        r#"{"id":"late","kind":"predict","app":"M.milc","corunners":[],"priority":0,"deadline_ms":1,"at_ms":20000}"#,
+    ));
+    replies.extend(
+        server
+            .finish()
+            .expect("drains")
+            .iter()
+            .map(|l| icm_json::parse(l).unwrap()),
+    );
+    let late = replies
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("late"))
+        .expect("late reply");
+    assert_eq!(status_of(late), "deadline_exceeded");
+    assert!(
+        late.get("needed_us")
+            .and_then(Json::as_f64)
+            .expect("needed")
+            > late
+                .get("budget_us")
+                .and_then(Json::as_f64)
+                .expect("budget")
+    );
+}
+
+#[test]
+fn the_circuit_opens_when_a_degraded_answer_would_rest_on_defaulted_cells() {
+    let mut server = Server::start(fast_config(), None).expect("starts");
+    let row = r#"["Defaulted","Defaulted","Defaulted","Defaulted","Defaulted"]"#;
+    let grid_text = format!(r#"{{"n":8,"m":4,"cells":[{}]}}"#, vec![row; 8].join(","));
+    let grid: icm_core::QualityGrid = icm_json::from_str(&grid_text).expect("grid parses");
+    for app in server.fleet_mut().apps_mut() {
+        app.quality = Some(grid.clone());
+    }
+    // Fresh predictions still serve (marked with their quality)…
+    let replies = feed(
+        &mut server,
+        r#"{"id":"warm","kind":"predict","app":"M.milc","corunners":["H.KM"]}"#,
+    );
+    assert_eq!(status_of(&replies[0]), "ok");
+    assert_eq!(
+        replies[0]
+            .get("payload")
+            .and_then(|p| p.get("quality"))
+            .and_then(Json::as_str),
+        Some("defaulted")
+    );
+    // …but the degraded path refuses to lean on them.
+    let mut replies = Vec::new();
+    for i in 0..4 {
+        replies.extend(feed(
+            &mut server,
+            &format!(
+                r#"{{"id":"w{i}","kind":"place","iterations":500,"priority":1,"deadline_ms":900,"at_ms":1000}}"#
+            ),
+        ));
+    }
+    replies.extend(feed(
+        &mut server,
+        r#"{"id":"hot","kind":"predict","app":"M.milc","corunners":["H.KM"],"priority":5,"deadline_ms":50,"at_ms":1000}"#,
+    ));
+    replies.extend(
+        server
+            .finish()
+            .expect("drains")
+            .iter()
+            .map(|l| icm_json::parse(l).unwrap()),
+    );
+    let hot = replies
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("hot"))
+        .expect("hot reply");
+    assert_eq!(status_of(hot), "error");
+    assert_eq!(hot.get("code").and_then(Json::as_str), Some("circuit_open"));
+}
+
+// ---------------------------------------------------------------------
+// The process-level crash drill.
+//
+// A child process (this same test binary, re-executed with an env
+// marker) serves a fixed scripted stream against a state directory and
+// `abort()`s after N committed replies — no unwinding, no flushing, no
+// goodbye. The parent then reruns the child on the same directory to
+// completion and proves the journal byte-identical to an uninterrupted
+// run's. This is `kill -9` by another name, without the signal-
+// delivery race.
+// ---------------------------------------------------------------------
+
+const CHILD_STATE: &str = "ICM_DAEMON_CHILD_STATE";
+const CHILD_KILL_AFTER: &str = "ICM_DAEMON_CHILD_KILL_AFTER";
+
+/// The scripted stream the crash drill serves: bursts that overload the
+/// queue, malformed and damaged frames, observations that move the
+/// model, and enough traffic to cross several checkpoints.
+fn drill_frames() -> Vec<Frame> {
+    let mut frames = Vec::new();
+    for round in 0u64..6 {
+        let at = 1_000 + round * 400;
+        for i in 0..4 {
+            frames.push(Frame::Line(format!(
+                r#"{{"id":"r{round}-{i}","kind":"predict","app":"M.milc","corunners":["H.KM"],"priority":{i},"deadline_ms":80,"at_ms":{at}}}"#
+            )));
+        }
+        frames.push(Frame::Line(format!(
+            r#"{{"id":"o{round}","kind":"observe","app":"M.milc","corunners":["H.KM"],"normalized":1.2{round},"at_ms":{at}}}"#,
+        )));
+        if round % 2 == 0 {
+            frames.push(Frame::Line("{broken json".to_owned()));
+            frames.push(Frame::InvalidUtf8);
+            frames.push(Frame::Oversized(200_000));
+        }
+        frames.push(Frame::Line(format!(
+            r#"{{"id":"s{round}","kind":"status","at_ms":{}}}"#,
+            at + 300
+        )));
+    }
+    frames
+}
+
+fn run_drill_child(state: &Path, kill_after: Option<u64>) {
+    let mut config = ServerConfig::new(2016, true);
+    config.sync = false; // abort() keeps kernel-buffered writes; only power loss would not
+    config.checkpoint_every = 5;
+    config.keep_checkpoints = 2;
+    let mut server = Server::start(config, Some(state)).expect("child starts");
+    // A recovered life resumes the script where the dead one stopped —
+    // frames up to `consumed_frames` live in the intake log and were
+    // already re-applied by recovery.
+    let consumed = server.consumed_frames() as usize;
+    for frame in drill_frames().into_iter().skip(consumed) {
+        server.handle_frame(&frame).expect("child serves");
+        if let Some(limit) = kill_after {
+            if server.committed() >= limit {
+                std::process::abort();
+            }
+        }
+    }
+    server.finish().expect("child drains");
+}
+
+/// Child hook: when the env marker is set, this "test" is the crash
+/// drill's child process. Without the marker it does nothing.
+#[test]
+fn crash_drill_child() {
+    let Ok(state) = std::env::var(CHILD_STATE) else {
+        return;
+    };
+    let kill_after = std::env::var(CHILD_KILL_AFTER)
+        .ok()
+        .map(|v| v.parse().expect("kill-after parses"));
+    run_drill_child(Path::new(&state), kill_after);
+}
+
+fn spawn_child(state: &Path, kill_after: Option<u64>) -> std::process::Output {
+    let exe = std::env::current_exe().expect("own path");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args(["--exact", "crash_drill_child", "--nocapture"])
+        .env(CHILD_STATE, state)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    match kill_after {
+        Some(n) => cmd.env(CHILD_KILL_AFTER, n.to_string()),
+        None => cmd.env_remove(CHILD_KILL_AFTER),
+    };
+    cmd.output().expect("child runs")
+}
+
+#[test]
+fn kill_dash_nine_loses_no_acknowledged_reply() {
+    let reference = scratch("drill-ref");
+    let crashed = scratch("drill-crash");
+
+    // Uninterrupted reference run.
+    let out = spawn_child(&reference, None);
+    assert!(out.status.success(), "reference child failed: {out:?}");
+
+    // Crashed run: abort mid-stream, then resume on the same state.
+    let out = spawn_child(&crashed, Some(12));
+    assert!(!out.status.success(), "the child must die mid-stream");
+    let partial = std::fs::read(crashed.join("journal.log")).expect("partial journal");
+    assert!(!partial.is_empty(), "the crashed run committed replies");
+    let out = spawn_child(&crashed, None);
+    assert!(out.status.success(), "recovery failed: {out:?}");
+
+    // No acknowledged reply was lost, none was altered: the recovered
+    // journal is byte-identical to the uninterrupted run's.
+    let a = std::fs::read(reference.join("journal.log")).expect("reference journal");
+    let b = std::fs::read(crashed.join("journal.log")).expect("recovered journal");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "journals diverge after kill -9 + recovery");
+    assert!(
+        b.len() >= partial.len(),
+        "recovery never shrinks committed history"
+    );
+    assert!(
+        b.starts_with(&partial[..partial.len().saturating_sub(200)]),
+        "recovered journal extends the crashed prefix"
+    );
+
+    // Checkpoint pruning bounded the store in both lives.
+    let generations = std::fs::read_dir(crashed.join("checkpoints"))
+        .expect("checkpoint dir")
+        .count();
+    assert!(
+        (1..=3).contains(&generations),
+        "pruning keeps the store bounded, got {generations}"
+    );
+
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&crashed);
+}
+
+#[test]
+fn same_seed_reruns_commit_byte_identical_journals() {
+    let a = scratch("det-a");
+    let b = scratch("det-b");
+    for dir in [&a, &b] {
+        let mut config = ServerConfig::new(2016, true);
+        config.sync = false;
+        config.checkpoint_every = 7;
+        let mut server = Server::start(config, Some(dir)).expect("starts");
+        for frame in drill_frames() {
+            server.handle_frame(&frame).expect("serves");
+        }
+        server.finish().expect("drains");
+    }
+    let journal_a = std::fs::read(a.join("journal.log")).expect("journal a");
+    let journal_b = std::fs::read(b.join("journal.log")).expect("journal b");
+    assert!(!journal_a.is_empty());
+    assert_eq!(journal_a, journal_b, "same seed, same frames, same bytes");
+    let _ = std::fs::remove_dir_all(&a);
+    let _ = std::fs::remove_dir_all(&b);
+}
+
+#[test]
+fn snapshots_refuse_unknown_versions() {
+    use icm_server::server::ServerSnapshot;
+    let err = ServerSnapshot::parse(r#"{"version":99}"#).expect_err("refused");
+    assert!(err.to_string().contains("version"), "{err}");
+}

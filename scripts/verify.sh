@@ -129,3 +129,61 @@ cmp "$SMOKE/endure-ref.jsonl" "$SMOKE/endure-kill.jsonl" \
 cmp "$SMOKE/endure-ref.json" "$SMOKE/endure-kill.json" \
     || { echo "verify: resumed results diverged from the uninterrupted run" >&2; exit 1; }
 echo "verify: kill-and-resume smoke OK"
+# A replay of action 0 needs a starting point: explain must name the
+# newest checkpoint generation that precedes the action's tick.
+./target/release/icm-trace explain "$SMOKE/endure-ref.jsonl" --action 0 \
+    --checkpoint-dir "$SMOKE/ref-ckpt" | grep -q "checkpoint: gen-" \
+    || { echo "verify: explain did not name a resume checkpoint" >&2; exit 1; }
+echo "verify: checkpoint naming smoke OK"
+
+# Serve smoke: the placement daemon works a scripted mix (timed
+# requests, a malformed line, a deliberate overload burst), is killed
+# with SIGABRT mid-stream (--kill-after-commits: no flushes, no
+# destructors), and is restarted on the same state directory. Every
+# acknowledged (journaled) reply must survive the kill byte-for-byte,
+# the recovered journal must equal an uninterrupted same-script run's,
+# and a same-seed rerun must be byte-identical end to end.
+{
+    printf '%s\n' \
+        '{"id":"w1","kind":"predict","app":"M.milc","corunners":["H.KM"],"at_ms":100,"deadline_ms":500}' \
+        '{"id":"o1","kind":"observe","app":"M.milc","corunners":["H.KM"],"normalized":1.4,"at_ms":140,"deadline_ms":500}' \
+        'this is not a request' \
+        '{"id":"a1","kind":"place","iterations":200,"at_ms":200,"deadline_ms":500}'
+    i=0
+    while [ "$i" -lt 12 ]; do
+        printf '{"id":"b%d","kind":"predict","app":"H.KM","corunners":["M.milc"],"priority":%d,"at_ms":400,"deadline_ms":60}\n' \
+            "$i" $((i % 4))
+        i=$((i + 1))
+    done
+    printf '%s\n' \
+        '{"id":"s1","kind":"status","at_ms":900,"deadline_ms":500}' \
+        '{"id":"w2","kind":"predict","app":"M.milc","corunners":["H.KM"],"at_ms":1000,"deadline_ms":500}' \
+        '{"id":"t1","kind":"tick","at_ms":1100,"deadline_ms":120000}' \
+        '{"id":"s2","kind":"status","at_ms":1300,"deadline_ms":500}'
+} > "$SMOKE/serve-script.jsonl"
+./target/release/icm-server --fast --state "$SMOKE/ref-serve" --checkpoint-every 6 \
+    --input "$SMOKE/serve-script.jsonl" --quiet > /dev/null
+grep -q '"status":"overloaded"' "$SMOKE/ref-serve/journal.log" \
+    || { echo "verify: the burst shed nothing" >&2; exit 1; }
+grep -q '"status":"error"' "$SMOKE/ref-serve/journal.log" \
+    || { echo "verify: the malformed line got no typed error" >&2; exit 1; }
+if ./target/release/icm-server --fast --state "$SMOKE/kill-serve" --checkpoint-every 6 \
+    --kill-after-commits 9 --input "$SMOKE/serve-script.jsonl" --quiet \
+    > /dev/null 2>&1; then
+    echo "verify: --kill-after-commits did not kill the daemon" >&2; exit 1
+fi
+test -s "$SMOKE/kill-serve/journal.log" \
+    || { echo "verify: the killed daemon journaled nothing" >&2; exit 1; }
+cp "$SMOKE/kill-serve/journal.log" "$SMOKE/pre-kill-journal.log"
+./target/release/icm-server --fast --state "$SMOKE/kill-serve" --checkpoint-every 6 \
+    --input "$SMOKE/serve-script.jsonl" --quiet > /dev/null
+head -c "$(wc -c < "$SMOKE/pre-kill-journal.log")" "$SMOKE/kill-serve/journal.log" \
+    | cmp - "$SMOKE/pre-kill-journal.log" \
+    || { echo "verify: acknowledged replies were lost across the kill" >&2; exit 1; }
+cmp "$SMOKE/ref-serve/journal.log" "$SMOKE/kill-serve/journal.log" \
+    || { echo "verify: recovered journal diverged from the uninterrupted run" >&2; exit 1; }
+./target/release/icm-server --fast --state "$SMOKE/rerun-serve" --checkpoint-every 6 \
+    --input "$SMOKE/serve-script.jsonl" --quiet > /dev/null
+cmp "$SMOKE/ref-serve/journal.log" "$SMOKE/rerun-serve/journal.log" \
+    || { echo "verify: same-seed serve reruns diverged" >&2; exit 1; }
+echo "verify: serve smoke OK"
